@@ -1,0 +1,43 @@
+"""Sec. 6.2 — agents branch/rollback far more than humans; CoW makes it cheap.
+
+Paper: at Neon, agents created ~20x more branches and performed ~50x more
+rollbacks than humans. Second section: fork cost must be O(#tables), not
+O(rows) (A5).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness import run_branching_experiment
+from repro.workloads.updates import fresh_accounts_manager
+
+
+def _run():
+    return run_branching_experiment(seed=0, sessions=8)
+
+
+def test_branch_rollback_ratios(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.branch_ratio > 10, "agents must branch an order of magnitude more"
+    assert result.rollback_ratio > 20
+    assert result.cow_shared_fraction > 0.7
+
+
+def test_fork_cost_independent_of_rows(benchmark):
+    def fork_thousand():
+        manager = fresh_accounts_manager(n_accounts=4096)
+        start = time.perf_counter()
+        for i in range(1000):
+            manager.fork("main", f"b{i}")
+        fork_time = time.perf_counter() - start
+        return manager, fork_time
+
+    manager, fork_time = benchmark.pedantic(fork_thousand, rounds=1, iterations=1)
+    print(f"\n1000 forks of a 4096-row database: {fork_time:.3f}s"
+          f" ({fork_time:.6f}s per fork)")
+    assert manager.live_branch_count() == 1001
+    assert fork_time < 5.0

@@ -1,0 +1,30 @@
+"""Figure 2 — total vs. unique sub-expressions across 50 parallel attempts.
+
+Paper shape: the number of distinct sub-plans of each size is a small
+fraction (often <10-20%) of the total; scans (TS) dedupe hardest, larger
+compositions are more distinct.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_fig2
+
+SEED = 0
+N_TASKS = 16
+ATTEMPTS = 50
+
+
+def _run():
+    return run_fig2(seed=SEED, n_tasks=N_TASKS, attempts_per_task=ATTEMPTS)
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    proportions = {size: p for size, _, _, p in result.by_size}
+    assert proportions[1] < 0.1, "small sub-plans are massively redundant"
+    assert all(p < 0.35 for p in proportions.values())
+    op_props = {code: p for code, _, _, p in result.by_operator}
+    assert op_props["TS"] == min(op_props.values()), "scans dedupe hardest"

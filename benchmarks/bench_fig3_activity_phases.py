@@ -1,0 +1,36 @@
+"""Figure 3 — labeled agent activities vs. normalized trace position.
+
+Paper shape: exploring tables and columns concentrates early in traces,
+attempting-part and attempting-entire later, with overlapping phases.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_fig3
+
+SEED = 0
+
+
+def _center_of_mass(bins):
+    total = sum(bins)
+    if not total:
+        return 0.0
+    return sum(i * v for i, v in enumerate(bins)) / total
+
+
+def _run():
+    return run_fig3(seed=SEED, n_tasks=22, repetitions=2)
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    com = {name: _center_of_mass(bins) for name, bins in result.heatmap.items()}
+    assert com["exploring tables"] < com["attempting part of the query"]
+    assert com["exploring tables"] < com["attempting entire query"]
+    assert com["exploring specific columns"] < com["attempting entire query"]
+    # Phases overlap: exploration still occurs in the second half.
+    tables_bins = result.heatmap["exploring tables"]
+    assert sum(tables_bins[5:]) > 0

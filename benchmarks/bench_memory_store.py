@@ -1,0 +1,21 @@
+"""Ablation A2 — the agentic memory store / history on repetitive streams
+(paper Sec. 6.1): repeated probes from different agents answer from
+history instead of re-executing.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_memory_ablation
+
+
+def _run():
+    return run_memory_ablation(seed=0, n_tasks=6, repeats=4)
+
+
+def test_memory_ablation(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.history_answers > 0
+    assert result.work_saved > 0.4

@@ -1,0 +1,22 @@
+"""Ablation A3 — satisficing vs exact-everything (paper Sec. 5.2).
+
+Exploration-phase probes run sampled; answers stay within a few percent of
+exact while the engine touches a fraction of the rows.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_satisficing_ablation
+
+
+def _run():
+    return run_satisficing_ablation(seed=0, scale=20)
+
+
+def test_satisficing(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.work_saved > 0.3
+    assert result.mean_relative_error < 0.25

@@ -1,0 +1,21 @@
+"""Ablation A4 — sleeper-agent steering closes grounding gaps faster
+(paper Sec. 4.2): why-not feedback tells the agent how values are
+actually encoded, saving follow-up probes.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_steering_ablation
+
+
+def _run():
+    return run_steering_ablation(seed=0, n_tasks=10)
+
+
+def test_steering(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.probes_with_steering < result.probes_without_steering
+    assert result.reduction > 0.1

@@ -1,0 +1,7 @@
+"""Benchmark-wide configuration.
+
+Every bench prints the reproduced table/figure (the same rows/series the
+paper reports) in addition to timing via pytest-benchmark. Sizes are kept
+moderate so the full suite completes in minutes; the harness functions
+accept larger sizes for higher-fidelity runs.
+"""

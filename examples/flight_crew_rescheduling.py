@@ -1,0 +1,120 @@
+"""The paper's second motivating example: rescheduling a delayed flight's
+crew by exploring hypothetical transactions on database branches.
+
+An agent forks one branch per candidate crew plan, applies dozens of
+updates speculatively, checks legality constraints, rolls back every
+branch but the winner, and merges it — multi-world isolation with
+ultra-fast rollbacks (paper Sec. 6.2).
+
+Run:  python examples/flight_crew_rescheduling.py
+"""
+
+from repro.db import Database
+from repro.errors import MergeConflict
+from repro.txn import BranchManager
+from repro.util.rng import RngStream
+
+
+def build_db() -> Database:
+    db = Database("airline")
+    db.execute(
+        "CREATE TABLE crew (id INT PRIMARY KEY, name TEXT, role TEXT,"
+        " duty_hours INT, assigned_flight INT)"
+    )
+    db.execute(
+        "CREATE TABLE flights (id INT PRIMARY KEY, origin TEXT,"
+        " destination TEXT, status TEXT)"
+    )
+    crew_rows = [
+        (1, "Ada", "Captain", 7, 101),
+        (2, "Grace", "Captain", 2, None),
+        (3, "Alan", "Captain", 9, 102),
+        (4, "Edsger", "First Officer", 3, None),
+        (5, "Barbara", "First Officer", 8, 101),
+        (6, "Leslie", "First Officer", 1, None),
+        (7, "Margaret", "Attendant", 4, None),
+        (8, "Radia", "Attendant", 2, None),
+    ]
+    db.insert_rows("crew", crew_rows)
+    db.insert_rows(
+        "flights",
+        [
+            (101, "SFO", "SEA", "departed"),
+            (102, "OAK", "AUS", "boarding"),
+            (103, "SFO", "BOS", "delayed"),  # needs a fresh crew
+        ],
+    )
+    return db
+
+
+MAX_DUTY_HOURS = 8
+
+
+def try_plan(manager: BranchManager, plan_name: str, captain: int, officer: int, attendant: int) -> bool:
+    """Fork, assign the candidate crew, and validate legality in-branch."""
+    branch = manager.fork("main", plan_name)
+    for crew_id in (captain, officer, attendant):
+        branch.execute(
+            f"UPDATE crew SET assigned_flight = 103, duty_hours = duty_hours + 5"
+            f" WHERE id = {crew_id}"
+        )
+    branch.execute("UPDATE flights SET status = 'crewed' WHERE id = 103")
+
+    # Legality checks against the branch's own world.
+    overworked = branch.execute(
+        f"SELECT COUNT(*) FROM crew WHERE assigned_flight = 103"
+        f" AND duty_hours > {MAX_DUTY_HOURS}"
+    ).first_value()
+    double_booked = branch.execute(
+        "SELECT COUNT(*) FROM crew WHERE assigned_flight = 103 AND id IN"
+        " (SELECT id FROM crew WHERE duty_hours > 12)"
+    ).first_value()
+    return overworked == 0 and double_booked == 0
+
+
+def main() -> None:
+    manager = BranchManager(build_db())
+    rng = RngStream(0, "plans")
+
+    candidates = [
+        ("plan_a", 1, 4, 7),  # Ada is already at 7h -> +5 exceeds the cap
+        ("plan_b", 3, 6, 8),  # Alan at 9h -> illegal
+        ("plan_c", 2, 4, 8),  # Grace/Edsger/Radia -> legal
+        ("plan_d", 2, 5, 7),  # Barbara at 8h -> illegal
+    ]
+    rng.shuffle(candidates)
+
+    winner = None
+    for name, captain, officer, attendant in candidates:
+        legal = try_plan(manager, name, captain, officer, attendant)
+        print(f"{name}: crew ({captain},{officer},{attendant}) ->"
+              f" {'legal' if legal else 'violates duty-hour limits'}")
+        if legal and winner is None:
+            winner = name
+        else:
+            manager.rollback(name)
+
+    assert winner is not None, "no legal plan found"
+    try:
+        result = manager.merge(winner)
+        print(f"\nmerged {winner}: {result.updates} updates applied to main")
+    except MergeConflict as conflict:
+        print(f"merge conflict on {conflict.conflicts}; retrying on fresh fork")
+
+    print("\nfinal crew for flight 103 (mainline):")
+    print(
+        manager.main.execute(
+            "SELECT name, role, duty_hours FROM crew WHERE assigned_flight = 103"
+            " ORDER BY role"
+        ).to_text()
+    )
+    stats = manager.stats()
+    print(
+        f"\nsession stats: {stats['forks_created']} forks,"
+        f" {stats['rollbacks']} rollbacks, {stats['merges']} merge(s) —"
+        " the agentic 'fork many, keep one' pattern."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: an agent-first data system in 60 lines.
+
+Builds a small database, wraps it in an :class:`AgentFirstDataSystem`, and
+submits probes the way an LLM agent would: SQL plus a natural-language
+brief. The system answers, steers (why-not provenance, join discovery,
+history pointers), and remembers grounding.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AgentFirstDataSystem, Brief, Probe
+from repro.db import Database
+
+
+def main() -> None:
+    db = Database("quickstart")
+    db.execute(
+        "CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE sales (id INT PRIMARY KEY, store_id INT,"
+        " product TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'),(3,'Seattle','Washington')"
+    )
+    db.execute(
+        "INSERT INTO sales VALUES (1,1,'coffee',120.5),(2,1,'tea',30.0),"
+        "(3,2,'coffee',80.0),(4,3,'coffee',200.0)"
+    )
+
+    system = AgentFirstDataSystem(db)
+
+    # 1. An exploration probe: metadata + anywhere-token semantic search.
+    response = system.submit(
+        Probe(
+            queries=("SELECT table_name, row_count FROM information_schema.tables",),
+            brief=Brief(goal="explore which tables hold coffee sales data"),
+            semantic_search="coffee sales revenue",
+        )
+    )
+    print("== exploration ==")
+    print(response.first_result().to_text())
+    for hit in response.semantic_hits[:3]:
+        print("semantic:", hit.describe())
+    for hint in response.steering:
+        print("steering:", hint)
+
+    # 2. A mistaken probe: the agent guesses 'CA'; the data spells it out.
+    response = system.submit(
+        Probe.sql("SELECT * FROM stores WHERE state = 'CA'", goal="final answer")
+    )
+    print("\n== why-not steering ==")
+    print("rows returned:", response.first_result().row_count)
+    for hint in response.steering:
+        print("steering:", hint)
+
+    # 3. The corrected probe, then a repeat by a different agent: the second
+    #    ask is answered from history without touching the table.
+    system.submit(
+        Probe.sql(
+            "SELECT COUNT(*) FROM stores WHERE state = 'California'",
+            goal="compute the exact count",
+        )
+    )
+    repeat = system.submit(
+        Probe(
+            queries=("SELECT COUNT(*) FROM stores WHERE state = 'California'",),
+            agent_id="second-agent",
+        )
+    )
+    print("\n== cross-agent history reuse ==")
+    print("status:", repeat.outcomes[0].status, "|", repeat.outcomes[0].reason)
+    print("answer:", repeat.first_result().first_value())
+
+    # 4. What the system has learned along the way.
+    print("\n== agentic memory ==")
+    for artifact in system.memory.artifacts_about("stores"):
+        print(artifact.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""The simulated LLM agent substrate.
+
+No network, no model weights: agents are seeded stochastic policies with
+per-model skill profiles. Every action issues *real* queries against the
+real engines — what is simulated is only the decision process (which
+action, which mistakes). The figures the paper draws measure the *workload*
+these decisions generate, which is exactly what the simulator reproduces.
+"""
+
+from repro.agents.attempts import AttemptGenerator
+from repro.agents.federated import CrossBackendAgent, HintSet
+from repro.agents.grounding import Grounding
+from repro.agents.model import GPT_4O_MINI_SIM, QWEN_CODER_SIM, ModelProfile
+from repro.agents.parallel import ParallelRunOutcome, Supervisor, run_parallel_attempts
+from repro.agents.sequential import SequentialAgent, SequentialOutcome
+from repro.agents.trace import Activity, AgentTrace, TraceEvent
+
+__all__ = [
+    "Activity",
+    "AgentTrace",
+    "AttemptGenerator",
+    "CrossBackendAgent",
+    "GPT_4O_MINI_SIM",
+    "Grounding",
+    "HintSet",
+    "ModelProfile",
+    "ParallelRunOutcome",
+    "QWEN_CODER_SIM",
+    "SequentialAgent",
+    "SequentialOutcome",
+    "Supervisor",
+    "TraceEvent",
+]

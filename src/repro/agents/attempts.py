@@ -1,0 +1,284 @@
+"""The attempt generator: from task spec + grounding + skill to SQL.
+
+This is where simulated competence becomes concrete SQL text. Correctness
+is never decided by fiat — the generated SQL is executed against the real
+database and compared with the gold answer. The generator only decides
+*which mistakes to make*:
+
+* **systematic gaps** (shared by all of a model's ungrounded attempts on a
+  task): wrong literal encodings, wrong table linking;
+* **per-attempt slips** (independent re-rolls): dropped filters, wrong
+  aggregate functions, wrong join or group-by columns, dropped projection
+  columns.
+
+Grounding removes gaps and raises per-component reliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.grounding import Grounding
+from repro.agents.model import ModelProfile
+from repro.util.rng import RngStream
+from repro.workloads.bird import BirdTask, FilterSpec, TaskSpec
+
+
+@dataclass
+class Attempt:
+    """One generated full-query attempt."""
+
+    sql: str
+    mistakes: tuple[str, ...] = ()
+
+    @property
+    def intended_correct(self) -> bool:
+        return not self.mistakes
+
+
+class AttemptGenerator:
+    """Generates full and partial attempts for a task."""
+
+    def __init__(self, task: BirdTask, model: ModelProfile) -> None:
+        self.task = task
+        self.model = model
+
+    # -- full attempts -----------------------------------------------------
+
+    def full_attempt(
+        self,
+        grounding: Grounding,
+        rng: RngStream,
+        reliability_scale: float = 1.0,
+    ) -> Attempt:
+        spec = self.task.spec
+        mistakes: list[str] = []
+        self._reliability_scale = reliability_scale
+
+        fact_table = self._choose_fact_table(grounding, mistakes)
+        filters_sql = self._render_filters(spec, grounding, rng, mistakes)
+        aggregate_sql = self._render_aggregate(spec, grounding, rng, mistakes)
+        group_column = self._choose_group_column(spec, grounding, rng, mistakes)
+        join_clause, fact_alias, dim_alias = self._render_join(
+            spec, fact_table, grounding, rng, mistakes
+        )
+
+        select_parts: list[str] = []
+        if spec.group_by is not None and group_column is not None:
+            table, _ = spec.group_by
+            alias = self._alias_for(table, spec, fact_alias, dim_alias)
+            select_parts.append(f"{alias}.{group_column}")
+        for table, column in self._projection(spec, grounding, rng, mistakes):
+            alias = self._alias_for(table, spec, fact_alias, dim_alias)
+            select_parts.append(f"{alias}.{column}")
+        if aggregate_sql is not None:
+            select_parts.append(aggregate_sql)
+        if not select_parts:
+            select_parts.append("*")
+
+        sql = "SELECT " + ", ".join(select_parts) + " FROM " + join_clause
+        if filters_sql:
+            # Benign variation: conjunct order differs between attempts.
+            rng.shuffle(filters_sql)
+            sql += " WHERE " + " AND ".join(filters_sql)
+        if spec.group_by is not None and group_column is not None:
+            table, _ = spec.group_by
+            alias = self._alias_for(table, spec, fact_alias, dim_alias)
+            sql += f" GROUP BY {alias}.{group_column}"
+        if spec.order_desc_limit is not None and aggregate_sql is not None:
+            sql += f" ORDER BY agg_value DESC LIMIT {spec.order_desc_limit}"
+        return Attempt(sql=sql, mistakes=tuple(mistakes))
+
+    # -- partial attempts ------------------------------------------------------
+
+    def filter_probe(self, filter_spec: FilterSpec, grounding: Grounding) -> str:
+        """A single-table probe testing one filter (a "part of the query")."""
+        literal = self._filter_literal(filter_spec, grounding)
+        return (
+            f"SELECT COUNT(*) FROM {filter_spec.table}"
+            f" WHERE {filter_spec.column} {filter_spec.op} {literal}"
+        )
+
+    def join_probe(self) -> str | None:
+        spec = self.task.spec
+        if spec.join is None or spec.dim_table is None:
+            return None
+        fact_col, dim_col = spec.join
+        return (
+            f"SELECT COUNT(*) FROM {spec.fact_table} f"
+            f" JOIN {spec.dim_table} d ON f.{fact_col} = d.{dim_col}"
+        )
+
+    def column_probe(self, table: str, column: str) -> str:
+        return f"SELECT DISTINCT {column} FROM {table} LIMIT 20"
+
+    # -- component choices --------------------------------------------------------
+
+    _reliability_scale = 1.0
+
+    def _reliability(self, grounded: bool) -> float:
+        base = (
+            self.model.reliability_grounded
+            if grounded
+            else self.model.reliability_ungrounded
+        )
+        return base * self._reliability_scale
+
+    def _choose_fact_table(self, grounding: Grounding, mistakes: list[str]) -> str:
+        spec = self.task.spec
+        linked = grounding.table_known(spec.fact_table) or self.model.knows_schema(
+            self.task.task_id
+        )
+        if linked or not self.task.distractor_tables:
+            return spec.fact_table
+        # Systematic schema gap: the same wrong table every attempt.
+        wrong = sorted(self.task.distractor_tables)[0]
+        mistakes.append(f"wrong_table:{wrong}")
+        return wrong
+
+    def _render_filters(
+        self,
+        spec: TaskSpec,
+        grounding: Grounding,
+        rng: RngStream,
+        mistakes: list[str],
+    ) -> list[str]:
+        rendered: list[str] = []
+        for filter_spec in spec.filters:
+            grounded = grounding.column_known(
+                filter_spec.table, filter_spec.column
+            ) or grounding.format_known(filter_spec.table, filter_spec.column)
+            if not rng.bernoulli(self._reliability(grounded)):
+                # Slip: the filter is forgotten entirely this attempt.
+                mistakes.append(f"dropped_filter:{filter_spec.column}")
+                continue
+            literal = self._filter_literal(filter_spec, grounding)
+            if filter_spec.wrong_value is not None and literal == _render_literal(
+                filter_spec.wrong_value
+            ):
+                mistakes.append(f"wrong_literal:{filter_spec.column}")
+            alias = "f" if spec.dim_table and filter_spec.table == spec.fact_table else None
+            if spec.dim_table and filter_spec.table == spec.dim_table:
+                alias = "d"
+            qualifier = f"{alias}." if alias else ""
+            rendered.append(
+                f"{qualifier}{filter_spec.column} {filter_spec.op} {literal}"
+            )
+        return rendered
+
+    def _filter_literal(self, filter_spec: FilterSpec, grounding: Grounding) -> str:
+        if filter_spec.wrong_value is None:
+            return _render_literal(filter_spec.value)
+        knows = grounding.format_known(
+            filter_spec.table, filter_spec.column
+        ) or self.model.knows_format(self.task.task_id)
+        value = filter_spec.value if knows else filter_spec.wrong_value
+        return _render_literal(value)
+
+    def _render_aggregate(
+        self,
+        spec: TaskSpec,
+        grounding: Grounding,
+        rng: RngStream,
+        mistakes: list[str],
+    ) -> str | None:
+        if spec.aggregate is None:
+            return None
+        func, table, column = spec.aggregate
+        grounded = grounding.coverage(spec) > 0.6
+        if not rng.bernoulli(self._reliability(grounded)):
+            alternatives = [f for f in ("SUM", "AVG", "MAX", "COUNT") if f != func]
+            func = rng.choice(alternatives)
+            mistakes.append(f"wrong_aggregate:{func}")
+        if column == "*" or func == "COUNT" and spec.aggregate[2] == "*":
+            return "COUNT(*) AS agg_value"
+        alias = "f" if spec.dim_table and table == spec.fact_table else None
+        if spec.dim_table and table == spec.dim_table:
+            alias = "d"
+        qualifier = f"{alias}." if alias else ""
+        return f"{func}({qualifier}{column}) AS agg_value"
+
+    def _choose_group_column(
+        self,
+        spec: TaskSpec,
+        grounding: Grounding,
+        rng: RngStream,
+        mistakes: list[str],
+    ) -> str | None:
+        if spec.group_by is None:
+            return None
+        table, column = spec.group_by
+        grounded = grounding.table_known(table)
+        if rng.bernoulli(self._reliability(grounded)):
+            return column
+        schema = self.task.db.catalog.table(table).schema
+        alternatives = [c for c in schema.column_names() if c != column]
+        wrong = rng.choice(alternatives) if alternatives else column
+        if wrong != column:
+            mistakes.append(f"wrong_group:{wrong}")
+        return wrong
+
+    def _render_join(
+        self,
+        spec: TaskSpec,
+        fact_table: str,
+        grounding: Grounding,
+        rng: RngStream,
+        mistakes: list[str],
+    ) -> tuple[str, str | None, str | None]:
+        if spec.dim_table is None or spec.join is None:
+            return fact_table, None, None
+        fact_col, dim_col = spec.join
+        grounded = grounding.join_verified(fact_col, dim_col)
+        if not rng.bernoulli(self._reliability(grounded)):
+            # Slip: join on the wrong fact column (classic id-vs-fk mixup).
+            schema = self.task.db.catalog.table(spec.fact_table).schema
+            alternatives = [
+                c
+                for c in schema.column_names()
+                if c != fact_col and c.endswith("id")
+            ]
+            if alternatives:
+                wrong = rng.choice(alternatives)
+                mistakes.append(f"wrong_join:{wrong}")
+                fact_col = wrong
+        clause = (
+            f"{fact_table} f JOIN {spec.dim_table} d"
+            f" ON f.{fact_col} = d.{dim_col}"
+        )
+        return clause, "f", "d"
+
+    def _projection(
+        self,
+        spec: TaskSpec,
+        grounding: Grounding,
+        rng: RngStream,
+        mistakes: list[str],
+    ) -> list[tuple[str, str]]:
+        if not spec.projection:
+            return []
+        columns = list(spec.projection)
+        grounded = grounding.table_known(spec.fact_table)
+        if len(columns) > 1 and not rng.bernoulli(self._reliability(grounded)):
+            victim = rng.choice(columns)
+            columns.remove(victim)
+            mistakes.append(f"dropped_projection:{victim[1]}")
+        return columns
+
+    def _alias_for(
+        self,
+        table: str,
+        spec: TaskSpec,
+        fact_alias: str | None,
+        dim_alias: str | None,
+    ) -> str:
+        if fact_alias is None:
+            return table
+        return fact_alias if table == spec.fact_table else (dim_alias or table)
+
+
+def _render_literal(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)

@@ -1,0 +1,95 @@
+"""Grounding: what an agent has learned about the data so far.
+
+The paper's central quantity. Grounding is acquired by exploration actions
+(or injected as hints, Table 1), clears the model's systematic gaps, and
+raises attempt reliability from ``reliability_ungrounded`` to
+``reliability_grounded`` per grounded component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.bird import TaskSpec
+
+
+@dataclass
+class Grounding:
+    """Per-task knowledge state."""
+
+    #: Tables whose existence/role the agent has confirmed.
+    known_tables: set[str] = field(default_factory=set)
+    #: (table, column) pairs whose contents the agent has inspected.
+    known_columns: set[tuple[str, str]] = field(default_factory=set)
+    #: (table, column) pairs whose literal encoding the agent has learned.
+    known_formats: set[tuple[str, str]] = field(default_factory=set)
+    #: Join (fact_col, dim_col) pairs the agent has validated.
+    verified_joins: set[tuple[str, str]] = field(default_factory=set)
+
+    # -- acquisition -------------------------------------------------------
+
+    def learn_table(self, table: str) -> None:
+        self.known_tables.add(table.lower())
+
+    def learn_column(self, table: str, column: str) -> None:
+        self.known_columns.add((table.lower(), column.lower()))
+
+    def learn_format(self, table: str, column: str) -> None:
+        self.known_formats.add((table.lower(), column.lower()))
+        self.learn_column(table, column)
+
+    def verify_join(self, fact_column: str, dim_column: str) -> None:
+        self.verified_joins.add((fact_column.lower(), dim_column.lower()))
+
+    # -- queries -----------------------------------------------------------
+
+    def table_known(self, table: str) -> bool:
+        return table.lower() in self.known_tables
+
+    def column_known(self, table: str, column: str) -> bool:
+        return (table.lower(), column.lower()) in self.known_columns
+
+    def format_known(self, table: str, column: str) -> bool:
+        return (table.lower(), column.lower()) in self.known_formats
+
+    def join_verified(self, fact_column: str, dim_column: str) -> bool:
+        return (fact_column.lower(), dim_column.lower()) in self.verified_joins
+
+    # -- task-level coverage ---------------------------------------------------
+
+    def coverage(self, spec: TaskSpec) -> float:
+        """Fraction of the task's groundable components acquired, in [0,1]."""
+        needed = 0
+        acquired = 0
+        for table in spec.tables():
+            needed += 1
+            if self.table_known(table):
+                acquired += 1
+        for filter_spec in spec.filters:
+            needed += 1
+            if filter_spec.wrong_value is not None:
+                if self.format_known(filter_spec.table, filter_spec.column):
+                    acquired += 1
+            elif self.column_known(filter_spec.table, filter_spec.column):
+                acquired += 1
+        if spec.join is not None:
+            needed += 1
+            if self.join_verified(*spec.join):
+                acquired += 1
+        if needed == 0:
+            return 1.0
+        return acquired / needed
+
+    def missing_tables(self, spec: TaskSpec) -> list[str]:
+        return [t for t in spec.tables() if not self.table_known(t)]
+
+    def unexplored_filter_columns(self, spec: TaskSpec) -> list[tuple[str, str]]:
+        out = []
+        for filter_spec in spec.filters:
+            pair = (filter_spec.table, filter_spec.column)
+            if filter_spec.wrong_value is not None:
+                if not self.format_known(*pair):
+                    out.append(pair)
+            elif not self.column_known(*pair):
+                out.append(pair)
+        return out

@@ -1,0 +1,112 @@
+"""Parallel attempts with a supervising agent (Figure 1a's setting).
+
+K field agents independently attempt the task (each with a short private
+grounding warm-up, mirroring how one-shot agents skim the schema before
+answering); an agent-in-charge then picks one solution by result-signature
+plurality — self-consistency voting over *answers*, not SQL text. Attempts
+that error vote for nothing; empty results are weak votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.attempts import AttemptGenerator
+from repro.agents.grounding import Grounding
+from repro.agents.model import ModelProfile
+from repro.util.rng import RngStream
+from repro.workloads.bird import BirdTask
+
+
+@dataclass
+class FieldAttempt:
+    """One field agent's answer."""
+
+    sql: str
+    ok: bool
+    signature: str | None
+    row_count: int
+
+
+@dataclass
+class ParallelRunOutcome:
+    task_id: str
+    model: str
+    attempts: list[FieldAttempt] = field(default_factory=list)
+    picked_signature: str | None = None
+    success: bool = False
+
+    def success_at(self, k: int, supervisor: "Supervisor", task: BirdTask) -> bool:
+        """Re-vote using only the first k attempts (for the K sweep)."""
+        picked = supervisor.pick(self.attempts[:k])
+        return picked is not None and picked == task.gold_signature
+
+
+def run_field_attempt(
+    task: BirdTask, model: ModelProfile, rng: RngStream
+) -> FieldAttempt:
+    """One field agent: brief schema warm-up, then a single full attempt."""
+    grounding = Grounding()
+    generator = AttemptGenerator(task, model)
+
+    # Warm-up: a skim of the catalog. This is private grounding — cheap,
+    # incomplete, and independent per agent. Note what it does NOT include:
+    # value-encoding knowledge, which needs actual column exploration. That
+    # omission is what keeps Figure 1a's curves saturating below 100% —
+    # parallel one-shot retries cannot fix a shared grounding gap.
+    for table in task.spec.tables():
+        if rng.bernoulli(model.extraction_skill * 0.9):
+            grounding.learn_table(table)
+
+    attempt = generator.full_attempt(grounding, rng.child("full"))
+    try:
+        result = task.db.execute(attempt.sql)
+        return FieldAttempt(
+            sql=attempt.sql,
+            ok=True,
+            signature=result.signature(),
+            row_count=result.row_count,
+        )
+    except Exception:
+        return FieldAttempt(sql=attempt.sql, ok=False, signature=None, row_count=0)
+
+
+class Supervisor:
+    """The agent-in-charge: picks one answer from K candidates."""
+
+    def __init__(self, empty_result_weight: float = 0.25) -> None:
+        self._empty_result_weight = empty_result_weight
+
+    def pick(self, attempts: list[FieldAttempt]) -> str | None:
+        """Plurality vote over result signatures; None if all errored."""
+        scores: dict[str, float] = {}
+        order: dict[str, int] = {}
+        for position, attempt in enumerate(attempts):
+            if not attempt.ok or attempt.signature is None:
+                continue
+            weight = 1.0 if attempt.row_count > 0 else self._empty_result_weight
+            scores[attempt.signature] = scores.get(attempt.signature, 0.0) + weight
+            order.setdefault(attempt.signature, position)
+        if not scores:
+            return None
+        return max(scores, key=lambda s: (scores[s], -order[s]))
+
+
+def run_parallel_attempts(
+    task: BirdTask,
+    model: ModelProfile,
+    k: int,
+    seed: int,
+    supervisor: Supervisor | None = None,
+) -> ParallelRunOutcome:
+    """K independent field attempts + a supervisor pick."""
+    supervisor = supervisor or Supervisor()
+    rng = RngStream(seed, "parallel", task.task_id, model.name)
+    outcome = ParallelRunOutcome(task_id=task.task_id, model=model.name)
+    for attempt_index in range(k):
+        outcome.attempts.append(
+            run_field_attempt(task, model, rng.child("agent", attempt_index))
+        )
+    outcome.picked_signature = supervisor.pick(outcome.attempts)
+    outcome.success = outcome.picked_signature == task.gold_signature
+    return outcome

@@ -1,0 +1,226 @@
+"""The sequential field agent (Figure 1b's setting).
+
+One agent, one task, a budget of turns. Each turn the policy picks an
+action from the paper's taxonomy — explore tables, explore columns,
+attempt part of the query, attempt the whole query — weighted by current
+grounding coverage, so exploration dominates early and attempts late
+(with overlap, as Figure 3 shows). Every action issues real SQL; the
+agent learns from what comes back, including from empty results
+(error-driven grounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.attempts import AttemptGenerator
+from repro.agents.grounding import Grounding
+from repro.agents.model import ModelProfile
+from repro.agents.trace import Activity, AgentTrace
+from repro.util.rng import RngStream
+from repro.workloads.bird import BirdTask
+
+
+@dataclass
+class SequentialOutcome:
+    """Result of one sequential episode."""
+
+    task_id: str
+    model: str
+    success: bool
+    turns_used: int
+    trace: AgentTrace
+    final_sql: str | None
+
+
+class SequentialAgent:
+    """Explores then solves, within a turn budget."""
+
+    def __init__(self, task: BirdTask, model: ModelProfile, rng: RngStream) -> None:
+        self.task = task
+        self.model = model
+        self.rng = rng
+        self.grounding = Grounding()
+        self.generator = AttemptGenerator(task, model)
+        self.trace = AgentTrace(task_id=task.task_id, agent=model.name)
+        self._last_attempt_sql: str | None = None
+        self._last_attempt_ok = False
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_turns: int = 7) -> SequentialOutcome:
+        for turn in range(max_turns):
+            forced_attempt = turn == max_turns - 1 and self._last_attempt_sql is None
+            action = (
+                Activity.FULL_ATTEMPT if forced_attempt else self._choose_action(turn)
+            )
+            if action is Activity.EXPLORING_TABLES:
+                self._explore_tables()
+            elif action is Activity.EXPLORING_COLUMNS:
+                self._explore_columns()
+            elif action is Activity.PARTIAL_ATTEMPT:
+                self._partial_attempt()
+            else:
+                satisfied = self._full_attempt(turn)
+                if satisfied:
+                    break
+        success = (
+            self._last_attempt_sql is not None
+            and self.task.check(self._last_attempt_sql)
+        )
+        self.trace.success = success
+        self.trace.final_sql = self._last_attempt_sql
+        return SequentialOutcome(
+            task_id=self.task.task_id,
+            model=self.model.name,
+            success=success,
+            turns_used=len(self.trace),
+            trace=self.trace,
+            final_sql=self._last_attempt_sql,
+        )
+
+    # -- policy ------------------------------------------------------------------
+
+    def _choose_action(self, turn: int) -> Activity:
+        spec = self.task.spec
+        coverage = self.grounding.coverage(spec)
+        missing_tables = len(self.grounding.missing_tables(spec))
+        unexplored = len(self.grounding.unexplored_filter_columns(spec))
+        total_tables = max(len(spec.tables()), 1)
+        total_filters = max(len(spec.filters), 1)
+
+        weights = {
+            Activity.EXPLORING_TABLES: 1.8 * missing_tables / total_tables + 0.05,
+            Activity.EXPLORING_COLUMNS: (
+                1.6 * unexplored / total_filters * (0.4 if missing_tables == total_tables else 1.0)
+                + 0.05
+            ),
+            Activity.PARTIAL_ATTEMPT: 0.25 + 1.3 * coverage * (1.0 - coverage),
+            Activity.FULL_ATTEMPT: (
+                0.06
+                + self.model.decisiveness * (coverage ** 1.5)
+                + 0.05 * turn
+            ),
+        }
+        return self.rng.weighted_choice(weights)
+
+    # -- actions --------------------------------------------------------------------
+
+    def _explore_tables(self) -> None:
+        result = self.task.db.execute(
+            "SELECT table_name, row_count FROM information_schema.tables"
+        )
+        self.trace.record(
+            Activity.EXPLORING_TABLES,
+            "SELECT table_name, row_count FROM information_schema.tables",
+            row_count=result.row_count,
+        )
+        for table in self.grounding.missing_tables(self.task.spec):
+            if self.rng.bernoulli(self.model.extraction_skill):
+                self.grounding.learn_table(table)
+
+    def _explore_columns(self) -> None:
+        unexplored = self.grounding.unexplored_filter_columns(self.task.spec)
+        # Agents do not know in advance which column hides the trap: half
+        # the time they inspect a question-relevant column, otherwise they
+        # wander the fact table (the scattershot exploration Figure 3 shows).
+        if unexplored and self.rng.bernoulli(0.4):
+            table, column = self.rng.choice(unexplored)
+        else:
+            table = self.task.spec.fact_table
+            names = self.task.db.catalog.table(table).schema.column_names()
+            column = self.rng.choice(names)
+        sql = self.generator.column_probe(table, column)
+        try:
+            result = self.task.db.execute(sql)
+            rows = result.row_count
+            ok = True
+        except Exception:
+            rows, ok = 0, False
+        self.trace.record(Activity.EXPLORING_COLUMNS, sql, ok=ok, row_count=rows)
+        if ok and self.rng.bernoulli(self.model.extraction_skill * 0.85):
+            self.grounding.learn_format(table, column)
+
+    def _partial_attempt(self) -> None:
+        spec = self.task.spec
+        # Prefer testing a filter; fall back to testing the join.
+        untested = [
+            f
+            for f in spec.filters
+            if not self.grounding.format_known(f.table, f.column)
+            or f.wrong_value is None
+        ]
+        if untested and (spec.join is None or self.rng.bernoulli(0.7)):
+            filter_spec = self.rng.choice(untested)
+            sql = self.generator.filter_probe(filter_spec, self.grounding)
+            rows, ok = self._run(sql)
+            self.trace.record(Activity.PARTIAL_ATTEMPT, sql, ok=ok, row_count=rows)
+            matched = ok and rows > 0 and self._probe_found_rows(sql)
+            if matched:
+                self.grounding.learn_column(filter_spec.table, filter_spec.column)
+            elif ok and self.rng.bernoulli(self.model.insight_skill * 0.45):
+                # Empty result -> the agent inspects the column and learns
+                # the true encoding (the paper's why-not moment). Without a
+                # steering side-channel this diagnosis often fails — the
+                # gap the agent-first system's why-not feedback closes.
+                self.grounding.learn_format(filter_spec.table, filter_spec.column)
+            return
+        join_sql = self.generator.join_probe()
+        if join_sql is not None:
+            rows, ok = self._run(join_sql)
+            self.trace.record(Activity.PARTIAL_ATTEMPT, join_sql, ok=ok, row_count=rows)
+            if ok and self.task.spec.join is not None:
+                self.grounding.verify_join(*self.task.spec.join)
+            return
+        # Single-table task with everything tested: sanity-count the table.
+        sql = f"SELECT COUNT(*) FROM {spec.fact_table}"
+        rows, ok = self._run(sql)
+        self.trace.record(Activity.PARTIAL_ATTEMPT, sql, ok=ok, row_count=rows)
+
+    def _probe_found_rows(self, count_sql: str) -> bool:
+        try:
+            return int(self.task.db.execute(count_sql).first_value()) > 0
+        except Exception:
+            return False
+
+    def _full_attempt(self, turn: int) -> bool:
+        coverage = self.grounding.coverage(self.task.spec)
+        # Attempting with little grounding is disproportionately error-prone
+        # (no schema text in front of the agent at all); even grounded
+        # sequential attempts are sloppier than fresh-context one-shots
+        # because the long interaction history competes for attention.
+        penalty = 0.85 if coverage < 0.34 else 0.93
+        attempt = self.generator.full_attempt(
+            self.grounding, self.rng.child("attempt", turn), reliability_scale=penalty
+        )
+        rows, ok = self._run(attempt.sql)
+        self.trace.record(
+            Activity.FULL_ATTEMPT,
+            attempt.sql,
+            ok=ok,
+            row_count=rows,
+            note=";".join(attempt.mistakes),
+        )
+        self._last_attempt_sql = attempt.sql
+        self._last_attempt_ok = ok
+        if not ok or rows == 0:
+            # Visible failure: keep working if budget remains; an empty
+            # result sometimes teaches the literal format.
+            for filter_spec in self.task.spec.filters:
+                if filter_spec.wrong_value is not None and self.rng.bernoulli(
+                    self.model.insight_skill * 0.3
+                ):
+                    self.grounding.learn_format(filter_spec.table, filter_spec.column)
+            return False
+        # A plausible non-empty answer is convincing — agents lock in
+        # wrong-but-plausible answers, which caps sequential success well
+        # below the parallel-voting ceiling.
+        satisfaction = 0.7 + 0.2 * coverage + 0.08 * self.model.decisiveness
+        return self.rng.bernoulli(satisfaction)
+
+    def _run(self, sql: str) -> tuple[int, bool]:
+        try:
+            result = self.task.db.execute(sql)
+            return result.row_count, True
+        except Exception:
+            return 0, False

@@ -1,0 +1,95 @@
+"""Trace recording with the paper's activity taxonomy.
+
+Figure 3 and Table 1 label agent actions into four activities; the
+simulator records every action with its label directly (the paper's authors
+labeled theirs manually), plus timing within the trace for the normalised
+position axis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Activity(enum.Enum):
+    """The paper's manual labeling taxonomy (Sec. 2, case study 2)."""
+
+    EXPLORING_TABLES = "exploring tables"
+    EXPLORING_COLUMNS = "exploring specific columns"
+    PARTIAL_ATTEMPT = "attempting part of the query"
+    FULL_ATTEMPT = "attempting entire query"
+    OTHER = "other"
+
+
+#: Display order used by Figure 3 and Table 1.
+ACTIVITY_ORDER = [
+    Activity.EXPLORING_TABLES,
+    Activity.EXPLORING_COLUMNS,
+    Activity.PARTIAL_ATTEMPT,
+    Activity.FULL_ATTEMPT,
+]
+
+
+@dataclass
+class TraceEvent:
+    """One agent action."""
+
+    step: int
+    activity: Activity
+    request: str
+    ok: bool = True
+    row_count: int = 0
+    note: str = ""
+
+
+@dataclass
+class AgentTrace:
+    """A full task trace: ordered events plus the final outcome."""
+
+    task_id: str
+    agent: str
+    events: list[TraceEvent] = field(default_factory=list)
+    success: bool = False
+    final_sql: str | None = None
+
+    def record(
+        self,
+        activity: Activity,
+        request: str,
+        ok: bool = True,
+        row_count: int = 0,
+        note: str = "",
+    ) -> TraceEvent:
+        event = TraceEvent(
+            step=len(self.events),
+            activity=activity,
+            request=request,
+            ok=ok,
+            row_count=row_count,
+            note=note,
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def activity_counts(self) -> dict[Activity, int]:
+        counts = {activity: 0 for activity in Activity}
+        for event in self.events:
+            counts[event.activity] += 1
+        return counts
+
+    def sql_query_count(self) -> int:
+        """All backend requests in the trace ("all SQL queries" in Table 1)."""
+        return len(self.events)
+
+    def normalized_positions(self) -> list[tuple[float, Activity]]:
+        """(position in [0,1], activity) pairs for Figure 3's heatmap."""
+        if not self.events:
+            return []
+        if len(self.events) == 1:
+            return [(0.0, self.events[0].activity)]
+        last = len(self.events) - 1
+        return [(event.step / last, event.activity) for event in self.events]

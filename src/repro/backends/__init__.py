@@ -1,0 +1,18 @@
+"""Heterogeneous backends: dialect-wrapped relational stores and a document
+store, behind one protocol — the substrate for the paper's second case study
+(cross-backend data tasks)."""
+
+from repro.backends.base import Backend, BackendKind, BackendResponse
+from repro.backends.document import Collection, DocumentStore
+from repro.backends.federation import FederatedEnvironment
+from repro.backends.relational import RelationalBackend
+
+__all__ = [
+    "Backend",
+    "BackendKind",
+    "BackendResponse",
+    "Collection",
+    "DocumentStore",
+    "FederatedEnvironment",
+    "RelationalBackend",
+]

@@ -1,0 +1,61 @@
+"""Backend protocol shared by the relational dialects and the document store.
+
+Agents interact with every backend through the same narrow surface:
+``list_tables``, ``describe``, ``sample``, ``query``. Each backend flavours
+its metadata responses differently (PostgreSQL's information_schema vs
+SQLite's sqlite_master vs MongoDB's listCollections), which is exactly the
+heterogeneity the paper's second case study exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class BackendKind(enum.Enum):
+    POSTGRES = "postgres"
+    SQLITE = "sqlite"
+    DUCKDB = "duckdb"
+    MONGODB = "mongodb"
+
+
+@dataclass
+class BackendResponse:
+    """Uniform response envelope: rows/documents plus error text (if any).
+
+    Agents read ``error`` the way an LLM reads a backend error message —
+    it is part of the interaction loop, not an exception path.
+    """
+
+    ok: bool
+    rows: list[Any] = field(default_factory=list)
+    columns: list[str] = field(default_factory=list)
+    error: str | None = None
+    rows_scanned: int = 0
+
+    @classmethod
+    def failure(cls, message: str) -> "BackendResponse":
+        return cls(ok=False, error=message)
+
+
+class Backend:
+    """Abstract backend; see :mod:`repro.backends.relational` and
+    :mod:`repro.backends.document` for implementations."""
+
+    name: str
+    kind: BackendKind
+
+    def list_tables(self) -> BackendResponse:
+        raise NotImplementedError
+
+    def describe(self, table: str) -> BackendResponse:
+        raise NotImplementedError
+
+    def sample(self, table: str, limit: int = 5) -> BackendResponse:
+        raise NotImplementedError
+
+    def query(self, request: str) -> BackendResponse:
+        """Execute a dialect query (SQL text or a JSON-ish find spec)."""
+        raise NotImplementedError

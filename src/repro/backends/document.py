@@ -1,0 +1,350 @@
+"""A MongoDB-flavoured document store.
+
+Collections hold free-form dict documents. The query surface covers the
+operators the cross-backend workload needs: ``find`` with ``$eq/$ne/$gt/
+$gte/$lt/$lte/$in/$nin/$regex/$exists``, projection, limit, and an
+aggregation pipeline with ``$match/$group/$project/$sort/$limit/$unwind``
+plus the common accumulators.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable
+
+from repro.backends.base import Backend, BackendKind, BackendResponse
+from repro.errors import BackendError
+
+Document = dict[str, Any]
+
+
+class Collection:
+    """An ordered bag of documents with Mongo-style querying."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: list[Document] = []
+        self._next_id = 1
+
+    # -- writes -----------------------------------------------------------
+
+    def insert_one(self, document: Document) -> Document:
+        stored = dict(document)
+        stored.setdefault("_id", self._next_id)
+        self._next_id += 1
+        self._documents.append(stored)
+        return stored
+
+    def insert_many(self, documents: Iterable[Document]) -> int:
+        count = 0
+        for document in documents:
+            self.insert_one(document)
+            count += 1
+        return count
+
+    def update_many(self, filter_spec: Document, update: Document) -> int:
+        """Apply a ``{"$set": {...}}`` update to matching documents."""
+        set_fields = update.get("$set")
+        if set_fields is None:
+            raise BackendError("update_many requires a $set update document")
+        predicate = _compile_filter(filter_spec)
+        count = 0
+        for document in self._documents:
+            if predicate(document):
+                document.update(set_fields)
+                count += 1
+        return count
+
+    def delete_many(self, filter_spec: Document) -> int:
+        predicate = _compile_filter(filter_spec)
+        before = len(self._documents)
+        self._documents = [d for d in self._documents if not predicate(d)]
+        return before - len(self._documents)
+
+    # -- reads ------------------------------------------------------------
+
+    def count(self) -> int:
+        return len(self._documents)
+
+    def find(
+        self,
+        filter_spec: Document | None = None,
+        projection: dict[str, int] | None = None,
+        limit: int | None = None,
+    ) -> list[Document]:
+        predicate = _compile_filter(filter_spec or {})
+        out: list[Document] = []
+        for document in self._documents:
+            if not predicate(document):
+                continue
+            out.append(_project(document, projection))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def distinct(self, field: str) -> list[Any]:
+        seen: list[Any] = []
+        for document in self._documents:
+            value = document.get(field)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def field_names(self, sample: int = 100) -> list[str]:
+        names: list[str] = []
+        for document in self._documents[:sample]:
+            for key in document:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def aggregate(self, pipeline: list[Document]) -> list[Document]:
+        documents = [dict(d) for d in self._documents]
+        for stage in pipeline:
+            if len(stage) != 1:
+                raise BackendError(f"pipeline stage must have one operator: {stage}")
+            (op, spec), = stage.items()
+            if op == "$match":
+                predicate = _compile_filter(spec)
+                documents = [d for d in documents if predicate(d)]
+            elif op == "$project":
+                documents = [_project(d, spec) for d in documents]
+            elif op == "$limit":
+                documents = documents[: int(spec)]
+            elif op == "$sort":
+                for field, direction in reversed(list(spec.items())):
+                    documents.sort(
+                        key=lambda d: _sort_key(d.get(field)),
+                        reverse=direction < 0,
+                    )
+            elif op == "$unwind":
+                field = spec.lstrip("$") if isinstance(spec, str) else spec["path"].lstrip("$")
+                unwound: list[Document] = []
+                for document in documents:
+                    values = document.get(field)
+                    if isinstance(values, list):
+                        for item in values:
+                            clone = dict(document)
+                            clone[field] = item
+                            unwound.append(clone)
+                documents = unwound
+            elif op == "$group":
+                documents = _group(documents, spec)
+            else:
+                raise BackendError(f"unsupported pipeline operator {op!r}")
+        return documents
+
+
+def _sort_key(value: Any) -> tuple:
+    # None first, then numerics, then strings — total order across types.
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def _project(document: Document, projection: dict[str, Any] | None) -> Document:
+    if not projection:
+        return dict(document)
+    included = {k for k, v in projection.items() if v}
+    if included:
+        return {k: document.get(k) for k in included}
+    excluded = {k for k, v in projection.items() if not v}
+    return {k: v for k, v in document.items() if k not in excluded}
+
+
+def _group(documents: list[Document], spec: Document) -> list[Document]:
+    if "_id" not in spec:
+        raise BackendError("$group requires an _id")
+    key_spec = spec["_id"]
+    groups: dict[Any, list[Document]] = {}
+    order: list[Any] = []
+    for document in documents:
+        if key_spec is None:
+            key = None
+        elif isinstance(key_spec, str) and key_spec.startswith("$"):
+            key = document.get(key_spec[1:])
+        else:
+            key = key_spec
+        marker = repr(key)
+        if marker not in groups:
+            groups[marker] = []
+            order.append((marker, key))
+        groups[marker].append(document)
+
+    out: list[Document] = []
+    for marker, key in order:
+        members = groups[marker]
+        row: Document = {"_id": key}
+        for field, accumulator in spec.items():
+            if field == "_id":
+                continue
+            row[field] = _accumulate(accumulator, members)
+        out.append(row)
+    return out
+
+
+def _accumulate(accumulator: Document, members: list[Document]) -> Any:
+    if not isinstance(accumulator, dict) or len(accumulator) != 1:
+        raise BackendError(f"bad accumulator: {accumulator!r}")
+    (op, operand), = accumulator.items()
+    if op == "$sum":
+        if operand == 1:
+            return len(members)
+        values = _operand_values(operand, members)
+        return sum(v for v in values if isinstance(v, (int, float)))
+    if op == "$avg":
+        values = [
+            v
+            for v in _operand_values(operand, members)
+            if isinstance(v, (int, float))
+        ]
+        return sum(values) / len(values) if values else None
+    if op == "$min":
+        values = [v for v in _operand_values(operand, members) if v is not None]
+        return min(values, key=_sort_key) if values else None
+    if op == "$max":
+        values = [v for v in _operand_values(operand, members) if v is not None]
+        return max(values, key=_sort_key) if values else None
+    if op == "$first":
+        values = _operand_values(operand, members)
+        return values[0] if values else None
+    if op == "$push":
+        return _operand_values(operand, members)
+    raise BackendError(f"unsupported accumulator {op!r}")
+
+
+def _operand_values(operand: Any, members: list[Document]) -> list[Any]:
+    if isinstance(operand, str) and operand.startswith("$"):
+        field = operand[1:]
+        return [member.get(field) for member in members]
+    return [operand for _ in members]
+
+
+def _compile_filter(spec: Document) -> Callable[[Document], bool]:
+    conditions: list[Callable[[Document], bool]] = []
+    for field, expected in spec.items():
+        if field == "$and":
+            subs = [_compile_filter(s) for s in expected]
+            conditions.append(lambda d, subs=subs: all(s(d) for s in subs))
+            continue
+        if field == "$or":
+            subs = [_compile_filter(s) for s in expected]
+            conditions.append(lambda d, subs=subs: any(s(d) for s in subs))
+            continue
+        if isinstance(expected, dict):
+            for op, operand in expected.items():
+                conditions.append(_compile_op(field, op, operand))
+        else:
+            conditions.append(
+                lambda d, f=field, v=expected: d.get(f) == v
+            )
+    return lambda document: all(condition(document) for condition in conditions)
+
+
+def _compile_op(field: str, op: str, operand: Any) -> Callable[[Document], bool]:
+    def cmp(document: Document, check: Callable[[Any], bool]) -> bool:
+        value = document.get(field)
+        if value is None:
+            return False
+        try:
+            return check(value)
+        except TypeError:
+            return False
+
+    if op == "$eq":
+        return lambda d: d.get(field) == operand
+    if op == "$ne":
+        return lambda d: d.get(field) != operand
+    if op == "$gt":
+        return lambda d: cmp(d, lambda v: v > operand)
+    if op == "$gte":
+        return lambda d: cmp(d, lambda v: v >= operand)
+    if op == "$lt":
+        return lambda d: cmp(d, lambda v: v < operand)
+    if op == "$lte":
+        return lambda d: cmp(d, lambda v: v <= operand)
+    if op == "$in":
+        return lambda d: d.get(field) in operand
+    if op == "$nin":
+        return lambda d: d.get(field) not in operand
+    if op == "$exists":
+        return lambda d: (field in d) == bool(operand)
+    if op == "$regex":
+        pattern = re.compile(operand)
+        return lambda d: isinstance(d.get(field), str) and bool(
+            pattern.search(d[field])
+        )
+    raise BackendError(f"unsupported filter operator {op!r}")
+
+
+class DocumentStore(Backend):
+    """A named set of collections behind the :class:`Backend` protocol."""
+
+    def __init__(self, name: str = "mongo") -> None:
+        self.name = name
+        self.kind = BackendKind.MONGODB
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        key = name.lower()
+        if key not in self._collections:
+            self._collections[key] = Collection(name)
+        return self._collections[key]
+
+    def has_collection(self, name: str) -> bool:
+        return name.lower() in self._collections
+
+    # -- Backend protocol -----------------------------------------------------
+
+    def list_tables(self) -> BackendResponse:
+        names = sorted(c.name for c in self._collections.values())
+        return BackendResponse(ok=True, rows=names, columns=["collection"])
+
+    def describe(self, table: str) -> BackendResponse:
+        if not self.has_collection(table):
+            return BackendResponse.failure(
+                f"ns does not exist: {self.name}.{table}"
+            )
+        collection = self.collection(table)
+        return BackendResponse(
+            ok=True, rows=collection.field_names(), columns=["field"]
+        )
+
+    def sample(self, table: str, limit: int = 5) -> BackendResponse:
+        if not self.has_collection(table):
+            return BackendResponse.failure(
+                f"ns does not exist: {self.name}.{table}"
+            )
+        docs = self.collection(table).find(limit=limit)
+        return BackendResponse(ok=True, rows=docs, rows_scanned=len(docs))
+
+    def query(self, request: str) -> BackendResponse:
+        """Evaluate a Python-literal find spec: ``{'collection': ..., 'filter':
+        ..., 'projection': ..., 'limit': ...}`` or ``{'collection': ...,
+        'pipeline': [...]}``."""
+        import ast
+
+        try:
+            spec = ast.literal_eval(request)
+        except (SyntaxError, ValueError) as exc:
+            return BackendResponse.failure(f"invalid query document: {exc}")
+        if not isinstance(spec, dict) or "collection" not in spec:
+            return BackendResponse.failure("query must name a 'collection'")
+        name = spec["collection"]
+        if not self.has_collection(name):
+            return BackendResponse.failure(f"ns does not exist: {self.name}.{name}")
+        collection = self.collection(name)
+        try:
+            if "pipeline" in spec:
+                docs = collection.aggregate(spec["pipeline"])
+            else:
+                docs = collection.find(
+                    spec.get("filter"), spec.get("projection"), spec.get("limit")
+                )
+        except BackendError as exc:
+            return BackendResponse.failure(str(exc))
+        return BackendResponse(ok=True, rows=docs, rows_scanned=collection.count())

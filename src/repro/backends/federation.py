@@ -1,0 +1,93 @@
+"""The federated task environment: two heterogeneous backends + Python glue.
+
+Cross-backend tasks (paper case study 2) cannot be completed in a single
+query: the agent must pull data from both backends and combine the pieces
+in client-side computation. :class:`FederatedEnvironment` is that client —
+it tracks every backend interaction so traces can be labeled the way the
+paper's authors labeled theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.backends.base import Backend, BackendResponse
+
+
+@dataclass
+class InteractionRecord:
+    """One backend interaction (the unit Figure 3's labeling counts)."""
+
+    backend: str
+    operation: str  # 'list_tables' | 'describe' | 'sample' | 'query'
+    request: str
+    ok: bool
+    row_count: int
+    error: str | None = None
+
+
+@dataclass
+class FederatedEnvironment:
+    """Two-or-more named backends plus an interaction log."""
+
+    backends: dict[str, Backend] = field(default_factory=dict)
+    log: list[InteractionRecord] = field(default_factory=list)
+
+    def add_backend(self, backend: Backend) -> None:
+        self.backends[backend.name] = backend
+
+    def backend(self, name: str) -> Backend:
+        return self.backends[name]
+
+    def backend_names(self) -> list[str]:
+        return sorted(self.backends)
+
+    # -- instrumented operations ------------------------------------------------
+
+    def list_tables(self, backend: str) -> BackendResponse:
+        response = self.backends[backend].list_tables()
+        self._record(backend, "list_tables", "", response)
+        return response
+
+    def describe(self, backend: str, table: str) -> BackendResponse:
+        response = self.backends[backend].describe(table)
+        self._record(backend, "describe", table, response)
+        return response
+
+    def sample(self, backend: str, table: str, limit: int = 5) -> BackendResponse:
+        response = self.backends[backend].sample(table, limit)
+        self._record(backend, "sample", table, response)
+        return response
+
+    def query(self, backend: str, request: str) -> BackendResponse:
+        response = self.backends[backend].query(request)
+        self._record(backend, "query", request, response)
+        return response
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def _record(self, backend: str, operation: str, request: str, response: BackendResponse) -> None:
+        self.log.append(
+            InteractionRecord(
+                backend=backend,
+                operation=operation,
+                request=request,
+                ok=response.ok,
+                row_count=len(response.rows),
+                error=response.error,
+            )
+        )
+
+    def interactions(self) -> int:
+        return len(self.log)
+
+    def reset_log(self) -> None:
+        self.log.clear()
+
+    def combine_rows(self, *row_sets: list[Any]) -> list[Any]:
+        """Client-side glue placeholder: concatenate result sets."""
+        combined: list[Any] = []
+        for rows in row_sets:
+            combined.extend(rows)
+        return combined

@@ -1,0 +1,120 @@
+"""Relational backends with per-dialect metadata quirks.
+
+All three dialects execute the same SQL subset (they share the
+:class:`~repro.db.Database` engine), but expose *metadata* differently —
+the friction the paper's second case study documents:
+
+* **postgres** — ``information_schema.tables`` includes system noise rows
+  (pg_catalog entries), so naive metadata queries over-fetch;
+* **sqlite** — no information_schema; discovery goes through
+  ``sqlite_master``;
+* **duckdb** — clean ``information_schema`` plus ``SHOW TABLES``-style
+  listing via ``list_tables``.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendKind, BackendResponse
+from repro.db import Database
+from repro.errors import ReproError
+
+#: Synthetic system-catalog rows a mini-postgres reports alongside user
+#: tables; exploration probes must learn to filter these out.
+_PG_SYSTEM_TABLES = [
+    "pg_aggregate",
+    "pg_am",
+    "pg_attribute",
+    "pg_authid",
+    "pg_cast",
+    "pg_class",
+    "pg_constraint",
+    "pg_database",
+    "pg_depend",
+    "pg_description",
+    "pg_index",
+    "pg_inherits",
+    "pg_language",
+    "pg_namespace",
+    "pg_opclass",
+    "pg_operator",
+    "pg_proc",
+    "pg_rewrite",
+    "pg_statistic",
+    "pg_tablespace",
+    "pg_trigger",
+    "pg_type",
+]
+
+
+class RelationalBackend(Backend):
+    """A dialect-flavoured wrapper over the in-process SQL engine."""
+
+    def __init__(self, name: str, kind: BackendKind, db: Database | None = None) -> None:
+        if kind is BackendKind.MONGODB:
+            raise ReproError("use DocumentStore for the mongodb kind")
+        self.name = name
+        self.kind = kind
+        self.db = db or Database(name)
+
+    # -- Backend protocol --------------------------------------------------------
+
+    def list_tables(self) -> BackendResponse:
+        user_tables = sorted(self.db.table_names())
+        if self.kind is BackendKind.POSTGRES:
+            # Postgres-style catalogs mix system relations into the listing.
+            rows = sorted(user_tables + _PG_SYSTEM_TABLES)
+        else:
+            rows = user_tables
+        return BackendResponse(ok=True, rows=rows, columns=["table_name"])
+
+    def describe(self, table: str) -> BackendResponse:
+        if not self.db.catalog.has_table(table):
+            return BackendResponse.failure(self._missing_table_message(table))
+        schema = self.db.catalog.table(table).schema
+        rows = [
+            (column.name, column.data_type.value, column.nullable)
+            for column in schema.columns
+        ]
+        return BackendResponse(
+            ok=True, rows=rows, columns=["column_name", "data_type", "is_nullable"]
+        )
+
+    def sample(self, table: str, limit: int = 5) -> BackendResponse:
+        if not self.db.catalog.has_table(table):
+            return BackendResponse.failure(self._missing_table_message(table))
+        result = self.db.execute(f"SELECT * FROM {table} LIMIT {limit}")
+        return BackendResponse(
+            ok=True,
+            rows=result.rows,
+            columns=result.columns,
+            rows_scanned=result.stats.rows_scanned,
+        )
+
+    def query(self, request: str) -> BackendResponse:
+        try:
+            result = self.db.execute(request)
+        except ReproError as exc:
+            return BackendResponse.failure(self._flavoured_error(str(exc)))
+        return BackendResponse(
+            ok=True,
+            rows=result.rows,
+            columns=result.columns,
+            rows_scanned=result.stats.rows_scanned,
+        )
+
+    # -- dialect flavouring ---------------------------------------------------------
+
+    def _missing_table_message(self, table: str) -> str:
+        if self.kind is BackendKind.POSTGRES:
+            return f'relation "{table}" does not exist'
+        if self.kind is BackendKind.SQLITE:
+            return f"no such table: {table}"
+        return f"Table with name {table} does not exist!"
+
+    def _flavoured_error(self, message: str) -> str:
+        prefix = {
+            BackendKind.POSTGRES: "ERROR: ",
+            BackendKind.SQLITE: "SqliteError: ",
+            BackendKind.DUCKDB: "Binder Error: ",
+        }[self.kind]
+        return prefix + message

@@ -1,0 +1,28 @@
+"""The agent-first data system: probes in, answers + steering out.
+
+This package implements the paper's Secs. 3-5:
+
+* :mod:`repro.core.probe` / :mod:`repro.core.brief` — the probe interface
+  (queries + natural-language briefs + termination criteria);
+* :mod:`repro.core.interpreter` — the in-database probe interpreter;
+* :mod:`repro.core.satisfice` — what to run, and at what accuracy;
+* :mod:`repro.core.mqo` — shared execution across redundant probes;
+* :mod:`repro.core.optimizer` — intra- and inter-probe optimization;
+* :mod:`repro.core.steering` — sleeper agents: hints, why-not provenance,
+  cost feedback;
+* :mod:`repro.core.system` — the :class:`AgentFirstDataSystem` facade.
+"""
+
+from repro.core.brief import Brief, Phase
+from repro.core.probe import Probe, ProbeResponse, QueryOutcome
+from repro.core.system import AgentFirstDataSystem, SystemConfig
+
+__all__ = [
+    "AgentFirstDataSystem",
+    "Brief",
+    "Phase",
+    "Probe",
+    "ProbeResponse",
+    "QueryOutcome",
+    "SystemConfig",
+]

@@ -1,0 +1,85 @@
+"""Briefs: the natural-language side-channel attached to probes.
+
+A brief tells the data system *why* and *how* a probe's queries should be
+answered (paper Sec. 4.1): the agent's goal, its phase, accuracy needs,
+relative priorities, and k-of-n completion contracts. Everything is
+optional — a bare SQL string is a degenerate probe with an empty brief.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Phase(enum.Enum):
+    """Where the issuing agent is in its speculation arc (paper Sec. 2)."""
+
+    METADATA_EXPLORATION = "metadata_exploration"
+    SOLUTION_FORMULATION = "solution_formulation"
+    VALIDATION = "validation"
+
+
+#: Keyword evidence for inferring a phase from free-text goals. The probe
+#: interpreter falls back to these when the brief does not state a phase.
+_EXPLORATION_MARKERS = (
+    "explore",
+    "discover",
+    "what tables",
+    "which tables",
+    "schema",
+    "sample",
+    "look around",
+    "get a sense",
+    "understand the data",
+    "rough",
+    "approximate",
+    "statistics",
+    "distinct values",
+)
+_VALIDATION_MARKERS = ("verify", "double-check", "validate", "confirm")
+_SOLUTION_MARKERS = (
+    "final",
+    "exact",
+    "answer",
+    "compute the",
+    "report",
+    "precise",
+    "solution",
+)
+
+
+@dataclass
+class Brief:
+    """Background information accompanying a probe's queries."""
+
+    goal: str = ""
+    phase: Phase | None = None
+    #: Required accuracy in [0, 1]; None = let the system decide by phase.
+    accuracy: float | None = None
+    #: Per-query priorities (index -> weight, higher = more important).
+    priorities: dict[int, float] = field(default_factory=dict)
+    #: Only this many of the probe's queries need to run to completion;
+    #: the system picks which (paper's "k of n" example).
+    complete_k_of_n: int | None = None
+    #: Soft cost budget in engine work units; the system warns when a
+    #: query's estimate exceeds it and may increase approximation.
+    max_cost: float | None = None
+    #: Free-form extra context, passed through to sleeper agents.
+    notes: str = ""
+
+    def infer_phase(self) -> Phase:
+        """The stated phase, or one inferred from goal keywords."""
+        if self.phase is not None:
+            return self.phase
+        text = f"{self.goal} {self.notes}".lower()
+        if any(marker in text for marker in _VALIDATION_MARKERS):
+            return Phase.VALIDATION
+        exploration_votes = sum(text.count(m) for m in _EXPLORATION_MARKERS)
+        solution_votes = sum(text.count(m) for m in _SOLUTION_MARKERS)
+        if exploration_votes > solution_votes:
+            return Phase.METADATA_EXPLORATION
+        return Phase.SOLUTION_FORMULATION
+
+    def priority_of(self, index: int) -> float:
+        return self.priorities.get(index, 1.0)

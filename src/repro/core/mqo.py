@@ -1,0 +1,131 @@
+"""Multi-query optimization: shared execution across redundant probes.
+
+Figure 2 shows 80-90% of sub-plans across parallel attempts are duplicates.
+The shared-work machinery here exploits that: a batch executor runs many
+plans against one :class:`~repro.engine.executor.SubplanCache`, so every
+distinct (strict-fingerprint) subtree materialises once. The
+:class:`SharingReport` quantifies the saving — the unit the A1 ablation
+bench reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.db import Database
+from repro.engine.executor import ExecContext, Executor, SubplanCache
+from repro.engine.result import QueryResult
+from repro.plan.fingerprint import subexpressions
+from repro.plan.logical import PlanNode
+
+
+@dataclass
+class SharingReport:
+    """Work accounting for a batch executed with and without sharing."""
+
+    queries: int = 0
+    total_subplans: int = 0
+    distinct_subplans: int = 0
+    rows_processed_shared: int = 0
+    rows_processed_unshared: int = 0
+    cache_hits: int = 0
+
+    @property
+    def duplicate_fraction(self) -> float:
+        if self.total_subplans == 0:
+            return 0.0
+        return 1.0 - self.distinct_subplans / self.total_subplans
+
+    @property
+    def work_saved_fraction(self) -> float:
+        if self.rows_processed_unshared == 0:
+            return 0.0
+        return 1.0 - self.rows_processed_shared / self.rows_processed_unshared
+
+
+@dataclass
+class BatchOutcome:
+    results: list[QueryResult] = field(default_factory=list)
+    report: SharingReport = field(default_factory=SharingReport)
+
+
+class BatchExecutor:
+    """Executes plan batches with cross-query subplan sharing."""
+
+    def __init__(self, db: Database, cache: SubplanCache | None = None) -> None:
+        self._db = db
+        self.cache = cache or SubplanCache()
+
+    def execute_plans(
+        self, plans: list[PlanNode], measure_unshared: bool = False
+    ) -> BatchOutcome:
+        outcome = BatchOutcome()
+        report = outcome.report
+        report.queries = len(plans)
+
+        fingerprints = Counter()
+        for plan in plans:
+            for sub in subexpressions(plan):
+                fingerprints[sub.fingerprint] += 1
+        report.total_subplans = sum(fingerprints.values())
+        report.distinct_subplans = len(fingerprints)
+
+        for plan in plans:
+            context = ExecContext(cache=self.cache)
+            executor = Executor(self._db.catalog, context)
+            result = executor.run(plan)
+            outcome.results.append(result)
+            report.rows_processed_shared += context.stats.rows_processed
+            report.cache_hits += context.stats.cache_hits
+
+        if measure_unshared:
+            for plan in plans:
+                context = ExecContext(cache=None)
+                Executor(self._db.catalog, context).run(plan)
+                report.rows_processed_unshared += context.stats.rows_processed
+        return outcome
+
+    def execute_sql(self, queries: list[str], measure_unshared: bool = False) -> BatchOutcome:
+        plans = [self._db.plan_select(sql) for sql in queries]
+        return self.execute_plans(plans, measure_unshared=measure_unshared)
+
+
+class MaterializationAdvisor:
+    """Observes plan history; suggests materializing hot subplans.
+
+    Implements the paper's inter-probe "decide to materialize the join"
+    idea (Sec. 5.2.2): subplans (of meaningful size) that recur across
+    probes/turns become materialization candidates.
+    """
+
+    def __init__(self, min_occurrences: int = 3, min_size: int = 2) -> None:
+        self._min_occurrences = min_occurrences
+        self._min_size = min_size
+        self._counts: Counter[str] = Counter()
+        self._descriptions: dict[str, str] = {}
+
+    def observe(self, plan: PlanNode) -> None:
+        seen_this_plan: set[str] = set()
+        for node in plan.walk():
+            if node.node_count() < self._min_size:
+                continue
+            subs = subexpressions(node)
+            fingerprint = subs[0].fingerprint
+            if fingerprint in seen_this_plan:
+                continue
+            seen_this_plan.add(fingerprint)
+            self._counts[fingerprint] += 1
+            self._descriptions.setdefault(
+                fingerprint, node.describe().splitlines()[0]
+            )
+
+    def suggestions(self) -> list[tuple[str, int, str]]:
+        """(fingerprint, occurrences, description) above the threshold."""
+        out = [
+            (fingerprint, count, self._descriptions[fingerprint])
+            for fingerprint, count in self._counts.items()
+            if count >= self._min_occurrences
+        ]
+        out.sort(key=lambda item: (-item[1], item[0]))
+        return out

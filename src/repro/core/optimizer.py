@@ -1,0 +1,197 @@
+"""The probe optimizer: satisficing execution with intra- and inter-probe
+optimization.
+
+Responsibilities (paper Sec. 5.2):
+
+* run the satisficer's decisions in order, at the decided accuracy;
+* share work across queries, probes, agents and turns through one
+  :class:`~repro.engine.executor.SubplanCache` (intra- and inter-probe MQO);
+* answer repeats from **history**: a query whose strict fingerprint was
+  already answered this session returns instantly with no work;
+* evaluate **termination criteria** over partial result lists and stop the
+  probe's remaining queries when satisfied;
+* feed the :class:`~repro.core.mqo.MaterializationAdvisor` so recurring
+  subplans become materialization suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interpreter import InterpretedProbe, PlannedQuery
+from repro.core.mqo import MaterializationAdvisor
+from repro.core.probe import QueryOutcome
+from repro.core.satisfice import ExecutionDecision, Satisficer
+from repro.db import Database
+from repro.engine.executor import ExecContext, Executor, SubplanCache
+from repro.engine.result import QueryResult
+from repro.errors import ReproError
+from repro.plan.fingerprint import fingerprint
+
+
+@dataclass
+class HistoryEntry:
+    turn: int
+    agent_id: str
+    sql: str
+    result: QueryResult
+    lenient_fingerprint: str
+
+
+@dataclass
+class ProbeOptimizer:
+    """Executes interpreted probes; owns the session's shared state."""
+
+    db: Database
+    satisficer: Satisficer
+    cache: SubplanCache | None = None
+    advisor: MaterializationAdvisor = field(default_factory=MaterializationAdvisor)
+    #: strict fingerprint -> history entry (the answered-before index).
+    history: dict[str, HistoryEntry] = field(default_factory=dict)
+    #: lenient fingerprint -> most recent history entry (similarity pointer).
+    lenient_history: dict[str, HistoryEntry] = field(default_factory=dict)
+    enable_history: bool = True
+
+    def execute(self, interpreted: InterpretedProbe, turn: int) -> list[QueryOutcome]:
+        decisions = self.satisficer.decide(interpreted)
+        outcomes: list[QueryOutcome] = []
+        results_so_far: list[QueryResult] = []
+        terminated = False
+
+        for decision in decisions:
+            query = decision.query
+            if decision.action == "prune":
+                outcomes.append(
+                    QueryOutcome(
+                        sql=query.sql,
+                        status="pruned",
+                        reason=decision.reason,
+                        estimated_cost=query.estimated_cost,
+                    )
+                )
+                continue
+            if query.plan is None:
+                outcomes.append(
+                    QueryOutcome(
+                        sql=query.sql,
+                        status="error",
+                        reason=query.parse_error or "unplannable query",
+                    )
+                )
+                continue
+            if terminated:
+                outcomes.append(
+                    QueryOutcome(
+                        sql=query.sql,
+                        status="terminated",
+                        reason="termination criterion satisfied by earlier results",
+                        estimated_cost=query.estimated_cost,
+                    )
+                )
+                continue
+
+            outcome = self._execute_one(interpreted, query, decision, turn)
+            outcomes.append(outcome)
+            if outcome.result is not None:
+                results_so_far.append(outcome.result)
+            criterion = interpreted.probe.termination
+            if criterion is not None and results_so_far:
+                try:
+                    terminated = bool(criterion(results_so_far))
+                except Exception:
+                    terminated = False
+
+        # Restore probe-declared order for the response (agents reference
+        # queries by index).
+        outcomes.sort(key=lambda o: _original_index(o, interpreted))
+        return outcomes
+
+    # -- single query ------------------------------------------------------------
+
+    def _execute_one(
+        self,
+        interpreted: InterpretedProbe,
+        query: PlannedQuery,
+        decision: ExecutionDecision,
+        turn: int,
+    ) -> QueryOutcome:
+        assert query.plan is not None
+        strict = fingerprint(query.plan, strict=True)
+        if self.enable_history and decision.sample_rate >= 1.0:
+            entry = self.history.get(strict)
+            if entry is not None:
+                # Materialization advice tracks logical demand: answering
+                # from history still counts as one more occurrence.
+                self.advisor.observe(query.plan)
+                return QueryOutcome(
+                    sql=query.sql,
+                    status="from_history",
+                    result=entry.result,
+                    reason=(
+                        f"identical query answered at turn {entry.turn}"
+                        f" (agent {entry.agent_id})"
+                    ),
+                    estimated_cost=query.estimated_cost,
+                )
+
+        context = ExecContext(
+            sample_rate=decision.sample_rate,
+            sample_seed=turn,
+            cache=self.cache,
+        )
+        executor = Executor(self.db.catalog, context)
+        try:
+            result = executor.run(query.plan)
+        except ReproError as exc:
+            return QueryOutcome(sql=query.sql, status="error", reason=str(exc))
+
+        self.advisor.observe(query.plan)
+        lenient = fingerprint(query.plan, strict=False)
+        previous = self.lenient_history.get(lenient)
+        similar_to_turn = previous.turn if previous is not None else None
+        entry = HistoryEntry(
+            turn=turn,
+            agent_id=interpreted.probe.agent_id,
+            sql=query.sql,
+            result=result,
+            lenient_fingerprint=lenient,
+        )
+        if decision.sample_rate >= 1.0:
+            self.history[strict] = entry
+        self.lenient_history[lenient] = entry
+
+        status = "approximate" if decision.sample_rate < 1.0 else "ok"
+        return QueryOutcome(
+            sql=query.sql,
+            status=status,
+            result=result,
+            sample_rate=decision.sample_rate,
+            estimated_cost=query.estimated_cost,
+            similar_to_turn=similar_to_turn,
+        )
+
+    # -- inter-probe services -------------------------------------------------------
+
+    def similar_answered(self, query: PlannedQuery) -> HistoryEntry | None:
+        """A past answer to a semantically-equal (modulo output order) query."""
+        if query.plan is None:
+            return None
+        lenient = fingerprint(query.plan, strict=False)
+        entry = self.lenient_history.get(lenient)
+        if entry is not None and entry.sql != query.sql:
+            return entry
+        return entry if entry is not None else None
+
+    def invalidate(self) -> None:
+        """Drop history and cache after writes change the data."""
+        self.history.clear()
+        self.lenient_history.clear()
+        if self.cache is not None:
+            self.cache.invalidate()
+
+
+def _original_index(outcome: QueryOutcome, interpreted: InterpretedProbe) -> int:
+    for query in interpreted.queries:
+        if query.sql == outcome.sql:
+            return query.index
+    return len(interpreted.queries)

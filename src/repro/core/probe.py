@@ -1,0 +1,102 @@
+"""Probes and probe responses: the agent-database contract.
+
+A probe generalises a query (paper Sec. 3): one or more SQL statements, a
+brief, optional beyond-SQL requests (anywhere-token semantic search, memory
+lookups), and an optional termination criterion evaluated over partial
+results so the system can stop early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.brief import Brief
+from repro.engine.result import QueryResult
+from repro.memstore.artifacts import Artifact
+from repro.semantic.search import SearchHit
+
+#: Evaluated over the results produced so far (in execution order);
+#: returning True stops execution of the probe's remaining queries.
+TerminationCriterion = Callable[[list[QueryResult]], bool]
+
+
+@dataclass
+class Probe:
+    """One agent request: queries + brief + beyond-SQL extensions."""
+
+    queries: tuple[str, ...] = ()
+    brief: Brief = field(default_factory=Brief)
+    #: Anywhere-token search: "where does this phrase appear?" (Sec. 4.1).
+    semantic_search: str | None = None
+    #: Free-text lookups against the agentic memory store.
+    memory_queries: tuple[str, ...] = ()
+    termination: TerminationCriterion | None = None
+    agent_id: str = "anon"
+    principal: str = "public"
+
+    @classmethod
+    def sql(cls, *queries: str, goal: str = "", **brief_kwargs) -> "Probe":
+        """Convenience constructor for plain SQL probes."""
+        return cls(queries=tuple(queries), brief=Brief(goal=goal, **brief_kwargs))
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one query inside a probe."""
+
+    sql: str
+    status: str  # 'ok' | 'approximate' | 'pruned' | 'terminated' | 'from_history' | 'error'
+    result: QueryResult | None = None
+    sample_rate: float = 1.0
+    reason: str = ""
+    estimated_cost: float = 0.0
+    #: Turn at which a semantically-equivalent (modulo output order) query
+    #: was previously answered, if any — feeds the similarity steering hint.
+    similar_to_turn: int | None = None
+
+    @property
+    def executed(self) -> bool:
+        return self.status in ("ok", "approximate")
+
+    @property
+    def answered(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class ProbeResponse:
+    """The system's reply: answers, steering feedback, and cost accounting."""
+
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    steering: list[str] = field(default_factory=list)
+    semantic_hits: list[SearchHit] = field(default_factory=list)
+    memory_hits: list[tuple[Artifact, float]] = field(default_factory=list)
+    turn: int = 0
+    rows_processed: int = 0
+    cache_hits: int = 0
+
+    def answered(self) -> list[QueryOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.answered]
+
+    def results(self) -> list[QueryResult]:
+        return [outcome.result for outcome in self.outcomes if outcome.result is not None]
+
+    def first_result(self) -> QueryResult:
+        results = self.results()
+        if not results:
+            raise ValueError("probe produced no results")
+        return results[0]
+
+    def describe(self) -> str:
+        lines = [f"turn {self.turn}: {len(self.outcomes)} queries"]
+        for outcome in self.outcomes:
+            summary = outcome.status
+            if outcome.result is not None:
+                summary += f", {outcome.result.row_count} rows"
+            if outcome.reason:
+                summary += f" ({outcome.reason})"
+            lines.append(f"  - {outcome.sql[:60]}... -> {summary}")
+        for hint in self.steering:
+            lines.append(f"  * steering: {hint}")
+        return "\n".join(lines)

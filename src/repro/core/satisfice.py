@@ -1,0 +1,148 @@
+"""Satisficing: decide *what* to execute, not just how.
+
+Given an interpreted probe, produce an execution decision per query
+(paper Sec. 5.2.1 "Deciding What to Execute"):
+
+* **semantic pruning** — during exploration, queries whose referenced
+  tables/columns are unrelated to the brief's goal are pruned;
+* **k-of-n selection** — when the brief says only k of n queries need
+  completing, keep the k that maximise priority per unit cost;
+* **ordering** — run high-priority/cheap queries first so termination
+  criteria fire as early as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.brief import Phase
+from repro.core.interpreter import InterpretedProbe, PlannedQuery
+from repro.plan import logical
+from repro.semantic.embedding import HashedEmbedder, cosine_similarity
+
+#: Goal-relevance below this prunes a query during exploration. Deliberately
+#: permissive: pruning a needed query costs a follow-up turn (the paper's
+#: cost/accuracy trade-off), so only clearly-unrelated queries drop.
+PRUNE_THRESHOLD = 0.08
+
+
+@dataclass
+class ExecutionDecision:
+    """The satisficer's verdict for one planned query."""
+
+    query: PlannedQuery
+    action: str  # 'execute' | 'prune'
+    sample_rate: float = 1.0
+    reason: str = ""
+
+
+class Satisficer:
+    """Turns interpreted probes into ordered execution decisions."""
+
+    def __init__(self, embedder: HashedEmbedder | None = None, enable_pruning: bool = True) -> None:
+        self._embedder = embedder or HashedEmbedder()
+        self._enable_pruning = enable_pruning
+
+    def decide(self, interpreted: InterpretedProbe) -> list[ExecutionDecision]:
+        decisions: list[ExecutionDecision] = []
+        for query in interpreted.queries:
+            if query.plan is None:
+                # Parse/plan failures surface as errors downstream; the
+                # satisficer leaves them alone.
+                decisions.append(ExecutionDecision(query, "execute"))
+                continue
+            decision = self._decide_one(interpreted, query)
+            decisions.append(decision)
+
+        decisions = self._apply_k_of_n(interpreted, decisions)
+        return self._order(decisions)
+
+    # -- per-query --------------------------------------------------------------
+
+    def _decide_one(
+        self, interpreted: InterpretedProbe, query: PlannedQuery
+    ) -> ExecutionDecision:
+        goal = interpreted.probe.brief.goal
+        if (
+            self._enable_pruning
+            and goal
+            and interpreted.phase is Phase.METADATA_EXPLORATION
+        ):
+            relevance = self._relevance(goal, query)
+            if relevance < PRUNE_THRESHOLD:
+                return ExecutionDecision(
+                    query,
+                    "prune",
+                    reason=(
+                        f"referenced data looks unrelated to the goal"
+                        f" (relevance {relevance:.2f})"
+                    ),
+                )
+        return ExecutionDecision(query, "execute", sample_rate=query.sample_rate)
+
+    def _relevance(self, goal: str, query: PlannedQuery) -> float:
+        """Cosine similarity between the goal and the query's data surface."""
+        surface = " ".join(self._surface_terms(query.plan))
+        if not surface:
+            return 1.0
+        return cosine_similarity(
+            self._embedder.embed(goal), self._embedder.embed(surface)
+        )
+
+    def _surface_terms(self, plan: logical.PlanNode | None) -> list[str]:
+        terms: list[str] = []
+        if plan is None:
+            return terms
+        for node in plan.walk():
+            if isinstance(node, (logical.Scan, logical.IndexScan)):
+                terms.append(node.table)
+                terms.extend(node.columns)
+        return terms
+
+    # -- k-of-n -------------------------------------------------------------------
+
+    def _apply_k_of_n(
+        self, interpreted: InterpretedProbe, decisions: list[ExecutionDecision]
+    ) -> list[ExecutionDecision]:
+        k = interpreted.probe.brief.complete_k_of_n
+        if k is None:
+            return decisions
+        candidates = [d for d in decisions if d.action == "execute" and d.query.plan is not None]
+        if k >= len(candidates):
+            return decisions
+        # Keep the k best by priority-per-cost: satisfy the contract at the
+        # least total work (the paper's "data system can decide which").
+        ranked = sorted(
+            candidates,
+            key=lambda d: (
+                -(d.query.priority / max(d.query.estimated_cost, 1.0)),
+                d.query.index,
+            ),
+        )
+        keep = {id(d) for d in ranked[:k]}
+        out: list[ExecutionDecision] = []
+        for decision in decisions:
+            if decision.action == "execute" and decision.query.plan is not None and id(decision) not in keep:
+                out.append(
+                    ExecutionDecision(
+                        decision.query,
+                        "prune",
+                        reason=f"k-of-n: only {k} of {len(candidates)} queries needed",
+                    )
+                )
+            else:
+                out.append(decision)
+        return out
+
+    # -- ordering -------------------------------------------------------------------
+
+    def _order(self, decisions: list[ExecutionDecision]) -> list[ExecutionDecision]:
+        """Execution order: highest priority first, then cheapest."""
+
+        def sort_key(decision: ExecutionDecision) -> tuple:
+            query = decision.query
+            return (-query.priority, query.estimated_cost, query.index)
+
+        executed = [d for d in decisions if d.action == "execute"]
+        pruned = [d for d in decisions if d.action != "execute"]
+        return sorted(executed, key=sort_key) + pruned

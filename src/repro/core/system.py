@@ -1,0 +1,267 @@
+"""The agent-first data system facade (paper Sec. 3, Figure 4).
+
+``AgentFirstDataSystem`` wires every component together:
+
+    probes ──> probe interpreter ──> satisficer ──> probe optimizer
+                     │                                   │
+                     ▼                                   ▼
+               sleeper agents  <──────────────  shared-work cache
+                     │                                   │
+                     ▼                                   ▼
+              steering feedback               agentic memory store
+
+Each ``submit`` is one interaction turn: the probe's queries are
+interpreted, satisficed and executed (with cross-agent work sharing and
+history reuse); sleeper agents attach steering feedback; and newly-gleaned
+grounding is written back to the agentic memory store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.brief import Phase
+from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
+from repro.core.mqo import MaterializationAdvisor
+from repro.core.optimizer import ProbeOptimizer
+from repro.core.probe import Probe, ProbeResponse, QueryOutcome
+from repro.core.satisfice import Satisficer
+from repro.core.steering import CostAdvisor, JoinDiscovery, WhyNotDiagnoser
+from repro.db import Database
+from repro.db.database import ChangeEvent
+from repro.engine.executor import SubplanCache
+from repro.memstore import AgenticMemoryStore, ArtifactKind
+from repro.plan import logical
+from repro.semantic.search import SemanticSearch
+
+
+@dataclass
+class SystemConfig:
+    """Feature switches; the ablation benches flip these."""
+
+    enable_satisficing: bool = True
+    enable_mqo: bool = True
+    enable_steering: bool = True
+    enable_memory: bool = True
+    enable_history: bool = True
+    #: Cost above which the cost advisor warns even without a brief budget.
+    expensive_threshold: float = 50_000.0
+
+
+class AgentFirstDataSystem:
+    """Answers probes; steers agents; remembers grounding."""
+
+    def __init__(
+        self,
+        db: Database,
+        memory: AgenticMemoryStore | None = None,
+        config: SystemConfig | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config or SystemConfig()
+        self.memory = memory or AgenticMemoryStore()
+        if self.config.enable_memory:
+            self.memory.attach(db)
+        self.search = SemanticSearch(db)
+        self.interpreter = ProbeInterpreter(db)
+        self.satisficer = Satisficer(enable_pruning=self.config.enable_satisficing)
+        self.optimizer = ProbeOptimizer(
+            db=db,
+            satisficer=self.satisficer,
+            cache=SubplanCache() if self.config.enable_mqo else None,
+            advisor=MaterializationAdvisor(),
+            enable_history=self.config.enable_history,
+        )
+        self.why_not = WhyNotDiagnoser(db)
+        self.join_discovery = JoinDiscovery(db)
+        self.cost_advisor = CostAdvisor(db, self.config.expensive_threshold)
+        self.turn = 0
+        db.on_change(self._on_change)
+
+    # -- the one entry point -----------------------------------------------------
+
+    def submit(self, probe: Probe) -> ProbeResponse:
+        """Answer one probe; returns answers plus steering feedback."""
+        self.turn += 1
+        interpreted = self.interpreter.interpret(probe)
+        response = ProbeResponse(turn=self.turn)
+
+        # Beyond-SQL requests first: they are cheap and ground what follows.
+        if probe.semantic_search:
+            response.semantic_hits = self.search.search(probe.semantic_search, limit=8)
+        for memory_query in probe.memory_queries:
+            response.memory_hits.extend(
+                self.memory.search(memory_query, principal=probe.principal)
+            )
+        # Implicit memory recall: the goal itself is a memory query.
+        if self.config.enable_memory and probe.brief.goal:
+            response.memory_hits.extend(
+                self.memory.search(probe.brief.goal, principal=probe.principal, k=3)
+            )
+
+        response.outcomes = self.optimizer.execute(interpreted, self.turn)
+        for outcome in response.outcomes:
+            # from_history outcomes reuse an old result object: no new work.
+            if outcome.executed and outcome.result is not None:
+                response.rows_processed += outcome.result.stats.rows_processed
+                response.cache_hits += outcome.result.stats.cache_hits
+
+        if self.config.enable_steering:
+            response.steering = self._steer(probe, interpreted, response)
+        if self.config.enable_memory:
+            self._remember(probe, interpreted, response)
+        return response
+
+    # -- steering ---------------------------------------------------------------------
+
+    def _steer(
+        self,
+        probe: Probe,
+        interpreted: InterpretedProbe,
+        response: ProbeResponse,
+    ) -> list[str]:
+        feedback: list[str] = []
+
+        # Cost estimates and budget warnings (pre-execution knowledge,
+        # surfaced with the response).
+        for query in interpreted.executable():
+            feedback.extend(
+                self.cost_advisor.pre_execution_feedback(
+                    probe.agent_id,
+                    query.estimated_cost,
+                    probe.brief.max_cost,
+                    query.sql,
+                )
+            )
+
+        # Why-not provenance for empty exact results (a 1-row aggregate of
+        # zeros/NULLs counts as empty: COUNT(*) over no matching rows).
+        def _looks_empty(result) -> bool:
+            if result.row_count == 0:
+                return True
+            if result.row_count == 1 and all(
+                value in (0, None) for value in result.rows[0]
+            ):
+                return True
+            return False
+
+        for outcome, query in zip(response.outcomes, interpreted.queries):
+            if (
+                outcome.status == "ok"
+                and outcome.result is not None
+                and _looks_empty(outcome.result)
+                and query.plan is not None
+            ):
+                for finding in self.why_not.diagnose(query.plan):
+                    feedback.append(f"empty result explained: {finding.message()}")
+
+        # Related tables during exploration.
+        if interpreted.phase is Phase.METADATA_EXPLORATION:
+            for table in self._tables_touched(interpreted)[:2]:
+                for suggestion in self.join_discovery.related_tables(table, limit=2):
+                    feedback.append(f"related table: {suggestion.message()}")
+
+        # Similar-query pointers (inter-probe novelty signal).
+        for outcome in response.outcomes:
+            if outcome.similar_to_turn is not None and outcome.similar_to_turn < self.turn:
+                rows = outcome.result.row_count if outcome.result is not None else 0
+                feedback.append(
+                    f"a query equivalent to {outcome.sql[:50]!r} was answered at"
+                    f" turn {outcome.similar_to_turn}; its {rows}-row result is"
+                    " reusable (only output order differs)"
+                )
+
+        # Batching hints from the sequential-probe pattern detector.
+        feedback.extend(
+            self.cost_advisor.observe_probe(
+                probe.agent_id,
+                self._tables_touched(interpreted),
+                len(interpreted.executable()),
+            )
+        )
+        return _dedupe(feedback)
+
+    # -- memory write-back ---------------------------------------------------------------
+
+    def _remember(
+        self,
+        probe: Probe,
+        interpreted: InterpretedProbe,
+        response: ProbeResponse,
+    ) -> None:
+        # Join hints discovered by steering become durable grounding.
+        for hint in response.steering:
+            if hint.startswith("related table: "):
+                detail = hint.removeprefix("related table: ")
+                table = detail.split(".", 1)[0]
+                self.memory.remember(
+                    ArtifactKind.JOIN_HINT,
+                    (table,),
+                    detail,
+                    principal=probe.principal,
+                    shared=True,
+                    data_sensitive=False,
+                    turn=self.turn,
+                )
+            if hint.startswith("empty result explained: "):
+                detail = hint.removeprefix("empty result explained: ")
+                tables = self._tables_touched(interpreted)
+                if tables:
+                    self.memory.remember(
+                        ArtifactKind.COLUMN_ENCODING,
+                        (tables[0],),
+                        detail,
+                        principal=probe.principal,
+                        shared=True,
+                        data_sensitive=True,
+                        turn=self.turn,
+                    )
+        # Exact solution-phase results are reusable partial solutions.
+        if interpreted.phase is not Phase.METADATA_EXPLORATION:
+            for outcome in response.outcomes:
+                if outcome.status == "ok" and outcome.result is not None:
+                    tables = self._tables_touched(interpreted)
+                    if not tables:
+                        continue
+                    self.memory.remember(
+                        ArtifactKind.PROBE_RESULT,
+                        (tables[0], f"turn{self.turn}q{hash(outcome.sql) & 0xffff}"),
+                        f"{probe.brief.goal or 'query'}: {outcome.sql}"
+                        f" -> {outcome.result.row_count} rows",
+                        principal=probe.principal,
+                        shared=True,
+                        depends_on=tuple(tables),
+                        turn=self.turn,
+                    )
+
+    # -- plumbing ---------------------------------------------------------------------------
+
+    def _tables_touched(self, interpreted: InterpretedProbe) -> list[str]:
+        tables: list[str] = []
+        for query in interpreted.queries:
+            if query.plan is None:
+                continue
+            for node in query.plan.walk():
+                if isinstance(node, (logical.Scan, logical.IndexScan)):
+                    if node.table not in tables:
+                        tables.append(node.table)
+        return tables
+
+    def _on_change(self, event: ChangeEvent) -> None:
+        if event.kind in ("insert", "update", "delete", "create", "drop"):
+            self.optimizer.invalidate()
+
+    # -- reporting ---------------------------------------------------------------------------
+
+    def materialization_suggestions(self) -> list[tuple[str, int, str]]:
+        return self.optimizer.advisor.suggestions()
+
+
+def _dedupe(items: list[str]) -> list[str]:
+    seen: set[str] = set()
+    out: list[str] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

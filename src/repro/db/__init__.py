@@ -1,0 +1,5 @@
+"""Database facade: end-to-end SQL over the catalog, storage and engine."""
+
+from repro.db.database import ChangeEvent, Database
+
+__all__ = ["ChangeEvent", "Database"]

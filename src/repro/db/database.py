@@ -1,0 +1,357 @@
+"""The relational database facade.
+
+``Database`` owns a :class:`~repro.storage.catalog.Catalog` and runs the
+full pipeline: parse → build → optimize → execute. It also
+
+* serves virtual ``information_schema`` tables (rebuilt when stale),
+* evaluates DML (INSERT/UPDATE/DELETE) with index maintenance,
+* publishes :class:`ChangeEvent` notifications that the agentic memory
+  store's staleness tracker subscribes to (paper Sec. 6.1), and
+* accepts per-query sampling rates and a shared
+  :class:`~repro.engine.executor.SubplanCache` — the hooks the probe
+  optimizer drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.db import information_schema as info_schema
+from repro.engine.executor import ExecContext, Executor, SubplanCache
+from repro.engine.expressions import compile_expr
+from repro.engine.result import QueryResult
+from repro.errors import CatalogError, ExecutionError, PlanError
+from repro.plan.builder import build_plan
+from repro.plan.cost import CostEstimate, estimate_cost
+from repro.plan.logical import OneRow, OutputCol, PlanNode
+from repro.plan.rules import optimize_plan
+from repro.sql import nodes
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType, Value
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A schema or data change, published to registered observers.
+
+    ``details`` carries row-level information for DML: tuples of
+    ``(row_id, new_values_or_None)`` — ``None`` marks a delete. The
+    branched transaction manager uses these to maintain write sets, and
+    the agentic memory store uses the coarse fields for staleness.
+    """
+
+    kind: str  # 'create' | 'drop' | 'insert' | 'update' | 'delete'
+    table: str
+    row_count: int = 0
+    details: tuple[tuple[int, tuple | None], ...] = ()
+
+
+class Database:
+    """A single-node SQL database with an agent-friendly surface."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self._observers: list[Callable[[ChangeEvent], None]] = []
+        self._info_schema_version = -1
+
+    # -- observers -------------------------------------------------------------
+
+    def on_change(self, callback: Callable[[ChangeEvent], None]) -> None:
+        """Register a callback invoked after every schema/data change."""
+        self._observers.append(callback)
+
+    def _publish(self, event: ChangeEvent) -> None:
+        for callback in self._observers:
+            callback(event)
+
+    # -- DDL helpers (programmatic API) ------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.create_table(schema)
+        self._publish(ChangeEvent("create", schema.name))
+
+    def insert_rows(self, table: str, rows: Iterable[Iterable[Value]]) -> int:
+        materialized = [tuple(r) for r in rows]
+        row_ids = self.catalog.insert_rows(table, materialized)
+        stored = self.catalog.table(table)
+        details = tuple((rid, stored.get(rid)) for rid in row_ids)
+        self._publish(ChangeEvent("insert", table, len(row_ids), details))
+        return len(row_ids)
+
+    def table_names(self) -> list[str]:
+        return [
+            name
+            for name in self.catalog.table_names()
+            if not info_schema.is_information_schema(name)
+        ]
+
+    # -- query execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
+        cache: SubplanCache | None = None,
+    ) -> QueryResult:
+        """Parse and execute one statement, returning a result.
+
+        ``sample_rate`` < 1 runs SELECTs approximately (Bernoulli-sampled
+        scans with scaled aggregates); DML always runs exactly.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, nodes.Select):
+            return self._execute_select(statement, sample_rate, sample_seed, cache)
+        if isinstance(statement, nodes.CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, nodes.DropTable):
+            return self._execute_drop(statement)
+        if isinstance(statement, nodes.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, nodes.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, nodes.Delete):
+            return self._execute_delete(statement)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def plan_select(self, sql: str) -> PlanNode:
+        """Parse and plan (but do not run) a SELECT; used by analyses."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, nodes.Select):
+            raise PlanError("plan_select requires a SELECT statement")
+        self._refresh_information_schema_if_needed(statement)
+        plan = build_plan(statement, self.catalog)
+        return optimize_plan(plan, self.catalog)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN: the optimized plan plus its cost estimate."""
+        plan = self.plan_select(sql)
+        estimate = self.estimate(sql)
+        return (
+            plan.describe()
+            + f"\n-- estimated rows: {estimate.rows:.0f}, cost: {estimate.cost:.0f}"
+        )
+
+    def estimate(self, sql: str) -> CostEstimate:
+        """Cost-estimate a SELECT without executing it."""
+        plan = self.plan_select(sql)
+        return estimate_cost(plan, self.catalog)
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _execute_select(
+        self,
+        statement: nodes.Select,
+        sample_rate: float,
+        sample_seed: int,
+        cache: SubplanCache | None,
+    ) -> QueryResult:
+        self._refresh_information_schema_if_needed(statement)
+        plan = build_plan(statement, self.catalog)
+        plan = optimize_plan(plan, self.catalog)
+        context = ExecContext(
+            sample_rate=sample_rate, sample_seed=sample_seed, cache=cache
+        )
+        executor = Executor(self.catalog, context)
+        return executor.run(plan)
+
+    def _refresh_information_schema_if_needed(self, statement: nodes.Select) -> None:
+        if not _references_information_schema(statement):
+            return
+        current = (
+            self.catalog.schema_version,
+            tuple(
+                self.catalog.table(t).data_version
+                for t in sorted(self.catalog.table_names())
+                if not info_schema.is_information_schema(t)
+            ),
+        )
+        marker = hash(current)
+        if marker == self._info_schema_version:
+            return
+        for name in (info_schema.TABLES_NAME, info_schema.COLUMNS_NAME):
+            if self.catalog.has_table(name):
+                self.catalog.drop_table(name)
+        tables, columns = info_schema.build_tables(self.catalog)
+        self.catalog.register_table(tables)
+        self.catalog.register_table(columns)
+        # register_table/drop_table bump schema_version; recompute the marker
+        # so the refresh is stable until a real change happens.
+        current = (
+            self.catalog.schema_version,
+            tuple(
+                self.catalog.table(t).data_version
+                for t in sorted(self.catalog.table_names())
+                if not info_schema.is_information_schema(t)
+            ),
+        )
+        self._info_schema_version = hash(current)
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def _execute_create(self, statement: nodes.CreateTable) -> QueryResult:
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return _status_result("ok")
+        columns = tuple(
+            Column(
+                name=definition.name,
+                data_type=DataType.parse(definition.type_name),
+                nullable=not definition.not_null,
+                primary_key=definition.primary_key,
+            )
+            for definition in statement.columns
+        )
+        self.create_table(TableSchema(statement.name, columns))
+        return _status_result("ok")
+
+    def _execute_drop(self, statement: nodes.DropTable) -> QueryResult:
+        if statement.if_exists and not self.catalog.has_table(statement.name):
+            return _status_result("ok")
+        self.catalog.drop_table(statement.name)
+        self._publish(ChangeEvent("drop", statement.name))
+        return _status_result("ok")
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _execute_insert(self, statement: nodes.Insert) -> QueryResult:
+        if not self.catalog.has_table(statement.table):
+            raise CatalogError(f"table {statement.table!r} does not exist")
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        if statement.select is not None:
+            select_result = self._execute_select(statement.select, 1.0, 0, None)
+            raw_rows: list[tuple[Value, ...]] = list(select_result.rows)
+        else:
+            raw_rows = []
+            for row_exprs in statement.rows:
+                compiled = [compile_expr(e, (), None) for e in row_exprs]
+                raw_rows.append(tuple(fn(()) for fn in compiled))
+        rows = [self._widen_row(schema, statement.columns, row) for row in raw_rows]
+        count = self.insert_rows(statement.table, rows)
+        return _status_result(f"inserted {count}")
+
+    def _widen_row(
+        self,
+        schema: TableSchema,
+        columns: tuple[str, ...] | None,
+        values: tuple[Value, ...],
+    ) -> tuple[Value, ...]:
+        if columns is None:
+            if len(values) != len(schema.columns):
+                raise ExecutionError(
+                    f"INSERT expects {len(schema.columns)} values, got {len(values)}"
+                )
+            return values
+        if len(columns) != len(values):
+            raise ExecutionError(
+                f"INSERT column list has {len(columns)} names but {len(values)} values"
+            )
+        full: list[Value] = [None] * len(schema.columns)
+        for name, value in zip(columns, values):
+            full[schema.position_of(name)] = value
+        return tuple(full)
+
+    def _execute_update(self, statement: nodes.Update) -> QueryResult:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        output = tuple(
+            OutputCol(column.name, schema.name) for column in schema.columns
+        )
+        executor = Executor(self.catalog)
+        where = (
+            compile_expr(statement.where, output, executor)
+            if statement.where is not None
+            else None
+        )
+        assignments = [
+            (schema.position_of(column), compile_expr(expr, output, executor))
+            for column, expr in statement.assignments
+        ]
+        updates: list[tuple[int, tuple[Value, ...]]] = []
+        for row_id, row in table.scan_with_ids():
+            if where is not None:
+                verdict = where(row)
+                if verdict is None or verdict is False or verdict == 0:
+                    continue
+            new_row = list(row)
+            for position, fn in assignments:
+                new_row[position] = fn(row)
+            updates.append((row_id, tuple(new_row)))
+        for row_id, new_row in updates:
+            self.catalog.update_row(statement.table, row_id, new_row)
+        details = tuple(
+            (rid, self.catalog.table(statement.table).get(rid)) for rid, _ in updates
+        )
+        self._publish(ChangeEvent("update", statement.table, len(updates), details))
+        return _status_result(f"updated {len(updates)}")
+
+    def _execute_delete(self, statement: nodes.Delete) -> QueryResult:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        output = tuple(
+            OutputCol(column.name, schema.name) for column in schema.columns
+        )
+        executor = Executor(self.catalog)
+        where = (
+            compile_expr(statement.where, output, executor)
+            if statement.where is not None
+            else None
+        )
+        victims: list[int] = []
+        for row_id, row in table.scan_with_ids():
+            if where is not None:
+                verdict = where(row)
+                if verdict is None or verdict is False or verdict == 0:
+                    continue
+            victims.append(row_id)
+        for row_id in victims:
+            self.catalog.delete_row(statement.table, row_id)
+        details = tuple((rid, None) for rid in victims)
+        self._publish(ChangeEvent("delete", statement.table, len(victims), details))
+        return _status_result(f"deleted {len(victims)}")
+
+
+def _status_result(message: str) -> QueryResult:
+    return QueryResult(columns=["status"], rows=[(message,)])
+
+
+def _references_information_schema(statement: nodes.Select) -> bool:
+    def ref_tables(ref: nodes.TableRef | None) -> list[str]:
+        if ref is None:
+            return []
+        if isinstance(ref, nodes.TableName):
+            return [ref.name]
+        if isinstance(ref, nodes.SubqueryRef):
+            return collect(ref.select)
+        if isinstance(ref, nodes.Join):
+            return ref_tables(ref.left) + ref_tables(ref.right)
+        return []
+
+    def collect(select: nodes.Select) -> list[str]:
+        found = ref_tables(select.from_clause)
+        for expr_source in _subquery_expressions(select):
+            found.extend(collect(expr_source))
+        return found
+
+    return any(info_schema.is_information_schema(name) for name in collect(statement))
+
+
+def _subquery_expressions(select: nodes.Select) -> list[nodes.Select]:
+    """All subquery ASTs appearing in expressions of ``select``."""
+    sources: list[nodes.Expr] = [item.expr for item in select.items]
+    if select.where is not None:
+        sources.append(select.where)
+    if select.having is not None:
+        sources.append(select.having)
+    sources.extend(select.group_by)
+    sources.extend(order.expr for order in select.order_by)
+    out: list[nodes.Select] = []
+    for expr in sources:
+        for node in nodes.walk(expr):
+            if isinstance(node, (nodes.InSubquery, nodes.ScalarSubquery, nodes.Exists)):
+                out.append(node.subquery)
+    return out

@@ -1,0 +1,6 @@
+"""Execution engine: expression compiler, operators, results, AQP."""
+
+from repro.engine.executor import ExecContext, Executor, SubplanCache
+from repro.engine.result import ExecStats, QueryResult
+
+__all__ = ["ExecContext", "ExecStats", "Executor", "QueryResult", "SubplanCache"]

@@ -1,0 +1,178 @@
+"""Aggregate accumulators with optional sampling scale-up.
+
+When the executor runs in sampling mode (approximate query processing,
+paper Sec. 5.2), COUNT and SUM results are scaled by ``1 / sample_rate``
+and each scaled aggregate reports a standard error so callers can reason
+about answer quality. AVG/MIN/MAX are returned unscaled (AVG is already a
+ratio estimator; MIN/MAX cannot be corrected by scaling).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import ExecutionError
+from repro.sql import nodes
+from repro.storage.types import Row, Value, compare_values
+
+
+class Accumulator:
+    """One aggregate's running state over a group."""
+
+    def add(self, row: Row) -> None:
+        raise NotImplementedError
+
+    def result(self, scale: float) -> tuple[Value, float | None]:
+        """Final value and (if scaled) an estimated standard error."""
+        raise NotImplementedError
+
+
+class _CountStar(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, row: Row) -> None:
+        self.count += 1
+
+    def result(self, scale: float) -> tuple[Value, float | None]:
+        if scale == 1.0:
+            return self.count, None
+        estimate = self.count * scale
+        # Bernoulli sampling: Var(N_hat) = n * (1-p) / p^2 with p = 1/scale.
+        p = 1.0 / scale
+        error = math.sqrt(self.count * (1.0 - p)) / p if self.count else 0.0
+        return round(estimate), error
+
+
+class _CountExpr(Accumulator):
+    def __init__(self, fn: Callable[[Row], Value], distinct: bool) -> None:
+        self._fn = fn
+        self._distinct = distinct
+        self._seen: set[Value] = set()
+        self.count = 0
+
+    def add(self, row: Row) -> None:
+        value = self._fn(row)
+        if value is None:
+            return
+        if self._distinct:
+            self._seen.add(value)
+        else:
+            self.count += 1
+
+    def result(self, scale: float) -> tuple[Value, float | None]:
+        count = len(self._seen) if self._distinct else self.count
+        if scale == 1.0 or self._distinct:
+            # Distinct counts are not scaled: sampling distorts NDV in ways
+            # linear scale-up cannot correct.
+            return count, None
+        p = 1.0 / scale
+        error = math.sqrt(count * (1.0 - p)) / p if count else 0.0
+        return round(count * scale), error
+
+
+class _Sum(Accumulator):
+    def __init__(self, fn: Callable[[Row], Value]) -> None:
+        self._fn = fn
+        self.total: float = 0.0
+        self.total_sq: float = 0.0
+        self.count = 0
+        self.any_float = False
+
+    def add(self, row: Row) -> None:
+        value = self._fn(row)
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"SUM over non-numeric value {value!r}")
+        self.total += value
+        self.total_sq += float(value) * float(value)
+        self.count += 1
+        if isinstance(value, float):
+            self.any_float = True
+
+    def result(self, scale: float) -> tuple[Value, float | None]:
+        if self.count == 0:
+            return None, None
+        total: Value = self.total if self.any_float else int(self.total)
+        if scale == 1.0:
+            return total, None
+        p = 1.0 / scale
+        variance = max(self.total_sq * (1.0 - p) / (p * p), 0.0)
+        return self.total * scale, math.sqrt(variance)
+
+
+class _Avg(Accumulator):
+    def __init__(self, fn: Callable[[Row], Value]) -> None:
+        self._fn = fn
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.count = 0
+
+    def add(self, row: Row) -> None:
+        value = self._fn(row)
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"AVG over non-numeric value {value!r}")
+        self.total += float(value)
+        self.total_sq += float(value) ** 2
+        self.count += 1
+
+    def result(self, scale: float) -> tuple[Value, float | None]:
+        if self.count == 0:
+            return None, None
+        mean = self.total / self.count
+        if scale == 1.0:
+            return mean, None
+        variance = max(self.total_sq / self.count - mean * mean, 0.0)
+        return mean, math.sqrt(variance / self.count)
+
+
+class _MinMax(Accumulator):
+    def __init__(self, fn: Callable[[Row], Value], is_min: bool) -> None:
+        self._fn = fn
+        self._is_min = is_min
+        self.best: Value = None
+
+    def add(self, row: Row) -> None:
+        value = self._fn(row)
+        if value is None:
+            return
+        if self.best is None:
+            self.best = value
+            return
+        ordering = compare_values(value, self.best)
+        if ordering is None:
+            return
+        if (self._is_min and ordering < 0) or (not self._is_min and ordering > 0):
+            self.best = value
+
+    def result(self, scale: float) -> tuple[Value, float | None]:
+        return self.best, None
+
+
+def make_accumulator(
+    call: nodes.FuncCall, compile_arg: Callable[[nodes.Expr], Callable[[Row], Value]]
+) -> Accumulator:
+    """Build a fresh accumulator for one aggregate call."""
+    name = call.name
+    if name == "COUNT":
+        if len(call.args) != 1:
+            raise ExecutionError("COUNT expects exactly one argument")
+        if isinstance(call.args[0], nodes.Star):
+            return _CountStar()
+        return _CountExpr(compile_arg(call.args[0]), call.distinct)
+    if len(call.args) != 1 or isinstance(call.args[0], nodes.Star):
+        raise ExecutionError(f"{name} expects exactly one column argument")
+    fn = compile_arg(call.args[0])
+    if name == "SUM":
+        return _Sum(fn)
+    if name == "AVG":
+        return _Avg(fn)
+    if name == "MIN":
+        return _MinMax(fn, is_min=True)
+    if name == "MAX":
+        return _MinMax(fn, is_min=False)
+    raise ExecutionError(f"unknown aggregate function {name!r}")

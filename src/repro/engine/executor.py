@@ -1,0 +1,415 @@
+"""Plan execution.
+
+A straightforward materialising executor: each operator consumes its
+children's row lists and produces its own. Two features matter to the
+agent-first layers above:
+
+* **Work accounting** — every row an operator touches increments
+  ``ExecContext.stats.rows_processed``; the MQO ablation and the probe
+  optimizer's cost feedback are denominated in this unit.
+* **Shared-work cache** — when an :class:`ExecContext` carries a
+  :class:`SubplanCache`, every materialised subplan is recorded under its
+  canonical fingerprint, and later executions (by any agent, in any probe)
+  reuse it. This implements the paper's "sharing computation across
+  redundant probes" (Sec. 5.2.1).
+* **Sampling mode** — ``sample_rate < 1`` makes scans Bernoulli-sample
+  their input with a seeded RNG and aggregates scale up, implementing the
+  approximate execution that satisficing relies on (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import aggregates as agg_lib
+from repro.engine.expressions import SubqueryRunner, compile_expr
+from repro.engine.result import ExecStats, QueryResult
+from repro.errors import ExecutionError
+from repro.plan import logical
+from repro.plan.fingerprint import fingerprint
+from repro.sql import nodes
+from repro.storage.catalog import Catalog
+from repro.storage.types import Row, Value, compare_values
+from repro.util.rng import RngStream
+
+
+class SubplanCache:
+    """Fingerprint-keyed cache of materialised subplan results.
+
+    Shared across probes and agents; the cache key includes the sampling
+    rate so approximate and exact runs never alias. Entries are lists of
+    row tuples (immutable enough to share safely).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._entries: dict[tuple[str, float], list[Row]] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple[str, float]) -> list[Row] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple[str, float], rows: list[Row]) -> None:
+        if len(self._entries) >= self._max_entries:
+            # Drop the oldest entry (insertion order); enough at this scale.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = rows
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class ExecContext:
+    """Per-execution knobs and counters."""
+
+    sample_rate: float = 1.0
+    sample_seed: int = 0
+    cache: SubplanCache | None = None
+    #: Subplans smaller than this are cheaper to recompute than to look up.
+    min_cacheable_size: int = 2
+    stats: ExecStats = field(default_factory=ExecStats)
+
+
+class Executor(SubqueryRunner):
+    """Executes logical plans against a catalog."""
+
+    def __init__(self, catalog: Catalog, context: ExecContext | None = None) -> None:
+        self._catalog = catalog
+        self.context = context or ExecContext()
+        self._estimate_errors: dict[str, float] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, plan: logical.PlanNode) -> QueryResult:
+        rows = self._execute(plan)
+        columns = [col.name for col in plan.output]
+        result = QueryResult(
+            columns=columns,
+            rows=rows,
+            stats=self.context.stats,
+            sample_rate=self.context.sample_rate,
+        )
+        if self.context.sample_rate < 1.0:
+            result.estimate_errors = dict(self._estimate_errors)
+        return result
+
+    def run_select(self, select: nodes.Select) -> list[Row]:
+        """Execute a subquery AST (SubqueryRunner protocol)."""
+        from repro.plan.builder import build_plan
+        from repro.plan.rules import optimize_plan
+
+        plan = optimize_plan(build_plan(select, self._catalog), self._catalog)
+        return self._execute(plan)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _execute(self, node: logical.PlanNode) -> list[Row]:
+        self.context.stats.operators_executed += 1
+        cache = self.context.cache
+        cache_key: tuple[str, float] | None = None
+        if cache is not None and node.node_count() >= self.context.min_cacheable_size:
+            cache_key = (fingerprint(node, strict=True), self.context.sample_rate)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                self.context.stats.cache_hits += 1
+                return cached
+            self.context.stats.cache_misses += 1
+
+        rows = self._execute_uncached(node)
+
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, rows)
+        return rows
+
+    def _execute_uncached(self, node: logical.PlanNode) -> list[Row]:
+        if isinstance(node, logical.Scan):
+            return self._exec_scan(node)
+        if isinstance(node, logical.IndexScan):
+            return self._exec_index_scan(node)
+        if isinstance(node, logical.OneRow):
+            return [()]
+        if isinstance(node, logical.SubqueryScan):
+            return self._execute(node.child)
+        if isinstance(node, logical.Filter):
+            return self._exec_filter(node)
+        if isinstance(node, logical.Project):
+            return self._exec_project(node)
+        if isinstance(node, logical.HashJoin):
+            return self._exec_hash_join(node)
+        if isinstance(node, logical.NestedLoopJoin):
+            return self._exec_nested_loop(node)
+        if isinstance(node, logical.Aggregate):
+            return self._exec_aggregate(node)
+        if isinstance(node, logical.Sort):
+            return self._exec_sort(node)
+        if isinstance(node, logical.Limit):
+            return self._exec_limit(node)
+        if isinstance(node, logical.Distinct):
+            return self._exec_distinct(node)
+        raise ExecutionError(f"cannot execute plan node {type(node).__name__}")
+
+    # -- leaves -------------------------------------------------------------------
+
+    def _exec_scan(self, node: logical.Scan) -> list[Row]:
+        table = self._catalog.table(node.table)
+        positions = [table.schema.position_of(c) for c in node.columns]
+        sampler = self._make_sampler(node.table)
+        rows: list[Row] = []
+        for row in table.scan():
+            self.context.stats.rows_scanned += 1
+            self.context.stats.rows_processed += 1
+            if sampler is not None and not sampler.bernoulli(self.context.sample_rate):
+                continue
+            rows.append(tuple(row[p] for p in positions))
+        return rows
+
+    def _exec_index_scan(self, node: logical.IndexScan) -> list[Row]:
+        table = self._catalog.table(node.table)
+        positions = [table.schema.position_of(c) for c in node.columns]
+        if node.is_equality:
+            index = self._catalog.hash_index(node.table, node.index_column)
+            if index is None:
+                raise ExecutionError(
+                    f"missing hash index on {node.table}.{node.index_column}"
+                )
+            row_ids = sorted(index.lookup(node.equal_value))
+        else:
+            sorted_index = self._catalog.sorted_index(node.table, node.index_column)
+            if sorted_index is None:
+                raise ExecutionError(
+                    f"missing sorted index on {node.table}.{node.index_column}"
+                )
+            row_ids = sorted_index.lookup_range(
+                node.low, node.high, node.low_inclusive, node.high_inclusive
+            )
+        sampler = self._make_sampler(node.table)
+        rows: list[Row] = []
+        for row_id in row_ids:
+            self.context.stats.rows_scanned += 1
+            self.context.stats.rows_processed += 1
+            if sampler is not None and not sampler.bernoulli(self.context.sample_rate):
+                continue
+            row = table.get(row_id)
+            rows.append(tuple(row[p] for p in positions))
+        return rows
+
+    def _make_sampler(self, table: str) -> RngStream | None:
+        if self.context.sample_rate >= 1.0:
+            return None
+        return RngStream(self.context.sample_seed, "scan-sample", table)
+
+    # -- row operators ---------------------------------------------------------------
+
+    def _exec_filter(self, node: logical.Filter) -> list[Row]:
+        child_rows = self._execute(node.child)
+        predicate = compile_expr(node.predicate, node.child.output, self)
+        out: list[Row] = []
+        for row in child_rows:
+            self.context.stats.rows_processed += 1
+            value = predicate(row)
+            if value is not None and value is not False and value != 0:
+                out.append(row)
+        return out
+
+    def _exec_project(self, node: logical.Project) -> list[Row]:
+        child_rows = self._execute(node.child)
+        compiled = [compile_expr(e, node.child.output, self) for e in node.exprs]
+        out: list[Row] = []
+        for row in child_rows:
+            self.context.stats.rows_processed += 1
+            out.append(tuple(fn(row) for fn in compiled))
+        return out
+
+    def _exec_hash_join(self, node: logical.HashJoin) -> list[Row]:
+        left_rows = self._execute(node.left)
+        right_rows = self._execute(node.right)
+        left_keys = [compile_expr(k, node.left.output, self) for k in node.left_keys]
+        right_keys = [compile_expr(k, node.right.output, self) for k in node.right_keys]
+        residual = (
+            compile_expr(node.residual, node.output, self)
+            if node.residual is not None
+            else None
+        )
+
+        build: dict[tuple, list[int]] = {}
+        for position, row in enumerate(left_rows):
+            self.context.stats.rows_processed += 1
+            key = tuple(fn(row) for fn in left_keys)
+            if any(part is None for part in key):
+                continue
+            build.setdefault(key, []).append(position)
+
+        matched_left: set[int] = set()
+        out: list[Row] = []
+        for row in right_rows:
+            self.context.stats.rows_processed += 1
+            key = tuple(fn(row) for fn in right_keys)
+            if any(part is None for part in key):
+                continue
+            for position in build.get(key, ()):
+                combined = left_rows[position] + row
+                if residual is not None:
+                    verdict = residual(combined)
+                    if verdict is None or verdict is False or verdict == 0:
+                        continue
+                matched_left.add(position)
+                out.append(combined)
+
+        if node.kind == "LEFT":
+            null_pad = (None,) * len(node.right.output)
+            unmatched = [
+                left_rows[i] + null_pad
+                for i in range(len(left_rows))
+                if i not in matched_left
+            ]
+            # Preserve left-row order for null-extended output.
+            out.extend(unmatched)
+        return out
+
+    def _exec_nested_loop(self, node: logical.NestedLoopJoin) -> list[Row]:
+        left_rows = self._execute(node.left)
+        right_rows = self._execute(node.right)
+        condition = (
+            compile_expr(node.condition, node.output, self)
+            if node.condition is not None
+            else None
+        )
+        out: list[Row] = []
+        null_pad = (None,) * len(node.right.output)
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_rows:
+                self.context.stats.rows_processed += 1
+                combined = left_row + right_row
+                if condition is not None:
+                    verdict = condition(combined)
+                    if verdict is None or verdict is False or verdict == 0:
+                        continue
+                matched = True
+                out.append(combined)
+            if node.kind == "LEFT" and not matched:
+                out.append(left_row + null_pad)
+        return out
+
+    def _exec_aggregate(self, node: logical.Aggregate) -> list[Row]:
+        child_rows = self._execute(node.child)
+        group_fns = [compile_expr(e, node.child.output, self) for e in node.group_exprs]
+
+        def compile_arg(expr: nodes.Expr):
+            return compile_expr(expr, node.child.output, self)
+
+        groups: dict[tuple, list[agg_lib.Accumulator]] = {}
+        order: list[tuple] = []
+        for row in child_rows:
+            self.context.stats.rows_processed += 1
+            key = tuple(fn(row) for fn in group_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    agg_lib.make_accumulator(call, compile_arg)
+                    for call in node.agg_calls
+                ]
+                groups[key] = accumulators
+                order.append(key)
+            for accumulator in accumulators:
+                accumulator.add(row)
+
+        if not groups and not node.group_exprs:
+            # Global aggregate over empty input: one row of identity values.
+            accumulators = [
+                agg_lib.make_accumulator(call, compile_arg) for call in node.agg_calls
+            ]
+            groups[()] = accumulators
+            order.append(())
+
+        scale = 1.0 / self.context.sample_rate if self.context.sample_rate < 1.0 else 1.0
+        self._estimate_errors = {}
+        out: list[Row] = []
+        for key in order:
+            values: list[Value] = list(key)
+            for name, accumulator in zip(node.agg_names, groups[key]):
+                value, error = accumulator.result(scale)
+                values.append(value)
+                if error is not None:
+                    self._estimate_errors[name] = max(
+                        self._estimate_errors.get(name, 0.0), error
+                    )
+            out.append(tuple(values))
+        return out
+
+    def _exec_sort(self, node: logical.Sort) -> list[Row]:
+        child_rows = self._execute(node.child)
+        compiled = [
+            (compile_expr(expr, node.child.output, self), ascending)
+            for expr, ascending in node.keys
+        ]
+        self.context.stats.rows_processed += len(child_rows)
+
+        def sort_key(row: Row) -> tuple:
+            parts = []
+            for fn, ascending in compiled:
+                parts.append(_SortKey(fn(row), ascending))
+            return tuple(parts)
+
+        return sorted(child_rows, key=sort_key)
+
+    def _exec_limit(self, node: logical.Limit) -> list[Row]:
+        child_rows = self._execute(node.child)
+        start = node.offset
+        if node.limit is None:
+            return child_rows[start:]
+        return child_rows[start : start + node.limit]
+
+    def _exec_distinct(self, node: logical.Distinct) -> list[Row]:
+        child_rows = self._execute(node.child)
+        seen: set[Row] = set()
+        out: list[Row] = []
+        for row in child_rows:
+            self.context.stats.rows_processed += 1
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+
+class _SortKey:
+    """Ordering wrapper: NULLs first ascending, last descending."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: Value, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        left, right = self.value, other.value
+        if left is None and right is None:
+            return False
+        if left is None:
+            return self.ascending
+        if right is None:
+            return not self.ascending
+        ordering = compare_values(left, right)
+        if ordering is None or ordering == 0:
+            return False
+        return ordering < 0 if self.ascending else ordering > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        if self.value is None and other.value is None:
+            return True
+        if self.value is None or other.value is None:
+            return False
+        return compare_values(self.value, other.value) == 0

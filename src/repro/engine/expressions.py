@@ -1,0 +1,559 @@
+"""Expression compilation.
+
+Expressions compile once per operator into closures over row tuples. The
+compiler resolves column references against the child operator's output
+schema positionally, implements SQL three-valued logic, NULL propagation,
+LIKE, and the scalar function library. Uncorrelated subqueries execute
+lazily exactly once and memoise their result.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import ExecutionError, PlanError
+from repro.plan.logical import OutputCol
+from repro.sql import nodes
+from repro.storage.types import Row, Value, compare_values
+
+#: A compiled expression: row -> value.
+Compiled = Callable[[Row], Value]
+
+
+class SubqueryRunner:
+    """Callback protocol for executing subquery plans (provided by Executor)."""
+
+    def run_select(self, select: nodes.Select) -> list[Row]:
+        raise NotImplementedError
+
+
+def compile_expr(
+    expr: nodes.Expr,
+    output: tuple[OutputCol, ...],
+    subqueries: SubqueryRunner | None = None,
+) -> Compiled:
+    """Compile ``expr`` against an operator output schema."""
+    return _Compiler(output, subqueries).compile(expr)
+
+
+class _Compiler:
+    def __init__(
+        self, output: tuple[OutputCol, ...], subqueries: SubqueryRunner | None
+    ) -> None:
+        self._output = output
+        self._subqueries = subqueries
+
+    def compile(self, expr: nodes.Expr) -> Compiled:
+        if isinstance(expr, nodes.Literal):
+            value = expr.value
+            return lambda row: value
+        if isinstance(expr, nodes.ColumnRef):
+            index = self._resolve(expr)
+            return lambda row: row[index]
+        if isinstance(expr, nodes.Unary):
+            return self._compile_unary(expr)
+        if isinstance(expr, nodes.Binary):
+            return self._compile_binary(expr)
+        if isinstance(expr, nodes.IsNull):
+            operand = self.compile(expr.operand)
+            if expr.negated:
+                return lambda row: operand(row) is not None
+            return lambda row: operand(row) is None
+        if isinstance(expr, nodes.InList):
+            return self._compile_in_list(expr)
+        if isinstance(expr, nodes.Between):
+            return self._compile_between(expr)
+        if isinstance(expr, nodes.FuncCall):
+            return self._compile_function(expr)
+        if isinstance(expr, nodes.Case):
+            return self._compile_case(expr)
+        if isinstance(expr, nodes.Cast):
+            return self._compile_cast(expr)
+        if isinstance(expr, nodes.InSubquery):
+            return self._compile_in_subquery(expr)
+        if isinstance(expr, nodes.ScalarSubquery):
+            return self._compile_scalar_subquery(expr)
+        if isinstance(expr, nodes.Exists):
+            return self._compile_exists(expr)
+        if isinstance(expr, nodes.Star):
+            raise ExecutionError("'*' cannot be evaluated as a scalar expression")
+        raise ExecutionError(f"cannot compile expression {type(expr).__name__}")
+
+    # -- resolution ---------------------------------------------------------
+
+    def _resolve(self, ref: nodes.ColumnRef) -> int:
+        matches = [
+            position
+            for position, col in enumerate(self._output)
+            if col.matches(ref.column, ref.table)
+        ]
+        if not matches:
+            raise PlanError(f"no such column at execution: {ref.sql()!r}")
+        if ref.table is None and len(matches) > 1:
+            raise PlanError(f"ambiguous column at execution: {ref.sql()!r}")
+        return matches[0]
+
+    # -- operators ------------------------------------------------------------
+
+    def _compile_unary(self, expr: nodes.Unary) -> Compiled:
+        operand = self.compile(expr.operand)
+        if expr.op == "-":
+            def negate(row: Row) -> Value:
+                value = operand(row)
+                if value is None:
+                    return None
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    return -value
+                raise ExecutionError(f"cannot negate {value!r}")
+
+            return negate
+        if expr.op == "NOT":
+            def negation(row: Row) -> Value:
+                value = operand(row)
+                if value is None:
+                    return None
+                return not _truthy(value)
+
+            return negation
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _compile_binary(self, expr: nodes.Binary) -> Compiled:
+        op = expr.op
+        if op == "AND":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def and_(row: Row) -> Value:
+                lval = left(row)
+                if lval is not None and not _truthy(lval):
+                    return False
+                rval = right(row)
+                if rval is not None and not _truthy(rval):
+                    return False
+                if lval is None or rval is None:
+                    return None
+                return True
+
+            return and_
+        if op == "OR":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def or_(row: Row) -> Value:
+                lval = left(row)
+                if lval is not None and _truthy(lval):
+                    return True
+                rval = right(row)
+                if rval is not None and _truthy(rval):
+                    return True
+                if lval is None or rval is None:
+                    return None
+                return False
+
+            return or_
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def comparison(row: Row) -> Value:
+                ordering = compare_values(left(row), right(row))
+                if ordering is None:
+                    return None
+                return {
+                    "=": ordering == 0,
+                    "<>": ordering != 0,
+                    "<": ordering < 0,
+                    "<=": ordering <= 0,
+                    ">": ordering > 0,
+                    ">=": ordering >= 0,
+                }[op]
+
+            return comparison
+        if op in ("+", "-", "*", "/", "%"):
+            return self._compile_arithmetic(expr)
+        if op == "||":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def concat(row: Row) -> Value:
+                lval, rval = left(row), right(row)
+                if lval is None or rval is None:
+                    return None
+                return _to_text(lval) + _to_text(rval)
+
+            return concat
+        if op in ("LIKE", "NOT LIKE"):
+            return self._compile_like(expr)
+        raise ExecutionError(f"unknown binary operator {op!r}")
+
+    def _compile_arithmetic(self, expr: nodes.Binary) -> Compiled:
+        left, right = self.compile(expr.left), self.compile(expr.right)
+        op = expr.op
+
+        def arithmetic(row: Row) -> Value:
+            lval, rval = left(row), right(row)
+            if lval is None or rval is None:
+                return None
+            if not _numeric(lval) or not _numeric(rval):
+                raise ExecutionError(
+                    f"arithmetic {op!r} on non-numeric operands"
+                    f" ({type(lval).__name__}, {type(rval).__name__})"
+                )
+            if op == "+":
+                return lval + rval
+            if op == "-":
+                return lval - rval
+            if op == "*":
+                return lval * rval
+            if op == "/":
+                if rval == 0:
+                    raise ExecutionError("division by zero")
+                return lval / rval
+            if rval == 0:
+                raise ExecutionError("modulo by zero")
+            return lval % rval
+
+        return arithmetic
+
+    def _compile_like(self, expr: nodes.Binary) -> Compiled:
+        operand = self.compile(expr.left)
+        negated = expr.op == "NOT LIKE"
+        if isinstance(expr.right, nodes.Literal) and isinstance(expr.right.value, str):
+            pattern = _like_regex(expr.right.value)
+
+            def like_static(row: Row) -> Value:
+                value = operand(row)
+                if value is None:
+                    return None
+                matched = pattern.match(_to_text(value)) is not None
+                return (not matched) if negated else matched
+
+            return like_static
+        right = self.compile(expr.right)
+
+        def like_dynamic(row: Row) -> Value:
+            value, pattern_text = operand(row), right(row)
+            if value is None or pattern_text is None:
+                return None
+            matched = _like_regex(_to_text(pattern_text)).match(_to_text(value))
+            return (matched is None) if negated else (matched is not None)
+
+        return like_dynamic
+
+    def _compile_in_list(self, expr: nodes.InList) -> Compiled:
+        operand = self.compile(expr.operand)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def in_list(row: Row) -> Value:
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row)
+                if candidate is None:
+                    saw_null = True
+                    continue
+                ordering = compare_values(value, candidate)
+                if ordering == 0:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_list
+
+    def _compile_between(self, expr: nodes.Between) -> Compiled:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def between(row: Row) -> Value:
+            value = operand(row)
+            low_value, high_value = low(row), high(row)
+            lower = compare_values(value, low_value)
+            upper = compare_values(value, high_value)
+            if lower is None or upper is None:
+                return None
+            inside = lower >= 0 and upper <= 0
+            return (not inside) if negated else inside
+
+        return between
+
+    def _compile_case(self, expr: nodes.Case) -> Compiled:
+        whens = [(self.compile(c), self.compile(r)) for c, r in expr.whens]
+        else_fn = (
+            self.compile(expr.else_result) if expr.else_result is not None else None
+        )
+
+        def case(row: Row) -> Value:
+            for condition, result in whens:
+                value = condition(row)
+                if value is not None and _truthy(value):
+                    return result(row)
+            return else_fn(row) if else_fn is not None else None
+
+        return case
+
+    def _compile_cast(self, expr: nodes.Cast) -> Compiled:
+        from repro.storage.types import DataType, coerce_value
+
+        operand = self.compile(expr.operand)
+        target = DataType.parse(expr.type_name)
+
+        def cast(row: Row) -> Value:
+            return coerce_value(operand(row), target)
+
+        return cast
+
+    # -- subqueries ---------------------------------------------------------------
+
+    def _require_runner(self) -> SubqueryRunner:
+        if self._subqueries is None:
+            raise ExecutionError("subqueries are not supported in this context")
+        return self._subqueries
+
+    def _compile_in_subquery(self, expr: nodes.InSubquery) -> Compiled:
+        runner = self._require_runner()
+        operand = self.compile(expr.operand)
+        negated = expr.negated
+        cache: dict[str, tuple[set, bool]] = {}
+
+        def in_subquery(row: Row) -> Value:
+            if "result" not in cache:
+                rows = runner.run_select(expr.subquery)
+                if rows and len(rows[0]) != 1:
+                    raise ExecutionError("IN subquery must return a single column")
+                values = {r[0] for r in rows if r[0] is not None}
+                has_null = any(r[0] is None for r in rows)
+                cache["result"] = (values, has_null)
+            values, has_null = cache["result"]
+            value = operand(row)
+            if value is None:
+                return None
+            if value in values:
+                return not negated
+            if has_null:
+                return None
+            return negated
+
+        return in_subquery
+
+    def _compile_scalar_subquery(self, expr: nodes.ScalarSubquery) -> Compiled:
+        runner = self._require_runner()
+        cache: dict[str, Value] = {}
+
+        def scalar(row: Row) -> Value:
+            if "value" not in cache:
+                rows = runner.run_select(expr.subquery)
+                if len(rows) > 1:
+                    raise ExecutionError("scalar subquery returned more than one row")
+                if rows and len(rows[0]) != 1:
+                    raise ExecutionError("scalar subquery must return a single column")
+                cache["value"] = rows[0][0] if rows else None
+            return cache["value"]
+
+        return scalar
+
+    def _compile_exists(self, expr: nodes.Exists) -> Compiled:
+        runner = self._require_runner()
+        negated = expr.negated
+        cache: dict[str, bool] = {}
+
+        def exists(row: Row) -> Value:
+            if "value" not in cache:
+                cache["value"] = bool(runner.run_select(expr.subquery))
+            return (not cache["value"]) if negated else cache["value"]
+
+        return exists
+
+    # -- scalar functions -----------------------------------------------------------
+
+    def _compile_function(self, expr: nodes.FuncCall) -> Compiled:
+        name = expr.name
+        if name in nodes.AGGREGATE_FUNCTIONS:
+            raise PlanError(
+                f"aggregate function {name} used outside an aggregation context"
+            )
+        args = [self.compile(arg) for arg in expr.args]
+        try:
+            return _SCALAR_FUNCTIONS[name](args)
+        except KeyError as exc:
+            known = ", ".join(sorted(_SCALAR_FUNCTIONS))
+            raise PlanError(f"unknown function {name!r}; known: {known}") from exc
+
+
+# ---------------------------------------------------------------------------
+# scalar function library
+# ---------------------------------------------------------------------------
+
+
+def _nullsafe1(fn: Callable[[Value], Value]) -> Callable[[list[Compiled]], Compiled]:
+    def factory(args: list[Compiled]) -> Compiled:
+        if len(args) != 1:
+            raise PlanError("function expects exactly one argument")
+        (arg,) = args
+
+        def call(row: Row) -> Value:
+            value = arg(row)
+            return None if value is None else fn(value)
+
+        return call
+
+    return factory
+
+
+def _fn_round(args: list[Compiled]) -> Compiled:
+    if len(args) not in (1, 2):
+        raise PlanError("ROUND expects one or two arguments")
+
+    def call(row: Row) -> Value:
+        value = args[0](row)
+        if value is None:
+            return None
+        digits = 0
+        if len(args) == 2:
+            digits_value = args[1](row)
+            if digits_value is None:
+                return None
+            digits = int(digits_value)
+        return round(float(value), digits)
+
+    return call
+
+
+def _fn_coalesce(args: list[Compiled]) -> Compiled:
+    if not args:
+        raise PlanError("COALESCE expects at least one argument")
+
+    def call(row: Row) -> Value:
+        for arg in args:
+            value = arg(row)
+            if value is not None:
+                return value
+        return None
+
+    return call
+
+
+def _fn_nullif(args: list[Compiled]) -> Compiled:
+    if len(args) != 2:
+        raise PlanError("NULLIF expects two arguments")
+
+    def call(row: Row) -> Value:
+        first, second = args[0](row), args[1](row)
+        if first is not None and second is not None and compare_values(first, second) == 0:
+            return None
+        return first
+
+    return call
+
+
+def _fn_substr(args: list[Compiled]) -> Compiled:
+    if len(args) not in (2, 3):
+        raise PlanError("SUBSTR expects two or three arguments")
+
+    def call(row: Row) -> Value:
+        text = args[0](row)
+        start = args[1](row)
+        if text is None or start is None:
+            return None
+        text = _to_text(text)
+        begin = max(int(start) - 1, 0)
+        if len(args) == 3:
+            length = args[2](row)
+            if length is None:
+                return None
+            return text[begin : begin + int(length)]
+        return text[begin:]
+
+    return call
+
+
+def _fn_concat(args: list[Compiled]) -> Compiled:
+    def call(row: Row) -> Value:
+        pieces = []
+        for arg in args:
+            value = arg(row)
+            if value is None:
+                return None
+            pieces.append(_to_text(value))
+        return "".join(pieces)
+
+    return call
+
+
+def _fn_replace(args: list[Compiled]) -> Compiled:
+    if len(args) != 3:
+        raise PlanError("REPLACE expects three arguments")
+
+    def call(row: Row) -> Value:
+        text, old, new = args[0](row), args[1](row), args[2](row)
+        if text is None or old is None or new is None:
+            return None
+        return _to_text(text).replace(_to_text(old), _to_text(new))
+
+    return call
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable[[list[Compiled]], Compiled]] = {
+    "LOWER": _nullsafe1(lambda v: _to_text(v).lower()),
+    "UPPER": _nullsafe1(lambda v: _to_text(v).upper()),
+    "LENGTH": _nullsafe1(lambda v: len(_to_text(v))),
+    "TRIM": _nullsafe1(lambda v: _to_text(v).strip()),
+    "ABS": _nullsafe1(lambda v: abs(v) if _numeric(v) else _raise_numeric("ABS", v)),
+    "ROUND": _fn_round,
+    "COALESCE": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+    "SUBSTR": _fn_substr,
+    "SUBSTRING": _fn_substr,
+    "CONCAT": _fn_concat,
+    "REPLACE": _fn_replace,
+}
+
+
+def _raise_numeric(name: str, value: Value) -> Value:
+    raise ExecutionError(f"{name} expects a numeric argument, got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _truthy(value: Value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ExecutionError(f"expected a boolean, got {value!r}")
+
+
+def _numeric(value: Value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _to_text(value: Value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def _like_regex(pattern: str) -> re.Pattern:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        compiled = re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled

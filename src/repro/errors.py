@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers (in particular the simulated agents, which must *recover* from their
+own malformed queries the way an LLM agent recovers from a backend error
+message) can catch one base class and inspect a structured, human-readable
+message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front-end."""
+
+
+class TokenizeError(SqlError):
+    """Raised when the lexer encounters an unrecognised character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+
+class PlanError(ReproError):
+    """Raised when a valid AST cannot be turned into an executable plan.
+
+    This covers semantic errors: unknown tables or columns, ambiguous
+    references, mis-typed expressions, aggregates in illegal positions.
+    """
+
+
+class CatalogError(ReproError):
+    """Raised for catalog violations (missing/duplicate tables, bad DDL)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a plan fails at runtime (type errors, division by zero)."""
+
+
+class TransactionError(ReproError):
+    """Base class for errors from the branched transaction manager."""
+
+
+class BranchNotFound(TransactionError):
+    """Raised when an operation names a branch that does not exist."""
+
+
+class MergeConflict(TransactionError):
+    """Raised when merging a branch whose write set conflicts with the target.
+
+    Carries the list of conflicting ``(table, row_id)`` pairs so agents can
+    inspect exactly which rows collided and retry on a fresh fork.
+    """
+
+    def __init__(self, conflicts: list[tuple[str, int]]) -> None:
+        preview = ", ".join(f"{t}#{r}" for t, r in conflicts[:5])
+        more = "" if len(conflicts) <= 5 else f" (+{len(conflicts) - 5} more)"
+        super().__init__(f"merge conflicts on {preview}{more}")
+        self.conflicts = conflicts
+
+
+class MemoryStoreError(ReproError):
+    """Raised for agentic-memory-store violations (bad artifact, ACL denial)."""
+
+
+class AccessDenied(MemoryStoreError):
+    """Raised when a principal reads an artifact outside its namespace."""
+
+
+class ProbeError(ReproError):
+    """Raised when a probe is malformed or cannot be interpreted."""
+
+
+class BackendError(ReproError):
+    """Raised by the federated backends for dialect-specific failures."""

@@ -1,0 +1,27 @@
+"""Experiment harness: one runner per paper figure/table, plus ablations."""
+
+from repro.harness.experiments import (
+    run_branching_experiment,
+    run_fig1a,
+    run_fig1b,
+    run_fig2,
+    run_fig3,
+    run_memory_ablation,
+    run_mqo_ablation,
+    run_satisficing_ablation,
+    run_steering_ablation,
+    run_table1,
+)
+
+__all__ = [
+    "run_branching_experiment",
+    "run_fig1a",
+    "run_fig1b",
+    "run_fig2",
+    "run_fig3",
+    "run_memory_ablation",
+    "run_mqo_ablation",
+    "run_satisficing_ablation",
+    "run_steering_ablation",
+    "run_table1",
+]

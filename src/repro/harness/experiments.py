@@ -1,0 +1,717 @@
+"""Experiment runners.
+
+Each function regenerates one of the paper's tables/figures (or one of the
+DESIGN.md ablations) and returns a structured result with a ``render()``
+string that prints the same rows/series the paper reports. Benchmarks call
+these; EXPERIMENTS.md records their output.
+
+All runners are deterministic in (seed, sizes).
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.agents.attempts import AttemptGenerator
+from repro.agents.federated import CrossBackendAgent, HintSet
+from repro.agents.grounding import Grounding
+from repro.agents.model import GPT_4O_MINI_SIM, QWEN_CODER_SIM, ModelProfile
+from repro.agents.parallel import Supervisor, run_parallel_attempts
+from repro.agents.sequential import SequentialAgent
+from repro.agents.trace import ACTIVITY_ORDER, Activity, AgentTrace
+from repro.core import AgentFirstDataSystem, Probe, SystemConfig
+from repro.core.mqo import BatchExecutor
+from repro.plan.builder import build_plan
+from repro.plan.fingerprint import subexpressions
+from repro.sql.parser import parse_statement
+from repro.util.rng import RngStream
+from repro.util.tabulate import format_series, format_table
+from repro.workloads.bird import BirdTask, BirdTaskPool
+from repro.workloads.multibackend import build_cross_backend_tasks
+from repro.workloads.updates import (
+    fresh_accounts_manager,
+    simulate_agent_update_session,
+    simulate_human_update_session,
+)
+
+DEFAULT_MODELS = (GPT_4O_MINI_SIM, QWEN_CODER_SIM)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1a — success @ K (parallel attempts + supervisor pick)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig1aResult:
+    k_values: list[int]
+    series: dict[str, dict[int, float]]  # model -> {k -> success rate}
+
+    def render(self) -> str:
+        return format_series(
+            "K",
+            self.series,
+            title="Figure 1a — Success @ K (parallel attempts, supervisor vote)",
+        )
+
+
+def run_fig1a(
+    seed: int = 0,
+    n_tasks: int = 60,
+    k_values: tuple[int, ...] = (1, 5, 10, 20, 30, 40, 50),
+    models: tuple[ModelProfile, ...] = DEFAULT_MODELS,
+) -> Fig1aResult:
+    pool = BirdTaskPool(seed=seed)
+    tasks = pool.generate(n_tasks)
+    supervisor = Supervisor()
+    max_k = max(k_values)
+    series: dict[str, dict[int, float]] = {}
+    for model in models:
+        outcomes = [
+            run_parallel_attempts(task, model, max_k, seed=seed + 11)
+            for task in tasks
+        ]
+        series[model.name] = {
+            k: statistics.mean(
+                outcome.success_at(k, supervisor, task)
+                for outcome, task in zip(outcomes, tasks)
+            )
+            for k in k_values
+        }
+    return Fig1aResult(k_values=list(k_values), series=series)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1b — success vs. sequential turn budget
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig1bResult:
+    turn_budgets: list[int]
+    series: dict[str, dict[int, float]]
+
+    def render(self) -> str:
+        return format_series(
+            "turns",
+            self.series,
+            title="Figure 1b — Success vs. number of turns (sequential agent)",
+        )
+
+
+def run_fig1b(
+    seed: int = 0,
+    n_tasks: int = 60,
+    turn_budgets: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7),
+    repetitions: int = 3,
+    models: tuple[ModelProfile, ...] = DEFAULT_MODELS,
+) -> Fig1bResult:
+    pool = BirdTaskPool(seed=seed)
+    tasks = pool.generate(n_tasks)
+    series: dict[str, dict[int, float]] = {}
+    for model in models:
+        per_budget: dict[int, float] = {}
+        for budget in turn_budgets:
+            successes: list[bool] = []
+            for repetition in range(repetitions):
+                for task in tasks:
+                    agent = SequentialAgent(
+                        task,
+                        model,
+                        RngStream(seed, "fig1b", repetition, task.task_id, model.name, budget),
+                    )
+                    successes.append(agent.run(max_turns=budget).success)
+            per_budget[budget] = statistics.mean(successes)
+        series[model.name] = per_budget
+    return Fig1bResult(turn_budgets=list(turn_budgets), series=series)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — total vs. unique sub-expressions across 50 attempts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig2Result:
+    by_size: list[tuple[int, int, int, float]]  # (size, total, unique, proportion)
+    by_operator: list[tuple[str, int, int, float]]  # (code, total, unique, proportion)
+
+    def render(self) -> str:
+        size_table = format_table(
+            ["subexpr size", "total", "unique", "prop. unique"],
+            [(s, t, u, round(p, 3)) for s, t, u, p in self.by_size],
+            title="Figure 2a — sub-expressions by size (50 attempts/task)",
+        )
+        op_table = format_table(
+            ["root op", "total", "unique", "prop. unique"],
+            [(c, t, u, round(p, 3)) for c, t, u, p in self.by_operator],
+            title="Figure 2b — sub-expressions by root operator",
+        )
+        return size_table + "\n\n" + op_table
+
+
+def run_fig2(
+    seed: int = 0,
+    n_tasks: int = 24,
+    attempts_per_task: int = 50,
+    model: ModelProfile = GPT_4O_MINI_SIM,
+) -> Fig2Result:
+    pool = BirdTaskPool(seed=seed)
+    tasks = pool.generate(n_tasks)
+    total_by_size: Counter = Counter()
+    unique_by_size: dict[tuple[str, int], set] = defaultdict(set)
+    total_by_op: Counter = Counter()
+    unique_by_op: dict[tuple[str, str], set] = defaultdict(set)
+
+    for task in tasks:
+        generator = AttemptGenerator(task, model)
+        rng = RngStream(seed, "fig2", task.task_id)
+        for attempt_index in range(attempts_per_task):
+            grounding = Grounding()
+            for table in task.spec.tables():
+                if rng.bernoulli(0.85):
+                    grounding.learn_table(table)
+            attempt = generator.full_attempt(grounding, rng.child("a", attempt_index))
+            try:
+                plan = build_plan(parse_statement(attempt.sql), task.db.catalog)
+            except Exception:
+                continue
+            for sub in subexpressions(plan):
+                size = min(sub.size, 7)
+                total_by_size[(task.task_id, size)] += 1
+                unique_by_size[(task.task_id, size)].add(sub.fingerprint)
+                total_by_op[(task.task_id, sub.root_code)] += 1
+                unique_by_op[(task.task_id, sub.root_code)].add(sub.fingerprint)
+
+    size_rows = []
+    for size in range(1, 8):
+        total = sum(v for (t, s), v in total_by_size.items() if s == size)
+        unique = sum(
+            len(fps) for (t, s), fps in unique_by_size.items() if s == size
+        )
+        if total:
+            size_rows.append((size, total, unique, unique / total))
+    op_rows = []
+    for code in ["PR", "TS", "FI", "HJ", "UA", "OT"]:
+        total = sum(v for (t, c), v in total_by_op.items() if c == code)
+        unique = sum(len(fps) for (t, c), fps in unique_by_op.items() if c == code)
+        if total:
+            op_rows.append((code, total, unique, unique / total))
+    return Fig2Result(by_size=size_rows, by_operator=op_rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — activity x normalized-position heatmap
+# ---------------------------------------------------------------------------
+
+#: Number of position bins along the normalised trace axis.
+FIG3_BINS = 10
+
+
+@dataclass
+class Fig3Result:
+    #: activity -> per-bin relative frequency (each row normalised to max 1).
+    heatmap: dict[str, list[float]]
+    traces: int = 0
+    success_rate: float = 0.0
+
+    def render(self) -> str:
+        lines = [
+            "Figure 3 — labeled agent activities vs. normalized trace position",
+            f"({self.traces} traces, success rate {self.success_rate:.0%};"
+            " each row normalised independently)",
+        ]
+        edges = [f"{i / FIG3_BINS:.1f}" for i in range(FIG3_BINS)]
+        header = ["activity \\ position", *edges]
+        rows = []
+        for activity, bins in self.heatmap.items():
+            rows.append([activity, *(f"{v:.2f}" for v in bins)])
+        lines.append(format_table(header, rows))
+        return "\n".join(lines)
+
+
+def run_fig3(
+    seed: int = 0,
+    n_tasks: int = 22,
+    repetitions: int = 2,
+    model: ModelProfile = GPT_4O_MINI_SIM,
+) -> Fig3Result:
+    traces = _collect_federated_traces(seed, n_tasks, repetitions, model, hints=None)
+    bins = {activity: [0.0] * FIG3_BINS for activity in ACTIVITY_ORDER}
+    for trace in traces:
+        for position, activity in trace.normalized_positions():
+            index = min(int(position * FIG3_BINS), FIG3_BINS - 1)
+            if activity in bins:
+                bins[activity][index] += 1
+    heatmap: dict[str, list[float]] = {}
+    for activity, counts in bins.items():
+        peak = max(counts) or 1.0
+        heatmap[activity.value] = [count / peak for count in counts]
+    success = statistics.mean(t.success for t in traces) if traces else 0.0
+    return Fig3Result(heatmap=heatmap, traces=len(traces), success_rate=success)
+
+
+def _collect_federated_traces(
+    seed: int,
+    n_tasks: int,
+    repetitions: int,
+    model: ModelProfile,
+    hints: HintSet | None,
+) -> list[AgentTrace]:
+    traces: list[AgentTrace] = []
+    for repetition in range(repetitions):
+        tasks = build_cross_backend_tasks(seed=seed + 5, n_tasks=n_tasks)
+        for task in tasks:
+            agent = CrossBackendAgent(
+                task,
+                model,
+                RngStream(seed, "fed", repetition, task.task_id, model.name),
+                hints=hints,
+            )
+            outcome = agent.run()
+            traces.append(outcome.trace)
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — activity counts with and without hints
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    rows: list[tuple[str, float, float, float]]  # activity, no-hints, hints, reduction%
+
+    def render(self) -> str:
+        return format_table(
+            ["Activity", "Avg (No Hints)", "Avg (w/ Hints)", "Reduction (%)"],
+            [(a, round(n, 2), round(h, 2), round(r, 1)) for a, n, h, r in self.rows],
+            title="Table 1 — mean activity counts per agent trace",
+        )
+
+
+def run_table1(
+    seed: int = 0,
+    n_tasks: int = 22,
+    repetitions: int = 2,
+    model: ModelProfile = GPT_4O_MINI_SIM,
+) -> Table1Result:
+    def mean_counts(hints: HintSet | None) -> dict[str, float]:
+        traces = _collect_federated_traces(seed, n_tasks, repetitions, model, hints)
+        out: dict[str, list[int]] = defaultdict(list)
+        for trace in traces:
+            counts = trace.activity_counts()
+            for activity in ACTIVITY_ORDER:
+                out[activity.value].append(counts[activity])
+            out["all SQL queries"].append(trace.sql_query_count())
+        return {key: statistics.mean(values) for key, values in out.items()}
+
+    without = mean_counts(None)
+    with_hints = mean_counts(HintSet())
+    rows = []
+    for key in [*(a.value for a in ACTIVITY_ORDER), "all SQL queries"]:
+        no_hint_value = without[key]
+        hint_value = with_hints[key]
+        reduction = 100.0 * (1.0 - hint_value / no_hint_value) if no_hint_value else 0.0
+        rows.append((key, no_hint_value, hint_value, -reduction))
+    return Table1Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Sec. 6.2 — agents vs. humans: branches and rollbacks (+ fork cost)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BranchingResult:
+    human_branches: float
+    agent_branches: float
+    human_rollbacks: float
+    agent_rollbacks: float
+    branch_ratio: float
+    rollback_ratio: float
+    cow_shared_fraction: float
+
+    def render(self) -> str:
+        table = format_table(
+            ["actor", "branches/session", "rollbacks/session"],
+            [
+                ("human", round(self.human_branches, 2), round(self.human_rollbacks, 2)),
+                ("agent", round(self.agent_branches, 2), round(self.agent_rollbacks, 2)),
+            ],
+            title="Sec 6.2 — branch/rollback activity (per session of 10 tasks)",
+        )
+        return (
+            table
+            + f"\nagent/human branch ratio:   {self.branch_ratio:.1f}x (paper: ~20x)"
+            + f"\nagent/human rollback ratio: {self.rollback_ratio:.1f}x (paper: ~50x)"
+            + f"\nCoW fork storage sharing:   {self.cow_shared_fraction:.0%} of chunks shared"
+        )
+
+
+def run_branching_experiment(seed: int = 0, sessions: int = 12) -> BranchingResult:
+    human_branches: list[int] = []
+    human_rollbacks: list[int] = []
+    agent_branches: list[int] = []
+    agent_rollbacks: list[int] = []
+    for session in range(sessions):
+        manager = fresh_accounts_manager()
+        human = simulate_human_update_session(
+            manager, RngStream(seed, "human", session), n_tasks=10
+        )
+        human_branches.append(human.branches_created)
+        human_rollbacks.append(human.rollbacks)
+        manager = fresh_accounts_manager()
+        agent = simulate_agent_update_session(
+            manager, RngStream(seed, "agent", session), n_tasks=10
+        )
+        agent_branches.append(agent.branches_created)
+        agent_rollbacks.append(agent.rollbacks)
+
+    # Storage sharing after a single-row write on a multi-chunk table.
+    manager = fresh_accounts_manager(n_accounts=2048)
+    fork = manager.fork("main", "probe")
+    fork.execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+    shared = manager.shared_chunk_fraction("probe", "main")
+
+    mean_hb = statistics.mean(human_branches)
+    mean_ab = statistics.mean(agent_branches)
+    mean_hr = statistics.mean(human_rollbacks)
+    mean_ar = statistics.mean(agent_rollbacks)
+    return BranchingResult(
+        human_branches=mean_hb,
+        agent_branches=mean_ab,
+        human_rollbacks=mean_hr,
+        agent_rollbacks=mean_ar,
+        branch_ratio=mean_ab / max(mean_hb, 0.01),
+        rollback_ratio=mean_ar / max(mean_hr, 0.01),
+        cow_shared_fraction=shared,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A1 — MQO sharing across 50 redundant attempts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MqoAblationResult:
+    queries: int
+    duplicate_fraction: float
+    rows_shared: int
+    rows_unshared: int
+    work_saved: float
+
+    def render(self) -> str:
+        return (
+            "Ablation A1 — shared vs. independent execution of parallel attempts\n"
+            + format_table(
+                ["metric", "value"],
+                [
+                    ("attempt queries executed", self.queries),
+                    ("duplicate subplan fraction", f"{self.duplicate_fraction:.1%}"),
+                    ("rows processed (shared)", self.rows_shared),
+                    ("rows processed (independent)", self.rows_unshared),
+                    ("work saved by sharing", f"{self.work_saved:.1%}"),
+                ],
+            )
+        )
+
+
+def run_mqo_ablation(
+    seed: int = 0,
+    n_tasks: int = 8,
+    attempts_per_task: int = 50,
+    model: ModelProfile = GPT_4O_MINI_SIM,
+) -> MqoAblationResult:
+    pool = BirdTaskPool(seed=seed)
+    tasks = pool.generate(n_tasks)
+    total_queries = 0
+    duplicate_fractions: list[float] = []
+    rows_shared = 0
+    rows_unshared = 0
+    for task in tasks:
+        generator = AttemptGenerator(task, model)
+        rng = RngStream(seed, "mqo", task.task_id)
+        sqls: list[str] = []
+        for attempt_index in range(attempts_per_task):
+            grounding = Grounding()
+            for table in task.spec.tables():
+                grounding.learn_table(table)
+            attempt = generator.full_attempt(grounding, rng.child("a", attempt_index))
+            sqls.append(attempt.sql)
+        valid = []
+        for sql in sqls:
+            try:
+                task.db.plan_select(sql)
+                valid.append(sql)
+            except Exception:
+                continue
+        executor = BatchExecutor(task.db)
+        outcome = executor.execute_sql(valid, measure_unshared=True)
+        total_queries += outcome.report.queries
+        duplicate_fractions.append(outcome.report.duplicate_fraction)
+        rows_shared += outcome.report.rows_processed_shared
+        rows_unshared += outcome.report.rows_processed_unshared
+    saved = 1.0 - rows_shared / rows_unshared if rows_unshared else 0.0
+    return MqoAblationResult(
+        queries=total_queries,
+        duplicate_fraction=statistics.mean(duplicate_fractions),
+        rows_shared=rows_shared,
+        rows_unshared=rows_unshared,
+        work_saved=saved,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A2 — agentic memory on repeated task streams
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemoryAblationResult:
+    rows_with_memory: int
+    rows_without_memory: int
+    history_answers: int
+    work_saved: float
+
+    def render(self) -> str:
+        return (
+            "Ablation A2 — agentic memory/history over a repetitive probe stream\n"
+            + format_table(
+                ["metric", "value"],
+                [
+                    ("rows processed (memory+history on)", self.rows_with_memory),
+                    ("rows processed (off)", self.rows_without_memory),
+                    ("probes answered from history", self.history_answers),
+                    ("work saved", f"{self.work_saved:.1%}"),
+                ],
+            )
+        )
+
+
+def run_memory_ablation(seed: int = 0, n_tasks: int = 6, repeats: int = 4) -> MemoryAblationResult:
+    def build_stream() -> tuple[AgentFirstDataSystem, AgentFirstDataSystem, list]:
+        pool = BirdTaskPool(seed=seed)
+        tasks = pool.generate(n_tasks)
+        return tasks
+
+    tasks = build_stream()
+    # Identical probe stream: each task's gold query asked `repeats` times by
+    # different agents (the repetitive cross-agent workload of Sec. 6.1).
+    def run(config: SystemConfig) -> tuple[int, int]:
+        rows = 0
+        history_hits = 0
+        # All tasks share one database only when they come from the same
+        # domain db; group tasks by their db object.
+        by_db: dict[int, list] = defaultdict(list)
+        for task in tasks:
+            by_db[id(task.db)].append(task)
+        for group in by_db.values():
+            system = AgentFirstDataSystem(group[0].db, config=config)
+            for repeat in range(repeats):
+                for task in group:
+                    response = system.submit(
+                        Probe(
+                            queries=(task.gold_sql,),
+                            agent_id=f"agent{repeat}",
+                        )
+                    )
+                    rows += response.rows_processed
+                    history_hits += sum(
+                        1 for o in response.outcomes if o.status == "from_history"
+                    )
+        return rows, history_hits
+
+    rows_on, hits_on = run(SystemConfig())
+    rows_off, _ = run(
+        SystemConfig(enable_history=False, enable_mqo=False, enable_memory=False)
+    )
+    saved = 1.0 - rows_on / rows_off if rows_off else 0.0
+    return MemoryAblationResult(
+        rows_with_memory=rows_on,
+        rows_without_memory=rows_off,
+        history_answers=hits_on,
+        work_saved=saved,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A3 — satisficing (phase-aware approximation) vs exact execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SatisficingAblationResult:
+    rows_satisficed: int
+    rows_exact: int
+    mean_relative_error: float
+    work_saved: float
+
+    def render(self) -> str:
+        return (
+            "Ablation A3 — satisficed (sampled) vs exact exploration probes\n"
+            + format_table(
+                ["metric", "value"],
+                [
+                    ("rows processed (satisficed)", self.rows_satisficed),
+                    ("rows processed (exact)", self.rows_exact),
+                    ("mean relative error of estimates", f"{self.mean_relative_error:.2%}"),
+                    ("work saved", f"{self.work_saved:.1%}"),
+                ],
+            )
+        )
+
+
+def run_satisficing_ablation(seed: int = 0, scale: int = 30) -> SatisficingAblationResult:
+    from repro.db import Database
+
+    db = Database("satisfice")
+    db.execute(
+        "CREATE TABLE events (id INT, region TEXT, amount FLOAT, year INT)"
+    )
+    rng = RngStream(seed, "satisfice-data")
+    regions = ["North", "South", "East", "West"]
+    rows = []
+    for i in range(2000 * max(scale // 10, 1)):
+        rows.append(
+            (
+                i,
+                rng.choice(regions),
+                round(rng.uniform(1, 100), 2),
+                rng.randint(2021, 2024),
+            )
+        )
+    db.insert_rows("events", rows)
+
+    exploration_queries = [
+        "SELECT region, COUNT(*) FROM events GROUP BY region",
+        "SELECT year, SUM(amount) FROM events GROUP BY year",
+        "SELECT COUNT(*) FROM events WHERE amount > 50",
+        "SELECT AVG(amount) FROM events WHERE region = 'North'",
+    ]
+
+    system = AgentFirstDataSystem(db)
+    rows_satisficed = 0
+    errors: list[float] = []
+    exact_results = {}
+    for sql in exploration_queries:
+        exact_results[sql] = db.execute(sql)
+
+    response = system.submit(
+        Probe(
+            queries=tuple(exploration_queries),
+            brief=__import__("repro.core.brief", fromlist=["Brief"]).Brief(
+                goal="explore rough statistics of events", accuracy=0.2
+            ),
+        )
+    )
+    rows_satisficed = response.rows_processed
+    for outcome, sql in zip(response.outcomes, exploration_queries):
+        if outcome.result is None or not outcome.result.rows:
+            continue
+        exact = exact_results[sql]
+        approx_value = outcome.result.rows[0][-1]
+        exact_value = exact.rows[0][-1]
+        if isinstance(approx_value, (int, float)) and isinstance(
+            exact_value, (int, float)
+        ) and exact_value:
+            errors.append(abs(approx_value - exact_value) / abs(exact_value))
+
+    exact_system = AgentFirstDataSystem(db, config=SystemConfig(enable_mqo=False))
+    exact_response = exact_system.submit(
+        Probe(queries=tuple(exploration_queries))
+    )
+    rows_exact = exact_response.rows_processed
+
+    saved = 1.0 - rows_satisficed / rows_exact if rows_exact else 0.0
+    return SatisficingAblationResult(
+        rows_satisficed=rows_satisficed,
+        rows_exact=rows_exact,
+        mean_relative_error=statistics.mean(errors) if errors else 0.0,
+        work_saved=saved,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A4 — steering (why-not feedback) closes grounding gaps faster
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SteeringAblationResult:
+    probes_with_steering: float
+    probes_without_steering: float
+    reduction: float
+
+    def render(self) -> str:
+        return (
+            "Ablation A4 — probes-to-correct-literal with/without why-not steering\n"
+            + format_table(
+                ["metric", "value"],
+                [
+                    ("mean probes (steering on)", round(self.probes_with_steering, 2)),
+                    ("mean probes (steering off)", round(self.probes_without_steering, 2)),
+                    ("reduction", f"{self.reduction:.1%}"),
+                ],
+            )
+        )
+
+
+def run_steering_ablation(seed: int = 0, n_tasks: int = 16) -> SteeringAblationResult:
+    """A focused loop: an agent keeps filtering with a wrong literal until
+    it finds the right one — with steering it reads the why-not feedback,
+    without it must stumble on the answer by exploring distinct values."""
+    pool = BirdTaskPool(seed=seed)
+    tasks = [
+        task
+        for task in pool.generate(n_tasks * 3)
+        if any(f.wrong_value is not None for f in task.spec.filters)
+    ][:n_tasks]
+
+    def probes_needed(task: BirdTask, steering: bool) -> int:
+        filter_spec = next(f for f in task.spec.filters if f.wrong_value is not None)
+        system = AgentFirstDataSystem(
+            task.db, config=SystemConfig(enable_steering=steering)
+        )
+        wrong = filter_spec.wrong_value
+        probes = 0
+        literal = wrong
+        for _ in range(6):
+            probes += 1
+            sql = (
+                f"SELECT * FROM {filter_spec.table}"
+                f" WHERE {filter_spec.column} = "
+                + (f"'{literal}'" if isinstance(literal, str) else str(literal))
+                + " LIMIT 5"
+            )
+            response = system.submit(Probe.sql(sql, goal="find matching rows"))
+            result = response.outcomes[0].result
+            if result is not None and result.rows:
+                return probes
+            if steering and any("stored like" in h or "did you mean" in h for h in response.steering):
+                # The why-not hint names the correct encoding.
+                literal = filter_spec.value
+                continue
+            # Without steering: issue an exploration probe (counted) and
+            # learn the value from DISTINCT output.
+            probes += 1
+            system.submit(
+                Probe.sql(
+                    f"SELECT DISTINCT {filter_spec.column} FROM {filter_spec.table}"
+                    " LIMIT 20",
+                    goal="explore distinct values",
+                )
+            )
+            literal = filter_spec.value
+        return probes
+
+    with_steering = statistics.mean(probes_needed(t, True) for t in tasks)
+    without_steering = statistics.mean(probes_needed(t, False) for t in tasks)
+    return SteeringAblationResult(
+        probes_with_steering=with_steering,
+        probes_without_steering=without_steering,
+        reduction=1.0 - with_steering / without_steering,
+    )

@@ -1,0 +1,22 @@
+"""Agentic memory store: a persistent, queryable semantic cache of grounding.
+
+Implements the paper's Sec. 6.1: artifacts record what agents have learned
+about the data (probe results, encoding formats, missing-value notes, value
+ranges, join hints); a vector index answers open-ended similarity lookups;
+structured lookups serve targeted retrieval; staleness tracking invalidates
+(eagerly or lazily) when the underlying data or schema changes; and
+namespaces give per-principal access control with an opt-in sharing knob.
+"""
+
+from repro.memstore.artifacts import Artifact, ArtifactKind
+from repro.memstore.staleness import StalenessPolicy
+from repro.memstore.store import AgenticMemoryStore
+from repro.memstore.vector_index import VectorIndex
+
+__all__ = [
+    "AgenticMemoryStore",
+    "Artifact",
+    "ArtifactKind",
+    "StalenessPolicy",
+    "VectorIndex",
+]

@@ -1,0 +1,57 @@
+"""Grounding artifacts: the unit of storage in the agentic memory store."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ArtifactKind(enum.Enum):
+    """What a piece of grounding describes (paper Sec. 6.1 "Artifacts")."""
+
+    PROBE_RESULT = "probe_result"  # result (or summary) of a prior probe
+    PARTIAL_SOLUTION = "partial_solution"  # SQL fragment that worked
+    COLUMN_ENCODING = "column_encoding"  # e.g. states stored as 'CA' vs full names
+    MISSING_VALUES = "missing_values"  # null patterns of a column
+    VALUE_RANGE = "value_range"  # date/location/numeric ranges per partition
+    SCHEMA_NOTE = "schema_note"  # free-text semantics of a table/column
+    JOIN_HINT = "join_hint"  # discovered join keys between tables
+    STATS_SUMMARY = "stats_summary"  # cached column statistics
+
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Artifact:
+    """One remembered fact with provenance and dependency tracking.
+
+    ``subject`` names what the fact is about — ``(table,)`` or
+    ``(table, column)``. ``depends_on`` lists the tables whose data the
+    fact was derived from; staleness tracking keys off it.
+    ``data_sensitive`` separates facts invalidated by any DML (e.g. cached
+    probe results) from facts that only schema changes invalidate (e.g.
+    column encodings).
+    """
+
+    kind: ArtifactKind
+    subject: tuple[str, ...]
+    text: str
+    content: dict[str, Any] = field(default_factory=dict)
+    principal: str = "public"
+    shared: bool = False
+    depends_on: tuple[str, ...] = ()
+    data_sensitive: bool = True
+    created_turn: int = 0
+    artifact_id: int = field(default_factory=lambda: next(_ids))
+    stale: bool = False
+    hits: int = 0
+
+    def subject_key(self) -> tuple[str, ...]:
+        return tuple(part.lower() for part in self.subject)
+
+    def describe(self) -> str:
+        freshness = " [STALE]" if self.stale else ""
+        return f"[{self.kind.value}] {'.'.join(self.subject)}: {self.text}{freshness}"

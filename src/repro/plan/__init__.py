@@ -1,0 +1,45 @@
+"""Logical query plans: builder, optimizer rules, costs, fingerprints."""
+
+from repro.plan.builder import build_plan
+from repro.plan.cost import CostEstimate, estimate_cost
+from repro.plan.fingerprint import fingerprint, subexpressions
+from repro.plan.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    OutputCol,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    SubqueryScan,
+    root_operator_code,
+)
+from repro.plan.rules import optimize_plan
+
+__all__ = [
+    "Aggregate",
+    "CostEstimate",
+    "Distinct",
+    "Filter",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "NestedLoopJoin",
+    "OutputCol",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Sort",
+    "SubqueryScan",
+    "build_plan",
+    "estimate_cost",
+    "fingerprint",
+    "optimize_plan",
+    "root_operator_code",
+    "subexpressions",
+]

@@ -1,0 +1,483 @@
+"""AST → logical plan translation with full name resolution.
+
+The builder validates every column reference against the FROM clause's
+output, expands ``*``, extracts equi-join keys, plans aggregation with
+expression substitution, and handles ORDER BY on non-projected columns via
+hidden projection outputs. Semantic failures raise
+:class:`~repro.errors.PlanError` with the kind of message an agent can act
+on ("no such column", "ambiguous reference", "must appear in GROUP BY") —
+the simulated agents read these messages the way an LLM reads backend
+errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import PlanError
+from repro.plan import logical
+from repro.sql import nodes
+from repro.storage.catalog import Catalog
+
+
+def build_plan(select: nodes.Select, catalog: Catalog) -> logical.PlanNode:
+    """Build an executable logical plan for ``select`` against ``catalog``."""
+    return _SelectPlanner(catalog).plan(select)
+
+
+class _SelectPlanner:
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    # -- entry point ---------------------------------------------------------
+
+    def plan(self, select: nodes.Select) -> logical.PlanNode:
+        if select.from_clause is None:
+            source: logical.PlanNode = logical.OneRow()
+        else:
+            source = self._plan_table_ref(select.from_clause)
+
+        if select.where is not None:
+            if nodes.contains_aggregate(select.where):
+                raise PlanError("aggregate functions are not allowed in WHERE")
+            self._validate_expr(select.where, source.output)
+            source = logical.Filter(source, select.where)
+
+        items = self._expand_stars(select.items, source.output)
+
+        aggregates = self._collect_aggregates(select, items)
+        if aggregates or select.group_by:
+            plan, items, order_exprs = self._plan_aggregate(select, source, items, aggregates)
+        else:
+            for item in items:
+                self._validate_expr(item.expr, source.output)
+            if select.having is not None:
+                raise PlanError("HAVING requires GROUP BY or aggregates")
+            plan = source
+            order_exprs = [order.expr for order in select.order_by]
+
+        return self._plan_projection(select, plan, items, order_exprs)
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _plan_table_ref(self, ref: nodes.TableRef) -> logical.PlanNode:
+        if isinstance(ref, nodes.TableName):
+            if not self._catalog.has_table(ref.name):
+                known = ", ".join(sorted(self._catalog.table_names())) or "(none)"
+                raise PlanError(
+                    f"no such table: {ref.name!r}; known tables: {known}"
+                )
+            table = self._catalog.table(ref.name)
+            return logical.Scan(
+                table=table.schema.name,
+                binding=ref.binding,
+                columns=tuple(table.schema.column_names()),
+            )
+        if isinstance(ref, nodes.SubqueryRef):
+            child = self.plan(ref.select)
+            return logical.SubqueryScan(child, ref.alias)
+        if isinstance(ref, nodes.Join):
+            return self._plan_join(ref)
+        raise PlanError(f"unsupported FROM item: {type(ref).__name__}")
+
+    def _plan_join(self, join: nodes.Join) -> logical.PlanNode:
+        left = self._plan_table_ref(join.left)
+        right = self._plan_table_ref(join.right)
+        self._check_binding_collision(left, right)
+        if join.kind == "CROSS" or join.condition is None:
+            return logical.NestedLoopJoin(left, right, "CROSS", None)
+
+        combined = left.output + right.output
+        self._validate_expr(join.condition, combined)
+
+        left_keys: list[nodes.Expr] = []
+        right_keys: list[nodes.Expr] = []
+        residual: list[nodes.Expr] = []
+        for conjunct in _split_conjuncts(join.condition):
+            pair = self._try_equi_key(conjunct, left.output, right.output)
+            if pair is not None:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+            else:
+                residual.append(conjunct)
+
+        if not left_keys:
+            if join.kind == "LEFT":
+                return logical.NestedLoopJoin(left, right, "LEFT", join.condition)
+            return logical.NestedLoopJoin(left, right, "INNER", join.condition)
+        residual_expr = _join_conjuncts(residual)
+        return logical.HashJoin(
+            left,
+            right,
+            join.kind,
+            tuple(left_keys),
+            tuple(right_keys),
+            residual_expr,
+        )
+
+    def _check_binding_collision(
+        self, left: logical.PlanNode, right: logical.PlanNode
+    ) -> None:
+        left_bindings = {c.binding.lower() for c in left.output if c.binding}
+        right_bindings = {c.binding.lower() for c in right.output if c.binding}
+        overlap = left_bindings & right_bindings
+        if overlap:
+            raise PlanError(
+                f"duplicate table binding(s) in FROM: {', '.join(sorted(overlap))};"
+                " use aliases to disambiguate"
+            )
+
+    def _try_equi_key(
+        self,
+        conjunct: nodes.Expr,
+        left_out: tuple[logical.OutputCol, ...],
+        right_out: tuple[logical.OutputCol, ...],
+    ) -> tuple[nodes.Expr, nodes.Expr] | None:
+        if not (isinstance(conjunct, nodes.Binary) and conjunct.op == "="):
+            return None
+        sides = (conjunct.left, conjunct.right)
+        placements = [self._side_of(expr, left_out, right_out) for expr in sides]
+        if placements == ["left", "right"]:
+            return sides[0], sides[1]
+        if placements == ["right", "left"]:
+            return sides[1], sides[0]
+        return None
+
+    def _side_of(
+        self,
+        expr: nodes.Expr,
+        left_out: tuple[logical.OutputCol, ...],
+        right_out: tuple[logical.OutputCol, ...],
+    ) -> str | None:
+        refs = nodes.column_refs(expr)
+        if not refs:
+            return None
+        sides = set()
+        for ref in refs:
+            on_left = _resolvable(ref, left_out)
+            on_right = _resolvable(ref, right_out)
+            if on_left and not on_right:
+                sides.add("left")
+            elif on_right and not on_left:
+                sides.add("right")
+            else:
+                return None  # ambiguous or unresolvable
+        if len(sides) == 1:
+            return sides.pop()
+        return None
+
+    # -- star expansion ------------------------------------------------------------
+
+    def _expand_stars(
+        self,
+        items: tuple[nodes.SelectItem, ...],
+        output: tuple[logical.OutputCol, ...],
+    ) -> list[nodes.SelectItem]:
+        expanded: list[nodes.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, nodes.Star):
+                star = item.expr
+                matched = [
+                    col
+                    for col in output
+                    if star.table is None
+                    or (col.binding or "").lower() == star.table.lower()
+                ]
+                if star.table is not None and not matched:
+                    raise PlanError(f"no such table binding: {star.table!r}")
+                if not matched:
+                    raise PlanError("SELECT * with no FROM clause")
+                expanded.extend(
+                    nodes.SelectItem(
+                        nodes.ColumnRef(column=col.name, table=col.binding)
+                    )
+                    for col in matched
+                )
+            else:
+                expanded.append(item)
+        return expanded
+
+    # -- aggregation -----------------------------------------------------------------
+
+    def _collect_aggregates(
+        self, select: nodes.Select, items: list[nodes.SelectItem]
+    ) -> list[nodes.FuncCall]:
+        calls: list[nodes.FuncCall] = []
+        sources: list[nodes.Expr] = [item.expr for item in items]
+        if select.having is not None:
+            sources.append(select.having)
+        sources.extend(order.expr for order in select.order_by)
+        for expr in sources:
+            for node in nodes.walk(expr):
+                if (
+                    isinstance(node, nodes.FuncCall)
+                    and node.name in nodes.AGGREGATE_FUNCTIONS
+                    and node not in calls
+                ):
+                    for arg in node.args:
+                        if nodes.contains_aggregate(arg):
+                            raise PlanError("nested aggregate functions")
+                    calls.append(node)
+        return calls
+
+    def _plan_aggregate(
+        self,
+        select: nodes.Select,
+        source: logical.PlanNode,
+        items: list[nodes.SelectItem],
+        aggregates: list[nodes.FuncCall],
+    ) -> tuple[logical.PlanNode, list[nodes.SelectItem], list[nodes.Expr]]:
+        alias_map = {
+            item.alias.lower(): item.expr for item in items if item.alias is not None
+        }
+        group_exprs: list[nodes.Expr] = []
+        for expr in select.group_by:
+            # GROUP BY may name a select alias.
+            if (
+                isinstance(expr, nodes.ColumnRef)
+                and expr.table is None
+                and expr.column.lower() in alias_map
+                and not _resolvable(expr, source.output)
+            ):
+                expr = alias_map[expr.column.lower()]
+            if nodes.contains_aggregate(expr):
+                raise PlanError("aggregate functions are not allowed in GROUP BY")
+            self._validate_expr(expr, source.output)
+            group_exprs.append(expr)
+
+        for call in aggregates:
+            for arg in call.args:
+                if not isinstance(arg, nodes.Star):
+                    self._validate_expr(arg, source.output)
+
+        group_names = []
+        for position, expr in enumerate(group_exprs):
+            if isinstance(expr, nodes.ColumnRef):
+                group_names.append(expr.column)
+            else:
+                group_names.append(f"__g{position}")
+        agg_names = [f"__agg{position}" for position in range(len(aggregates))]
+
+        agg_node = logical.Aggregate(
+            child=source,
+            group_exprs=tuple(group_exprs),
+            group_names=tuple(group_names),
+            agg_calls=tuple(aggregates),
+            agg_names=tuple(agg_names),
+        )
+
+        substitutions: list[tuple[nodes.Expr, nodes.Expr]] = []
+        for expr, name in zip(aggregates, agg_names):
+            substitutions.append((expr, nodes.ColumnRef(column=name)))
+        for expr, name, col in zip(group_exprs, group_names, agg_node.output):
+            substitutions.append(
+                (expr, nodes.ColumnRef(column=name, table=col.binding))
+            )
+
+        rewritten_items = []
+        for item in items:
+            new_expr = _substitute(item.expr, substitutions)
+            self._validate_grouped_expr(new_expr, agg_node.output, item.expr)
+            rewritten_items.append(nodes.SelectItem(new_expr, item.alias))
+
+        plan: logical.PlanNode = agg_node
+        if select.having is not None:
+            having = _substitute(select.having, substitutions)
+            self._validate_grouped_expr(having, agg_node.output, select.having)
+            plan = logical.Filter(plan, having)
+
+        order_exprs = []
+        for order in select.order_by:
+            rewritten = _substitute(order.expr, substitutions)
+            order_exprs.append(rewritten)
+        return plan, rewritten_items, order_exprs
+
+    def _validate_grouped_expr(
+        self,
+        expr: nodes.Expr,
+        output: tuple[logical.OutputCol, ...],
+        original: nodes.Expr,
+    ) -> None:
+        for ref in nodes.column_refs(expr):
+            if not _resolvable(ref, output):
+                raise PlanError(
+                    f"column {ref.sql()!r} must appear in GROUP BY or inside an"
+                    f" aggregate (in {original.sql()!r})"
+                )
+
+    # -- projection / ordering / limit ----------------------------------------------
+
+    def _plan_projection(
+        self,
+        select: nodes.Select,
+        plan: logical.PlanNode,
+        items: list[nodes.SelectItem],
+        order_exprs: list[nodes.Expr],
+    ) -> logical.PlanNode:
+        names = _output_names(items)
+        exprs = [item.expr for item in items]
+
+        # Resolve ORDER BY keys against the projected output where possible.
+        sort_keys: list[tuple[nodes.Expr, bool]] = []
+        hidden: list[nodes.Expr] = []
+        for order, expr in zip(select.order_by, order_exprs):
+            key = self._match_projected(expr, items, names)
+            if key is None:
+                self._validate_expr(expr, plan.output)
+                hidden_name = f"__sort{len(hidden)}"
+                hidden.append(expr)
+                key = nodes.ColumnRef(column=hidden_name)
+            sort_keys.append((key, order.ascending))
+
+        if hidden and select.distinct:
+            raise PlanError(
+                "ORDER BY column must appear in the select list of a DISTINCT query"
+            )
+
+        hidden_names = [f"__sort{i}" for i in range(len(hidden))]
+        project = logical.Project(
+            plan, tuple(exprs + hidden), tuple(names + hidden_names)
+        )
+        result: logical.PlanNode = project
+
+        if select.distinct:
+            result = logical.Distinct(result)
+        if sort_keys:
+            result = logical.Sort(result, tuple(sort_keys))
+        if hidden:
+            visible = tuple(nodes.ColumnRef(column=name) for name in names)
+            result = logical.Project(result, visible, tuple(names))
+        if select.limit is not None or select.offset is not None:
+            result = logical.Limit(result, select.limit, select.offset or 0)
+        return result
+
+    def _match_projected(
+        self,
+        expr: nodes.Expr,
+        items: list[nodes.SelectItem],
+        names: list[str],
+    ) -> nodes.Expr | None:
+        """Match an ORDER BY expr to a projected output column, if any."""
+        if isinstance(expr, nodes.ColumnRef) and expr.table is None:
+            for name in names:
+                if name.lower() == expr.column.lower():
+                    return nodes.ColumnRef(column=name)
+        for item, name in zip(items, names):
+            if item.expr == expr:
+                return nodes.ColumnRef(column=name)
+        return None
+
+    # -- validation ---------------------------------------------------------------
+
+    def _validate_expr(
+        self, expr: nodes.Expr, output: tuple[logical.OutputCol, ...]
+    ) -> None:
+        for node in nodes.walk(expr):
+            if isinstance(node, nodes.ColumnRef):
+                matches = [col for col in output if col.matches(node.column, node.table)]
+                if not matches:
+                    available = ", ".join(
+                        (f"{c.binding}.{c.name}" if c.binding else c.name)
+                        for c in output
+                    )
+                    raise PlanError(
+                        f"no such column: {node.sql()!r}; available: {available}"
+                    )
+                if node.table is None and len(matches) > 1:
+                    bindings = ", ".join(sorted(c.binding or "?" for c in matches))
+                    raise PlanError(
+                        f"ambiguous column reference {node.column!r}"
+                        f" (candidates in: {bindings})"
+                    )
+            elif isinstance(node, nodes.Star):
+                raise PlanError("'*' is only allowed in the select list or COUNT(*)")
+            elif isinstance(node, (nodes.InSubquery, nodes.ScalarSubquery, nodes.Exists)):
+                # Validate uncorrelated subqueries by building their plans.
+                subquery = node.subquery
+                self.plan(subquery)
+
+
+def _resolvable(ref: nodes.ColumnRef, output: tuple[logical.OutputCol, ...]) -> bool:
+    matches = [col for col in output if col.matches(ref.column, ref.table)]
+    if ref.table is None and len(matches) > 1:
+        return False
+    return bool(matches)
+
+
+def _split_conjuncts(expr: nodes.Expr) -> list[nodes.Expr]:
+    if isinstance(expr, nodes.Binary) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _join_conjuncts(conjuncts: list[nodes.Expr]) -> nodes.Expr | None:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = nodes.Binary("AND", result, conjunct)
+    return result
+
+
+def _output_names(items: list[nodes.SelectItem]) -> list[str]:
+    names: list[str] = []
+    for position, item in enumerate(items):
+        if item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, nodes.ColumnRef):
+            names.append(item.expr.column)
+        elif isinstance(item.expr, nodes.FuncCall):
+            names.append(item.expr.name.lower())
+        else:
+            names.append(f"col{position}")
+    return names
+
+
+def _substitute(
+    expr: nodes.Expr, substitutions: list[tuple[nodes.Expr, nodes.Expr]]
+) -> nodes.Expr:
+    """Replace any sub-expression equal to a substitution source."""
+    for source, target in substitutions:
+        if expr == source:
+            return target
+    if isinstance(expr, nodes.Unary):
+        return replace(expr, operand=_substitute(expr.operand, substitutions))
+    if isinstance(expr, nodes.Binary):
+        return replace(
+            expr,
+            left=_substitute(expr.left, substitutions),
+            right=_substitute(expr.right, substitutions),
+        )
+    if isinstance(expr, nodes.IsNull):
+        return replace(expr, operand=_substitute(expr.operand, substitutions))
+    if isinstance(expr, nodes.InList):
+        return replace(
+            expr,
+            operand=_substitute(expr.operand, substitutions),
+            items=tuple(_substitute(item, substitutions) for item in expr.items),
+        )
+    if isinstance(expr, nodes.Between):
+        return replace(
+            expr,
+            operand=_substitute(expr.operand, substitutions),
+            low=_substitute(expr.low, substitutions),
+            high=_substitute(expr.high, substitutions),
+        )
+    if isinstance(expr, nodes.FuncCall):
+        return replace(
+            expr, args=tuple(_substitute(arg, substitutions) for arg in expr.args)
+        )
+    if isinstance(expr, nodes.Case):
+        whens = tuple(
+            (_substitute(c, substitutions), _substitute(r, substitutions))
+            for c, r in expr.whens
+        )
+        else_result = (
+            None
+            if expr.else_result is None
+            else _substitute(expr.else_result, substitutions)
+        )
+        return nodes.Case(whens, else_result)
+    if isinstance(expr, nodes.Cast):
+        return replace(expr, operand=_substitute(expr.operand, substitutions))
+    return expr

@@ -1,0 +1,273 @@
+"""Cardinality and cost estimation.
+
+A deliberately classical System-R-style model: per-operator cardinality
+estimates from catalog statistics, and an abstract cost in "row touches".
+Three consumers:
+
+* the optimizer's join-ordering and build-side decisions;
+* the probe optimizer's satisficing decisions (cheap-enough vs prune);
+* the sleeper agents' cost-based feedback to field agents (paper Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan import logical
+from repro.sql import nodes
+from repro.storage.catalog import Catalog
+
+#: Default selectivity guesses when statistics cannot resolve a predicate.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.33
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_OTHER_SELECTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated output rows and total cost (in abstract row touches)."""
+
+    rows: float
+    cost: float
+
+    def __add__(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(self.rows + other.rows, self.cost + other.cost)
+
+
+def estimate_cost(plan: logical.PlanNode, catalog: Catalog) -> CostEstimate:
+    """Estimate rows-out and cumulative cost for ``plan``."""
+    return _Estimator(catalog).estimate(plan)
+
+
+class _Estimator:
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    def estimate(self, node: logical.PlanNode) -> CostEstimate:
+        if isinstance(node, logical.Scan):
+            rows = float(self._catalog.table(node.table).num_rows)
+            return CostEstimate(rows, rows)
+        if isinstance(node, logical.IndexScan):
+            table_rows = float(self._catalog.table(node.table).num_rows)
+            stats = self._catalog.stats(node.table).column(node.index_column)
+            if node.is_equality:
+                selectivity = (
+                    stats.selectivity_equals(node.equal_value)
+                    if stats
+                    else DEFAULT_EQ_SELECTIVITY
+                )
+            else:
+                selectivity = (
+                    stats.selectivity_range(node.low, node.high)
+                    if stats
+                    else DEFAULT_RANGE_SELECTIVITY
+                )
+            rows = max(table_rows * selectivity, 0.0)
+            # Index lookups touch only matching rows plus a log factor.
+            return CostEstimate(rows, rows + _log2(table_rows))
+        if isinstance(node, logical.OneRow):
+            return CostEstimate(1.0, 0.0)
+        if isinstance(node, logical.SubqueryScan):
+            return self.estimate(node.child)
+        if isinstance(node, logical.Filter):
+            child = self.estimate(node.child)
+            selectivity = self._predicate_selectivity(node.predicate, node.child)
+            rows = child.rows * selectivity
+            return CostEstimate(rows, child.cost + child.rows)
+        if isinstance(node, logical.Project):
+            child = self.estimate(node.child)
+            return CostEstimate(child.rows, child.cost + child.rows)
+        if isinstance(node, logical.HashJoin):
+            return self._estimate_hash_join(node)
+        if isinstance(node, logical.NestedLoopJoin):
+            left = self.estimate(node.left)
+            right = self.estimate(node.right)
+            product = left.rows * right.rows
+            selectivity = (
+                1.0
+                if node.condition is None
+                else self._predicate_selectivity(node.condition, node)
+            )
+            rows = product * selectivity
+            if node.kind == "LEFT":
+                rows = max(rows, left.rows)
+            return CostEstimate(rows, left.cost + right.cost + product)
+        if isinstance(node, logical.Aggregate):
+            child = self.estimate(node.child)
+            if not node.group_exprs:
+                rows = 1.0
+            else:
+                rows = max(min(child.rows, self._group_cardinality(node)), 1.0)
+            return CostEstimate(rows, child.cost + child.rows)
+        if isinstance(node, logical.Sort):
+            child = self.estimate(node.child)
+            return CostEstimate(child.rows, child.cost + child.rows * _log2(child.rows))
+        if isinstance(node, logical.Limit):
+            child = self.estimate(node.child)
+            rows = child.rows if node.limit is None else min(child.rows, float(node.limit))
+            return CostEstimate(rows, child.cost)
+        if isinstance(node, logical.Distinct):
+            child = self.estimate(node.child)
+            return CostEstimate(max(child.rows * 0.5, 1.0), child.cost + child.rows)
+        raise TypeError(f"cannot cost plan node {type(node).__name__}")
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _estimate_hash_join(self, node: logical.HashJoin) -> CostEstimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        # Join selectivity: 1 / max(ndv(left key), ndv(right key)) per key pair.
+        selectivity = 1.0
+        for left_key, right_key in zip(node.left_keys, node.right_keys):
+            ndv_left = self._key_ndv(left_key, node.left)
+            ndv_right = self._key_ndv(right_key, node.right)
+            selectivity /= max(ndv_left, ndv_right, 1.0)
+        rows = left.rows * right.rows * selectivity
+        if node.kind == "LEFT":
+            rows = max(rows, left.rows)
+        if node.residual is not None:
+            rows *= self._predicate_selectivity(node.residual, node)
+        cost = left.cost + right.cost + left.rows + right.rows + rows
+        return CostEstimate(rows, cost)
+
+    def _key_ndv(self, key: nodes.Expr, side: logical.PlanNode) -> float:
+        if not isinstance(key, nodes.ColumnRef):
+            return 10.0
+        located = self._locate_column(key, side)
+        if located is None:
+            return 10.0
+        table, column = located
+        stats = self._catalog.stats(table).column(column)
+        return float(stats.distinct_count) if stats else 10.0
+
+    def _locate_column(
+        self, ref: nodes.ColumnRef, scope: logical.PlanNode
+    ) -> tuple[str, str] | None:
+        """Resolve a column ref to (base_table, column) within ``scope``."""
+        for node in scope.walk():
+            if isinstance(node, (logical.Scan, logical.IndexScan)):
+                binding_ok = ref.table is None or ref.table.lower() == node.binding.lower()
+                if binding_ok and any(
+                    c.lower() == ref.column.lower() for c in node.columns
+                ):
+                    return node.table, ref.column
+        return None
+
+    def _group_cardinality(self, node: logical.Aggregate) -> float:
+        cardinality = 1.0
+        for expr in node.group_exprs:
+            if isinstance(expr, nodes.ColumnRef):
+                located = self._locate_column(expr, node.child)
+                if located is not None:
+                    stats = self._catalog.stats(located[0]).column(located[1])
+                    if stats:
+                        cardinality *= max(float(stats.distinct_count), 1.0)
+                        continue
+            cardinality *= 10.0
+        return cardinality
+
+    def _predicate_selectivity(
+        self, predicate: nodes.Expr, scope: logical.PlanNode
+    ) -> float:
+        if isinstance(predicate, nodes.Binary):
+            if predicate.op == "AND":
+                return self._predicate_selectivity(
+                    predicate.left, scope
+                ) * self._predicate_selectivity(predicate.right, scope)
+            if predicate.op == "OR":
+                left = self._predicate_selectivity(predicate.left, scope)
+                right = self._predicate_selectivity(predicate.right, scope)
+                return min(left + right, 1.0)
+            if predicate.op == "=":
+                return self._equality_selectivity(predicate, scope)
+            if predicate.op in ("<", "<=", ">", ">="):
+                return self._range_selectivity(predicate, scope)
+            if predicate.op in ("LIKE", "NOT LIKE"):
+                return DEFAULT_LIKE_SELECTIVITY
+            if predicate.op == "<>":
+                return 1.0 - self._equality_selectivity(predicate, scope)
+        if isinstance(predicate, nodes.Unary) and predicate.op == "NOT":
+            return 1.0 - self._predicate_selectivity(predicate.operand, scope)
+        if isinstance(predicate, nodes.IsNull):
+            column = self._column_side(predicate.operand, scope)
+            if column is not None:
+                stats = self._catalog.stats(column[0]).column(column[1])
+                if stats:
+                    fraction = stats.null_fraction
+                    return (1.0 - fraction) if predicate.negated else fraction
+            return 0.1
+        if isinstance(predicate, nodes.InList):
+            base = self._column_side(predicate.operand, scope)
+            if base is not None:
+                stats = self._catalog.stats(base[0]).column(base[1])
+                if stats:
+                    total = sum(
+                        stats.selectivity_equals(item.value)
+                        for item in predicate.items
+                        if isinstance(item, nodes.Literal)
+                    )
+                    total = min(total, 1.0)
+                    return 1.0 - total if predicate.negated else total
+            return min(DEFAULT_EQ_SELECTIVITY * len(predicate.items), 1.0)
+        if isinstance(predicate, nodes.Between):
+            low = predicate.low.value if isinstance(predicate.low, nodes.Literal) else None
+            high = predicate.high.value if isinstance(predicate.high, nodes.Literal) else None
+            column = self._column_side(predicate.operand, scope)
+            if column is not None:
+                stats = self._catalog.stats(column[0]).column(column[1])
+                if stats:
+                    inside = stats.selectivity_range(low, high)
+                    return 1.0 - inside if predicate.negated else inside
+            return DEFAULT_RANGE_SELECTIVITY
+        return DEFAULT_OTHER_SELECTIVITY
+
+    def _equality_selectivity(
+        self, predicate: nodes.Binary, scope: logical.PlanNode
+    ) -> float:
+        column, literal = self._column_literal(predicate, scope)
+        if column is not None:
+            stats = self._catalog.stats(column[0]).column(column[1])
+            if stats:
+                return stats.selectivity_equals(literal)
+        return DEFAULT_EQ_SELECTIVITY
+
+    def _range_selectivity(
+        self, predicate: nodes.Binary, scope: logical.PlanNode
+    ) -> float:
+        column, literal = self._column_literal(predicate, scope)
+        if column is not None and literal is not None:
+            stats = self._catalog.stats(column[0]).column(column[1])
+            if stats:
+                op = predicate.op
+                if isinstance(predicate.right, nodes.Literal):
+                    flipped = op
+                else:
+                    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+                if flipped in ("<", "<="):
+                    return stats.selectivity_range(None, literal)
+                return stats.selectivity_range(literal, None)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _column_literal(
+        self, predicate: nodes.Binary, scope: logical.PlanNode
+    ) -> tuple[tuple[str, str] | None, object]:
+        left, right = predicate.left, predicate.right
+        if isinstance(left, nodes.ColumnRef) and isinstance(right, nodes.Literal):
+            return self._locate_column(left, scope), right.value
+        if isinstance(right, nodes.ColumnRef) and isinstance(left, nodes.Literal):
+            return self._locate_column(right, scope), left.value
+        return None, None
+
+    def _column_side(
+        self, expr: nodes.Expr, scope: logical.PlanNode
+    ) -> tuple[str, str] | None:
+        if isinstance(expr, nodes.ColumnRef):
+            return self._locate_column(expr, scope)
+        return None
+
+
+def _log2(value: float) -> float:
+    from math import log2
+
+    return log2(value) if value > 1 else 0.0

@@ -1,0 +1,290 @@
+"""Canonical plan fingerprints and sub-expression enumeration.
+
+Fingerprints identify *semantically shareable* work: two plan subtrees with
+the same fingerprint would compute the same rows, regardless of alias
+choices, conjunct order, or operand order of commutative operators. They
+power
+
+* Figure 2's total-vs-unique sub-expression analysis,
+* the multi-query-optimization cache (paper Sec. 5.2.1), and
+* the materialization advisor (paper Sec. 5.2.2).
+
+Canonicalisation performed:
+
+* table aliases are replaced by the underlying base-table name (aliases from
+  subqueries are kept — they denote genuinely different relations);
+* unqualified column references are qualified against the subtree's scans;
+* AND/OR chains are flattened and sorted; commutative binary operators
+  (``=``, ``<>``, ``+``, ``*``) order operands canonically;
+* projection output order is ignored (sorted), since a permutation of
+  columns is the same work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan import logical
+from repro.sql import nodes
+from repro.util.hashing import stable_hash
+
+_COMMUTATIVE_OPS = frozenset({"=", "<>", "+", "*"})
+
+
+def fingerprint(plan: logical.PlanNode, strict: bool = False) -> str:
+    """Canonical fingerprint of ``plan`` (40-char hex).
+
+    With ``strict=False`` (the default, used by Figure 2's analysis and the
+    materialization advisor) output *order* is ignored: a permutation of
+    projected columns or of inner-join sides is "the same work". With
+    ``strict=True`` (used by the executor's result cache) column and side
+    order are preserved, so equal fingerprints imply byte-identical result
+    rows.
+    """
+    binding_map = _binding_map(plan)
+    return stable_hash(_canonical(plan, binding_map, strict))
+
+
+@dataclass(frozen=True)
+class SubExpression:
+    """One plan subtree, as counted by Figure 2."""
+
+    fingerprint: str
+    size: int
+    root_code: str
+
+
+def subexpressions(plan: logical.PlanNode) -> list[SubExpression]:
+    """Every subtree of ``plan`` with its fingerprint, size, and root code."""
+    binding_map = _binding_map(plan)
+    out: list[SubExpression] = []
+    for node in plan.walk():
+        out.append(
+            SubExpression(
+                fingerprint=stable_hash(_canonical(node, binding_map, False)),
+                size=node.node_count(),
+                root_code=logical.root_operator_code(node),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# plan canonicalisation
+# ---------------------------------------------------------------------------
+
+
+def _binding_map(plan: logical.PlanNode) -> dict[str, str]:
+    """Map binding name (lower) -> base table name for alias erasure."""
+    mapping: dict[str, str] = {}
+    for node in plan.walk():
+        if isinstance(node, (logical.Scan, logical.IndexScan)):
+            mapping[node.binding.lower()] = node.table.lower()
+        elif isinstance(node, logical.SubqueryScan):
+            mapping.setdefault(node.alias.lower(), node.alias.lower())
+    return mapping
+
+
+def _canonical(node: logical.PlanNode, bindings: dict[str, str], strict: bool) -> tuple:
+    if isinstance(node, logical.Scan):
+        columns = [c.lower() for c in node.columns]
+        if not strict:
+            columns = sorted(columns)
+        return ("scan", node.table.lower(), tuple(columns))
+    if isinstance(node, logical.IndexScan):
+        index_columns = [c.lower() for c in node.columns]
+        if not strict:
+            index_columns = sorted(index_columns)
+        return (
+            "indexscan",
+            node.table.lower(),
+            tuple(index_columns),
+            node.index_column.lower(),
+            node.equal_value,
+            node.low,
+            node.high,
+            node.low_inclusive,
+            node.high_inclusive,
+            node.is_equality,
+        )
+    if isinstance(node, logical.OneRow):
+        return ("onerow",)
+    if isinstance(node, logical.SubqueryScan):
+        return ("subquery", node.alias.lower(), _canonical(node.child, bindings, strict))
+    if isinstance(node, logical.Filter):
+        return (
+            "filter",
+            _canonical_predicate(node.predicate, bindings, node.child),
+            _canonical(node.child, bindings, strict),
+        )
+    if isinstance(node, logical.Project):
+        exprs = [_canonical_expr(expr, bindings, node.child) for expr in node.exprs]
+        if not strict:
+            exprs = sorted(exprs)
+        return ("project", tuple(exprs), _canonical(node.child, bindings, strict))
+    if isinstance(node, logical.HashJoin):
+        left = _canonical(node.left, bindings, strict)
+        right = _canonical(node.right, bindings, strict)
+        pairs = []
+        for l, r in zip(node.left_keys, node.right_keys):
+            pairs.append(
+                (
+                    _canonical_expr(l, bindings, node.left),
+                    _canonical_expr(r, bindings, node.right),
+                )
+            )
+        residual = (
+            None
+            if node.residual is None
+            else _canonical_predicate(node.residual, bindings, node)
+        )
+        if node.kind == "INNER" and not strict:
+            # Inner hash joins are commutative: order sides canonically.
+            left_side = (left, tuple(sorted(p[0] for p in pairs)))
+            right_side = (right, tuple(sorted(p[1] for p in pairs)))
+            sides = sorted([left_side, right_side])
+            key_set = tuple(sorted(tuple(sorted(p)) for p in pairs))
+            return ("hashjoin", "INNER", sides[0], sides[1], key_set, residual)
+        return ("hashjoin", node.kind, left, right, tuple(sorted(pairs)), residual)
+    if isinstance(node, logical.NestedLoopJoin):
+        condition = (
+            None
+            if node.condition is None
+            else _canonical_predicate(node.condition, bindings, node)
+        )
+        left = _canonical(node.left, bindings, strict)
+        right = _canonical(node.right, bindings, strict)
+        if node.kind in ("INNER", "CROSS") and not strict:
+            first, second = sorted([left, right])
+            return ("nljoin", node.kind, first, second, condition)
+        return ("nljoin", node.kind, left, right, condition)
+    if isinstance(node, logical.Aggregate):
+        group_list = [_canonical_expr(e, bindings, node.child) for e in node.group_exprs]
+        agg_list = [_canonical_expr(a, bindings, node.child) for a in node.agg_calls]
+        if not strict:
+            group_list = sorted(group_list)
+            agg_list = sorted(agg_list)
+        return (
+            "aggregate",
+            tuple(group_list),
+            tuple(agg_list),
+            _canonical(node.child, bindings, strict),
+        )
+    if isinstance(node, logical.Sort):
+        keys = tuple(
+            (_canonical_expr(expr, bindings, node.child), asc)
+            for expr, asc in node.keys
+        )
+        return ("sort", keys, _canonical(node.child, bindings, strict))
+    if isinstance(node, logical.Limit):
+        return ("limit", node.limit, node.offset, _canonical(node.child, bindings, strict))
+    if isinstance(node, logical.Distinct):
+        return ("distinct", _canonical(node.child, bindings, strict))
+    raise TypeError(f"cannot canonicalise plan node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# expression canonicalisation
+# ---------------------------------------------------------------------------
+
+
+def _canonical_predicate(
+    expr: nodes.Expr, bindings: dict[str, str], scope: logical.PlanNode
+) -> tuple:
+    """Canonical form of a boolean predicate: flatten + sort AND/OR chains."""
+    if isinstance(expr, nodes.Binary) and expr.op in ("AND", "OR"):
+        parts = sorted(
+            _canonical_predicate(part, bindings, scope)
+            for part in _flatten(expr, expr.op)
+        )
+        return (expr.op.lower(), tuple(parts))
+    return _canonical_expr(expr, bindings, scope)
+
+
+def _flatten(expr: nodes.Expr, op: str) -> list[nodes.Expr]:
+    if isinstance(expr, nodes.Binary) and expr.op == op:
+        return _flatten(expr.left, op) + _flatten(expr.right, op)
+    return [expr]
+
+
+def _canonical_expr(
+    expr: nodes.Expr, bindings: dict[str, str], scope: logical.PlanNode
+) -> tuple:
+    if isinstance(expr, nodes.Literal):
+        return ("lit", expr.value)
+    if isinstance(expr, nodes.ColumnRef):
+        qualifier = expr.table.lower() if expr.table else _infer_binding(expr, scope)
+        base = bindings.get(qualifier or "", qualifier or "")
+        return ("col", base, expr.column.lower())
+    if isinstance(expr, nodes.Star):
+        return ("star", expr.table.lower() if expr.table else None)
+    if isinstance(expr, nodes.Unary):
+        return ("unary", expr.op, _canonical_expr(expr.operand, bindings, scope))
+    if isinstance(expr, nodes.Binary):
+        left = _canonical_expr(expr.left, bindings, scope)
+        right = _canonical_expr(expr.right, bindings, scope)
+        if expr.op in _COMMUTATIVE_OPS:
+            left, right = sorted([left, right])
+        # Normalise flipped inequalities: a > b  ==  b < a.
+        flip = {">": "<", ">=": "<="}
+        if expr.op in flip:
+            return ("bin", flip[expr.op], right, left)
+        if expr.op in ("AND", "OR"):
+            return _canonical_predicate(expr, bindings, scope)
+        return ("bin", expr.op, left, right)
+    if isinstance(expr, nodes.IsNull):
+        return ("isnull", expr.negated, _canonical_expr(expr.operand, bindings, scope))
+    if isinstance(expr, nodes.InList):
+        items = tuple(
+            sorted(_canonical_expr(item, bindings, scope) for item in expr.items)
+        )
+        return ("inlist", expr.negated, _canonical_expr(expr.operand, bindings, scope), items)
+    if isinstance(expr, nodes.Between):
+        return (
+            "between",
+            expr.negated,
+            _canonical_expr(expr.operand, bindings, scope),
+            _canonical_expr(expr.low, bindings, scope),
+            _canonical_expr(expr.high, bindings, scope),
+        )
+    if isinstance(expr, nodes.FuncCall):
+        return (
+            "func",
+            expr.name,
+            expr.distinct,
+            tuple(_canonical_expr(arg, bindings, scope) for arg in expr.args),
+        )
+    if isinstance(expr, nodes.Case):
+        whens = tuple(
+            (
+                _canonical_expr(c, bindings, scope),
+                _canonical_expr(r, bindings, scope),
+            )
+            for c, r in expr.whens
+        )
+        else_part = (
+            None
+            if expr.else_result is None
+            else _canonical_expr(expr.else_result, bindings, scope)
+        )
+        return ("case", whens, else_part)
+    if isinstance(expr, nodes.Cast):
+        return ("cast", expr.type_name, _canonical_expr(expr.operand, bindings, scope))
+    if isinstance(expr, (nodes.InSubquery, nodes.ScalarSubquery, nodes.Exists)):
+        # Subquery expressions canonicalise via their SQL text; they are rare
+        # in the workloads and never join-shared.
+        negated = getattr(expr, "negated", False)
+        return ("subexpr", type(expr).__name__, negated, expr.sql().lower())
+    raise TypeError(f"cannot canonicalise expression {type(expr).__name__}")
+
+
+def _infer_binding(ref: nodes.ColumnRef, scope: logical.PlanNode) -> str | None:
+    """Find the unique binding providing an unqualified column, if any."""
+    matches = {
+        col.binding.lower()
+        for col in scope.output
+        if col.binding is not None and col.name.lower() == ref.column.lower()
+    }
+    if len(matches) == 1:
+        return matches.pop()
+    return None

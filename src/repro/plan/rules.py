@@ -1,0 +1,611 @@
+"""Rule-based plan optimizer.
+
+Classical rewrites, applied in a fixed pipeline:
+
+1. constant folding inside predicates and projections;
+2. predicate pushdown (filters split into conjuncts and sunk through
+   joins, projections and subquery scans, to a fixpoint);
+3. index selection (equality/range conjuncts over indexed columns turn
+   scans into index scans);
+4. hash-join build-side selection (smaller input becomes the build side);
+5. projection pruning (scans narrow to the columns actually consumed).
+
+Every rewrite preserves results exactly; the property-based tests execute
+optimized and unoptimized plans side by side to enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.plan import logical
+from repro.plan.cost import estimate_cost
+from repro.sql import nodes
+from repro.storage.catalog import Catalog
+from repro.storage.types import compare_values
+
+
+def optimize_plan(plan: logical.PlanNode, catalog: Catalog) -> logical.PlanNode:
+    """Apply the full rewrite pipeline to ``plan``."""
+    plan = fold_constants(plan)
+    plan = push_down_filters(plan)
+    plan = select_indexes(plan, catalog)
+    plan = choose_build_sides(plan, catalog)
+    plan = prune_projections(plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold_constants(plan: logical.PlanNode) -> logical.PlanNode:
+    plan = plan.with_children(tuple(fold_constants(c) for c in plan.children()))
+    if isinstance(plan, logical.Filter):
+        return replace(plan, predicate=_fold(plan.predicate))
+    if isinstance(plan, logical.Project):
+        return replace(plan, exprs=tuple(_fold(e) for e in plan.exprs))
+    if isinstance(plan, logical.HashJoin) and plan.residual is not None:
+        return replace(plan, residual=_fold(plan.residual))
+    if isinstance(plan, logical.NestedLoopJoin) and plan.condition is not None:
+        return replace(plan, condition=_fold(plan.condition))
+    return plan
+
+
+def _fold(expr: nodes.Expr) -> nodes.Expr:
+    if isinstance(expr, nodes.Unary):
+        operand = _fold(expr.operand)
+        if isinstance(operand, nodes.Literal):
+            if expr.op == "-" and isinstance(operand.value, (int, float)):
+                return nodes.Literal(-operand.value)
+            if expr.op == "NOT" and isinstance(operand.value, bool):
+                return nodes.Literal(not operand.value)
+        return replace(expr, operand=operand)
+    if isinstance(expr, nodes.Binary):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        folded = _fold_binary(expr.op, left, right)
+        if folded is not None:
+            return folded
+        return replace(expr, left=left, right=right)
+    if isinstance(expr, nodes.Between):
+        return replace(
+            expr,
+            operand=_fold(expr.operand),
+            low=_fold(expr.low),
+            high=_fold(expr.high),
+        )
+    if isinstance(expr, nodes.FuncCall):
+        return replace(expr, args=tuple(_fold(a) for a in expr.args))
+    if isinstance(expr, nodes.InList):
+        return replace(
+            expr,
+            operand=_fold(expr.operand),
+            items=tuple(_fold(i) for i in expr.items),
+        )
+    if isinstance(expr, nodes.IsNull):
+        return replace(expr, operand=_fold(expr.operand))
+    return expr
+
+
+def _fold_binary(
+    op: str, left: nodes.Expr, right: nodes.Expr
+) -> nodes.Expr | None:
+    # Boolean simplifications that do not require both sides constant.
+    if op == "AND":
+        if isinstance(left, nodes.Literal) and left.value is True:
+            return right
+        if isinstance(right, nodes.Literal) and right.value is True:
+            return left
+        if (isinstance(left, nodes.Literal) and left.value is False) or (
+            isinstance(right, nodes.Literal) and right.value is False
+        ):
+            return nodes.Literal(False)
+        return None
+    if op == "OR":
+        if isinstance(left, nodes.Literal) and left.value is False:
+            return right
+        if isinstance(right, nodes.Literal) and right.value is False:
+            return left
+        if (isinstance(left, nodes.Literal) and left.value is True) or (
+            isinstance(right, nodes.Literal) and right.value is True
+        ):
+            return nodes.Literal(True)
+        return None
+    if not (isinstance(left, nodes.Literal) and isinstance(right, nodes.Literal)):
+        return None
+    lval, rval = left.value, right.value
+    if lval is None or rval is None:
+        return None  # leave NULL propagation to the executor
+    try:
+        if op == "+" and _both_numeric(lval, rval):
+            return nodes.Literal(lval + rval)  # type: ignore[operator]
+        if op == "-" and _both_numeric(lval, rval):
+            return nodes.Literal(lval - rval)  # type: ignore[operator]
+        if op == "*" and _both_numeric(lval, rval):
+            return nodes.Literal(lval * rval)  # type: ignore[operator]
+        if op == "||" and isinstance(lval, str) and isinstance(rval, str):
+            return nodes.Literal(lval + rval)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            ordering = compare_values(lval, rval)
+            if ordering is None:
+                return None
+            outcomes = {
+                "=": ordering == 0,
+                "<>": ordering != 0,
+                "<": ordering < 0,
+                "<=": ordering <= 0,
+                ">": ordering > 0,
+                ">=": ordering >= 0,
+            }
+            return nodes.Literal(outcomes[op])
+    except Exception:
+        return None
+    return None
+
+
+def _both_numeric(left: object, right: object) -> bool:
+    return (
+        isinstance(left, (int, float))
+        and not isinstance(left, bool)
+        and isinstance(right, (int, float))
+        and not isinstance(right, bool)
+    )
+
+
+# ---------------------------------------------------------------------------
+# predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def push_down_filters(plan: logical.PlanNode) -> logical.PlanNode:
+    """Sink filters as deep as possible; iterates to a fixpoint."""
+    while True:
+        rewritten = _pushdown_once(plan)
+        if rewritten == plan:
+            return rewritten
+        plan = rewritten
+
+
+def _pushdown_once(plan: logical.PlanNode) -> logical.PlanNode:
+    plan = plan.with_children(tuple(_pushdown_once(c) for c in plan.children()))
+    if not isinstance(plan, logical.Filter):
+        return plan
+
+    child = plan.child
+    conjuncts = _split(plan.predicate)
+
+    # Merge stacked filters.
+    if isinstance(child, logical.Filter):
+        merged = _conjoin(conjuncts + _split(child.predicate))
+        assert merged is not None
+        return logical.Filter(child.child, merged)
+
+    if isinstance(child, (logical.HashJoin, logical.NestedLoopJoin)):
+        return _push_into_join(child, conjuncts)
+
+    if isinstance(child, logical.Project):
+        return _push_into_project(child, conjuncts)
+
+    if isinstance(child, logical.SubqueryScan):
+        return _push_into_subquery(child, conjuncts)
+
+    return plan
+
+
+def _push_into_join(
+    join: logical.HashJoin | logical.NestedLoopJoin, conjuncts: list[nodes.Expr]
+) -> logical.PlanNode:
+    left_out = join.left.output
+    right_out = join.right.output
+    push_left: list[nodes.Expr] = []
+    push_right: list[nodes.Expr] = []
+    keep: list[nodes.Expr] = []
+    allow_right = join.kind != "LEFT"
+    for conjunct in conjuncts:
+        refs = nodes.column_refs(conjunct)
+        on_left = all(_resolvable(ref, left_out) for ref in refs)
+        on_right = all(_resolvable(ref, right_out) for ref in refs)
+        if refs and on_left and not on_right:
+            push_left.append(conjunct)
+        elif refs and on_right and not on_left and allow_right:
+            push_right.append(conjunct)
+        else:
+            keep.append(conjunct)
+    if not push_left and not push_right:
+        predicate = _conjoin(conjuncts)
+        assert predicate is not None
+        return logical.Filter(join, predicate)
+    new_left = join.left
+    new_right = join.right
+    left_pred = _conjoin(push_left)
+    if left_pred is not None:
+        new_left = logical.Filter(new_left, left_pred)
+    right_pred = _conjoin(push_right)
+    if right_pred is not None:
+        new_right = logical.Filter(new_right, right_pred)
+    new_join = join.with_children((new_left, new_right))
+    keep_pred = _conjoin(keep)
+    if keep_pred is not None:
+        return logical.Filter(new_join, keep_pred)
+    return new_join
+
+
+def _push_into_project(
+    project: logical.Project, conjuncts: list[nodes.Expr]
+) -> logical.PlanNode:
+    """Push conjuncts below a projection when they only touch pass-through
+    columns (outputs that are plain column references)."""
+    passthrough: dict[str, nodes.ColumnRef] = {}
+    for expr, name in zip(project.exprs, project.names):
+        if isinstance(expr, nodes.ColumnRef):
+            passthrough[name.lower()] = expr
+    pushed: list[nodes.Expr] = []
+    keep: list[nodes.Expr] = []
+    for conjunct in conjuncts:
+        refs = nodes.column_refs(conjunct)
+        if refs and all(
+            ref.table is None and ref.column.lower() in passthrough for ref in refs
+        ):
+            substitutions = [
+                (
+                    nodes.ColumnRef(column=ref.column, table=None),
+                    passthrough[ref.column.lower()],
+                )
+                for ref in refs
+            ]
+            pushed.append(_substitute_refs(conjunct, substitutions))
+        else:
+            keep.append(conjunct)
+    if not pushed:
+        predicate = _conjoin(conjuncts)
+        assert predicate is not None
+        return logical.Filter(project, predicate)
+    pushed_pred = _conjoin(pushed)
+    assert pushed_pred is not None
+    new_project = replace(project, child=logical.Filter(project.child, pushed_pred))
+    keep_pred = _conjoin(keep)
+    if keep_pred is not None:
+        return logical.Filter(new_project, keep_pred)
+    return new_project
+
+
+def _push_into_subquery(
+    scan: logical.SubqueryScan, conjuncts: list[nodes.Expr]
+) -> logical.PlanNode:
+    """Rewrite alias-qualified refs to the child's names and push inside."""
+    child_out = scan.child.output
+    pushed: list[nodes.Expr] = []
+    keep: list[nodes.Expr] = []
+    for conjunct in conjuncts:
+        refs = nodes.column_refs(conjunct)
+        rewritable = bool(refs)
+        substitutions = []
+        for ref in refs:
+            matches = [c for c in child_out if c.name.lower() == ref.column.lower()]
+            if len(matches) != 1:
+                rewritable = False
+                break
+            substitutions.append(
+                (ref, nodes.ColumnRef(column=matches[0].name, table=matches[0].binding))
+            )
+        if rewritable:
+            pushed.append(_substitute_refs(conjunct, substitutions))
+        else:
+            keep.append(conjunct)
+    if not pushed:
+        predicate = _conjoin(conjuncts)
+        assert predicate is not None
+        return logical.Filter(scan, predicate)
+    pushed_pred = _conjoin(pushed)
+    assert pushed_pred is not None
+    new_scan = replace(scan, child=logical.Filter(scan.child, pushed_pred))
+    keep_pred = _conjoin(keep)
+    if keep_pred is not None:
+        return logical.Filter(new_scan, keep_pred)
+    return new_scan
+
+
+# ---------------------------------------------------------------------------
+# index selection
+# ---------------------------------------------------------------------------
+
+
+def select_indexes(plan: logical.PlanNode, catalog: Catalog) -> logical.PlanNode:
+    plan = plan.with_children(
+        tuple(select_indexes(c, catalog) for c in plan.children())
+    )
+    if not (isinstance(plan, logical.Filter) and isinstance(plan.child, logical.Scan)):
+        return plan
+    scan = plan.child
+    conjuncts = _split(plan.predicate)
+    for position, conjunct in enumerate(conjuncts):
+        rewrite = _index_rewrite(conjunct, scan, catalog)
+        if rewrite is None:
+            continue
+        remaining = conjuncts[:position] + conjuncts[position + 1 :]
+        predicate = _conjoin(remaining)
+        if predicate is None:
+            return rewrite
+        return logical.Filter(rewrite, predicate)
+    return plan
+
+
+def _index_rewrite(
+    conjunct: nodes.Expr, scan: logical.Scan, catalog: Catalog
+) -> logical.IndexScan | None:
+    if not (isinstance(conjunct, nodes.Binary)):
+        return None
+    column, literal, op = _column_literal_op(conjunct, scan)
+    if column is None:
+        return None
+    if op == "=" and catalog.hash_index(scan.table, column) is not None:
+        return logical.IndexScan(
+            table=scan.table,
+            binding=scan.binding,
+            columns=scan.columns,
+            index_column=column,
+            equal_value=literal,
+            is_equality=True,
+        )
+    if op in ("<", "<=", ">", ">=") and catalog.sorted_index(scan.table, column) is not None:
+        low = high = None
+        low_inc = high_inc = True
+        if op in ("<", "<="):
+            high = literal
+            high_inc = op == "<="
+        else:
+            low = literal
+            low_inc = op == ">="
+        return logical.IndexScan(
+            table=scan.table,
+            binding=scan.binding,
+            columns=scan.columns,
+            index_column=column,
+            low=low,
+            high=high,
+            low_inclusive=low_inc,
+            high_inclusive=high_inc,
+            is_equality=False,
+        )
+    if op == "=" and catalog.sorted_index(scan.table, column) is not None:
+        return logical.IndexScan(
+            table=scan.table,
+            binding=scan.binding,
+            columns=scan.columns,
+            index_column=column,
+            low=literal,
+            high=literal,
+            is_equality=False,
+        )
+    return None
+
+
+def _column_literal_op(
+    conjunct: nodes.Binary, scan: logical.Scan
+) -> tuple[str | None, object, str]:
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, nodes.ColumnRef) and isinstance(right, nodes.Literal):
+        ref, literal, op = left, right.value, conjunct.op
+    elif isinstance(right, nodes.ColumnRef) and isinstance(left, nodes.Literal):
+        if conjunct.op not in flip:
+            return None, None, ""
+        ref, literal, op = right, left.value, flip[conjunct.op]
+    else:
+        return None, None, ""
+    if op not in flip:
+        return None, None, ""
+    if ref.table is not None and ref.table.lower() != scan.binding.lower():
+        return None, None, ""
+    matched = next(
+        (c for c in scan.columns if c.lower() == ref.column.lower()), None
+    )
+    return matched, literal, op
+
+
+# ---------------------------------------------------------------------------
+# build-side selection
+# ---------------------------------------------------------------------------
+
+
+def choose_build_sides(plan: logical.PlanNode, catalog: Catalog) -> logical.PlanNode:
+    plan = plan.with_children(
+        tuple(choose_build_sides(c, catalog) for c in plan.children())
+    )
+    if isinstance(plan, logical.HashJoin) and plan.kind == "INNER":
+        left_rows = estimate_cost(plan.left, catalog).rows
+        right_rows = estimate_cost(plan.right, catalog).rows
+        # Executor builds the hash table from the left child; keep the
+        # smaller input there.
+        if right_rows < left_rows:
+            return logical.HashJoin(
+                left=plan.right,
+                right=plan.left,
+                kind="INNER",
+                left_keys=plan.right_keys,
+                right_keys=plan.left_keys,
+                residual=plan.residual,
+            )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# projection pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_projections(plan: logical.PlanNode) -> logical.PlanNode:
+    return _prune(plan, None)
+
+
+_Requirement = set[tuple[str | None, str]] | None  # None = everything
+
+
+def _prune(node: logical.PlanNode, required: _Requirement) -> logical.PlanNode:
+    if isinstance(node, (logical.Scan, logical.IndexScan)):
+        if required is None:
+            return node
+        keep = [
+            column
+            for column in node.columns
+            if any(_req_matches(req, node.binding, column) for req in required)
+        ]
+        if isinstance(node, logical.IndexScan) and node.index_column not in keep:
+            keep.append(node.index_column)
+        if not keep and node.columns:
+            keep = [node.columns[0]]  # row-presence marker for COUNT(*)
+        return replace(node, columns=tuple(keep))
+    if isinstance(node, logical.OneRow):
+        return node
+    if isinstance(node, logical.Filter):
+        child_req = _merge(required, _expr_requirements(node.predicate))
+        return replace(node, child=_prune(node.child, child_req))
+    if isinstance(node, logical.Project):
+        child_req: _Requirement = set()
+        for expr in node.exprs:
+            child_req = _merge(child_req, _expr_requirements(expr))
+        return replace(node, child=_prune(node.child, child_req))
+    if isinstance(node, (logical.HashJoin, logical.NestedLoopJoin)):
+        return _prune_join(node, required)
+    if isinstance(node, logical.Aggregate):
+        child_req: _Requirement = set()
+        for expr in node.group_exprs:
+            child_req = _merge(child_req, _expr_requirements(expr))
+        for call in node.agg_calls:
+            for arg in call.args:
+                if not isinstance(arg, nodes.Star):
+                    child_req = _merge(child_req, _expr_requirements(arg))
+        return replace(node, child=_prune(node.child, child_req))
+    if isinstance(node, logical.Sort):
+        child_req = required
+        for expr, _ in node.keys:
+            child_req = _merge(child_req, _expr_requirements(expr))
+        return replace(node, child=_prune(node.child, child_req))
+    if isinstance(node, (logical.Limit, logical.Distinct)):
+        return node.with_children((_prune(node.children()[0], required),))
+    if isinstance(node, logical.SubqueryScan):
+        if required is None:
+            child_req = None
+        else:
+            child_req = {(None, name) for _, name in required}
+        return replace(node, child=_prune(node.child, child_req))
+    raise TypeError(f"cannot prune plan node {type(node).__name__}")
+
+
+def _prune_join(
+    node: logical.HashJoin | logical.NestedLoopJoin, required: _Requirement
+) -> logical.PlanNode:
+    extra: _Requirement = set()
+    if isinstance(node, logical.HashJoin):
+        for key in node.left_keys + node.right_keys:
+            extra = _merge(extra, _expr_requirements(key))
+        if node.residual is not None:
+            extra = _merge(extra, _expr_requirements(node.residual))
+    elif node.condition is not None:
+        extra = _merge(extra, _expr_requirements(node.condition))
+    total = _merge(required, extra if extra else set())
+    if total is None:
+        left_req = right_req = None
+    else:
+        left_req = {
+            req
+            for req in total
+            if any(_req_matches(req, c.binding, c.name) for c in node.left.output)
+        }
+        right_req = {
+            req
+            for req in total
+            if any(_req_matches(req, c.binding, c.name) for c in node.right.output)
+        }
+    return node.with_children(
+        (_prune(node.left, left_req), _prune(node.right, right_req))
+    )
+
+
+def _req_matches(
+    req: tuple[str | None, str], binding: str | None, column: str
+) -> bool:
+    req_table, req_name = req
+    if req_name.lower() != column.lower():
+        return False
+    if req_table is None:
+        return True
+    return binding is not None and req_table.lower() == binding.lower()
+
+
+def _expr_requirements(expr: nodes.Expr) -> set[tuple[str | None, str]]:
+    return {(ref.table, ref.column) for ref in nodes.column_refs(expr)}
+
+
+def _merge(left: _Requirement, right: _Requirement) -> _Requirement:
+    if left is None or right is None:
+        return None
+    return left | right
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _split(expr: nodes.Expr) -> list[nodes.Expr]:
+    if isinstance(expr, nodes.Binary) and expr.op == "AND":
+        return _split(expr.left) + _split(expr.right)
+    return [expr]
+
+
+def _conjoin(conjuncts: list[nodes.Expr]) -> nodes.Expr | None:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = nodes.Binary("AND", result, conjunct)
+    return result
+
+
+def _resolvable(
+    ref: nodes.ColumnRef, output: tuple[logical.OutputCol, ...]
+) -> bool:
+    matches = [col for col in output if col.matches(ref.column, ref.table)]
+    if ref.table is None and len(matches) > 1:
+        return False
+    return bool(matches)
+
+
+def _substitute_refs(
+    expr: nodes.Expr, substitutions: list[tuple[nodes.ColumnRef, nodes.Expr]]
+) -> nodes.Expr:
+    mapping = {source: target for source, target in substitutions}
+    if isinstance(expr, nodes.ColumnRef):
+        return mapping.get(expr, expr)
+    if isinstance(expr, nodes.Unary):
+        return replace(expr, operand=_substitute_refs(expr.operand, substitutions))
+    if isinstance(expr, nodes.Binary):
+        return replace(
+            expr,
+            left=_substitute_refs(expr.left, substitutions),
+            right=_substitute_refs(expr.right, substitutions),
+        )
+    if isinstance(expr, nodes.IsNull):
+        return replace(expr, operand=_substitute_refs(expr.operand, substitutions))
+    if isinstance(expr, nodes.InList):
+        return replace(
+            expr,
+            operand=_substitute_refs(expr.operand, substitutions),
+            items=tuple(_substitute_refs(i, substitutions) for i in expr.items),
+        )
+    if isinstance(expr, nodes.Between):
+        return replace(
+            expr,
+            operand=_substitute_refs(expr.operand, substitutions),
+            low=_substitute_refs(expr.low, substitutions),
+            high=_substitute_refs(expr.high, substitutions),
+        )
+    if isinstance(expr, nodes.FuncCall):
+        return replace(
+            expr,
+            args=tuple(_substitute_refs(a, substitutions) for a in expr.args),
+        )
+    return expr

@@ -1,0 +1,19 @@
+"""Semantic operators: token/phrase search over all data and metadata.
+
+Implements the paper's beyond-SQL probe operators (Sec. 4.1): "probes that
+ask for semantically similar contents — be it tables, columns, or rows — to
+a specific phrase, located anywhere."
+"""
+
+from repro.semantic.embedding import HashedEmbedder, cosine_similarity
+from repro.semantic.inverted import InvertedIndex, Location
+from repro.semantic.search import SearchHit, SemanticSearch
+
+__all__ = [
+    "HashedEmbedder",
+    "InvertedIndex",
+    "Location",
+    "SearchHit",
+    "SemanticSearch",
+    "cosine_similarity",
+]

@@ -1,0 +1,64 @@
+"""Deterministic hashed embeddings.
+
+The paper's agentic memory store and semantic probes need text similarity
+without a network-hosted embedding model. We use the classic hashing trick:
+character n-grams and word tokens are hashed into a fixed number of
+dimensions with ±1 signs, then L2-normalised. Similar strings share
+n-grams, so cosine similarity behaves like a (weak but useful) semantic
+metric — and is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.hashing import stable_hash_int
+from repro.util.text import character_ngrams, singularize, tokenize_words
+
+DEFAULT_DIMS = 128
+
+
+class HashedEmbedder:
+    """Embeds text into a fixed-dimension vector via feature hashing."""
+
+    def __init__(self, dims: int = DEFAULT_DIMS) -> None:
+        if dims <= 0:
+            raise ValueError("dims must be positive")
+        self.dims = dims
+        self._cache: dict[str, np.ndarray] = {}
+
+    def embed(self, text: str) -> np.ndarray:
+        """L2-normalised embedding of ``text`` (zero vector for no features)."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        vector = np.zeros(self.dims, dtype=np.float64)
+        for feature, weight in self._features(text):
+            bucket = stable_hash_int(("emb", feature), bits=32)
+            sign = 1.0 if stable_hash_int(("sign", feature), bits=1) else -1.0
+            vector[bucket % self.dims] += sign * weight
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        if len(self._cache) < 50_000:
+            self._cache[text] = vector
+        return vector
+
+    def _features(self, text: str) -> list[tuple[str, float]]:
+        features: list[tuple[str, float]] = []
+        words = tokenize_words(text)
+        for word in words:
+            # Whole words weigh more than n-grams; singulars unify plurals.
+            features.append((f"w:{singularize(word)}", 2.0))
+        for gram in character_ngrams(text, n=3):
+            features.append((f"g:{gram}", 1.0))
+        return features
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity of two (already normalised or not) vectors."""
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(np.dot(left, right) / (left_norm * right_norm))

@@ -1,0 +1,53 @@
+"""Inverted token index over data and metadata locations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.util.text import singularize, tokenize_words
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a token was found.
+
+    ``kind`` is one of ``table_name``, ``column_name``, ``cell``,
+    ``description``. ``row_id`` is set only for cells.
+    """
+
+    kind: str
+    table: str
+    column: str | None = None
+    row_id: int | None = None
+
+
+class InvertedIndex:
+    """token -> set of :class:`Location`, with singular/plural folding."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, set[Location]] = defaultdict(set)
+        self.token_count = 0
+
+    def add_text(self, text: str, location: Location) -> None:
+        for token in tokenize_words(text):
+            self._postings[singularize(token)].add(location)
+            self.token_count += 1
+
+    def lookup(self, token: str) -> set[Location]:
+        return set(self._postings.get(singularize(token.lower()), ()))
+
+    def lookup_phrase(self, phrase: str) -> dict[Location, int]:
+        """Locations matching any token of ``phrase``, with match counts."""
+        hits: dict[Location, int] = defaultdict(int)
+        for token in tokenize_words(phrase):
+            for location in self._postings.get(singularize(token), ()):
+                hits[location] += 1
+        return dict(hits)
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self.token_count = 0

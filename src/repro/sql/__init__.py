@@ -1,0 +1,7 @@
+"""SQL front-end: lexer, AST, and recursive-descent parser."""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql import nodes
+
+__all__ = ["Token", "TokenType", "nodes", "parse_expression", "parse_statement", "tokenize"]

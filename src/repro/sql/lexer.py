@@ -1,0 +1,143 @@
+"""SQL lexer.
+
+Produces a flat token stream. Keywords are recognised case-insensitively;
+identifiers may be double-quoted to defeat keyword recognition. String
+literals are single-quoted with ``''`` as the escape for a quote.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON JOIN INNER LEFT
+    RIGHT FULL OUTER CROSS AND OR NOT IN IS NULL LIKE BETWEEN EXISTS DISTINCT
+    ASC DESC CASE WHEN THEN ELSE END CAST INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE DROP IF PRIMARY KEY UNION ALL TRUE FALSE
+    """.split()
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char in " \t\r\n":
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if sql.startswith("/*", index):
+            closing = sql.find("*/", index + 2)
+            if closing == -1:
+                raise TokenizeError("unterminated block comment", index)
+            index = closing + 2
+            continue
+        if char == "'":
+            value, index = _read_string(sql, index)
+            tokens.append(Token(TokenType.STRING, value, index))
+            continue
+        if char == '"':
+            closing = sql.find('"', index + 1)
+            if closing == -1:
+                raise TokenizeError("unterminated quoted identifier", index)
+            tokens.append(Token(TokenType.IDENTIFIER, sql[index + 1 : closing], index))
+            index = closing + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and sql[index + 1].isdigit()):
+            value, index = _read_number(sql, index)
+            tokens.append(Token(TokenType.NUMBER, value, index))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (sql[index].isalnum() or sql[index] == "_"):
+                index += 1
+            word = sql[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        matched = next((op for op in _OPERATORS if sql.startswith(op, index)), None)
+        if matched is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched, index))
+            index += len(matched)
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, char, index))
+            index += 1
+            continue
+        raise TokenizeError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    index = start + 1
+    pieces: list[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            if index + 1 < len(sql) and sql[index + 1] == "'":
+                pieces.append("'")
+                index += 2
+                continue
+            return "".join(pieces), index + 1
+        pieces.append(char)
+        index += 1
+    raise TokenizeError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    index = start
+    seen_dot = False
+    seen_exp = False
+    while index < len(sql):
+        char = sql[index]
+        if char.isdigit():
+            index += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            index += 1
+        elif char in "eE" and not seen_exp and index > start:
+            seen_exp = True
+            index += 1
+            if index < len(sql) and sql[index] in "+-":
+                index += 1
+        else:
+            break
+    return sql[start:index], index

@@ -1,0 +1,382 @@
+"""AST node definitions for the supported SQL subset.
+
+Nodes are frozen dataclasses: hashable, comparable, and safely shared
+between the parser, planner, fingerprinting and the agents' query mutators.
+Every expression node implements ``sql()`` to render itself back to a
+canonical SQL string — the agents rely on this to rewrite and re-issue
+queries the way an LLM edits text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.storage.types import Value
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Value
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    column: str
+    table: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-' | 'NOT'
+    operand: Expr
+
+    def sql(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand.sql()})"
+        return f"{self.op}({self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic, comparison, AND/OR, LIKE, ||
+    left: Expr
+    right: Expr
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.sql()} {suffix})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def sql(self) -> str:
+        rendered = ", ".join(item.sql() for item in self.items)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} ({rendered}))"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    operand: Expr
+    subquery: "Select"
+    negated: bool = False
+
+    def sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} ({self.subquery.sql()}))"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    subquery: "Select"
+
+    def sql(self) -> str:
+        return f"({self.subquery.sql()})"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    subquery: "Select"
+    negated: bool = False
+
+    def sql(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{keyword} ({self.subquery.sql()})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.sql()} {keyword} {self.low.sql()} AND {self.high.sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def sql(self) -> str:
+        prefix = "DISTINCT " if self.distinct else ""
+        rendered = ", ".join(arg.sql() for arg in self.args)
+        return f"{self.name}({prefix}{rendered})"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_result: Expr | None = None
+
+    def sql(self) -> str:
+        parts = ["CASE"]
+        for condition, result in self.whens:
+            parts.append(f"WHEN {condition.sql()} THEN {result.sql()}")
+        if self.else_result is not None:
+            parts.append(f"ELSE {self.else_result.sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+    def sql(self) -> str:
+        return f"CAST({self.operand.sql()} AS {self.type_name})"
+
+
+#: Aggregate function names understood by the planner.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any sub-expression is an aggregate function call."""
+    if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+        return True
+    return any(contains_aggregate(child) for child in children_of(expr))
+
+
+def children_of(expr: Expr) -> list[Expr]:
+    """Direct expression children (subqueries are not descended into)."""
+    if isinstance(expr, Unary):
+        return [expr.operand]
+    if isinstance(expr, Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, InSubquery):
+        return [expr.operand]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, FuncCall):
+        return list(expr.args)
+    if isinstance(expr, Case):
+        out: list[Expr] = []
+        for condition, result in expr.whens:
+            out.extend((condition, result))
+        if expr.else_result is not None:
+            out.append(expr.else_result)
+        return out
+    if isinstance(expr, Cast):
+        return [expr.operand]
+    return []
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all descendants, pre-order."""
+    yield expr
+    for child in children_of(expr):
+        yield from walk(child)
+
+
+def column_refs(expr: Expr) -> list[ColumnRef]:
+    """All column references in ``expr`` (excluding inside subqueries)."""
+    return [node for node in walk(expr) if isinstance(node, ColumnRef)]
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableRef:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class TableName(TableRef):
+    name: str
+    alias: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(TableRef):
+    select: "Select"
+    alias: str
+
+    def sql(self) -> str:
+        return f"({self.select.sql()}) AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class Join(TableRef):
+    left: TableRef
+    right: TableRef
+    kind: str  # 'INNER' | 'LEFT' | 'CROSS'
+    condition: Expr | None = None
+
+    def sql(self) -> str:
+        left_sql = self.left.sql()  # type: ignore[attr-defined]
+        right_sql = self.right.sql()  # type: ignore[attr-defined]
+        if self.kind == "CROSS":
+            return f"{left_sql} CROSS JOIN {right_sql}"
+        clause = f" ON {self.condition.sql()}" if self.condition is not None else ""
+        return f"{left_sql} {self.kind} JOIN {right_sql}{clause}"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.expr.sql()} AS {self.alias}" if self.alias else self.expr.sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def sql(self) -> str:
+        return f"{self.expr.sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: tuple[SelectItem, ...]
+    from_clause: TableRef | None = None
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+    def sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.sql() for item in self.items))
+        if self.from_clause is not None:
+            parts.append("FROM " + self.from_clause.sql())  # type: ignore[attr-defined]
+        if self.where is not None:
+            parts.append("WHERE " + self.where.sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    select: Select | None = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...] = ()
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expr | None = None
+
+
+AnyStatement = Union[Select, CreateTable, DropTable, Insert, Update, Delete]

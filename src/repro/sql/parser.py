@@ -1,0 +1,548 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar highlights::
+
+    statement   := select | insert | update | delete | create_table | drop_table
+    select      := SELECT [DISTINCT] items [FROM table_ref] [WHERE expr]
+                   [GROUP BY exprs] [HAVING expr] [ORDER BY order_items]
+                   [LIMIT n [OFFSET m]]
+    table_ref   := primary_ref (join_clause)*
+    primary_ref := name [AS alias] | '(' select ')' AS alias
+    join_clause := [INNER|LEFT [OUTER]|CROSS] JOIN primary_ref [ON expr]
+
+Expression precedence, loosest first:
+OR, AND, NOT, comparison/IN/LIKE/BETWEEN/IS, additive (+ - ||),
+multiplicative (* / %), unary minus, primary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import nodes
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str) -> None:
+        self._tokens = tokens
+        self._sql = sql
+        self._index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        context = self._sql[max(token.position - 20, 0) : token.position + 20]
+        return ParseError(f"{message} near {token.value!r} (...{context}...)")
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(keyword):
+            raise self._error(f"expected {keyword}")
+        return self._advance()
+
+    def _accept_keyword(self, *keywords: str) -> Token | None:
+        if self._peek().is_keyword(*keywords):
+            return self._advance()
+        return None
+
+    def _expect_punct(self, punct: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCT or token.value != punct:
+            raise self._error(f"expected {punct!r}")
+        return self._advance()
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == punct:
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, *ops: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            return self._advance()
+        return None
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self._advance().value
+        # Allow non-reserved-ish keywords as identifiers in a pinch (e.g. a
+        # column named "key"); keep this list short and explicit.
+        if token.is_keyword("KEY", "ALL"):
+            return self._advance().value.lower()
+        raise self._error(f"expected {what}")
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self) -> nodes.AnyStatement:
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            statement: nodes.AnyStatement = self._parse_select()
+        elif token.is_keyword("INSERT"):
+            statement = self._parse_insert()
+        elif token.is_keyword("UPDATE"):
+            statement = self._parse_update()
+        elif token.is_keyword("DELETE"):
+            statement = self._parse_delete()
+        elif token.is_keyword("CREATE"):
+            statement = self._parse_create_table()
+        elif token.is_keyword("DROP"):
+            statement = self._parse_drop_table()
+        else:
+            raise self._error("expected a statement")
+        self._accept_punct(";")
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def _parse_select(self) -> nodes.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT") is not None
+        if not distinct:
+            self._accept_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+
+        from_clause: nodes.TableRef | None = None
+        if self._accept_keyword("FROM"):
+            from_clause = self._parse_table_ref()
+
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+
+        group_by: list[nodes.Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expr())
+
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+
+        order_by: list[nodes.OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_int_literal("LIMIT")
+            if self._accept_keyword("OFFSET"):
+                offset = self._parse_int_literal("OFFSET")
+
+        return nodes.Select(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_int_literal(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER:
+            raise self._error(f"expected integer after {clause}")
+        self._advance()
+        try:
+            return int(token.value)
+        except ValueError as exc:
+            raise self._error(f"{clause} requires an integer") from exc
+
+    def _parse_select_item(self) -> nodes.SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return nodes.SelectItem(nodes.Star())
+        # table.* form
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek(1).type is TokenType.PUNCT
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            table = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return nodes.SelectItem(nodes.Star(table=table))
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return nodes.SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> nodes.OrderItem:
+        expr = self._parse_expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return nodes.OrderItem(expr, ascending)
+
+    # -- FROM clause ----------------------------------------------------------
+
+    def _parse_table_ref(self) -> nodes.TableRef:
+        ref = self._parse_primary_ref()
+        while True:
+            kind = None
+            if self._accept_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                kind = "CROSS"
+            elif self._accept_keyword("INNER"):
+                self._expect_keyword("JOIN")
+                kind = "INNER"
+            elif self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                kind = "LEFT"
+            elif self._accept_keyword("JOIN"):
+                kind = "INNER"
+            else:
+                break
+            right = self._parse_primary_ref()
+            condition = None
+            if kind != "CROSS":
+                self._expect_keyword("ON")
+                condition = self._parse_expr()
+            ref = nodes.Join(ref, right, kind, condition)
+        return ref
+
+    def _parse_primary_ref(self) -> nodes.TableRef:
+        if self._accept_punct("("):
+            select = self._parse_select()
+            self._expect_punct(")")
+            self._accept_keyword("AS")
+            alias = self._expect_identifier("subquery alias")
+            return nodes.SubqueryRef(select, alias)
+        name = self._expect_identifier("table name")
+        # Qualified table names (schema.table), e.g. information_schema.tables.
+        if self._peek().type is TokenType.PUNCT and self._peek().value == ".":
+            self._advance()
+            name = f"{name}.{self._expect_identifier('table name')}"
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return nodes.TableName(name, alias)
+
+    # -- other statements --------------------------------------------------------
+
+    def _parse_insert(self) -> nodes.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns: tuple[str, ...] | None = None
+        if self._accept_punct("("):
+            names = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                names.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+            columns = tuple(names)
+        if self._peek().is_keyword("SELECT"):
+            return nodes.Insert(table, columns, select=self._parse_select())
+        self._expect_keyword("VALUES")
+        rows: list[tuple[nodes.Expr, ...]] = []
+        while True:
+            self._expect_punct("(")
+            values = [self._parse_expr()]
+            while self._accept_punct(","):
+                values.append(self._parse_expr())
+            self._expect_punct(")")
+            rows.append(tuple(values))
+            if not self._accept_punct(","):
+                break
+        return nodes.Insert(table, columns, rows=tuple(rows))
+
+    def _parse_update(self) -> nodes.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        return nodes.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, nodes.Expr]:
+        column = self._expect_identifier("column name")
+        if self._accept_operator("=") is None:
+            raise self._error("expected = in assignment")
+        return column, self._parse_expr()
+
+    def _parse_delete(self) -> nodes.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        return nodes.Delete(table, where)
+
+    def _parse_create_table(self) -> nodes.CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_identifier("table name")
+        self._expect_punct("(")
+        columns = [self._parse_column_def()]
+        while self._accept_punct(","):
+            columns.append(self._parse_column_def())
+        self._expect_punct(")")
+        return nodes.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _parse_column_def(self) -> nodes.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_name = self._expect_identifier("type name")
+        not_null = False
+        primary_key = False
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+            elif self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+                not_null = True
+            else:
+                break
+        return nodes.ColumnDef(name, type_name, not_null, primary_key)
+
+    def _parse_drop_table(self) -> nodes.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_identifier("table name")
+        return nodes.DropTable(name, if_exists)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expr(self) -> nodes.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> nodes.Expr:
+        expr = self._parse_and()
+        while self._accept_keyword("OR"):
+            expr = nodes.Binary("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> nodes.Expr:
+        expr = self._parse_not()
+        while self._accept_keyword("AND"):
+            expr = nodes.Binary("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> nodes.Expr:
+        if self._accept_keyword("NOT"):
+            return nodes.Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> nodes.Expr:
+        expr = self._parse_additive()
+        while True:
+            op_token = self._accept_operator(*_COMPARISON_OPS)
+            if op_token is not None:
+                op = "<>" if op_token.value == "!=" else op_token.value
+                expr = nodes.Binary(op, expr, self._parse_additive())
+                continue
+            if self._accept_keyword("IS"):
+                negated = self._accept_keyword("NOT") is not None
+                self._expect_keyword("NULL")
+                expr = nodes.IsNull(expr, negated)
+                continue
+            negated = False
+            if self._peek().is_keyword("NOT") and self._peek(1).is_keyword(
+                "IN", "LIKE", "BETWEEN"
+            ):
+                self._advance()
+                negated = True
+            if self._accept_keyword("LIKE"):
+                expr = nodes.Binary(
+                    "NOT LIKE" if negated else "LIKE", expr, self._parse_additive()
+                )
+                continue
+            if self._accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                expr = nodes.Between(expr, low, high, negated)
+                continue
+            if self._accept_keyword("IN"):
+                expr = self._parse_in_tail(expr, negated)
+                continue
+            if negated:
+                raise self._error("dangling NOT")
+            break
+        return expr
+
+    def _parse_in_tail(self, operand: nodes.Expr, negated: bool) -> nodes.Expr:
+        self._expect_punct("(")
+        if self._peek().is_keyword("SELECT"):
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return nodes.InSubquery(operand, subquery, negated)
+        items = [self._parse_expr()]
+        while self._accept_punct(","):
+            items.append(self._parse_expr())
+        self._expect_punct(")")
+        return nodes.InList(operand, tuple(items), negated)
+
+    def _parse_additive(self) -> nodes.Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            op_token = self._accept_operator("+", "-", "||")
+            if op_token is None:
+                break
+            expr = nodes.Binary(op_token.value, expr, self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> nodes.Expr:
+        expr = self._parse_unary()
+        while True:
+            op_token = self._accept_operator("*", "/", "%")
+            if op_token is None:
+                break
+            expr = nodes.Binary(op_token.value, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> nodes.Expr:
+        if self._accept_operator("-") is not None:
+            operand = self._parse_unary()
+            if isinstance(operand, nodes.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return nodes.Literal(-operand.value)
+            return nodes.Unary("-", operand)
+        if self._accept_operator("+") is not None:
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> nodes.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return nodes.Literal(float(text))
+            return nodes.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return nodes.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return nodes.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return nodes.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return nodes.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return nodes.Exists(subquery)
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_punct(")")
+                return nodes.ScalarSubquery(subquery)
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expr()
+        raise self._error("expected an expression")
+
+    def _parse_identifier_expr(self) -> nodes.Expr:
+        name = self._advance().value
+        # Function call?
+        if self._peek().type is TokenType.PUNCT and self._peek().value == "(":
+            self._advance()
+            distinct = self._accept_keyword("DISTINCT") is not None
+            args: list[nodes.Expr] = []
+            if self._peek().type is TokenType.OPERATOR and self._peek().value == "*":
+                self._advance()
+                args.append(nodes.Star())
+            elif not (self._peek().type is TokenType.PUNCT and self._peek().value == ")"):
+                args.append(self._parse_expr())
+                while self._accept_punct(","):
+                    args.append(self._parse_expr())
+            self._expect_punct(")")
+            return nodes.FuncCall(name.upper(), tuple(args), distinct)
+        # Qualified column?
+        if self._accept_punct("."):
+            column = self._expect_identifier("column name")
+            return nodes.ColumnRef(column=column, table=name)
+        return nodes.ColumnRef(column=name)
+
+    def _parse_case(self) -> nodes.Expr:
+        self._expect_keyword("CASE")
+        whens: list[tuple[nodes.Expr, nodes.Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expr()
+            self._expect_keyword("THEN")
+            result = self._parse_expr()
+            whens.append((condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_result = self._parse_expr() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return nodes.Case(tuple(whens), else_result)
+
+    def _parse_cast(self) -> nodes.Expr:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self._parse_expr()
+        self._expect_keyword("AS")
+        type_name = self._expect_identifier("type name")
+        self._expect_punct(")")
+        return nodes.Cast(operand, type_name.upper())
+
+
+def parse_statement(sql: str) -> nodes.AnyStatement:
+    """Parse one SQL statement (optionally ``;``-terminated)."""
+    return _Parser(tokenize(sql), sql).parse_statement()
+
+
+def parse_expression(sql: str) -> nodes.Expr:
+    """Parse a standalone expression (used by tests and agents)."""
+    parser = _Parser(tokenize(sql), sql)
+    expr = parser._parse_expr()
+    if parser._peek().type is not TokenType.EOF:
+        raise ParseError(f"unexpected trailing input in expression: {sql!r}")
+    return expr

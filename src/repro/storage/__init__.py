@@ -1,0 +1,23 @@
+"""Storage substrate: typed schemas, row tables, catalog, stats, indexes."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.statistics import ColumnStats, TableStats, compute_table_stats
+from repro.storage.table import Table
+from repro.storage.types import DataType, coerce_value, infer_type
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "HashIndex",
+    "SortedIndex",
+    "Table",
+    "TableSchema",
+    "TableStats",
+    "coerce_value",
+    "compute_table_stats",
+    "infer_type",
+]

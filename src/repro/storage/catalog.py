@@ -1,0 +1,207 @@
+"""The catalog: named tables, their indexes, and cached statistics.
+
+The catalog is the unit the database facade and the branched transaction
+manager both wrap. It tracks two version counters used by the agentic memory
+store's staleness machinery (paper Sec. 6.1):
+
+* ``schema_version`` — bumped on CREATE/DROP/ALTER-like changes;
+* per-table ``data_version`` — bumped by the table on every DML.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import CatalogError
+from repro.storage.indexes import HashIndex, SortedIndex
+from repro.storage.schema import TableSchema
+from repro.storage.statistics import TableStats, compute_table_stats
+from repro.storage.table import Table
+from repro.storage.types import Value
+from repro.util.text import normalize_identifier
+
+
+class Catalog:
+    """A mutable namespace of tables with index and statistics maintenance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._hash_indexes: dict[tuple[str, str], HashIndex] = {}
+        self._sorted_indexes: dict[tuple[str, str], SortedIndex] = {}
+        self._stats_cache: dict[str, tuple[int, TableStats]] = {}
+        self.schema_version = 0
+
+    # -- table lifecycle -----------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = normalize_identifier(schema.name)
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        self.schema_version += 1
+        return table
+
+    def register_table(self, table: Table) -> None:
+        """Adopt an externally built table (used by the branch manager)."""
+        key = normalize_identifier(table.schema.name)
+        if key in self._tables:
+            raise CatalogError(f"table {table.schema.name!r} already exists")
+        self._tables[key] = table
+        self.schema_version += 1
+
+    def drop_table(self, name: str) -> None:
+        key = normalize_identifier(name)
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        self._stats_cache.pop(key, None)
+        for index_key in [k for k in self._hash_indexes if k[0] == key]:
+            del self._hash_indexes[index_key]
+        for index_key in [k for k in self._sorted_indexes if k[0] == key]:
+            del self._sorted_indexes[index_key]
+        self.schema_version += 1
+
+    def replace_table(self, table: Table) -> None:
+        """Swap in a new table object under the same name (branch checkout)."""
+        key = normalize_identifier(table.schema.name)
+        self._tables[key] = table
+        self._stats_cache.pop(key, None)
+        self._rebuild_indexes_for(key)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return normalize_identifier(name) in self._tables
+
+    def table(self, name: str) -> Table:
+        key = normalize_identifier(name)
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        return self._tables[key]
+
+    def table_names(self) -> list[str]:
+        return [table.schema.name for table in self._tables.values()]
+
+    def schemas(self) -> list[TableSchema]:
+        return [table.schema for table in self._tables.values()]
+
+    # -- DML with index maintenance ---------------------------------------------
+
+    def insert_rows(self, name: str, rows: Iterable[Iterable[Value]]) -> list[int]:
+        table = self.table(name)
+        row_ids = table.insert_many(rows)
+        key = normalize_identifier(name)
+        if self._indexed_columns(key):
+            for row_id in row_ids:
+                self._index_row(key, table, row_id, add=True)
+        self._stats_cache.pop(key, None)
+        return row_ids
+
+    def update_row(self, name: str, row_id: int, values: Iterable[Value]) -> None:
+        table = self.table(name)
+        key = normalize_identifier(name)
+        if self._indexed_columns(key):
+            self._index_row(key, table, row_id, add=False)
+        table.update(row_id, values)
+        if self._indexed_columns(key):
+            self._index_row(key, table, row_id, add=True)
+        self._stats_cache.pop(key, None)
+
+    def delete_row(self, name: str, row_id: int) -> None:
+        table = self.table(name)
+        key = normalize_identifier(name)
+        if self._indexed_columns(key):
+            self._index_row(key, table, row_id, add=False)
+        table.delete(row_id)
+        self._stats_cache.pop(key, None)
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_hash_index(self, table_name: str, column: str) -> HashIndex:
+        table = self.table(table_name)
+        key = (normalize_identifier(table_name), normalize_identifier(column))
+        if key in self._hash_indexes:
+            raise CatalogError(f"hash index on {table_name}.{column} already exists")
+        index = HashIndex(table.schema.name, column)
+        position = table.schema.position_of(column)
+        for row_id, row in table.scan_with_ids():
+            index.add(row[position], row_id)
+        self._hash_indexes[key] = index
+        self.schema_version += 1
+        return index
+
+    def create_sorted_index(self, table_name: str, column: str) -> SortedIndex:
+        table = self.table(table_name)
+        key = (normalize_identifier(table_name), normalize_identifier(column))
+        if key in self._sorted_indexes:
+            raise CatalogError(f"sorted index on {table_name}.{column} already exists")
+        index = SortedIndex(table.schema.name, column)
+        position = table.schema.position_of(column)
+        for row_id, row in table.scan_with_ids():
+            index.add(row[position], row_id)
+        self._sorted_indexes[key] = index
+        self.schema_version += 1
+        return index
+
+    def hash_index(self, table_name: str, column: str) -> HashIndex | None:
+        return self._hash_indexes.get(
+            (normalize_identifier(table_name), normalize_identifier(column))
+        )
+
+    def sorted_index(self, table_name: str, column: str) -> SortedIndex | None:
+        return self._sorted_indexes.get(
+            (normalize_identifier(table_name), normalize_identifier(column))
+        )
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self, table_name: str) -> TableStats:
+        """Statistics for ``table_name``, recomputed lazily on data change."""
+        key = normalize_identifier(table_name)
+        table = self.table(table_name)
+        cached = self._stats_cache.get(key)
+        if cached is not None and cached[0] == table.data_version:
+            return cached[1]
+        stats = compute_table_stats(table)
+        self._stats_cache[key] = (table.data_version, stats)
+        return stats
+
+    # -- internals -----------------------------------------------------------------
+
+    def _indexed_columns(self, table_key: str) -> list[str]:
+        columns = [c for (t, c) in self._hash_indexes if t == table_key]
+        columns += [c for (t, c) in self._sorted_indexes if t == table_key]
+        return columns
+
+    def _index_row(self, table_key: str, table: Table, row_id: int, add: bool) -> None:
+        row = table.get(row_id)
+        for (t, column), index in list(self._hash_indexes.items()):
+            if t != table_key:
+                continue
+            value = row[table.schema.position_of(column)]
+            index.add(value, row_id) if add else index.remove(value, row_id)
+        for (t, column), index in list(self._sorted_indexes.items()):
+            if t != table_key:
+                continue
+            value = row[table.schema.position_of(column)]
+            index.add(value, row_id) if add else index.remove(value, row_id)
+
+    def _rebuild_indexes_for(self, table_key: str) -> None:
+        table = self._tables[table_key]
+        for (t, column), old in list(self._hash_indexes.items()):
+            if t != table_key:
+                continue
+            index = HashIndex(old.table, column)
+            position = table.schema.position_of(column)
+            for row_id, row in table.scan_with_ids():
+                index.add(row[position], row_id)
+            self._hash_indexes[(t, column)] = index
+        for (t, column), old_sorted in list(self._sorted_indexes.items()):
+            if t != table_key:
+                continue
+            sorted_index = SortedIndex(old_sorted.table, column)
+            position = table.schema.position_of(column)
+            for row_id, row in table.scan_with_ids():
+                sorted_index.add(row[position], row_id)
+            self._sorted_indexes[(t, column)] = sorted_index

@@ -1,0 +1,115 @@
+"""Secondary indexes: hash (equality) and sorted (range).
+
+Indexes map column values to row ids. They are maintained eagerly by the
+:class:`~repro.storage.catalog.Catalog` on DML and consulted by the planner
+when a filter is a simple equality or range predicate on an indexed column.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+
+from repro.storage.types import Value
+
+
+class HashIndex:
+    """Equality index: value -> set of row ids. NULLs are not indexed."""
+
+    def __init__(self, table: str, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._buckets: dict[Value, set[int]] = defaultdict(set)
+
+    def add(self, value: Value, row_id: int) -> None:
+        if value is None:
+            return
+        self._buckets[value].add(row_id)
+
+    def remove(self, value: Value, row_id: int) -> None:
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Value) -> set[int]:
+        if value is None:
+            return set()
+        return set(self._buckets.get(value, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Ordered index over one column supporting range lookups.
+
+    Keeps parallel sorted arrays of (value, row_id); removal is O(log n)
+    bisect plus list deletion — fine at this codebase's table sizes.
+    """
+
+    def __init__(self, table: str, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._keys: list[Value] = []
+        self._row_ids: list[int] = []
+
+    def add(self, value: Value, row_id: int) -> None:
+        if value is None:
+            return
+        position = bisect.bisect_left(self._keys, (value))  # type: ignore[arg-type]
+        # Keep (value, row_id) pairs sorted by value then row id for determinism.
+        while (
+            position < len(self._keys)
+            and self._keys[position] == value
+            and self._row_ids[position] < row_id
+        ):
+            position += 1
+        self._keys.insert(position, value)
+        self._row_ids.insert(position, row_id)
+
+    def remove(self, value: Value, row_id: int) -> None:
+        if value is None:
+            return
+        position = bisect.bisect_left(self._keys, value)  # type: ignore[arg-type]
+        while position < len(self._keys) and self._keys[position] == value:
+            if self._row_ids[position] == row_id:
+                del self._keys[position]
+                del self._row_ids[position]
+                return
+            position += 1
+
+    def lookup_range(
+        self,
+        low: Value = None,
+        high: Value = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Row ids with low <(=) value <(=) high, in value order."""
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._keys, low)  # type: ignore[arg-type]
+        else:
+            start = bisect.bisect_right(self._keys, low)  # type: ignore[arg-type]
+        if high is None:
+            stop = len(self._keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._keys, high)  # type: ignore[arg-type]
+        else:
+            stop = bisect.bisect_left(self._keys, high)  # type: ignore[arg-type]
+        return self._row_ids[start:stop]
+
+    def lookup(self, value: Value) -> set[int]:
+        return set(self.lookup_range(value, value))
+
+    def __len__(self) -> int:
+        return len(self._keys)

@@ -1,0 +1,159 @@
+"""Column and table statistics.
+
+Statistics serve three masters in this system:
+
+* the cost model (cardinality estimation for join ordering and cost-based
+  steering feedback, paper Sec. 4.2);
+* the sleeper agents (most-common values power the why-not diagnosis of
+  literal-format mismatches, e.g. ``'CA'`` vs ``'California'``);
+* the simulated agents themselves, whose "exploring specific columns"
+  activity (Figure 3) issues the stats queries these objects summarise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+from repro.storage.types import DataType, Value
+
+#: Number of most-common values retained per column.
+MCV_SIZE = 10
+#: Number of equi-width histogram buckets for numeric columns.
+HISTOGRAM_BUCKETS = 10
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    column: str
+    data_type: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    min_value: Value
+    max_value: Value
+    most_common: tuple[tuple[Value, int], ...]
+    histogram: tuple[int, ...] = ()
+
+    @property
+    def null_fraction(self) -> float:
+        return self.null_count / self.row_count if self.row_count else 0.0
+
+    def selectivity_equals(self, literal: Value) -> float:
+        """Estimated fraction of rows where column = literal."""
+        if self.row_count == 0:
+            return 0.0
+        if literal is None:
+            return 0.0
+        for value, count in self.most_common:
+            if value == literal:
+                return count / self.row_count
+        if self.distinct_count == 0:
+            return 0.0
+        # Uniformity over the non-MCV remainder.
+        mcv_rows = sum(count for _, count in self.most_common)
+        remainder_rows = max(self.row_count - self.null_count - mcv_rows, 0)
+        remainder_distinct = max(self.distinct_count - len(self.most_common), 1)
+        return max(remainder_rows / remainder_distinct, 0.5) / self.row_count
+
+    def selectivity_range(self, low: Value, high: Value) -> float:
+        """Estimated fraction of rows where low <= column <= high."""
+        if self.row_count == 0 or self.min_value is None or self.max_value is None:
+            return 0.0
+        if not isinstance(self.min_value, (int, float)) or isinstance(self.min_value, bool):
+            return 0.3  # non-numeric: fall back to a fixed guess
+        lo = self.min_value if low is None else max(float(low), float(self.min_value))
+        hi = self.max_value if high is None else min(float(high), float(self.max_value))
+        span = float(self.max_value) - float(self.min_value)
+        if span <= 0:
+            return 1.0 if lo <= hi else 0.0
+        return max(min((hi - lo) / span, 1.0), 0.0)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for a whole table, keyed by normalised column name."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+
+def compute_column_stats(
+    schema: TableSchema, table: Table, column_name: str
+) -> ColumnStats:
+    """Single-pass statistics for one column."""
+    position = schema.position_of(column_name)
+    data_type = schema.columns[position].data_type
+    counter: Counter[Value] = Counter()
+    null_count = 0
+    min_value: Value = None
+    max_value: Value = None
+    numeric_values: list[float] = []
+    for row in table.scan():
+        value = row[position]
+        if value is None:
+            null_count += 1
+            continue
+        counter[value] += 1
+        if min_value is None or _less_than(value, min_value):
+            min_value = value
+        if max_value is None or _less_than(max_value, value):
+            max_value = value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            numeric_values.append(float(value))
+
+    histogram: tuple[int, ...] = ()
+    if numeric_values and min_value is not None and max_value is not None:
+        histogram = _equi_width_histogram(
+            numeric_values, float(min_value), float(max_value)
+        )
+
+    return ColumnStats(
+        column=schema.columns[position].name,
+        data_type=data_type,
+        row_count=table.num_rows,
+        null_count=null_count,
+        distinct_count=len(counter),
+        min_value=min_value,
+        max_value=max_value,
+        most_common=tuple(counter.most_common(MCV_SIZE)),
+        histogram=histogram,
+    )
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Statistics for every column of ``table``."""
+    columns = {
+        column.name.lower(): compute_column_stats(table.schema, table, column.name)
+        for column in table.schema.columns
+    }
+    return TableStats(table=table.schema.name, row_count=table.num_rows, columns=columns)
+
+
+def _less_than(left: Value, right: Value) -> bool:
+    try:
+        return left < right  # type: ignore[operator]
+    except TypeError:
+        return str(left) < str(right)
+
+
+def _equi_width_histogram(
+    values: list[float], low: float, high: float
+) -> tuple[int, ...]:
+    buckets = [0] * HISTOGRAM_BUCKETS
+    span = high - low
+    if span <= 0:
+        buckets[0] = len(values)
+        return tuple(buckets)
+    for value in values:
+        index = min(int((value - low) / span * HISTOGRAM_BUCKETS), HISTOGRAM_BUCKETS - 1)
+        buckets[index] += 1
+    return tuple(buckets)

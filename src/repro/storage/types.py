@@ -1,0 +1,141 @@
+"""The engine's type system.
+
+Four scalar types plus NULL keep the engine honest without drowning it in
+coercion rules: INTEGER, FLOAT, TEXT, BOOLEAN. SQL ``NULL`` maps to Python
+``None`` and is a member of every type.
+"""
+
+from __future__ import annotations
+
+import enum
+from datetime import date
+from typing import Any
+
+from repro.errors import ExecutionError
+
+#: Python value space for one cell: the engine stores dates as ISO strings.
+Value = int | float | str | bool | None
+Row = tuple[Value, ...]
+
+
+class DataType(enum.Enum):
+    """Scalar column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def parse(cls, name: str) -> "DataType":
+        """Parse a SQL type name, accepting common synonyms."""
+        upper = name.upper()
+        synonyms = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "DATE": cls.TEXT,
+            "TIMESTAMP": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if upper not in synonyms:
+            raise ExecutionError(f"unknown type name: {name}")
+        return synonyms[upper]
+
+
+def infer_type(value: Value) -> DataType | None:
+    """Infer the :class:`DataType` of a Python value; None for NULL."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise ExecutionError(f"unsupported Python type: {type(value).__name__}")
+
+
+def coerce_value(value: Any, data_type: DataType) -> Value:
+    """Coerce ``value`` into ``data_type``, raising on lossy mismatches.
+
+    NULL passes through every type. Ints widen to floats; everything
+    stringifies into TEXT; dates become ISO strings.
+    """
+    if value is None:
+        return None
+    if isinstance(value, date):
+        value = value.isoformat()
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise ExecutionError(f"cannot coerce {value!r} to INTEGER") from exc
+        raise ExecutionError(f"cannot coerce {value!r} to INTEGER")
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise ExecutionError(f"cannot coerce {value!r} to FLOAT") from exc
+        raise ExecutionError(f"cannot coerce {value!r} to FLOAT")
+    if data_type is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise ExecutionError(f"cannot coerce {value!r} to BOOLEAN")
+    raise ExecutionError(f"unknown data type: {data_type}")
+
+
+def compare_values(left: Value, right: Value) -> int | None:
+    """Three-way compare with SQL NULL semantics (None if either is NULL).
+
+    Mixed numeric comparisons are allowed; comparing text to numbers raises,
+    matching strict engines rather than silently coercing.
+    """
+    if left is None or right is None:
+        return None
+    left_num = isinstance(left, (int, float)) and not isinstance(left, bool)
+    right_num = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if left_num and right_num:
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    if isinstance(left, bool) and isinstance(right, bool):
+        return (left > right) - (left < right)
+    raise ExecutionError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}"
+    )

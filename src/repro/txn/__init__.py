@@ -1,0 +1,13 @@
+"""Branched transactions: copy-on-write forks, multi-world isolation, merge.
+
+Implements the paper's Sec. 6.2: agents exploring "what-if" hypotheses fork
+near-identical database branches, run speculative updates in logical
+isolation, roll back all but the winner, and eventually reconcile surviving
+branches — with forks and rollbacks cheap enough for thousands of branches.
+"""
+
+from repro.txn.branches import Branch, BranchManager
+from repro.txn.merge import MergeResult
+from repro.txn.write_log import WriteOp
+
+__all__ = ["Branch", "BranchManager", "MergeResult", "WriteOp"]

@@ -1,0 +1,71 @@
+"""Merge machinery: conflict detection and log replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MergeConflict
+from repro.storage.types import Value
+from repro.txn.write_log import WriteOp
+
+
+@dataclass
+class MergeResult:
+    """Summary of a completed merge."""
+
+    source: str
+    target: str
+    replayed: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    skipped: int = 0
+    remapped_row_ids: dict[tuple[str, int], int] = field(default_factory=dict)
+
+
+def detect_conflicts(
+    source_keys: set[tuple[str, int]], target_keys: set[tuple[str, int]]
+) -> list[tuple[str, int]]:
+    """Write-write conflicts between two branches' post-fork write keys."""
+    return sorted(source_keys & target_keys)
+
+
+def replay(ops: list[WriteOp], target_branch, result: MergeResult) -> None:
+    """Replay ``ops`` onto ``target_branch`` (a :class:`~repro.txn.branches.Branch`).
+
+    Inserted rows receive fresh row ids in the target (branch-local ids may
+    collide with target inserts performed since the fork); subsequent ops on
+    a remapped row follow the new id.
+    """
+    remap: dict[tuple[str, int], int] = {}
+    for op in ops:
+        key = (op.table.lower(), op.row_id)
+        if op.kind == "insert":
+            assert op.values is not None
+            new_id = target_branch.insert_row(op.table, op.values)
+            remap[key] = new_id
+            result.remapped_row_ids[key] = new_id
+            result.inserts += 1
+        elif op.kind == "update":
+            assert op.values is not None
+            row_id = remap.get(key, op.row_id)
+            if target_branch.has_row(op.table, row_id):
+                target_branch.update_row(op.table, row_id, op.values)
+                result.updates += 1
+            else:
+                result.skipped += 1
+        elif op.kind == "delete":
+            row_id = remap.get(key, op.row_id)
+            if target_branch.has_row(op.table, row_id):
+                target_branch.delete_row(op.table, row_id)
+                result.deletes += 1
+            else:
+                result.skipped += 1
+        result.replayed += 1
+
+
+def ensure_mergeable(
+    conflicts: list[tuple[str, int]],
+) -> None:
+    if conflicts:
+        raise MergeConflict(conflicts)

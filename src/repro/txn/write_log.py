@@ -1,0 +1,62 @@
+"""Write logs: the row-level history each branch accumulates.
+
+A branch's write log serves two purposes:
+
+* **conflict detection** — two branches conflict iff their logs touch the
+  same ``(table, row_id)`` key since their fork point (write-write
+  conflicts; reads are not tracked, matching snapshot-isolation-style
+  "first committer wins");
+* **merge replay** — a clean merge replays the source branch's log onto the
+  target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.types import Value
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One row-level write: insert, update or delete."""
+
+    kind: str  # 'insert' | 'update' | 'delete'
+    table: str
+    row_id: int
+    values: tuple[Value, ...] | None  # None for deletes
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.table.lower(), self.row_id)
+
+
+class WriteLog:
+    """Append-only sequence of :class:`WriteOp` with positional fork points."""
+
+    def __init__(self) -> None:
+        self._ops: list[WriteOp] = []
+
+    def append(self, op: WriteOp) -> None:
+        self._ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def since(self, position: int) -> list[WriteOp]:
+        return self._ops[position:]
+
+    def keys_since(self, position: int) -> set[tuple[str, int]]:
+        """Distinct (table, row_id) keys written at or after ``position``.
+
+        Inserted-then-modified rows are excluded: a row that did not exist
+        at the fork point cannot conflict with the other side.
+        """
+        inserted: set[tuple[str, int]] = set()
+        keys: set[tuple[str, int]] = set()
+        for op in self._ops[position:]:
+            if op.kind == "insert":
+                inserted.add(op.key)
+            elif op.key not in inserted:
+                keys.add(op.key)
+        return keys

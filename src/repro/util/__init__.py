@@ -1,0 +1,16 @@
+"""Shared utilities: stable hashing, seeded RNG streams, text, tables."""
+
+from repro.util.hashing import stable_hash, stable_hash_int
+from repro.util.rng import RngStream, derive_seed
+from repro.util.tabulate import format_table
+from repro.util.text import normalize_identifier, tokenize_words
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "format_table",
+    "normalize_identifier",
+    "stable_hash",
+    "stable_hash_int",
+    "tokenize_words",
+]

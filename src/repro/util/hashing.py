@@ -1,0 +1,75 @@
+"""Stable, process-independent hashing.
+
+Python's built-in ``hash`` is salted per process, so anything that must be
+reproducible across runs (plan fingerprints, embeddings, RNG stream seeds)
+goes through these helpers instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def stable_hash(value: Any) -> str:
+    """Return a 40-char hex digest that is stable across processes.
+
+    ``value`` may be any composition of str/bytes/int/float/bool/None,
+    tuples, lists, dicts and frozensets; containers are serialised
+    structurally so that e.g. ``("a", 1)`` and ``["a", 1]`` differ.
+    """
+    hasher = hashlib.sha1()
+    _feed(hasher, value)
+    return hasher.hexdigest()
+
+
+def stable_hash_int(value: Any, bits: int = 64) -> int:
+    """Return a non-negative integer hash with ``bits`` bits of entropy."""
+    digest = stable_hash(value)
+    return int(digest, 16) % (1 << bits)
+
+
+def _feed(hasher: "hashlib._Hash", value: Any) -> None:
+    """Recursively feed ``value`` into ``hasher`` with type tags.
+
+    Type tags prevent cross-type collisions such as ``1`` vs ``"1"``.
+    """
+    if value is None:
+        hasher.update(b"N")
+    elif isinstance(value, bool):
+        hasher.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        hasher.update(b"I" + str(value).encode())
+    elif isinstance(value, float):
+        hasher.update(b"F" + repr(value).encode())
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        hasher.update(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(value, bytes):
+        hasher.update(b"Y" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, tuple):
+        hasher.update(b"T" + str(len(value)).encode() + b"[")
+        for item in value:
+            _feed(hasher, item)
+        hasher.update(b"]")
+    elif isinstance(value, list):
+        hasher.update(b"L" + str(len(value)).encode() + b"[")
+        for item in value:
+            _feed(hasher, item)
+        hasher.update(b"]")
+    elif isinstance(value, frozenset):
+        # Hash members independently and combine order-insensitively.
+        member_digests = sorted(stable_hash(item) for item in value)
+        hasher.update(b"E" + str(len(value)).encode() + b"[")
+        for digest in member_digests:
+            hasher.update(digest.encode())
+        hasher.update(b"]")
+    elif isinstance(value, dict):
+        items = sorted((stable_hash(k), v) for k, v in value.items())
+        hasher.update(b"D" + str(len(items)).encode() + b"{")
+        for key_digest, item in items:
+            hasher.update(key_digest.encode())
+            _feed(hasher, item)
+        hasher.update(b"}")
+    else:
+        raise TypeError(f"stable_hash cannot hash values of type {type(value).__name__}")

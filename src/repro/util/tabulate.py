@@ -1,0 +1,66 @@
+"""Plain-text table formatting for benchmark and experiment reports.
+
+The benchmark harness prints every reproduced table/figure as an aligned
+ASCII table so ``EXPERIMENTS.md`` and the bench output read like the paper's
+own tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _render_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered = [[_render_cell(cell, float_fmt) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: dict[str, dict[Any, float]],
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render one-or-more named series sharing an x-axis as a table.
+
+    ``series`` maps series name -> {x value -> y value}. The x axis is the
+    sorted union of all x values; missing points render blank.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label, *series.keys()]
+    rows: list[list[Any]] = []
+    for x in xs:
+        row: list[Any] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("" if value is None else format(value, float_fmt))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,52 @@
+"""Small text helpers shared by the SQL front-end and the semantic layer."""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_identifier(name: str) -> str:
+    """Normalise a SQL identifier for case-insensitive comparison."""
+    return name.strip('"').lower()
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Lower-case word tokens of ``text`` (alphanumeric runs)."""
+    return _WORD_RE.findall(text.lower())
+
+
+def character_ngrams(text: str, n: int = 3) -> list[str]:
+    """Character n-grams of the word-normalised text, with boundary markers.
+
+    Used by the deterministic hashed embedder; boundary markers make short
+    words distinguishable from infixes (``#ca#`` vs ``cat``).
+    """
+    grams: list[str] = []
+    for word in tokenize_words(text):
+        padded = f"#{word}#"
+        if len(padded) <= n:
+            grams.append(padded)
+            continue
+        grams.extend(padded[i : i + n] for i in range(len(padded) - n + 1))
+    return grams
+
+
+def singularize(word: str) -> str:
+    """Crude English singularisation, sufficient for schema-name matching."""
+    lowered = word.lower()
+    if lowered.endswith("ies") and len(lowered) > 4:
+        return lowered[:-3] + "y"
+    if lowered.endswith("ses") and len(lowered) > 4:
+        return lowered[:-2]
+    if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 3:
+        return lowered[:-1]
+    return lowered
+
+
+def jaccard(left: set[str], right: set[str]) -> float:
+    """Jaccard similarity of two sets; 0.0 when both are empty."""
+    if not left and not right:
+        return 0.0
+    return len(left & right) / len(left | right)

@@ -1,0 +1,18 @@
+"""Workload generators: BIRD-like text2SQL tasks, cross-backend tasks, and
+human-vs-agent update sessions."""
+
+from repro.workloads.bird import BirdTask, BirdTaskPool, TaskSpec
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.multibackend import CrossBackendTask, build_cross_backend_tasks
+from repro.workloads.updates import simulate_agent_update_session, simulate_human_update_session
+
+__all__ = [
+    "BirdTask",
+    "BirdTaskPool",
+    "CrossBackendTask",
+    "DataGenerator",
+    "TaskSpec",
+    "build_cross_backend_tasks",
+    "simulate_agent_update_session",
+    "simulate_human_update_session",
+]

@@ -1,0 +1,615 @@
+"""A synthetic BIRD-like text2SQL benchmark.
+
+Generates (database, question, gold SQL) triples across four domains and
+three difficulty tiers, mirroring the structure of BIRD [10]: single-table
+filters, aggregates, group-bys, and multi-table joins, with realistic
+grounding traps (e.g. state columns that spell values out in full while an
+ungrounded agent would guess two-letter codes).
+
+Every task carries a structured :class:`TaskSpec` — the machine-readable
+description of the gold query. The simulated agents never see the gold SQL;
+they see the NL question plus the spec's *component inventory*, from which
+the attempt generator assembles (possibly wrong) SQL conditioned on the
+agent's grounding and skill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db import Database
+from repro.util.rng import RngStream
+from repro.workloads.datagen import (
+    DataGenerator,
+    STATE_ABBREVIATIONS,
+)
+
+# ---------------------------------------------------------------------------
+# task specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One WHERE conjunct of the gold query.
+
+    ``wrong_value`` is the plausible-but-wrong literal an ungrounded agent
+    would write (the systematic gap that only column exploration fixes);
+    None means the literal is guessable from the question alone.
+    """
+
+    table: str
+    column: str
+    op: str  # '=' | '>' | '<' | '>='
+    value: object
+    wrong_value: object | None = None
+
+    def sql(self, alias: str | None = None) -> str:
+        qualifier = f"{alias}." if alias else ""
+        return f"{qualifier}{self.column} {self.op} {_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Structured description of a gold query."""
+
+    fact_table: str
+    dim_table: str | None = None
+    join: tuple[str, str] | None = None  # (fact_column, dim_column)
+    filters: tuple[FilterSpec, ...] = ()
+    group_by: tuple[str, str] | None = None  # (table, column)
+    aggregate: tuple[str, str, str] | None = None  # (func, table, column); column '*' for COUNT
+    projection: tuple[tuple[str, str], ...] = ()  # (table, column) pairs
+    order_desc_limit: int | None = None  # ORDER BY aggregate DESC LIMIT n
+
+    def tables(self) -> list[str]:
+        return [self.fact_table] + ([self.dim_table] if self.dim_table else [])
+
+    def component_count(self) -> int:
+        """How many error-prone components the query has (difficulty proxy)."""
+        count = 1  # table linking
+        count += len(self.filters)
+        if self.join is not None:
+            count += 1
+        if self.aggregate is not None:
+            count += 1
+        if self.group_by is not None:
+            count += 1
+        return count
+
+    # -- gold SQL -----------------------------------------------------------
+
+    def gold_sql(self) -> str:
+        fact_alias = "f" if self.dim_table else self.fact_table
+        dim_alias = "d"
+        select_parts: list[str] = []
+        if self.group_by is not None:
+            table, column = self.group_by
+            select_parts.append(f"{self._alias(table, fact_alias, dim_alias)}.{column}")
+        for table, column in self.projection:
+            select_parts.append(f"{self._alias(table, fact_alias, dim_alias)}.{column}")
+        if self.aggregate is not None:
+            func, table, column = self.aggregate
+            if column == "*":
+                select_parts.append("COUNT(*) AS agg_value")
+            else:
+                qualified = f"{self._alias(table, fact_alias, dim_alias)}.{column}"
+                select_parts.append(f"{func}({qualified}) AS agg_value")
+        sql = "SELECT " + ", ".join(select_parts)
+
+        if self.dim_table:
+            fact_col, dim_col = self.join  # type: ignore[misc]
+            sql += (
+                f" FROM {self.fact_table} {fact_alias}"
+                f" JOIN {self.dim_table} {dim_alias}"
+                f" ON {fact_alias}.{fact_col} = {dim_alias}.{dim_col}"
+            )
+        else:
+            sql += f" FROM {self.fact_table}"
+
+        if self.filters:
+            conjuncts = [
+                f.sql(self._alias(f.table, fact_alias, dim_alias) if self.dim_table else None)
+                for f in self.filters
+            ]
+            sql += " WHERE " + " AND ".join(conjuncts)
+
+        if self.group_by is not None:
+            table, column = self.group_by
+            sql += f" GROUP BY {self._alias(table, fact_alias, dim_alias)}.{column}"
+        if self.order_desc_limit is not None:
+            sql += f" ORDER BY agg_value DESC LIMIT {self.order_desc_limit}"
+        return sql
+
+    def _alias(self, table: str, fact_alias: str, dim_alias: str) -> str:
+        if not self.dim_table:
+            return self.fact_table
+        return fact_alias if table == self.fact_table else dim_alias
+
+
+@dataclass
+class BirdTask:
+    """One benchmark task: a database, a question, and the gold answer."""
+
+    task_id: str
+    domain: str
+    difficulty: str  # 'simple' | 'moderate' | 'challenging'
+    db: Database
+    question: str
+    spec: TaskSpec
+    gold_sql: str
+    gold_signature: str
+    distractor_tables: tuple[str, ...] = ()
+
+    def check(self, sql: str) -> bool:
+        """Does ``sql`` produce the gold answer (order-insensitive)?"""
+        try:
+            result = self.db.execute(sql)
+        except Exception:
+            return False
+        return result.signature() == self.gold_signature
+
+
+# ---------------------------------------------------------------------------
+# domain databases
+# ---------------------------------------------------------------------------
+
+
+def build_domain_db(domain: str, seed: int) -> Database:
+    """Build and populate one domain database."""
+    rng = RngStream(seed, "domain", domain)
+    gen = DataGenerator(rng)
+    builder = _DOMAIN_BUILDERS[domain]
+    return builder(rng, gen)
+
+
+def _build_retail(rng: RngStream, gen: DataGenerator) -> Database:
+    db = Database("retail")
+    db.execute(
+        "CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT,"
+        " opened_year INT)"
+    )
+    db.execute(
+        "CREATE TABLE products (id INT PRIMARY KEY, name TEXT, category TEXT,"
+        " price FLOAT)"
+    )
+    db.execute(
+        "CREATE TABLE sales (id INT PRIMARY KEY, store_id INT, product_id INT,"
+        " sale_date TEXT, quantity INT, amount FLOAT, year INT, channel TEXT)"
+    )
+    n_stores = rng.randint(15, 30)
+    n_products = rng.randint(12, 20)
+    db.insert_rows(
+        "stores",
+        [
+            (i, gen.city(), gen.state(), gen.year(1995, 2020))
+            for i in range(1, n_stores + 1)
+        ],
+    )
+    db.insert_rows(
+        "products",
+        [
+            (i, gen.product() + f" #{i}", gen.category(), gen.amount(2, 40))
+            for i in range(1, n_products + 1)
+        ],
+    )
+    channels = ["In Store", "Online", "Wholesale", "Drive Thru"]
+    rows = []
+    for i in range(1, rng.randint(400, 700) + 1):
+        date = gen.date()
+        rows.append(
+            (
+                i,
+                rng.randint(1, n_stores),
+                rng.randint(1, n_products),
+                date,
+                gen.quantity(),
+                gen.amount(),
+                int(date[:4]),
+                rng.choice(channels),
+            )
+        )
+    db.insert_rows("sales", rows)
+    return db
+
+
+def _build_library(rng: RngStream, gen: DataGenerator) -> Database:
+    db = Database("library")
+    db.execute("CREATE TABLE authors (id INT PRIMARY KEY, name TEXT, country TEXT)")
+    db.execute(
+        "CREATE TABLE books (id INT PRIMARY KEY, title TEXT, author_id INT,"
+        " genre TEXT, published_year INT)"
+    )
+    db.execute(
+        "CREATE TABLE loans (id INT PRIMARY KEY, book_id INT, member TEXT,"
+        " loan_date TEXT, days INT, branch TEXT)"
+    )
+    n_authors = rng.randint(12, 25)
+    n_books = rng.randint(40, 80)
+    countries = ["United States", "United Kingdom", "Canada", "Germany", "Japan"]
+    db.insert_rows(
+        "authors",
+        [(i, gen.full_name(), rng.choice(countries)) for i in range(1, n_authors + 1)],
+    )
+    db.insert_rows(
+        "books",
+        [
+            (
+                i,
+                f"{gen.genre().title()} Volume {i}",
+                rng.randint(1, n_authors),
+                gen.genre(),
+                gen.year(1950, 2023),
+            )
+            for i in range(1, n_books + 1)
+        ],
+    )
+    branches = ["Main Library", "East Branch", "West Branch", "Downtown"]
+    db.insert_rows(
+        "loans",
+        [
+            (
+                i,
+                rng.randint(1, n_books),
+                gen.full_name(),
+                gen.date(),
+                rng.randint(1, 60),
+                rng.choice(branches),
+            )
+            for i in range(1, rng.randint(300, 500) + 1)
+        ],
+    )
+    return db
+
+
+def _build_flights(rng: RngStream, gen: DataGenerator) -> Database:
+    db = Database("flights")
+    db.execute("CREATE TABLE airports (code TEXT PRIMARY KEY, city TEXT, state TEXT)")
+    db.execute(
+        "CREATE TABLE flights (id INT PRIMARY KEY, airline TEXT, origin TEXT,"
+        " destination TEXT, flight_date TEXT, delay_minutes INT, year INT)"
+    )
+    db.execute(
+        "CREATE TABLE crew_assignments (id INT PRIMARY KEY, flight_id INT,"
+        " crew_name TEXT, role TEXT)"
+    )
+    airports = ["SFO", "OAK", "SEA", "AUS", "PDX", "DEN", "ORD", "BOS"]
+    db.insert_rows(
+        "airports", [(code, gen.city(), gen.state()) for code in airports]
+    )
+    n_flights = rng.randint(250, 450)
+    rows = []
+    for i in range(1, n_flights + 1):
+        origin = rng.choice(airports)
+        destination = rng.choice([a for a in airports if a != origin])
+        date = gen.date()
+        rows.append(
+            (
+                i,
+                gen.airline(),
+                origin,
+                destination,
+                date,
+                max(rng.randint(-10, 180), 0),
+                int(date[:4]),
+            )
+        )
+    db.insert_rows("flights", rows)
+    db.insert_rows(
+        "crew_assignments",
+        [
+            (i, rng.randint(1, n_flights), gen.full_name(), gen.role())
+            for i in range(1, rng.randint(400, 700) + 1)
+        ],
+    )
+    return db
+
+
+def _build_clinic(rng: RngStream, gen: DataGenerator) -> Database:
+    db = Database("clinic")
+    db.execute(
+        "CREATE TABLE doctors (id INT PRIMARY KEY, name TEXT, department TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE patients (id INT PRIMARY KEY, name TEXT, city TEXT,"
+        " state TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE visits (id INT PRIMARY KEY, patient_id INT, doctor_id INT,"
+        " visit_date TEXT, cost FLOAT, year INT, insurance TEXT)"
+    )
+    n_doctors = rng.randint(8, 15)
+    n_patients = rng.randint(40, 80)
+    db.insert_rows(
+        "doctors",
+        [(i, gen.full_name(), gen.department()) for i in range(1, n_doctors + 1)],
+    )
+    db.insert_rows(
+        "patients",
+        [
+            (i, gen.full_name(), gen.city(), gen.state())
+            for i in range(1, n_patients + 1)
+        ],
+    )
+    insurers = ["Blue Shield", "Golden Care", "Med Direct", "Self Pay"]
+    rows = []
+    for i in range(1, rng.randint(300, 500) + 1):
+        date = gen.date()
+        rows.append(
+            (
+                i,
+                rng.randint(1, n_patients),
+                rng.randint(1, n_doctors),
+                date,
+                gen.amount(40, 900),
+                int(date[:4]),
+                rng.choice(insurers),
+            )
+        )
+    db.insert_rows("visits", rows)
+    return db
+
+
+_DOMAIN_BUILDERS = {
+    "retail": _build_retail,
+    "library": _build_library,
+    "flights": _build_flights,
+    "clinic": _build_clinic,
+}
+
+DOMAINS = tuple(_DOMAIN_BUILDERS)
+
+#: Per-domain query-building metadata: the fact table, joinable dims, the
+#: numeric columns, categorical filter columns (with trap flags), and
+#: group-by candidates.
+_DOMAIN_META = {
+    "retail": {
+        "fact": "sales",
+        "dims": [("stores", ("store_id", "id")), ("products", ("product_id", "id"))],
+        "measures": [("sales", "amount"), ("sales", "quantity")],
+        "filters": [
+            ("sales", "year", "year"),
+            ("sales", "channel", "plain"),
+            ("stores", "state", "state_full"),
+            ("stores", "city", "plain"),
+            ("products", "category", "plain"),
+        ],
+        "groups": [("stores", "city"), ("stores", "state"), ("products", "category"), ("sales", "year")],
+    },
+    "library": {
+        "fact": "loans",
+        "dims": [("books", ("book_id", "id"))],
+        "measures": [("loans", "days")],
+        "filters": [
+            ("loans", "branch", "plain"),
+            ("books", "genre", "plain"),
+            ("books", "published_year", "year_range"),
+        ],
+        "groups": [("books", "genre")],
+    },
+    "flights": {
+        "fact": "flights",
+        "dims": [("airports", ("origin", "code"))],
+        "measures": [("flights", "delay_minutes")],
+        "filters": [
+            ("flights", "airline", "plain"),
+            ("flights", "year", "year"),
+            ("airports", "state", "state_full"),
+        ],
+        "groups": [("flights", "airline"), ("airports", "city"), ("flights", "origin")],
+    },
+    "clinic": {
+        "fact": "visits",
+        "dims": [("patients", ("patient_id", "id")), ("doctors", ("doctor_id", "id"))],
+        "measures": [("visits", "cost")],
+        "filters": [
+            ("visits", "year", "year"),
+            ("visits", "insurance", "plain"),
+            ("doctors", "department", "plain"),
+            ("patients", "state", "state_full"),
+        ],
+        "groups": [("doctors", "department"), ("patients", "city"), ("visits", "year")],
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# task generation
+# ---------------------------------------------------------------------------
+
+
+class BirdTaskPool:
+    """Generates a reusable pool of tasks over shared domain databases."""
+
+    def __init__(self, seed: int = 0, databases_per_domain: int = 2) -> None:
+        self.seed = seed
+        self._rng = RngStream(seed, "bird-pool")
+        self._dbs: dict[tuple[str, int], Database] = {}
+        self._databases_per_domain = databases_per_domain
+
+    def database(self, domain: str, index: int) -> Database:
+        key = (domain, index)
+        if key not in self._dbs:
+            self._dbs[key] = build_domain_db(domain, self.seed * 100 + index)
+        return self._dbs[key]
+
+    def generate(self, n_tasks: int) -> list[BirdTask]:
+        tasks: list[BirdTask] = []
+        difficulties = ["simple", "moderate", "challenging"]
+        for i in range(n_tasks):
+            domain = DOMAINS[i % len(DOMAINS)]
+            db_index = (i // len(DOMAINS)) % self._databases_per_domain
+            difficulty = difficulties[i % len(difficulties)]
+            rng = self._rng.child("task", i)
+            task = self._generate_task(
+                f"t{i:03d}", domain, db_index, difficulty, rng
+            )
+            if task is not None:
+                tasks.append(task)
+        return tasks
+
+    def _generate_task(
+        self, task_id: str, domain: str, db_index: int, difficulty: str, rng: RngStream
+    ) -> BirdTask | None:
+        db = self.database(domain, db_index)
+        meta = _DOMAIN_META[domain]
+        spec = self._build_spec(db, meta, difficulty, rng)
+        gold_sql = spec.gold_sql()
+        try:
+            gold = db.execute(gold_sql)
+        except Exception:
+            return None
+        if gold.row_count == 0:
+            # Regenerate with a safer filter rather than ship an empty gold.
+            spec = self._build_spec(db, meta, difficulty, rng.child("retry"))
+            gold_sql = spec.gold_sql()
+            try:
+                gold = db.execute(gold_sql)
+            except Exception:
+                return None
+        question = self._question_text(domain, spec)
+        distractors = tuple(
+            t for t in db.table_names() if t not in spec.tables()
+        )
+        return BirdTask(
+            task_id=task_id,
+            domain=domain,
+            difficulty=difficulty,
+            db=db,
+            question=question,
+            spec=spec,
+            gold_sql=gold_sql,
+            gold_signature=gold.signature(),
+            distractor_tables=distractors,
+        )
+
+    # -- spec construction -------------------------------------------------------
+
+    def _build_spec(
+        self, db: Database, meta: dict, difficulty: str, rng: RngStream
+    ) -> TaskSpec:
+        fact = meta["fact"]
+        use_join = difficulty in ("moderate", "challenging") and rng.bernoulli(
+            0.8 if difficulty == "challenging" else 0.5
+        )
+        dim_table = None
+        join = None
+        if use_join and meta["dims"]:
+            dim_table, join = rng.choice(meta["dims"])
+
+        available_filters = [
+            f for f in meta["filters"] if f[0] == fact or f[0] == dim_table
+        ]
+        n_filters = 1 if difficulty == "simple" else rng.randint(1, 2)
+        chosen = rng.sample(available_filters, min(n_filters, len(available_filters)))
+        filters = tuple(
+            self._make_filter(db, table, column, kind, rng)
+            for table, column, kind in chosen
+        )
+
+        func, measure_table, measure_col = self._choose_measure(meta, fact, rng)
+
+        group_by = None
+        order_desc_limit = None
+        aggregate = (func, measure_table, measure_col)
+        projection: tuple[tuple[str, str], ...] = ()
+        if difficulty == "simple":
+            if rng.bernoulli(0.5):
+                # Plain filter-project task, no aggregation.
+                aggregate = None
+                projection = self._simple_projection(db, fact)
+        else:
+            candidate_groups = [
+                g for g in meta["groups"] if g[0] == fact or g[0] == dim_table
+            ]
+            if candidate_groups:
+                group_by = rng.choice(candidate_groups)
+            if difficulty == "challenging" and rng.bernoulli(0.6):
+                order_desc_limit = rng.randint(3, 5)
+
+        return TaskSpec(
+            fact_table=fact,
+            dim_table=dim_table,
+            join=join,
+            filters=filters,
+            group_by=group_by,
+            aggregate=aggregate,
+            projection=projection,
+            order_desc_limit=order_desc_limit if group_by else None,
+        )
+
+    def _choose_measure(
+        self, meta: dict, fact: str, rng: RngStream
+    ) -> tuple[str, str, str]:
+        if rng.bernoulli(0.3):
+            return ("COUNT", fact, "*")
+        table, column = rng.choice(meta["measures"])
+        func = rng.choice(["SUM", "AVG", "MAX"])
+        return (func, table, column)
+
+    def _simple_projection(self, db: Database, fact: str) -> tuple[tuple[str, str], ...]:
+        schema = db.catalog.table(fact).schema
+        names = schema.column_names()
+        return tuple((fact, name) for name in names[: min(3, len(names))])
+
+    def _make_filter(
+        self, db: Database, table: str, column: str, kind: str, rng: RngStream
+    ) -> FilterSpec:
+        stats = db.catalog.stats(table).column(column)
+        assert stats is not None
+        if kind == "year":
+            value = rng.randint(2021, 2024)
+            return FilterSpec(table, column, "=", value)
+        if kind == "year_range":
+            value = rng.randint(1980, 2010)
+            return FilterSpec(table, column, ">", value)
+        # Categorical: pick a real most-common value so gold is non-empty.
+        candidates = [v for v, _ in stats.most_common if isinstance(v, str)]
+        value = rng.choice(candidates) if candidates else ""
+        wrong = None
+        if kind == "state_full":
+            wrong = STATE_ABBREVIATIONS.get(str(value))
+        elif isinstance(value, str) and value:
+            # Case/shape traps an ungrounded agent falls into: lowercase the
+            # stored value, or keep only its first word ("Cascade" for
+            # "Cascade Jet"). Both are plausible guesses that match nothing.
+            if value.lower() != value:
+                wrong = value.lower()
+            elif " " in value:
+                wrong = value.split(" ", 1)[0]
+        return FilterSpec(table, column, "=", value, wrong_value=wrong)
+
+    # -- question text -----------------------------------------------------------
+
+    def _question_text(self, domain: str, spec: TaskSpec) -> str:
+        parts: list[str] = []
+        if spec.aggregate is not None:
+            func, _, column = spec.aggregate
+            noun = {
+                "COUNT": "number of records",
+                "SUM": f"total {column}",
+                "AVG": f"average {column}",
+                "MAX": f"maximum {column}",
+            }[func]
+            parts.append(f"What is the {noun} in {spec.fact_table}")
+        else:
+            cols = ", ".join(c for _, c in spec.projection)
+            parts.append(f"List {cols} from {spec.fact_table}")
+        if spec.group_by is not None:
+            parts.append(f"for each {spec.group_by[1]}")
+        if spec.dim_table:
+            parts.append(f"(joining {spec.dim_table})")
+        for filter_spec in spec.filters:
+            parts.append(
+                f"where {filter_spec.column} {filter_spec.op} {filter_spec.value}"
+            )
+        if spec.order_desc_limit:
+            parts.append(f"— report the top {spec.order_desc_limit}")
+        return " ".join(parts) + "?"
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)

@@ -1,0 +1,114 @@
+"""Seeded plausible-value generators for the synthetic databases."""
+
+from __future__ import annotations
+
+from repro.util.rng import RngStream
+
+FIRST_NAMES = [
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "John",
+    "Margaret", "Tim", "Radia", "Vint", "Frances", "Ken", "Dennis", "Bjarne",
+    "Guido", "Anders", "Yukihiro", "Brendan",
+]
+LAST_NAMES = [
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Lamport",
+    "Backus", "Hamilton", "Berners-Lee", "Perlman", "Cerf", "Allen",
+    "Thompson", "Ritchie", "Stroustrup", "Rossum", "Hejlsberg", "Matsumoto",
+    "Eich",
+]
+CITIES = [
+    "Berkeley", "Oakland", "Seattle", "Austin", "Portland", "Denver",
+    "Chicago", "Boston", "Atlanta", "Phoenix", "Madison", "Ithaca",
+    "Ann Arbor", "Pittsburgh", "Durham", "Provo",
+]
+#: Full state names — the paper's running example of encoding mismatches is
+#: agents guessing 'CA' when the data spells states out in entirety.
+STATES_FULL = [
+    "California", "Washington", "Texas", "Oregon", "Colorado", "Illinois",
+    "Massachusetts", "Georgia", "Arizona", "Wisconsin", "New York",
+    "Michigan", "Pennsylvania", "North Carolina", "Utah",
+]
+STATE_ABBREVIATIONS = {
+    "California": "CA", "Washington": "WA", "Texas": "TX", "Oregon": "OR",
+    "Colorado": "CO", "Illinois": "IL", "Massachusetts": "MA", "Georgia": "GA",
+    "Arizona": "AZ", "Wisconsin": "WI", "New York": "NY", "Michigan": "MI",
+    "Pennsylvania": "PA", "North Carolina": "NC", "Utah": "UT",
+}
+PRODUCTS = [
+    "Coffee Beans", "Espresso Roast", "Green Tea", "Black Tea", "Pastry",
+    "Croissant", "Cold Brew", "Matcha", "Drip Coffee", "Chai Latte",
+    "Oat Milk", "Bagel", "Muffin", "Sandwich", "Granola",
+]
+# Stored values are capitalised (and often multi-word) — the encoding shape
+# an ungrounded agent guesses wrong (paper Sec. 4.2's why-not example).
+CATEGORIES = ["Beverage", "Bakery", "Grocery", "Merchandise", "Seasonal"]
+GENRES = ["Fiction", "History", "Science", "Poetry", "Biography", "Fantasy"]
+AIRLINES = ["Pacific Air", "Bay Express", "Cascade Jet", "Lone Star Air"]
+AIRPORTS = ["SFO", "OAK", "SEA", "AUS", "PDX", "DEN", "ORD", "BOS"]
+ROLES = ["Captain", "First Officer", "Purser", "Attendant"]
+DEPARTMENTS = ["Cardiology", "Oncology", "Pediatrics", "Radiology", "Surgery"]
+
+
+class DataGenerator:
+    """Deterministic plausible values drawn from a named RNG stream."""
+
+    def __init__(self, rng: RngStream) -> None:
+        self._rng = rng
+
+    def full_name(self) -> str:
+        return f"{self._rng.choice(FIRST_NAMES)} {self._rng.choice(LAST_NAMES)}"
+
+    def email(self, name: str | None = None) -> str:
+        base = (name or self.full_name()).lower().replace(" ", ".")
+        domain = self._rng.choice(["example.com", "mail.test", "corp.local"])
+        return f"{base}@{domain}"
+
+    def city(self) -> str:
+        return self._rng.choice(CITIES)
+
+    def state(self) -> str:
+        return self._rng.choice(STATES_FULL)
+
+    def product(self) -> str:
+        return self._rng.choice(PRODUCTS)
+
+    def category(self) -> str:
+        return self._rng.choice(CATEGORIES)
+
+    def genre(self) -> str:
+        return self._rng.choice(GENRES)
+
+    def airline(self) -> str:
+        return self._rng.choice(AIRLINES)
+
+    def airport(self) -> str:
+        return self._rng.choice(AIRPORTS)
+
+    def role(self) -> str:
+        return self._rng.choice(ROLES)
+
+    def department(self) -> str:
+        return self._rng.choice(DEPARTMENTS)
+
+    def date(self, start_year: int = 2021, end_year: int = 2024) -> str:
+        year = self._rng.randint(start_year, end_year)
+        month = self._rng.randint(1, 12)
+        day = self._rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def year(self, low: int = 2021, high: int = 2024) -> int:
+        return self._rng.randint(low, high)
+
+    def amount(self, low: float = 1.0, high: float = 500.0) -> float:
+        return round(self._rng.uniform(low, high), 2)
+
+    def quantity(self, low: int = 1, high: int = 20) -> int:
+        return self._rng.randint(low, high)
+
+    def rating(self) -> float:
+        return round(self._rng.uniform(1.0, 5.0), 1)
+
+    def boolean(self, true_probability: float = 0.5) -> bool:
+        return self._rng.bernoulli(true_probability)
+
+    def maybe_null(self, value, null_probability: float = 0.05):
+        return None if self._rng.bernoulli(null_probability) else value

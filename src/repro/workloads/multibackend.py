@@ -1,0 +1,192 @@
+"""Cross-backend tasks (the paper's second case study).
+
+Each task splits related data across two heterogeneous backends — e.g.
+customer profiles in a Mongo-style document store, interaction events in a
+mini-DuckDB — and asks a question no single backend can answer: the agent
+must discover both sides, clean the join keys, and combine results in
+client-side Python. Impossible in one shot, by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backends import (
+    BackendKind,
+    DocumentStore,
+    FederatedEnvironment,
+    RelationalBackend,
+)
+from repro.db import Database
+from repro.util.rng import RngStream
+from repro.workloads.datagen import DataGenerator
+
+#: Relational dialects rotated across tasks.
+_RELATIONAL_KINDS = [BackendKind.DUCKDB, BackendKind.POSTGRES, BackendKind.SQLITE]
+
+#: (document collection, relational table, event field) scenario templates.
+_SCENARIOS = [
+    ("customers", "upvotes", "votes"),
+    ("users", "orders", "order_total"),
+    ("devices", "telemetry", "reading"),
+    ("suppliers", "shipments", "weight"),
+    ("students", "submissions", "score"),
+    ("drivers", "trips", "fare"),
+    ("patients", "appointments", "copay"),
+    ("subscribers", "streams", "minutes"),
+    ("vendors", "invoices", "amount_due"),
+    ("players", "matches", "points"),
+    ("readers", "checkouts", "renewals"),
+]
+
+
+@dataclass
+class CrossBackendTask:
+    """One federated task with its environment and gold answer."""
+
+    task_id: str
+    description: str
+    env: FederatedEnvironment
+    doc_backend: str
+    rel_backend: str
+    collection: str
+    table: str
+    #: Join keys: documents carry string ids; rows carry integers — the
+    #: cleaning step every successful trace performs.
+    doc_key: str
+    rel_key: str
+    #: The categorical filter on the document side (field, value) and the
+    #: plausible wrong literal an ungrounded agent guesses.
+    filter_field: str
+    filter_value: str
+    filter_wrong_value: str | None
+    #: Metric over the relational event field for matching rows.
+    metric: str  # 'sum' | 'count'
+    event_field: str
+    gold_value: float
+    #: Collections/tables present but irrelevant (exploration noise).
+    distractors: tuple[str, ...] = ()
+
+    def check(self, value: object) -> bool:
+        if value is None:
+            return False
+        try:
+            return abs(float(value) - self.gold_value) < 1e-6
+        except (TypeError, ValueError):
+            return False
+
+
+def build_cross_backend_tasks(
+    seed: int = 0, n_tasks: int = 22
+) -> list[CrossBackendTask]:
+    """Build the 22-task cross-backend workload (2 backends per task)."""
+    tasks = []
+    for index in range(n_tasks):
+        rng = RngStream(seed, "xbackend", index)
+        scenario = _SCENARIOS[index % len(_SCENARIOS)]
+        kind = _RELATIONAL_KINDS[index % len(_RELATIONAL_KINDS)]
+        tasks.append(_build_task(f"x{index:02d}", scenario, kind, rng))
+    return tasks
+
+
+def _build_task(
+    task_id: str,
+    scenario: tuple[str, str, str],
+    rel_kind: BackendKind,
+    rng: RngStream,
+) -> CrossBackendTask:
+    collection_name, table_name, event_field = scenario
+    gen = DataGenerator(rng)
+
+    segments = ["gold", "silver", "bronze", "trial"]
+    segment_value = rng.choice(segments)
+    # The trap: documents store the segment capitalised with a suffix; an
+    # ungrounded agent filters on the plain lowercase token.
+    stored_segment = segment_value.upper() + "_TIER"
+
+    # Document side -------------------------------------------------------
+    docs = DocumentStore(f"mongo_{task_id}")
+    collection = docs.collection(collection_name)
+    n_entities = rng.randint(30, 60)
+    entity_segments: dict[int, str] = {}
+    for entity_id in range(1, n_entities + 1):
+        segment = rng.choice(segments).upper() + "_TIER"
+        entity_segments[entity_id] = segment
+        collection.insert_one(
+            {
+                # String-typed id: the cross-backend type mismatch.
+                "external_id": str(entity_id),
+                "name": gen.full_name(),
+                "email": gen.email(),
+                "segment": segment,
+                "city": gen.city(),
+            }
+        )
+    # A distractor collection.
+    docs.collection("audit_log").insert_many(
+        {"event": "login", "at": gen.date()} for _ in range(10)
+    )
+
+    # Relational side ------------------------------------------------------
+    db = Database(table_name)
+    db.execute(
+        f"CREATE TABLE {table_name} (id INT PRIMARY KEY, entity_id INT,"
+        f" {event_field} FLOAT, event_date TEXT)"
+    )
+    rows = []
+    n_events = rng.randint(150, 300)
+    for i in range(1, n_events + 1):
+        rows.append(
+            (
+                i,
+                rng.randint(1, n_entities),
+                gen.amount(1, 50),
+                gen.date(),
+            )
+        )
+    db.insert_rows(table_name, rows)
+    db.execute("CREATE TABLE schema_migrations (version INT, applied_at TEXT)")
+    db.insert_rows("schema_migrations", [(1, "2023-01-01"), (2, "2023-06-01")])
+    rel = RelationalBackend(f"{rel_kind.value}_{task_id}", rel_kind, db)
+
+    env = FederatedEnvironment()
+    env.add_backend(docs)
+    env.add_backend(rel)
+
+    # Gold answer ------------------------------------------------------------
+    matching_ids = {
+        entity_id
+        for entity_id, segment in entity_segments.items()
+        if segment == stored_segment
+    }
+    metric = "sum" if rng.bernoulli(0.6) else "count"
+    if metric == "sum":
+        gold = sum(row[2] for row in rows if row[1] in matching_ids)
+    else:
+        gold = float(sum(1 for row in rows if row[1] in matching_ids))
+    gold = round(gold, 2)
+
+    noun = "total " + event_field if metric == "sum" else "number of events"
+    description = (
+        f"Compute the {noun} in {rel.name}.{table_name} for"
+        f" {collection_name} whose segment is {segment_value} (stored in"
+        f" {docs.name})."
+    )
+    return CrossBackendTask(
+        task_id=task_id,
+        description=description,
+        env=env,
+        doc_backend=docs.name,
+        rel_backend=rel.name,
+        collection=collection_name,
+        table=table_name,
+        doc_key="external_id",
+        rel_key="entity_id",
+        filter_field="segment",
+        filter_value=stored_segment,
+        filter_wrong_value=segment_value,
+        metric=metric,
+        event_field=event_field,
+        gold_value=gold,
+        distractors=("audit_log", "schema_migrations"),
+    )

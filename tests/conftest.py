@@ -1,0 +1,42 @@
+"""Shared fixtures: small populated databases used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def sales_db() -> Database:
+    """A small two-table sales database with deterministic contents."""
+    db = Database("sales")
+    db.execute(
+        "CREATE TABLE stores ("
+        "  id INT PRIMARY KEY, city TEXT, state TEXT, opened INT)"
+    )
+    db.execute(
+        "CREATE TABLE sales ("
+        "  id INT PRIMARY KEY, store_id INT, product TEXT,"
+        "  amount FLOAT, year INT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES "
+        "(1,'Berkeley','CA',2001),(2,'Oakland','CA',2005),"
+        "(3,'Seattle','WA',2010),(4,'Austin','TX',2015),"
+        "(5,'Portland','OR',2012)"
+    )
+    db.execute(
+        "INSERT INTO sales VALUES "
+        "(1,1,'coffee',120.5,2023),(2,1,'tea',30.0,2023),"
+        "(3,2,'coffee',80.0,2023),(4,3,'coffee',200.0,2023),"
+        "(5,3,'tea',55.5,2024),(6,4,'coffee',50.25,2024),"
+        "(7,1,'coffee',99.0,2024),(8,2,'tea',20.0,2024),"
+        "(9,5,'coffee',10.0,2024),(10,5,'pastry',5.0,2023)"
+    )
+    return db
+
+
+@pytest.fixture
+def empty_db() -> Database:
+    return Database("empty")

@@ -1,0 +1,282 @@
+"""Tests for the agent simulator: profiles, grounding, attempts, traces,
+and the three agent modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import (
+    GPT_4O_MINI_SIM,
+    QWEN_CODER_SIM,
+    AttemptGenerator,
+    CrossBackendAgent,
+    Grounding,
+    HintSet,
+    SequentialAgent,
+    Supervisor,
+    run_parallel_attempts,
+)
+from repro.agents.parallel import FieldAttempt
+from repro.agents.trace import ACTIVITY_ORDER, Activity, AgentTrace
+from repro.util.rng import RngStream
+from repro.workloads.bird import BirdTaskPool
+from repro.workloads.multibackend import build_cross_backend_tasks
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return BirdTaskPool(seed=11).generate(12)
+
+
+class TestModelProfiles:
+    def test_knowledge_deterministic(self):
+        assert GPT_4O_MINI_SIM.knows_format("t001") == GPT_4O_MINI_SIM.knows_format("t001")
+
+    def test_common_random_numbers_nesting(self):
+        """The stronger model knows a superset of the weaker model's tasks."""
+        for i in range(200):
+            task_id = f"t{i:03d}"
+            if QWEN_CODER_SIM.knows_format(task_id):
+                assert GPT_4O_MINI_SIM.knows_format(task_id)
+            if QWEN_CODER_SIM.knows_schema(task_id):
+                assert GPT_4O_MINI_SIM.knows_schema(task_id)
+
+    def test_knowledge_rates_near_parameters(self):
+        known = sum(GPT_4O_MINI_SIM.knows_format(f"x{i}") for i in range(2000)) / 2000
+        assert abs(known - GPT_4O_MINI_SIM.format_knowledge) < 0.05
+
+
+class TestGrounding:
+    def test_coverage_progression(self, tasks):
+        task = next(t for t in tasks if t.spec.join is not None)
+        grounding = Grounding()
+        assert grounding.coverage(task.spec) == 0.0
+        for table in task.spec.tables():
+            grounding.learn_table(table)
+        mid = grounding.coverage(task.spec)
+        assert 0 < mid < 1
+        for f in task.spec.filters:
+            grounding.learn_format(f.table, f.column)
+        grounding.verify_join(*task.spec.join)
+        assert grounding.coverage(task.spec) == 1.0
+
+    def test_case_insensitive(self):
+        grounding = Grounding()
+        grounding.learn_table("Sales")
+        assert grounding.table_known("SALES")
+
+    def test_missing_tables(self, tasks):
+        task = tasks[0]
+        grounding = Grounding()
+        assert grounding.missing_tables(task.spec) == task.spec.tables()
+
+
+class TestAttemptGenerator:
+    def test_fully_grounded_attempts_often_correct(self, tasks):
+        correct = 0
+        attempts = 0
+        for task in tasks:
+            generator = AttemptGenerator(task, GPT_4O_MINI_SIM)
+            grounding = Grounding()
+            for table in task.spec.tables():
+                grounding.learn_table(table)
+            for f in task.spec.filters:
+                grounding.learn_format(f.table, f.column)
+            if task.spec.join:
+                grounding.verify_join(*task.spec.join)
+            rng = RngStream(1, "gen", task.task_id)
+            for k in range(10):
+                attempts += 1
+                attempt = generator.full_attempt(grounding, rng.child(k))
+                if task.check(attempt.sql):
+                    correct += 1
+        assert correct / attempts > 0.6
+
+    def test_mistakes_recorded_honestly(self, tasks):
+        """An attempt with no recorded mistakes should be gold-correct."""
+        task = tasks[0]
+        generator = AttemptGenerator(task, GPT_4O_MINI_SIM)
+        grounding = Grounding()
+        for table in task.spec.tables():
+            grounding.learn_table(table)
+        for f in task.spec.filters:
+            grounding.learn_format(f.table, f.column)
+        if task.spec.join:
+            grounding.verify_join(*task.spec.join)
+        rng = RngStream(2, "gen2")
+        clean = [
+            a
+            for a in (generator.full_attempt(grounding, rng.child(i)) for i in range(30))
+            if not a.mistakes
+        ]
+        assert clean, "some attempts should be mistake-free"
+        assert all(task.check(a.sql) for a in clean)
+
+    def test_ungrounded_trap_task_systematically_wrong(self, tasks):
+        trapped = [
+            t
+            for t in tasks
+            if any(f.wrong_value is not None for f in t.spec.filters)
+            and not GPT_4O_MINI_SIM.knows_format(t.task_id)
+        ]
+        if not trapped:
+            pytest.skip("no trapped task in this pool slice")
+        task = trapped[0]
+        generator = AttemptGenerator(task, GPT_4O_MINI_SIM)
+        grounding = Grounding()
+        for table in task.spec.tables():
+            grounding.learn_table(table)
+        rng = RngStream(3, "gen3")
+        results = [
+            task.check(generator.full_attempt(grounding, rng.child(i)).sql)
+            for i in range(15)
+        ]
+        assert not any(results), "ungrounded trap tasks cannot be solved by retries"
+
+    def test_partial_probes_well_formed(self, tasks):
+        task = next(t for t in tasks if t.spec.join is not None)
+        generator = AttemptGenerator(task, GPT_4O_MINI_SIM)
+        join_sql = generator.join_probe()
+        assert join_sql is not None
+        task.db.execute(join_sql)  # must parse and run
+        for f in task.spec.filters:
+            task.db.execute(generator.filter_probe(f, Grounding()))
+
+
+class TestTrace:
+    def test_record_and_counts(self):
+        trace = AgentTrace(task_id="t", agent="a")
+        trace.record(Activity.EXPLORING_TABLES, "q1")
+        trace.record(Activity.FULL_ATTEMPT, "q2")
+        trace.record(Activity.FULL_ATTEMPT, "q3")
+        counts = trace.activity_counts()
+        assert counts[Activity.EXPLORING_TABLES] == 1
+        assert counts[Activity.FULL_ATTEMPT] == 2
+
+    def test_normalized_positions(self):
+        trace = AgentTrace(task_id="t", agent="a")
+        for i in range(5):
+            trace.record(Activity.PARTIAL_ATTEMPT, f"q{i}")
+        positions = [p for p, _ in trace.normalized_positions()]
+        assert positions[0] == 0.0
+        assert positions[-1] == 1.0
+
+    def test_single_event_position(self):
+        trace = AgentTrace(task_id="t", agent="a")
+        trace.record(Activity.FULL_ATTEMPT, "q")
+        assert trace.normalized_positions() == [(0.0, Activity.FULL_ATTEMPT)]
+
+
+class TestSequentialAgent:
+    def test_run_is_deterministic(self, tasks):
+        task = tasks[0]
+        outcome_a = SequentialAgent(task, GPT_4O_MINI_SIM, RngStream(7, "s")).run(5)
+        outcome_b = SequentialAgent(task, GPT_4O_MINI_SIM, RngStream(7, "s")).run(5)
+        assert outcome_a.success == outcome_b.success
+        assert [e.request for e in outcome_a.trace.events] == [
+            e.request for e in outcome_b.trace.events
+        ]
+
+    def test_always_produces_final_attempt(self, tasks):
+        for task in tasks[:6]:
+            outcome = SequentialAgent(task, GPT_4O_MINI_SIM, RngStream(8, task.task_id)).run(3)
+            assert outcome.final_sql is not None
+
+    def test_trace_uses_taxonomy(self, tasks):
+        outcome = SequentialAgent(tasks[0], GPT_4O_MINI_SIM, RngStream(9, "s")).run(7)
+        assert all(e.activity in ACTIVITY_ORDER for e in outcome.trace.events)
+
+    def test_more_turns_do_not_hurt_much(self, tasks):
+        """Aggregate success with budget 7 should beat budget 1."""
+        short = long = 0
+        for rep in range(3):
+            for task in tasks:
+                short += SequentialAgent(
+                    task, GPT_4O_MINI_SIM, RngStream(rep, "cmp", task.task_id, 1)
+                ).run(1).success
+                long += SequentialAgent(
+                    task, GPT_4O_MINI_SIM, RngStream(rep, "cmp", task.task_id, 7)
+                ).run(7).success
+        assert long > short
+
+
+class TestParallelAndSupervisor:
+    def test_supervisor_majority(self):
+        attempts = [
+            FieldAttempt("q1", True, "sig_a", 3),
+            FieldAttempt("q2", True, "sig_a", 3),
+            FieldAttempt("q3", True, "sig_b", 3),
+        ]
+        assert Supervisor().pick(attempts) == "sig_a"
+
+    def test_supervisor_downweights_empty(self):
+        attempts = [
+            FieldAttempt("q1", True, "empty_sig", 0),
+            FieldAttempt("q2", True, "empty_sig", 0),
+            FieldAttempt("q3", True, "real_sig", 4),
+        ]
+        assert Supervisor().pick(attempts) == "real_sig"
+
+    def test_supervisor_all_errors_returns_none(self):
+        attempts = [FieldAttempt("q", False, None, 0)]
+        assert Supervisor().pick(attempts) is None
+
+    def test_parallel_run_shapes(self, tasks):
+        outcome = run_parallel_attempts(tasks[0], GPT_4O_MINI_SIM, 10, seed=3)
+        assert len(outcome.attempts) == 10
+        assert isinstance(outcome.success, bool)
+
+    def test_success_at_prefix_monotone_data(self, tasks):
+        supervisor = Supervisor()
+        outcome = run_parallel_attempts(tasks[0], GPT_4O_MINI_SIM, 20, seed=3)
+        # success_at uses only the first k attempts.
+        values = [outcome.success_at(k, supervisor, tasks[0]) for k in (1, 5, 20)]
+        assert all(isinstance(v, bool) for v in values)
+
+    def test_deterministic_per_seed(self, tasks):
+        a = run_parallel_attempts(tasks[1], QWEN_CODER_SIM, 8, seed=5)
+        b = run_parallel_attempts(tasks[1], QWEN_CODER_SIM, 8, seed=5)
+        assert [x.sql for x in a.attempts] == [x.sql for x in b.attempts]
+
+
+class TestCrossBackendAgent:
+    def test_agent_completes_and_records(self):
+        task = build_cross_backend_tasks(seed=2, n_tasks=1)[0]
+        outcome = CrossBackendAgent(
+            task, GPT_4O_MINI_SIM, RngStream(1, "x")
+        ).run(max_steps=24)
+        assert len(outcome.trace) > 0
+        assert outcome.answer is not None
+
+    def test_hints_reduce_trace_length(self):
+        lengths_without = []
+        lengths_with = []
+        for seed in range(4):
+            for task in build_cross_backend_tasks(seed=6, n_tasks=6):
+                without = CrossBackendAgent(
+                    task, GPT_4O_MINI_SIM, RngStream(seed, "nh", task.task_id)
+                ).run()
+                withh = CrossBackendAgent(
+                    task,
+                    GPT_4O_MINI_SIM,
+                    RngStream(seed, "wh", task.task_id),
+                    hints=HintSet(),
+                ).run()
+                lengths_without.append(len(without.trace))
+                lengths_with.append(len(withh.trace))
+        assert sum(lengths_with) < sum(lengths_without)
+
+    def test_key_type_matters(self):
+        """Without learning the key-type mismatch, the join yields nothing."""
+        task = build_cross_backend_tasks(seed=2, n_tasks=1)[0]
+        agent = CrossBackendAgent(task, GPT_4O_MINI_SIM, RngStream(1, "kt"))
+        agent.grounding.knows_collection = True
+        agent.grounding.knows_table = True
+        agent.grounding.knows_doc_fields = True
+        agent.grounding.knows_segment_format = True
+        agent.grounding.knows_key_type = False
+        agent._full_attempt()
+        assert agent._answer == 0.0
+        agent.grounding.knows_key_type = True
+        agent._full_attempt()
+        assert task.check(agent._answer)

@@ -1,0 +1,160 @@
+"""Tests for approximate execution (sampling) and the shared-work cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.engine.executor import SubplanCache
+
+
+@pytest.fixture
+def big_db() -> Database:
+    db = Database("big")
+    db.execute("CREATE TABLE events (id INT, kind TEXT, value FLOAT)")
+    rows = []
+    for i in range(2000):
+        kind = "a" if i % 4 else "b"
+        rows.append(f"({i}, '{kind}', {float(i % 100)})")
+    db.execute("INSERT INTO events VALUES " + ", ".join(rows))
+    return db
+
+
+class TestSampling:
+    def test_exact_by_default(self, big_db):
+        result = big_db.execute("SELECT COUNT(*) FROM events")
+        assert not result.is_approximate
+        assert result.first_value() == 2000
+
+    def test_sampled_count_scales_up(self, big_db):
+        result = big_db.execute("SELECT COUNT(*) FROM events", sample_rate=0.2)
+        assert result.is_approximate
+        estimate = result.first_value()
+        assert 1500 <= estimate <= 2500  # within ~5 sigma of 2000
+
+    def test_sampled_count_reports_error(self, big_db):
+        result = big_db.execute("SELECT COUNT(*) AS n FROM events", sample_rate=0.2)
+        assert "__agg0" in result.estimate_errors or result.estimate_errors
+        error = next(iter(result.estimate_errors.values()))
+        assert error > 0
+
+    def test_sampled_sum_near_truth(self, big_db):
+        exact = big_db.execute("SELECT SUM(value) FROM events").first_value()
+        approx = big_db.execute(
+            "SELECT SUM(value) FROM events", sample_rate=0.3
+        ).first_value()
+        assert approx == pytest.approx(exact, rel=0.2)
+
+    def test_sampled_avg_unscaled(self, big_db):
+        exact = big_db.execute("SELECT AVG(value) FROM events").first_value()
+        approx = big_db.execute(
+            "SELECT AVG(value) FROM events", sample_rate=0.3
+        ).first_value()
+        assert approx == pytest.approx(exact, rel=0.15)
+
+    def test_count_distinct_not_scaled(self, big_db):
+        approx = big_db.execute(
+            "SELECT COUNT(DISTINCT kind) FROM events", sample_rate=0.5
+        ).first_value()
+        assert approx <= 2
+
+    def test_sampling_deterministic_per_seed(self, big_db):
+        first = big_db.execute(
+            "SELECT COUNT(*) FROM events", sample_rate=0.2, sample_seed=7
+        ).first_value()
+        second = big_db.execute(
+            "SELECT COUNT(*) FROM events", sample_rate=0.2, sample_seed=7
+        ).first_value()
+        assert first == second
+
+    def test_different_seeds_differ(self, big_db):
+        values = {
+            big_db.execute(
+                "SELECT COUNT(*) FROM events", sample_rate=0.2, sample_seed=seed
+            ).first_value()
+            for seed in range(5)
+        }
+        assert len(values) > 1
+
+    def test_sampled_scan_fewer_rows(self, big_db):
+        full = big_db.execute("SELECT id FROM events")
+        sampled = big_db.execute("SELECT id FROM events", sample_rate=0.1)
+        assert sampled.row_count < full.row_count * 0.3
+
+    def test_sampled_group_by(self, big_db):
+        result = big_db.execute(
+            "SELECT kind, COUNT(*) AS n FROM events GROUP BY kind", sample_rate=0.4
+        )
+        counts = dict(result.rows)
+        assert counts.get("a", 0) > counts.get("b", 0)
+
+
+class TestSubplanCache:
+    def test_identical_query_hits_cache(self, big_db):
+        cache = SubplanCache()
+        first = big_db.execute("SELECT COUNT(*) FROM events WHERE kind = 'a'", cache=cache)
+        second = big_db.execute("SELECT COUNT(*) FROM events WHERE kind = 'a'", cache=cache)
+        assert first.rows == second.rows
+        assert second.stats.cache_hits > 0
+        assert second.stats.rows_scanned == 0  # never touched the table
+
+    def test_alias_variant_hits_cache(self, big_db):
+        cache = SubplanCache()
+        big_db.execute("SELECT COUNT(*) FROM events WHERE kind = 'a'", cache=cache)
+        result = big_db.execute(
+            "SELECT COUNT(*) FROM events e WHERE e.kind = 'a'", cache=cache
+        )
+        assert result.stats.cache_hits > 0
+
+    def test_shared_subplan_across_different_queries(self, big_db):
+        cache = SubplanCache()
+        big_db.execute(
+            "SELECT kind, COUNT(*) FROM events WHERE value > 50 GROUP BY kind",
+            cache=cache,
+        )
+        result = big_db.execute(
+            "SELECT kind, SUM(value) FROM events WHERE value > 50 GROUP BY kind",
+            cache=cache,
+        )
+        # The filtered scan (Filter over Scan) is shared even though the
+        # aggregates differ.
+        assert result.stats.cache_hits > 0
+
+    def test_projection_order_not_conflated(self, big_db):
+        cache = SubplanCache()
+        a = big_db.execute("SELECT id, kind FROM events WHERE id < 5", cache=cache)
+        b = big_db.execute("SELECT kind, id FROM events WHERE id < 5", cache=cache)
+        assert a.columns == ["id", "kind"]
+        assert b.columns == ["kind", "id"]
+        assert [r[::-1] for r in a.rows] == b.rows
+
+    def test_different_sample_rates_not_conflated(self, big_db):
+        cache = SubplanCache()
+        exact = big_db.execute("SELECT COUNT(*) FROM events", cache=cache)
+        approx = big_db.execute("SELECT COUNT(*) FROM events", sample_rate=0.1, cache=cache)
+        assert exact.first_value() == 2000
+        assert approx.first_value() != 2000 or approx.is_approximate
+
+    def test_cache_eviction_bounded(self, big_db):
+        cache = SubplanCache(max_entries=4)
+        for i in range(10):
+            big_db.execute(f"SELECT COUNT(*) FROM events WHERE id = {i}", cache=cache)
+        assert len(cache) <= 4
+
+    def test_invalidate_clears(self, big_db):
+        cache = SubplanCache()
+        big_db.execute("SELECT COUNT(*) FROM events", cache=cache)
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_cache_work_savings(self, big_db):
+        cache = SubplanCache()
+        first = big_db.execute(
+            "SELECT kind, COUNT(*) FROM events WHERE value > 10 GROUP BY kind",
+            cache=cache,
+        )
+        second = big_db.execute(
+            "SELECT kind, COUNT(*) FROM events WHERE value > 10 GROUP BY kind",
+            cache=cache,
+        )
+        assert second.stats.rows_processed < first.stats.rows_processed * 0.1

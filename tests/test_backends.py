@@ -1,0 +1,197 @@
+"""Tests for the heterogeneous backends: document store, dialects,
+federation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BackendKind,
+    DocumentStore,
+    FederatedEnvironment,
+    RelationalBackend,
+)
+from repro.db import Database
+
+
+@pytest.fixture
+def store() -> DocumentStore:
+    docs = DocumentStore("mongo")
+    docs.collection("users").insert_many(
+        [
+            {"name": "Ada", "segment": "GOLD_TIER", "age": 36, "tags": ["a", "b"]},
+            {"name": "Grace", "segment": "SILVER_TIER", "age": 45},
+            {"name": "Alan", "segment": "GOLD_TIER", "age": 41},
+        ]
+    )
+    return docs
+
+
+class TestCollection:
+    def test_insert_assigns_ids(self, store):
+        docs = store.collection("users").find()
+        assert all("_id" in d for d in docs)
+
+    def test_find_equality(self, store):
+        docs = store.collection("users").find({"segment": "GOLD_TIER"})
+        assert {d["name"] for d in docs} == {"Ada", "Alan"}
+
+    def test_find_operators(self, store):
+        users = store.collection("users")
+        assert len(users.find({"age": {"$gt": 40}})) == 2
+        assert len(users.find({"age": {"$lte": 36}})) == 1
+        assert len(users.find({"name": {"$in": ["Ada", "Grace"]}})) == 2
+        assert len(users.find({"name": {"$regex": "^A"}})) == 2
+        assert len(users.find({"tags": {"$exists": True}})) == 1
+
+    def test_find_and_or(self, store):
+        users = store.collection("users")
+        docs = users.find(
+            {"$or": [{"name": "Ada"}, {"name": "Grace"}]}
+        )
+        assert len(docs) == 2
+        docs = users.find(
+            {"$and": [{"segment": "GOLD_TIER"}, {"age": {"$gt": 40}}]}
+        )
+        assert [d["name"] for d in docs] == ["Alan"]
+
+    def test_projection_include_exclude(self, store):
+        users = store.collection("users")
+        included = users.find({}, projection={"name": 1})
+        assert set(included[0].keys()) == {"name"}
+        excluded = users.find({}, projection={"age": 0})
+        assert "age" not in excluded[0]
+
+    def test_limit(self, store):
+        assert len(store.collection("users").find(limit=2)) == 2
+
+    def test_distinct_and_fields(self, store):
+        users = store.collection("users")
+        assert set(users.distinct("segment")) == {"GOLD_TIER", "SILVER_TIER"}
+        assert "name" in users.field_names()
+
+    def test_update_and_delete(self, store):
+        users = store.collection("users")
+        changed = users.update_many({"name": "Ada"}, {"$set": {"age": 37}})
+        assert changed == 1
+        assert users.find({"name": "Ada"})[0]["age"] == 37
+        removed = users.delete_many({"segment": "GOLD_TIER"})
+        assert removed == 2
+        assert users.count() == 1
+
+    def test_aggregate_group(self, store):
+        out = store.collection("users").aggregate(
+            [
+                {"$group": {"_id": "$segment", "n": {"$sum": 1}, "avg_age": {"$avg": "$age"}}},
+                {"$sort": {"n": -1}},
+            ]
+        )
+        assert out[0]["_id"] == "GOLD_TIER"
+        assert out[0]["n"] == 2
+        assert out[0]["avg_age"] == pytest.approx(38.5)
+
+    def test_aggregate_match_project_limit(self, store):
+        out = store.collection("users").aggregate(
+            [
+                {"$match": {"age": {"$gt": 30}}},
+                {"$project": {"name": 1}},
+                {"$limit": 2},
+            ]
+        )
+        assert len(out) == 2
+        assert set(out[0].keys()) == {"name"}
+
+    def test_aggregate_unwind(self, store):
+        out = store.collection("users").aggregate([{"$unwind": "$tags"}])
+        assert [d["tags"] for d in out] == ["a", "b"]
+
+
+class TestDocumentStoreBackend:
+    def test_list_tables(self, store):
+        response = store.list_tables()
+        assert response.ok and "users" in response.rows
+
+    def test_describe_missing_collection(self, store):
+        response = store.describe("ghost")
+        assert not response.ok
+        assert "ns does not exist" in response.error
+
+    def test_query_find_spec(self, store):
+        response = store.query("{'collection': 'users', 'filter': {'name': 'Ada'}}")
+        assert response.ok
+        assert response.rows[0]["name"] == "Ada"
+
+    def test_query_pipeline_spec(self, store):
+        response = store.query(
+            "{'collection': 'users', 'pipeline': [{'$group': {'_id': None, 'n': {'$sum': 1}}}]}"
+        )
+        assert response.ok and response.rows[0]["n"] == 3
+
+    def test_query_malformed(self, store):
+        assert not store.query("not a dict at all (").ok
+
+
+class TestRelationalDialects:
+    def make_backend(self, kind: BackendKind) -> RelationalBackend:
+        db = Database("x")
+        db.execute("CREATE TABLE items (id INT, name TEXT)")
+        db.execute("INSERT INTO items VALUES (1, 'a')")
+        return RelationalBackend(kind.value, kind, db)
+
+    def test_postgres_lists_system_noise(self):
+        backend = self.make_backend(BackendKind.POSTGRES)
+        rows = backend.list_tables().rows
+        assert "items" in rows
+        assert any(name.startswith("pg_") for name in rows)
+
+    def test_duckdb_and_sqlite_clean_listing(self):
+        for kind in (BackendKind.DUCKDB, BackendKind.SQLITE):
+            rows = self.make_backend(kind).list_tables().rows
+            assert rows == ["items"]
+
+    def test_dialect_error_messages(self):
+        messages = {
+            BackendKind.POSTGRES: 'relation "ghost" does not exist',
+            BackendKind.SQLITE: "no such table: ghost",
+            BackendKind.DUCKDB: "Table with name ghost does not exist!",
+        }
+        for kind, expected in messages.items():
+            response = self.make_backend(kind).describe("ghost")
+            assert response.error == expected
+
+    def test_query_error_flavoured(self):
+        backend = self.make_backend(BackendKind.POSTGRES)
+        response = backend.query("SELECT * FROM ghost")
+        assert not response.ok
+        assert response.error.startswith("ERROR: ")
+
+    def test_sample(self):
+        backend = self.make_backend(BackendKind.DUCKDB)
+        response = backend.sample("items")
+        assert response.ok and response.rows == [(1, "a")]
+
+
+class TestFederation:
+    def test_interactions_logged(self, store):
+        env = FederatedEnvironment()
+        env.add_backend(store)
+        env.list_tables("mongo")
+        env.sample("mongo", "users", limit=1)
+        env.query("mongo", "{'collection': 'users', 'limit': 1}")
+        assert env.interactions() == 3
+        assert env.log[0].operation == "list_tables"
+        assert all(record.ok for record in env.log)
+
+    def test_failed_interaction_recorded(self, store):
+        env = FederatedEnvironment()
+        env.add_backend(store)
+        env.describe("mongo", "ghost")
+        assert not env.log[0].ok
+        assert env.log[0].error
+
+    def test_reset_log(self, store):
+        env = FederatedEnvironment()
+        env.add_backend(store)
+        env.list_tables("mongo")
+        env.reset_log()
+        assert env.interactions() == 0

@@ -1,0 +1,180 @@
+"""Tests for briefs, probes, the interpreter, and the satisficer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brief import Brief, Phase
+from repro.core.interpreter import ProbeInterpreter
+from repro.core.probe import Probe
+from repro.core.satisfice import Satisficer
+
+
+class TestBriefPhaseInference:
+    def test_explicit_phase_wins(self):
+        brief = Brief(goal="compute the final answer", phase=Phase.METADATA_EXPLORATION)
+        assert brief.infer_phase() is Phase.METADATA_EXPLORATION
+
+    def test_exploration_keywords(self):
+        assert (
+            Brief(goal="explore what tables exist and sample data").infer_phase()
+            is Phase.METADATA_EXPLORATION
+        )
+
+    def test_solution_keywords(self):
+        assert (
+            Brief(goal="compute the exact final answer").infer_phase()
+            is Phase.SOLUTION_FORMULATION
+        )
+
+    def test_validation_keywords(self):
+        assert Brief(goal="verify the totals match").infer_phase() is Phase.VALIDATION
+
+    def test_default_is_solution(self):
+        assert Brief(goal="").infer_phase() is Phase.SOLUTION_FORMULATION
+
+    def test_priority_default(self):
+        brief = Brief(priorities={0: 5.0})
+        assert brief.priority_of(0) == 5.0
+        assert brief.priority_of(1) == 1.0
+
+
+class TestInterpreter:
+    def test_plans_valid_queries(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql("SELECT COUNT(*) FROM sales", goal="exact count")
+        interpreted = interpreter.interpret(probe)
+        assert interpreted.queries[0].plan is not None
+        assert interpreted.queries[0].estimated_cost > 0
+
+    def test_parse_error_captured_not_raised(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql("SELECT FROM WHERE")
+        interpreted = interpreter.interpret(probe)
+        assert interpreted.queries[0].plan is None
+        assert interpreted.queries[0].parse_error
+
+    def test_unknown_table_captured(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        interpreted = interpreter.interpret(Probe.sql("SELECT * FROM ghost"))
+        assert "no such table" in interpreted.queries[0].parse_error
+
+    def test_small_queries_always_exact(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql(
+            "SELECT * FROM sales", goal="explore the sample data roughly"
+        )
+        interpreted = interpreter.interpret(probe)
+        # 10-row table: under the exactness threshold.
+        assert interpreted.queries[0].sample_rate == 1.0
+
+    def test_explicit_accuracy_respected_for_big_tables(self, sales_db):
+        sales_db.insert_rows(
+            "sales",
+            [(100 + i, 1, "coffee", 1.0, 2024) for i in range(3000)],
+        )
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql("SELECT COUNT(*) FROM sales", accuracy=0.2)
+        interpreted = interpreter.interpret(probe)
+        assert interpreted.queries[0].sample_rate == pytest.approx(0.2)
+
+    def test_exploration_phase_samples_big_tables(self, sales_db):
+        sales_db.insert_rows(
+            "sales",
+            [(100 + i, 1, "coffee", 1.0, 2024) for i in range(3000)],
+        )
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql(
+            "SELECT COUNT(*) FROM sales", goal="explore rough statistics"
+        )
+        interpreted = interpreter.interpret(probe)
+        assert interpreted.queries[0].sample_rate < 1.0
+
+    def test_max_cost_squeezes_accuracy(self, sales_db):
+        sales_db.insert_rows(
+            "sales",
+            [(100 + i, 1, "coffee", 1.0, 2024) for i in range(5000)],
+        )
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe(
+            queries=("SELECT COUNT(*) FROM sales",),
+            brief=Brief(goal="compute the answer", max_cost=500.0),
+        )
+        interpreted = interpreter.interpret(probe)
+        assert interpreted.queries[0].sample_rate < 0.5
+
+
+class TestSatisficer:
+    def test_irrelevant_query_pruned_in_exploration(self, sales_db):
+        sales_db.execute("CREATE TABLE flight_crew_roster (id INT, pilot TEXT)")
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql(
+            "SELECT * FROM flight_crew_roster",
+            "SELECT * FROM sales",
+            goal="explore coffee sales revenue by store",
+        )
+        interpreted = interpreter.interpret(probe)
+        decisions = Satisficer().decide(interpreted)
+        by_sql = {d.query.sql: d for d in decisions}
+        assert by_sql["SELECT * FROM flight_crew_roster"].action == "prune"
+        assert by_sql["SELECT * FROM sales"].action == "execute"
+
+    def test_no_pruning_in_solution_phase(self, sales_db):
+        sales_db.execute("CREATE TABLE flight_crew_roster (id INT, pilot TEXT)")
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql(
+            "SELECT * FROM flight_crew_roster",
+            goal="compute the exact coffee sales revenue answer",
+        )
+        decisions = Satisficer().decide(interpreter.interpret(probe))
+        assert decisions[0].action == "execute"
+
+    def test_pruning_disabled_flag(self, sales_db):
+        sales_db.execute("CREATE TABLE flight_crew_roster (id INT, pilot TEXT)")
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe.sql(
+            "SELECT * FROM flight_crew_roster",
+            goal="explore coffee sales revenue",
+        )
+        decisions = Satisficer(enable_pruning=False).decide(
+            interpreter.interpret(probe)
+        )
+        assert all(d.action == "execute" for d in decisions)
+
+    def test_k_of_n_keeps_k(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales WHERE year = 2023",
+                "SELECT COUNT(*) FROM sales WHERE year = 2024",
+                "SELECT COUNT(*) FROM stores",
+            ),
+            brief=Brief(goal="compare two years", complete_k_of_n=2),
+        )
+        decisions = Satisficer().decide(interpreter.interpret(probe))
+        executed = [d for d in decisions if d.action == "execute"]
+        pruned = [d for d in decisions if d.action == "prune"]
+        assert len(executed) == 2
+        assert len(pruned) == 1
+        assert "k-of-n" in pruned[0].reason
+
+    def test_k_of_n_larger_than_n_noop(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe(
+            queries=("SELECT COUNT(*) FROM sales",),
+            brief=Brief(complete_k_of_n=5),
+        )
+        decisions = Satisficer().decide(interpreter.interpret(probe))
+        assert all(d.action == "execute" for d in decisions)
+
+    def test_ordering_by_priority(self, sales_db):
+        interpreter = ProbeInterpreter(sales_db)
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales",
+                "SELECT COUNT(*) FROM stores",
+            ),
+            brief=Brief(priorities={1: 10.0}),
+        )
+        decisions = Satisficer().decide(interpreter.interpret(probe))
+        assert decisions[0].query.index == 1

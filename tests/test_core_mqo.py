@@ -1,0 +1,105 @@
+"""Tests for the MQO batch executor and materialization advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mqo import BatchExecutor, MaterializationAdvisor
+from repro.db import Database
+
+
+@pytest.fixture
+def batch_db() -> Database:
+    db = Database("batch")
+    db.execute("CREATE TABLE logs (id INT, level TEXT, ms FLOAT)")
+    rows = [
+        (i, "error" if i % 7 == 0 else "info", float(i % 50)) for i in range(1200)
+    ]
+    db.insert_rows("logs", rows)
+    return db
+
+
+class TestBatchExecutor:
+    def test_results_match_individual_execution(self, batch_db):
+        queries = [
+            "SELECT COUNT(*) FROM logs WHERE level = 'error'",
+            "SELECT level, COUNT(*) FROM logs GROUP BY level",
+            "SELECT COUNT(*) FROM logs WHERE level = 'error'",
+        ]
+        outcome = BatchExecutor(batch_db).execute_sql(queries)
+        for sql, result in zip(queries, outcome.results):
+            direct = batch_db.execute(sql)
+            assert result.rows == direct.rows
+
+    def test_duplicate_fraction_counts_redundancy(self, batch_db):
+        queries = ["SELECT COUNT(*) FROM logs WHERE level = 'error'"] * 5
+        outcome = BatchExecutor(batch_db).execute_sql(queries, measure_unshared=True)
+        assert outcome.report.duplicate_fraction > 0.7
+        assert outcome.report.cache_hits > 0
+
+    def test_sharing_reduces_work(self, batch_db):
+        queries = [
+            "SELECT COUNT(*) FROM logs WHERE ms > 10",
+            "SELECT SUM(ms) FROM logs WHERE ms > 10",
+            "SELECT AVG(ms) FROM logs WHERE ms > 10",
+        ]
+        outcome = BatchExecutor(batch_db).execute_sql(queries, measure_unshared=True)
+        assert (
+            outcome.report.rows_processed_shared
+            < outcome.report.rows_processed_unshared
+        )
+        assert outcome.report.work_saved_fraction > 0.3
+
+    def test_disjoint_queries_share_nothing_much(self, batch_db):
+        batch_db.execute("CREATE TABLE other (x INT)")
+        batch_db.insert_rows("other", [(1,), (2,)])
+        queries = [
+            "SELECT COUNT(*) FROM logs",
+            "SELECT COUNT(*) FROM other",
+        ]
+        outcome = BatchExecutor(batch_db).execute_sql(queries)
+        assert outcome.report.cache_hits == 0
+
+    def test_empty_batch(self, batch_db):
+        outcome = BatchExecutor(batch_db).execute_sql([])
+        assert outcome.results == []
+        assert outcome.report.duplicate_fraction == 0.0
+
+
+class TestMaterializationAdvisor:
+    def test_recurring_subplan_suggested(self, batch_db):
+        advisor = MaterializationAdvisor(min_occurrences=3)
+        plan = batch_db.plan_select(
+            "SELECT level, COUNT(*) FROM logs WHERE ms > 5 GROUP BY level"
+        )
+        for _ in range(3):
+            advisor.observe(plan)
+        suggestions = advisor.suggestions()
+        assert suggestions
+        assert all(count >= 3 for _, count, _ in suggestions)
+
+    def test_below_threshold_not_suggested(self, batch_db):
+        advisor = MaterializationAdvisor(min_occurrences=3)
+        plan = batch_db.plan_select("SELECT COUNT(*) FROM logs")
+        advisor.observe(plan)
+        advisor.observe(plan)
+        assert advisor.suggestions() == []
+
+    def test_duplicate_subtrees_in_one_plan_counted_once(self, batch_db):
+        advisor = MaterializationAdvisor(min_occurrences=2, min_size=1)
+        plan = batch_db.plan_select(
+            "SELECT l1.id FROM logs l1 JOIN logs l2 ON l1.id = l2.id"
+        )
+        advisor.observe(plan)
+        # Both scans of `logs` canonicalise identically but count once per
+        # plan observation, so one observation is not enough.
+        top = [c for _, c, _ in advisor.suggestions()]
+        assert all(count < 2 for count in top) or not top
+
+    def test_alias_variants_aggregate(self, batch_db):
+        advisor = MaterializationAdvisor(min_occurrences=2)
+        a = batch_db.plan_select("SELECT COUNT(*) FROM logs WHERE ms > 5")
+        b = batch_db.plan_select("SELECT COUNT(*) FROM logs x WHERE x.ms > 5")
+        advisor.observe(a)
+        advisor.observe(b)
+        assert advisor.suggestions()

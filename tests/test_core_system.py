@@ -1,0 +1,255 @@
+"""Tests for the probe optimizer, steering, and the system facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from repro.core.steering import JoinDiscovery, WhyNotDiagnoser
+from repro.db import Database
+from repro.memstore import ArtifactKind
+
+
+@pytest.fixture
+def system_db() -> Database:
+    db = Database("sys")
+    db.execute("CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)")
+    db.execute(
+        "CREATE TABLE sales (id INT, store_id INT, product TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'),(3,'Seattle','Washington')"
+    )
+    db.execute(
+        "INSERT INTO sales VALUES (1,1,'coffee',120.5),(2,1,'tea',30.0),"
+        "(3,2,'coffee',80.0),(4,3,'coffee',200.0)"
+    )
+    return db
+
+
+@pytest.fixture
+def system(system_db) -> AgentFirstDataSystem:
+    return AgentFirstDataSystem(system_db)
+
+
+class TestProbeExecution:
+    def test_basic_probe_answers(self, system):
+        response = system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        assert response.outcomes[0].status == "ok"
+        assert response.first_result().first_value() == 4
+
+    def test_multi_query_probe_order_preserved(self, system):
+        response = system.submit(
+            Probe.sql(
+                "SELECT COUNT(*) FROM sales",
+                "SELECT COUNT(*) FROM stores",
+            )
+        )
+        assert [o.sql for o in response.outcomes] == [
+            "SELECT COUNT(*) FROM sales",
+            "SELECT COUNT(*) FROM stores",
+        ]
+
+    def test_bad_query_is_error_outcome_not_exception(self, system):
+        response = system.submit(Probe.sql("SELECT * FROM ghost"))
+        assert response.outcomes[0].status == "error"
+        assert "no such table" in response.outcomes[0].reason
+
+    def test_turns_increment(self, system):
+        first = system.submit(Probe.sql("SELECT 1"))
+        second = system.submit(Probe.sql("SELECT 1"))
+        assert second.turn == first.turn + 1
+
+    def test_repeat_query_answered_from_history(self, system):
+        system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        response = system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        outcome = response.outcomes[0]
+        assert outcome.status == "from_history"
+        assert outcome.result.first_value() == 4
+        assert outcome.result.stats.rows_scanned > 0  # original result object
+
+    def test_history_shared_across_agents(self, system):
+        system.submit(
+            Probe(queries=("SELECT COUNT(*) FROM sales",), agent_id="alice")
+        )
+        response = system.submit(
+            Probe(queries=("SELECT COUNT(*) FROM sales",), agent_id="bob")
+        )
+        assert response.outcomes[0].status == "from_history"
+        assert "alice" in response.outcomes[0].reason
+
+    def test_history_invalidated_by_writes(self, system, system_db):
+        system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        system_db.execute("INSERT INTO sales VALUES (5,1,'tea',10.0)")
+        response = system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        assert response.outcomes[0].status == "ok"
+        assert response.first_result().first_value() == 5
+
+    def test_termination_criterion_stops_probe(self, system):
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales WHERE product = 'coffee'",
+                "SELECT COUNT(*) FROM sales WHERE product = 'tea'",
+                "SELECT COUNT(*) FROM stores",
+            ),
+            brief=Brief(goal="find any non-empty count"),
+            termination=lambda results: any(
+                r.rows and r.rows[0][0] > 0 for r in results
+            ),
+        )
+        response = system.submit(probe)
+        statuses = [o.status for o in response.outcomes]
+        assert "terminated" in statuses
+        assert statuses.count("ok") >= 1
+
+    def test_semantic_search_attached(self, system):
+        probe = Probe(
+            queries=(),
+            semantic_search="coffee products",
+        )
+        response = system.submit(probe)
+        assert response.semantic_hits
+        assert any(
+            hit.location.table == "sales" for hit in response.semantic_hits
+        )
+
+    def test_rows_processed_accounted(self, system):
+        response = system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        assert response.rows_processed > 0
+
+
+class TestSteering:
+    def test_why_not_explains_empty_result(self, system):
+        response = system.submit(
+            Probe.sql("SELECT * FROM stores WHERE state = 'CA'", goal="final answer")
+        )
+        assert any("California" in hint for hint in response.steering)
+
+    def test_join_discovery_in_exploration(self, system):
+        response = system.submit(
+            Probe.sql("SELECT store_id FROM sales", goal="explore the sales schema")
+        )
+        assert any("stores.id" in hint for hint in response.steering)
+
+    def test_similar_query_pointer(self, system):
+        system.submit(Probe.sql("SELECT city, state FROM stores"))
+        response = system.submit(Probe.sql("SELECT state, city FROM stores"))
+        assert any("equivalent" in hint for hint in response.steering)
+
+    def test_batching_hint_after_sequential_probes(self, system):
+        for _ in range(4):
+            response = system.submit(
+                Probe.sql("SELECT COUNT(*) FROM sales WHERE amount > 1")
+            )
+        assert any("batching" in hint for hint in response.steering)
+
+    def test_steering_disabled(self, system_db):
+        system = AgentFirstDataSystem(
+            system_db, config=SystemConfig(enable_steering=False)
+        )
+        response = system.submit(
+            Probe.sql("SELECT * FROM stores WHERE state = 'CA'")
+        )
+        assert response.steering == []
+
+    def test_cost_warning_on_budget_overrun(self, system, system_db):
+        system_db.insert_rows(
+            "sales", [(100 + i, 1, "coffee", 1.0) for i in range(2000)]
+        )
+        probe = Probe(
+            queries=("SELECT * FROM sales s1 JOIN sales s2 ON s1.id = s2.id",),
+            brief=Brief(goal="exact", max_cost=10.0),
+        )
+        response = system.submit(probe)
+        assert any("exceeds" in hint for hint in response.steering)
+
+
+class TestMemoryIntegration:
+    def test_solution_results_remembered(self, system):
+        system.submit(
+            Probe.sql("SELECT COUNT(*) FROM sales", goal="compute the exact answer")
+        )
+        artifacts = system.memory.artifacts_about("sales")
+        assert any(a.kind is ArtifactKind.PROBE_RESULT for a in artifacts)
+
+    def test_encoding_lessons_remembered(self, system):
+        system.submit(
+            Probe.sql("SELECT * FROM stores WHERE state = 'CA'", goal="final")
+        )
+        artifacts = system.memory.artifacts_about("stores")
+        assert any(a.kind is ArtifactKind.COLUMN_ENCODING for a in artifacts)
+
+    def test_goal_recalls_memory(self, system):
+        system.submit(
+            Probe.sql("SELECT * FROM stores WHERE state = 'CA'", goal="final")
+        )
+        response = system.submit(
+            Probe.sql(
+                "SELECT COUNT(*) FROM stores",
+                goal="how are states encoded in stores",
+            )
+        )
+        assert response.memory_hits
+
+    def test_memory_disabled(self, system_db):
+        system = AgentFirstDataSystem(
+            system_db, config=SystemConfig(enable_memory=False)
+        )
+        system.submit(Probe.sql("SELECT COUNT(*) FROM sales", goal="exact answer"))
+        assert len(system.memory) == 0
+
+    def test_explicit_memory_queries(self, system):
+        system.memory.remember(
+            ArtifactKind.SCHEMA_NOTE,
+            ("sales",),
+            "sales.amount is in US dollars including tax",
+            shared=True,
+        )
+        response = system.submit(
+            Probe(queries=(), memory_queries=("what currency is amount",))
+        )
+        assert response.memory_hits
+        assert "dollars" in response.memory_hits[0][0].text
+
+
+class TestMaterializationAdvisor:
+    def test_recurring_join_suggested(self, system):
+        sql = (
+            "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+            " ON s.id = x.store_id GROUP BY s.city"
+        )
+        for _ in range(3):
+            system.submit(Probe.sql(sql))
+            system.optimizer.history.clear()  # force re-execution each turn
+        suggestions = system.materialization_suggestions()
+        assert suggestions
+        assert suggestions[0][1] >= 3
+
+
+class TestSteeringComponents:
+    def test_why_not_no_finding_for_matching_predicate(self, system_db):
+        diagnoser = WhyNotDiagnoser(system_db)
+        plan = system_db.plan_select(
+            "SELECT * FROM stores WHERE state = 'California'"
+        )
+        assert diagnoser.diagnose(plan) == []
+
+    def test_why_not_close_match_suggestion(self, system_db):
+        diagnoser = WhyNotDiagnoser(system_db)
+        plan = system_db.plan_select(
+            "SELECT * FROM stores WHERE city = 'berkely'"
+        )
+        findings = diagnoser.diagnose(plan)
+        assert findings
+        assert "Berkeley" in (findings[0].suggestion or "")
+
+    def test_join_discovery_direct(self, system_db):
+        discovery = JoinDiscovery(system_db)
+        suggestions = discovery.related_tables("sales")
+        assert suggestions
+        assert suggestions[0].target_table == "stores"
+        assert suggestions[0].value_overlap > 0.9
+
+    def test_join_discovery_unknown_table(self, system_db):
+        assert JoinDiscovery(system_db).related_tables("ghost") == []

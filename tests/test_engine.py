@@ -1,0 +1,440 @@
+"""End-to-end engine tests: SELECT semantics over the database facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, PlanError
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, sales_db):
+        result = sales_db.execute("SELECT * FROM stores")
+        assert result.columns == ["id", "city", "state", "opened"]
+        assert result.row_count == 5
+
+    def test_column_subset_and_alias(self, sales_db):
+        result = sales_db.execute("SELECT city AS c FROM stores WHERE id = 1")
+        assert result.columns == ["c"]
+        assert result.rows == [("Berkeley",)]
+
+    def test_expression_projection(self, sales_db):
+        result = sales_db.execute("SELECT amount * 2 FROM sales WHERE id = 1")
+        assert result.rows == [(241.0,)]
+
+    def test_where_and_or(self, sales_db):
+        result = sales_db.execute(
+            "SELECT id FROM sales WHERE product = 'tea' AND year = 2024 OR id = 1"
+            " ORDER BY id"
+        )
+        assert result.column_values("id") == [1, 5, 8]
+
+    def test_between(self, sales_db):
+        result = sales_db.execute(
+            "SELECT id FROM sales WHERE amount BETWEEN 50 AND 100 ORDER BY id"
+        )
+        assert result.column_values("id") == [3, 5, 6, 7]
+
+    def test_in_list(self, sales_db):
+        result = sales_db.execute(
+            "SELECT city FROM stores WHERE state IN ('CA','WA') ORDER BY city"
+        )
+        assert result.column_values("city") == ["Berkeley", "Oakland", "Seattle"]
+
+    def test_like_case_insensitive(self, sales_db):
+        result = sales_db.execute("SELECT city FROM stores WHERE city LIKE 'b%'")
+        assert result.rows == [("Berkeley",)]
+
+    def test_is_null_semantics(self, empty_db):
+        empty_db.execute("CREATE TABLE t (a INT, b TEXT)")
+        empty_db.execute("INSERT INTO t VALUES (1, NULL), (2, 'x')")
+        assert empty_db.execute("SELECT a FROM t WHERE b IS NULL").rows == [(1,)]
+        assert empty_db.execute("SELECT a FROM t WHERE b IS NOT NULL").rows == [(2,)]
+
+    def test_null_comparison_filters_row(self, empty_db):
+        empty_db.execute("CREATE TABLE t (a INT, b INT)")
+        empty_db.execute("INSERT INTO t VALUES (1, NULL)")
+        assert empty_db.execute("SELECT a FROM t WHERE b = 1").rows == []
+        assert empty_db.execute("SELECT a FROM t WHERE b <> 1").rows == []
+
+    def test_three_valued_or(self, empty_db):
+        empty_db.execute("CREATE TABLE t (a INT, b INT)")
+        empty_db.execute("INSERT INTO t VALUES (1, NULL)")
+        # NULL OR TRUE is TRUE.
+        assert empty_db.execute("SELECT a FROM t WHERE b = 1 OR a = 1").rows == [(1,)]
+
+    def test_unknown_column_error_lists_available(self, sales_db):
+        with pytest.raises(PlanError) as excinfo:
+            sales_db.execute("SELECT wrong FROM stores")
+        assert "available" in str(excinfo.value)
+
+    def test_unknown_table_error_lists_known(self, sales_db):
+        with pytest.raises(PlanError) as excinfo:
+            sales_db.execute("SELECT * FROM ghost")
+        assert "known tables" in str(excinfo.value)
+
+    def test_ambiguous_column(self, sales_db):
+        with pytest.raises(PlanError) as excinfo:
+            sales_db.execute(
+                "SELECT id FROM stores JOIN sales ON stores.id = sales.store_id"
+            )
+        assert "ambiguous" in str(excinfo.value)
+
+
+class TestJoins:
+    def test_inner_join(self, sales_db):
+        result = sales_db.execute(
+            "SELECT s.city, x.amount FROM stores s JOIN sales x"
+            " ON s.id = x.store_id WHERE x.product = 'tea' ORDER BY x.amount"
+        )
+        assert result.rows == [
+            ("Oakland", 20.0),
+            ("Berkeley", 30.0),
+            ("Seattle", 55.5),
+        ]
+
+    def test_left_join_null_extension(self, empty_db):
+        empty_db.execute("CREATE TABLE a (id INT)")
+        empty_db.execute("CREATE TABLE b (id INT, v TEXT)")
+        empty_db.execute("INSERT INTO a VALUES (1), (2)")
+        empty_db.execute("INSERT INTO b VALUES (1, 'x')")
+        result = empty_db.execute(
+            "SELECT a.id, b.v FROM a LEFT JOIN b ON a.id = b.id ORDER BY a.id"
+        )
+        assert result.rows == [(1, "x"), (2, None)]
+
+    def test_cross_join_cardinality(self, empty_db):
+        empty_db.execute("CREATE TABLE a (x INT)")
+        empty_db.execute("CREATE TABLE b (y INT)")
+        empty_db.execute("INSERT INTO a VALUES (1),(2),(3)")
+        empty_db.execute("INSERT INTO b VALUES (10),(20)")
+        result = empty_db.execute("SELECT x, y FROM a CROSS JOIN b")
+        assert result.row_count == 6
+
+    def test_non_equi_join_falls_back_to_nested_loop(self, empty_db):
+        empty_db.execute("CREATE TABLE a (x INT)")
+        empty_db.execute("CREATE TABLE b (y INT)")
+        empty_db.execute("INSERT INTO a VALUES (1),(5)")
+        empty_db.execute("INSERT INTO b VALUES (3)")
+        result = empty_db.execute("SELECT x, y FROM a JOIN b ON a.x < b.y")
+        assert result.rows == [(1, 3)]
+
+    def test_join_with_residual_condition(self, sales_db):
+        result = sales_db.execute(
+            "SELECT s.city FROM stores s JOIN sales x"
+            " ON s.id = x.store_id AND x.amount > 150"
+        )
+        assert result.rows == [("Seattle",)]
+
+    def test_self_join_requires_aliases(self, sales_db):
+        with pytest.raises(PlanError):
+            sales_db.execute(
+                "SELECT * FROM stores JOIN stores ON stores.id = stores.id"
+            )
+
+    def test_three_way_join(self, sales_db):
+        result = sales_db.execute(
+            "SELECT DISTINCT a.city FROM stores a"
+            " JOIN sales x ON a.id = x.store_id"
+            " JOIN stores b ON a.state = b.state"
+            " WHERE b.city = 'Oakland' ORDER BY a.city"
+        )
+        assert result.column_values("city") == ["Berkeley", "Oakland"]
+
+    def test_null_keys_do_not_match(self, empty_db):
+        empty_db.execute("CREATE TABLE a (k INT)")
+        empty_db.execute("CREATE TABLE b (k INT)")
+        empty_db.execute("INSERT INTO a VALUES (NULL), (1)")
+        empty_db.execute("INSERT INTO b VALUES (NULL), (1)")
+        result = empty_db.execute("SELECT a.k FROM a JOIN b ON a.k = b.k")
+        assert result.rows == [(1,)]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, sales_db):
+        result = sales_db.execute(
+            "SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM sales"
+        )
+        row = result.rows[0]
+        assert row[0] == 10
+        assert row[1] == pytest.approx(670.25)
+        assert row[2] == 5.0
+        assert row[3] == 200.0
+
+    def test_avg_ignores_nulls(self, empty_db):
+        empty_db.execute("CREATE TABLE t (v FLOAT)")
+        empty_db.execute("INSERT INTO t VALUES (1.0), (NULL), (3.0)")
+        assert empty_db.execute("SELECT AVG(v) FROM t").first_value() == 2.0
+
+    def test_count_column_vs_star(self, empty_db):
+        empty_db.execute("CREATE TABLE t (v INT)")
+        empty_db.execute("INSERT INTO t VALUES (1), (NULL)")
+        result = empty_db.execute("SELECT COUNT(*), COUNT(v) FROM t")
+        assert result.rows == [(2, 1)]
+
+    def test_count_distinct(self, sales_db):
+        assert (
+            sales_db.execute("SELECT COUNT(DISTINCT product) FROM sales").first_value()
+            == 3
+        )
+
+    def test_group_by_with_having(self, sales_db):
+        result = sales_db.execute(
+            "SELECT product, COUNT(*) AS n FROM sales GROUP BY product"
+            " HAVING COUNT(*) >= 3 ORDER BY n DESC"
+        )
+        assert result.rows == [("coffee", 6), ("tea", 3)]
+
+    def test_group_by_expression(self, sales_db):
+        result = sales_db.execute(
+            "SELECT year + 0 AS y, COUNT(*) FROM sales GROUP BY year + 0 ORDER BY y"
+        )
+        assert result.rows == [(2023, 5), (2024, 5)]
+
+    def test_group_by_alias(self, sales_db):
+        result = sales_db.execute(
+            "SELECT UPPER(product) AS p, COUNT(*) FROM sales GROUP BY p ORDER BY p"
+        )
+        assert [r[0] for r in result.rows] == ["COFFEE", "PASTRY", "TEA"]
+
+    def test_empty_input_global_aggregate(self, empty_db):
+        empty_db.execute("CREATE TABLE t (v INT)")
+        result = empty_db.execute("SELECT COUNT(*), SUM(v) FROM t")
+        assert result.rows == [(0, None)]
+
+    def test_empty_input_grouped_returns_no_rows(self, empty_db):
+        empty_db.execute("CREATE TABLE t (k INT, v INT)")
+        result = empty_db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+        assert result.rows == []
+
+    def test_ungrouped_column_rejected(self, sales_db):
+        with pytest.raises(PlanError) as excinfo:
+            sales_db.execute("SELECT city, COUNT(*) FROM stores GROUP BY state")
+        assert "GROUP BY" in str(excinfo.value)
+
+    def test_aggregate_in_where_rejected(self, sales_db):
+        with pytest.raises(PlanError):
+            sales_db.execute("SELECT * FROM sales WHERE SUM(amount) > 10")
+
+    def test_order_by_aggregate(self, sales_db):
+        result = sales_db.execute(
+            "SELECT product FROM sales GROUP BY product ORDER BY SUM(amount) DESC"
+        )
+        assert result.column_values("product") == ["coffee", "tea", "pastry"]
+
+    def test_group_key_null_forms_its_own_group(self, empty_db):
+        empty_db.execute("CREATE TABLE t (k TEXT, v INT)")
+        empty_db.execute("INSERT INTO t VALUES ('a',1),(NULL,2),(NULL,3)")
+        result = empty_db.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+        as_dict = {row[0]: row[1] for row in result.rows}
+        assert as_dict == {"a": 1, None: 5}
+
+
+class TestOrderingLimitDistinct:
+    def test_order_by_multiple_keys(self, sales_db):
+        result = sales_db.execute(
+            "SELECT product, amount FROM sales ORDER BY product ASC, amount DESC LIMIT 3"
+        )
+        assert result.rows == [
+            ("coffee", 200.0),
+            ("coffee", 120.5),
+            ("coffee", 99.0),
+        ]
+
+    def test_order_by_hidden_column(self, sales_db):
+        result = sales_db.execute("SELECT city FROM stores ORDER BY opened DESC LIMIT 2")
+        assert result.column_values("city") == ["Austin", "Portland"]
+        assert result.columns == ["city"]
+
+    def test_nulls_sort_first_ascending(self, empty_db):
+        empty_db.execute("CREATE TABLE t (v INT)")
+        empty_db.execute("INSERT INTO t VALUES (2), (NULL), (1)")
+        assert empty_db.execute("SELECT v FROM t ORDER BY v").column_values("v") == [
+            None,
+            1,
+            2,
+        ]
+
+    def test_limit_offset(self, sales_db):
+        result = sales_db.execute("SELECT id FROM sales ORDER BY id LIMIT 3 OFFSET 4")
+        assert result.column_values("id") == [5, 6, 7]
+
+    def test_distinct(self, sales_db):
+        result = sales_db.execute("SELECT DISTINCT state FROM stores ORDER BY state")
+        assert result.column_values("state") == ["CA", "OR", "TX", "WA"]
+
+    def test_distinct_order_by_nonprojected_rejected(self, sales_db):
+        with pytest.raises(PlanError):
+            sales_db.execute("SELECT DISTINCT city FROM stores ORDER BY opened")
+
+
+class TestSubqueries:
+    def test_in_subquery(self, sales_db):
+        result = sales_db.execute(
+            "SELECT city FROM stores WHERE id IN"
+            " (SELECT store_id FROM sales WHERE amount > 100) ORDER BY city"
+        )
+        assert result.column_values("city") == ["Berkeley", "Seattle"]
+
+    def test_not_in_subquery(self, sales_db):
+        result = sales_db.execute(
+            "SELECT city FROM stores WHERE id NOT IN"
+            " (SELECT store_id FROM sales WHERE product = 'tea') ORDER BY city"
+        )
+        assert result.column_values("city") == ["Austin", "Portland"]
+
+    def test_scalar_subquery(self, sales_db):
+        result = sales_db.execute(
+            "SELECT city FROM stores WHERE id ="
+            " (SELECT store_id FROM sales ORDER BY amount DESC LIMIT 1)"
+        )
+        assert result.rows == [("Seattle",)]
+
+    def test_from_subquery(self, sales_db):
+        result = sales_db.execute(
+            "SELECT sub.product, sub.total FROM"
+            " (SELECT product, SUM(amount) AS total FROM sales GROUP BY product) sub"
+            " WHERE sub.total > 100 ORDER BY sub.total DESC"
+        )
+        assert result.column_values("product") == ["coffee", "tea"]
+
+    def test_exists(self, sales_db):
+        result = sales_db.execute(
+            "SELECT 1 WHERE EXISTS (SELECT 1 FROM sales WHERE amount > 199)"
+        )
+        assert result.rows == [(1,)]
+
+
+class TestScalarFunctions:
+    def test_string_functions(self, empty_db):
+        result = empty_db.execute(
+            "SELECT LOWER('AbC'), UPPER('x'), LENGTH('hello'), TRIM('  hi ')"
+        )
+        assert result.rows == [("abc", "X", 5, "hi")]
+
+    def test_numeric_functions(self, empty_db):
+        result = empty_db.execute("SELECT ABS(-4), ROUND(2.567, 1)")
+        assert result.rows == [(4, 2.6)]
+
+    def test_coalesce_nullif(self, empty_db):
+        result = empty_db.execute("SELECT COALESCE(NULL, NULL, 7), NULLIF(3, 3)")
+        assert result.rows == [(7, None)]
+
+    def test_substr(self, empty_db):
+        result = empty_db.execute("SELECT SUBSTR('abcdef', 2, 3)")
+        assert result.rows == [("bcd",)]
+
+    def test_concat_and_pipes(self, empty_db):
+        result = empty_db.execute("SELECT CONCAT('a', 'b', 'c'), 'x' || 'y'")
+        assert result.rows == [("abc", "xy")]
+
+    def test_case_expression(self, sales_db):
+        result = sales_db.execute(
+            "SELECT city, CASE WHEN opened < 2010 THEN 'old' ELSE 'new' END AS age"
+            " FROM stores WHERE state = 'CA' ORDER BY city"
+        )
+        assert result.rows == [("Berkeley", "old"), ("Oakland", "old")]
+
+    def test_cast(self, empty_db):
+        result = empty_db.execute("SELECT CAST('42' AS INT), CAST(3 AS TEXT)")
+        assert result.rows == [(42, "3")]
+
+    def test_division_by_zero_raises(self, empty_db):
+        with pytest.raises(ExecutionError):
+            empty_db.execute("SELECT 1 / 0")
+
+    def test_unknown_function_raises_with_hint(self, empty_db):
+        with pytest.raises(PlanError) as excinfo:
+            empty_db.execute("SELECT FOO(1)")
+        assert "known" in str(excinfo.value)
+
+
+class TestDml:
+    def test_insert_with_column_list_fills_nulls(self, empty_db):
+        empty_db.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)")
+        empty_db.execute("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert empty_db.execute("SELECT * FROM t").rows == [(1, "x", None)]
+
+    def test_insert_select(self, sales_db):
+        sales_db.execute("CREATE TABLE ca_stores (id INT, city TEXT)")
+        sales_db.execute(
+            "INSERT INTO ca_stores SELECT id, city FROM stores WHERE state = 'CA'"
+        )
+        assert sales_db.execute("SELECT COUNT(*) FROM ca_stores").first_value() == 2
+
+    def test_update_with_expression(self, empty_db):
+        empty_db.execute("CREATE TABLE t (a INT)")
+        empty_db.execute("INSERT INTO t VALUES (1), (2)")
+        empty_db.execute("UPDATE t SET a = a * 10 WHERE a = 2")
+        assert sorted(empty_db.execute("SELECT a FROM t").column_values("a")) == [1, 20]
+
+    def test_delete_all(self, empty_db):
+        empty_db.execute("CREATE TABLE t (a INT)")
+        empty_db.execute("INSERT INTO t VALUES (1), (2)")
+        empty_db.execute("DELETE FROM t")
+        assert empty_db.execute("SELECT COUNT(*) FROM t").first_value() == 0
+
+    def test_create_if_not_exists_idempotent(self, empty_db):
+        empty_db.execute("CREATE TABLE IF NOT EXISTS t (a INT)")
+        empty_db.execute("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert empty_db.table_names() == ["t"]
+
+
+class TestInformationSchema:
+    def test_tables_lists_user_tables(self, sales_db):
+        result = sales_db.execute(
+            "SELECT table_name FROM information_schema.tables ORDER BY table_name"
+        )
+        assert result.column_values("table_name") == ["sales", "stores"]
+
+    def test_row_counts_present(self, sales_db):
+        result = sales_db.execute(
+            "SELECT row_count FROM information_schema.tables WHERE table_name='sales'"
+        )
+        assert result.first_value() == 10
+
+    def test_columns_reflect_schema(self, sales_db):
+        result = sales_db.execute(
+            "SELECT column_name, data_type FROM information_schema.columns"
+            " WHERE table_name = 'stores' ORDER BY ordinal_position"
+        )
+        assert result.rows[0] == ("id", "INTEGER")
+
+    def test_refreshes_after_ddl(self, sales_db):
+        sales_db.execute("CREATE TABLE extra (x INT)")
+        result = sales_db.execute(
+            "SELECT COUNT(*) FROM information_schema.tables"
+        )
+        assert result.first_value() == 3
+
+    def test_refreshes_after_dml(self, sales_db):
+        before = sales_db.execute(
+            "SELECT row_count FROM information_schema.tables WHERE table_name='stores'"
+        ).first_value()
+        sales_db.execute("INSERT INTO stores VALUES (99,'Reno','NV',2020)")
+        after = sales_db.execute(
+            "SELECT row_count FROM information_schema.tables WHERE table_name='stores'"
+        ).first_value()
+        assert after == before + 1
+
+
+class TestResultObject:
+    def test_signature_order_insensitive(self, sales_db):
+        asc = sales_db.execute("SELECT id FROM sales ORDER BY id")
+        desc = sales_db.execute("SELECT id FROM sales ORDER BY id DESC")
+        assert asc.signature() == desc.signature()
+
+    def test_signature_sensitive_to_content(self, sales_db):
+        a = sales_db.execute("SELECT id FROM sales WHERE id < 5")
+        b = sales_db.execute("SELECT id FROM sales WHERE id < 6")
+        assert a.signature() != b.signature()
+
+    def test_first_value_requires_1x1(self, sales_db):
+        with pytest.raises(ValueError):
+            sales_db.execute("SELECT id FROM sales").first_value()
+
+    def test_stats_populated(self, sales_db):
+        result = sales_db.execute("SELECT COUNT(*) FROM sales")
+        assert result.stats.rows_scanned == 10
+        assert result.stats.rows_processed >= 10

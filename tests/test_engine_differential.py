@@ -1,0 +1,221 @@
+"""Differential testing: the engine vs. a naive Python reference.
+
+Hypothesis generates random single-table queries (filters, projections,
+aggregates, group-bys, order/limit); both the SQL engine and a pure-Python
+reference evaluate them over the same rows; results must agree. This is
+the strongest correctness net over the whole parse→plan→optimize→execute
+pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+
+COLUMNS = ["id", "grp", "val", "flag"]
+
+
+def make_db(rows: list[tuple]) -> Database:
+    db = Database("diff")
+    db.execute("CREATE TABLE t (id INT, grp TEXT, val FLOAT, flag INT)")
+    if rows:
+        db.insert_rows("t", rows)
+    return db
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 50),
+        st.sampled_from(["a", "b", "c", None]),
+        st.one_of(st.none(), st.floats(-100, 100, allow_nan=False, width=32)),
+        st.integers(0, 3),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+predicate_strategy = st.sampled_from(
+    [
+        None,
+        ("id", ">", 10),
+        ("id", "<=", 25),
+        ("grp", "=", "a"),
+        ("grp", "<>", "b"),
+        ("val", ">", 0.0),
+        ("flag", "=", 2),
+    ]
+)
+
+
+def reference_filter(rows, predicate):
+    if predicate is None:
+        return list(rows)
+    column, op, literal = predicate
+    index = COLUMNS.index(column)
+    out = []
+    for row in rows:
+        value = row[index]
+        if value is None:
+            continue
+        if op == ">" and not value > literal:
+            continue
+        if op == "<=" and not value <= literal:
+            continue
+        if op == "=" and not value == literal:
+            continue
+        if op == "<>" and not value != literal:
+            continue
+        out.append(row)
+    return out
+
+
+def predicate_sql(predicate):
+    if predicate is None:
+        return ""
+    column, op, literal = predicate
+    rendered = f"'{literal}'" if isinstance(literal, str) else str(literal)
+    return f" WHERE {column} {op} {rendered}"
+
+
+class TestDifferentialScalar:
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_count_sum_avg(self, rows, predicate):
+        db = make_db(rows)
+        survivors = reference_filter(rows, predicate)
+        expected_count = len(survivors)
+        values = [r[2] for r in survivors if r[2] is not None]
+        expected_sum = sum(values) if values else None
+        expected_avg = sum(values) / len(values) if values else None
+
+        result = db.execute(
+            "SELECT COUNT(*), SUM(val), AVG(val) FROM t" + predicate_sql(predicate)
+        )
+        count, total, avg = result.rows[0]
+        assert count == expected_count
+        if expected_sum is None:
+            assert total is None
+        else:
+            assert total == pytest.approx(expected_sum, rel=1e-9, abs=1e-9)
+        if expected_avg is None:
+            assert avg is None
+        else:
+            assert avg == pytest.approx(expected_avg, rel=1e-9, abs=1e-9)
+
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_min_max(self, rows, predicate):
+        db = make_db(rows)
+        survivors = reference_filter(rows, predicate)
+        values = [r[2] for r in survivors if r[2] is not None]
+        result = db.execute("SELECT MIN(val), MAX(val) FROM t" + predicate_sql(predicate))
+        low, high = result.rows[0]
+        if not values:
+            assert low is None and high is None
+        else:
+            assert low == pytest.approx(min(values))
+            assert high == pytest.approx(max(values))
+
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_projection_multiset(self, rows, predicate):
+        db = make_db(rows)
+        survivors = reference_filter(rows, predicate)
+        expected = sorted(
+            ((r[0], r[1]) for r in survivors),
+            key=lambda x: (repr(x[0]), repr(x[1])),
+        )
+        result = db.execute("SELECT id, grp FROM t" + predicate_sql(predicate))
+        actual = sorted(result.rows, key=lambda x: (repr(x[0]), repr(x[1])))
+        assert actual == expected
+
+
+class TestDifferentialGrouped:
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_count_sum(self, rows, predicate):
+        db = make_db(rows)
+        survivors = reference_filter(rows, predicate)
+        expected: dict = {}
+        for row in survivors:
+            bucket = expected.setdefault(row[1], [0, 0.0, False])
+            bucket[0] += 1
+            if row[2] is not None:
+                bucket[1] += row[2]
+                bucket[2] = True
+        result = db.execute(
+            "SELECT grp, COUNT(*), SUM(val) FROM t"
+            + predicate_sql(predicate)
+            + " GROUP BY grp"
+        )
+        actual = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert set(actual) == set(expected)
+        for key, (count, total, has_value) in expected.items():
+            assert actual[key][0] == count
+            if has_value:
+                assert actual[key][1] == pytest.approx(total, rel=1e-9, abs=1e-9)
+            else:
+                assert actual[key][1] is None
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct(self, rows):
+        db = make_db(rows)
+        expected = {r[1] for r in rows}
+        result = db.execute("SELECT DISTINCT grp FROM t")
+        assert {row[0] for row in result.rows} == expected
+
+    @given(rows=rows_strategy, limit=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_order_limit(self, rows, limit):
+        db = make_db(rows)
+        result = db.execute(f"SELECT id FROM t ORDER BY id LIMIT {limit}")
+        expected = sorted(r[0] for r in rows)[:limit]
+        assert result.column_values("id") == expected
+
+
+class TestDifferentialJoin:
+    @given(
+        left=st.lists(st.integers(0, 8), min_size=0, max_size=15),
+        right=st.lists(st.integers(0, 8), min_size=0, max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_inner_join_multiset(self, left, right):
+        db = Database("j")
+        db.execute("CREATE TABLE l (k INT)")
+        db.execute("CREATE TABLE r (k INT)")
+        db.insert_rows("l", [(v,) for v in left])
+        db.insert_rows("r", [(v,) for v in right])
+        result = db.execute("SELECT l.k FROM l JOIN r ON l.k = r.k")
+        expected = sorted(
+            lv for lv in left for rv in right if lv == rv
+        )
+        assert sorted(result.column_values("k")) == expected
+
+    @given(
+        left=st.lists(st.integers(0, 5), min_size=0, max_size=10),
+        right=st.lists(st.integers(0, 5), min_size=0, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_left_join_preserves_left_cardinality(self, left, right):
+        db = Database("j2")
+        db.execute("CREATE TABLE l (k INT)")
+        db.execute("CREATE TABLE r (k INT)")
+        db.insert_rows("l", [(v,) for v in left])
+        db.insert_rows("r", [(v,) for v in right])
+        result = db.execute("SELECT l.k, r.k FROM l LEFT JOIN r ON l.k = r.k")
+        expected_rows = sum(
+            max(right.count(lv), 1) for lv in left
+        )
+        assert result.row_count == expected_rows
+        # NULL-extension only for unmatched keys.
+        for lk, rk in result.rows:
+            if rk is None:
+                assert lk not in right
+            else:
+                assert lk == rk

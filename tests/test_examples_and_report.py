@@ -1,0 +1,84 @@
+"""Integration smoke tests: every example script runs end-to-end, and the
+harness renderers produce well-formed reports."""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "why-not steering" in output
+        assert "California" in output
+        assert "from_history" in output
+
+    def test_coffee_sales_analysis(self):
+        output = run_example("coffee_sales_analysis.py")
+        assert "engine work saved" in output
+        assert "Berkeley" in output
+        # Sharing must actually save work.
+        assert "%" in output.split("engine work saved:")[1]
+
+    def test_flight_crew_rescheduling(self):
+        output = run_example("flight_crew_rescheduling.py")
+        assert "merged plan_c" in output
+        assert "rollbacks" in output
+        assert "Grace" in output  # the only legal captain
+
+    def test_multibackend_cleaning(self):
+        output = run_example("multibackend_cleaning.py")
+        assert "no hints" in output and "with expert hints" in output
+        assert "gold" in output
+
+
+class TestHarnessRendering:
+    def test_fig_renderers_contain_series(self):
+        from repro.harness import run_fig1a
+
+        result = run_fig1a(seed=2, n_tasks=8, k_values=(1, 5))
+        text = result.render()
+        assert "Figure 1a" in text
+        assert "gpt-4o-mini-sim" in text
+
+    def test_table1_renderer_shape(self):
+        from repro.harness import run_table1
+
+        result = run_table1(seed=2, n_tasks=6, repetitions=1)
+        text = result.render()
+        assert "Table 1" in text
+        assert "Reduction (%)" in text
+        assert "all SQL queries" in text
+
+    def test_report_builds_all_sections(self):
+        from repro.harness.report import HEADER
+
+        assert "EXPERIMENTS" in HEADER
+
+    def test_fig3_render_rows(self):
+        from repro.harness import run_fig3
+
+        result = run_fig3(seed=2, n_tasks=6, repetitions=1)
+        text = result.render()
+        assert "exploring tables" in text
+        assert "attempting entire query" in text

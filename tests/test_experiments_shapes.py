@@ -1,0 +1,155 @@
+"""Paper-shape regression tests.
+
+These assert the *qualitative* claims of every reproduced figure/table
+(direction, ordering, rough magnitude) on reduced sizes, so that changes to
+the simulator calibration that would break the reproduction fail CI. The
+benches run the full-size versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    run_branching_experiment,
+    run_fig1a,
+    run_fig1b,
+    run_fig2,
+    run_fig3,
+    run_memory_ablation,
+    run_mqo_ablation,
+    run_steering_ablation,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    return run_fig1a(seed=1, n_tasks=24, k_values=(1, 10, 50))
+
+
+@pytest.fixture(scope="module")
+def fig1b():
+    return run_fig1b(seed=1, n_tasks=24, turn_budgets=(1, 4, 7), repetitions=2)
+
+
+class TestFig1aShape:
+    def test_success_rises_with_k(self, fig1a):
+        for series in fig1a.series.values():
+            assert series[50] > series[1]
+
+    def test_saturates_below_certainty(self, fig1a):
+        for series in fig1a.series.values():
+            assert series[50] < 0.95
+
+    def test_magnitudes_in_paper_band(self, fig1a):
+        for series in fig1a.series.values():
+            assert 0.3 < series[1] < 0.75
+            assert 0.5 < series[50] < 0.9
+
+
+class TestFig1bShape:
+    def test_success_rises_with_turns(self, fig1b):
+        for series in fig1b.series.values():
+            assert series[7] > series[1] + 0.1
+
+    def test_turn1_is_weak(self, fig1b):
+        for series in fig1b.series.values():
+            assert series[1] < 0.5
+
+    def test_sequential_below_parallel_ceiling(self, fig1a, fig1b):
+        for name, series in fig1b.series.items():
+            assert series[7] <= fig1a.series[name][50] + 0.15
+
+
+class TestFig2Shape:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return run_fig2(seed=1, n_tasks=8, attempts_per_task=30)
+
+    def test_small_subplans_massively_redundant(self, fig2):
+        proportions = {size: p for size, _, _, p in fig2.by_size}
+        assert proportions[1] < 0.1
+        assert proportions[2] < 0.2
+
+    def test_unique_proportion_grows_with_size(self, fig2):
+        proportions = [p for _, _, _, p in fig2.by_size]
+        assert proportions[-1] > proportions[0]
+
+    def test_scans_dedupe_hardest(self, fig2):
+        by_op = {code: p for code, _, _, p in fig2.by_operator}
+        assert by_op["TS"] == min(by_op.values())
+
+    def test_all_operator_codes_present(self, fig2):
+        codes = {code for code, _, _, _ in fig2.by_operator}
+        assert {"PR", "TS", "FI", "UA"} <= codes
+
+
+class TestFig3Shape:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return run_fig3(seed=1, n_tasks=12, repetitions=2)
+
+    @staticmethod
+    def center(bins):
+        total = sum(bins)
+        return sum(i * v for i, v in enumerate(bins)) / total if total else 0.0
+
+    def test_exploration_precedes_attempts(self, fig3):
+        com = {name: self.center(bins) for name, bins in fig3.heatmap.items()}
+        assert com["exploring tables"] < com["attempting entire query"]
+        assert com["exploring specific columns"] < com["attempting entire query"]
+
+    def test_phases_overlap(self, fig3):
+        tables = fig3.heatmap["exploring tables"]
+        attempts = fig3.heatmap["attempting entire query"]
+        assert sum(tables[len(tables) // 2 :]) > 0  # exploration persists late
+        assert sum(attempts[: len(attempts) // 2]) > 0  # attempts start early
+
+    def test_rows_normalised(self, fig3):
+        for bins in fig3.heatmap.values():
+            assert max(bins) == pytest.approx(1.0)
+
+
+class TestTable1Shape:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(seed=1, n_tasks=12, repetitions=2)
+
+    def test_hints_reduce_every_activity(self, table1):
+        for _, no_hints, with_hints, reduction in table1.rows:
+            assert with_hints <= no_hints
+            assert reduction <= 0
+
+    def test_counts_in_paper_ballpark(self, table1):
+        totals = {activity: no_hints for activity, no_hints, _, _ in table1.rows}
+        assert 8 < totals["all SQL queries"] < 20
+        assert totals["attempting entire query"] < totals["attempting part of the query"]
+
+    def test_overall_reduction_material(self, table1):
+        reductions = {a: r for a, _, _, r in table1.rows}
+        assert reductions["all SQL queries"] < -5
+
+
+class TestBranchingShape:
+    def test_agents_dominate_branch_activity(self):
+        result = run_branching_experiment(seed=1, sessions=6)
+        assert result.branch_ratio > 5
+        assert result.rollback_ratio > 10
+        assert result.cow_shared_fraction > 0.5
+
+
+class TestAblationShapes:
+    def test_mqo_saves_most_work(self):
+        result = run_mqo_ablation(seed=1, n_tasks=3, attempts_per_task=20)
+        assert result.duplicate_fraction > 0.4
+        assert result.work_saved > 0.4
+
+    def test_memory_saves_on_repetition(self):
+        result = run_memory_ablation(seed=1, n_tasks=4, repeats=3)
+        assert result.history_answers > 0
+        assert result.work_saved > 0.3
+
+    def test_steering_saves_probes(self):
+        result = run_steering_ablation(seed=1, n_tasks=6)
+        assert result.probes_with_steering <= result.probes_without_steering

@@ -1,0 +1,204 @@
+"""Tests for the agentic memory store: lookups, staleness, access control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.errors import AccessDenied, MemoryStoreError
+from repro.memstore import AgenticMemoryStore, Artifact, ArtifactKind, StalenessPolicy
+
+
+def note(table="sales", column=None, text="states use two-letter codes", **kwargs):
+    subject = (table, column) if column else (table,)
+    return Artifact(
+        kind=kwargs.pop("kind", ArtifactKind.COLUMN_ENCODING),
+        subject=subject,
+        text=text,
+        depends_on=(table,),
+        **kwargs,
+    )
+
+
+class TestBasicStore:
+    def test_put_and_get(self):
+        store = AgenticMemoryStore()
+        artifact_id = store.put(note())
+        assert store.get(artifact_id).text == "states use two-letter codes"
+
+    def test_get_missing_raises(self):
+        with pytest.raises(MemoryStoreError):
+            AgenticMemoryStore().get(12345)
+
+    def test_structured_lookup(self):
+        store = AgenticMemoryStore()
+        store.put(note(column="state"))
+        found = store.lookup(ArtifactKind.COLUMN_ENCODING, ("sales", "state"))
+        assert len(found) == 1
+
+    def test_lookup_case_insensitive(self):
+        store = AgenticMemoryStore()
+        store.put(note(column="state"))
+        assert store.lookup(ArtifactKind.COLUMN_ENCODING, ("SALES", "STATE"))
+
+    def test_put_supersedes_same_subject(self):
+        store = AgenticMemoryStore()
+        store.put(note(text="old fact"))
+        store.put(note(text="new fact"))
+        found = store.lookup(ArtifactKind.COLUMN_ENCODING, ("sales",))
+        assert [a.text for a in found] == ["new fact"]
+
+    def test_remember_convenience(self):
+        store = AgenticMemoryStore()
+        store.remember(
+            ArtifactKind.VALUE_RANGE,
+            ("sales", "year"),
+            "years span 2020-2024",
+            low=2020,
+            high=2024,
+        )
+        (artifact,) = store.lookup(ArtifactKind.VALUE_RANGE, ("sales", "year"))
+        assert artifact.content == {"low": 2020, "high": 2024}
+
+    def test_semantic_search_finds_related(self):
+        store = AgenticMemoryStore()
+        store.put(note(text="state column uses two-letter abbreviations like CA"))
+        store.put(
+            note(
+                table="flights",
+                kind=ArtifactKind.SCHEMA_NOTE,
+                text="flight crew assignments live here",
+            )
+        )
+        results = store.search("how are US states encoded")
+        assert results
+        assert "two-letter" in results[0][0].text
+
+    def test_artifacts_about_table(self):
+        store = AgenticMemoryStore()
+        store.put(note())
+        store.put(note(column="state", kind=ArtifactKind.MISSING_VALUES))
+        store.put(note(table="other"))
+        assert len(store.artifacts_about("sales")) == 2
+
+    def test_hit_counter(self):
+        store = AgenticMemoryStore()
+        artifact_id = store.put(note())
+        store.get(artifact_id)
+        store.get(artifact_id)
+        assert store.get(artifact_id).hits == 3
+
+
+class TestStaleness:
+    def make_db(self) -> Database:
+        db = Database()
+        db.execute("CREATE TABLE sales (id INT, state TEXT)")
+        db.execute("INSERT INTO sales VALUES (1, 'CA')")
+        return db
+
+    def test_lazy_marks_stale_on_dml(self):
+        db = self.make_db()
+        store = AgenticMemoryStore(policy=StalenessPolicy.LAZY)
+        store.attach(db)
+        artifact_id = store.put(note())
+        db.execute("INSERT INTO sales VALUES (2, 'WA')")
+        assert store.get(artifact_id).stale
+        assert store.stale_count() == 1
+
+    def test_eager_drops_on_dml(self):
+        db = self.make_db()
+        store = AgenticMemoryStore(policy=StalenessPolicy.EAGER)
+        store.attach(db)
+        store.put(note())
+        db.execute("INSERT INTO sales VALUES (2, 'WA')")
+        assert len(store) == 0
+        assert store.invalidations == 1
+
+    def test_data_insensitive_artifact_survives_dml(self):
+        db = self.make_db()
+        store = AgenticMemoryStore(policy=StalenessPolicy.EAGER)
+        store.attach(db)
+        artifact_id = store.put(note(data_sensitive=False))
+        db.execute("INSERT INTO sales VALUES (2, 'WA')")
+        assert not store.get(artifact_id).stale
+
+    def test_schema_change_invalidates_even_data_insensitive(self):
+        db = self.make_db()
+        store = AgenticMemoryStore(policy=StalenessPolicy.LAZY)
+        store.attach(db)
+        artifact_id = store.put(note(data_sensitive=False))
+        db.execute("DROP TABLE sales")
+        assert store.get(artifact_id).stale
+
+    def test_unrelated_table_change_ignored(self):
+        db = self.make_db()
+        db.execute("CREATE TABLE other (x INT)")
+        store = AgenticMemoryStore(policy=StalenessPolicy.LAZY)
+        store.attach(db)
+        artifact_id = store.put(note())
+        db.execute("INSERT INTO other VALUES (1)")
+        assert not store.get(artifact_id).stale
+
+    def test_lookup_can_exclude_stale(self):
+        db = self.make_db()
+        store = AgenticMemoryStore(policy=StalenessPolicy.LAZY)
+        store.attach(db)
+        store.put(note())
+        db.execute("INSERT INTO sales VALUES (2, 'WA')")
+        assert store.lookup(ArtifactKind.COLUMN_ENCODING, ("sales",)) != []
+        assert (
+            store.lookup(
+                ArtifactKind.COLUMN_ENCODING, ("sales",), include_stale=False
+            )
+            == []
+        )
+
+    def test_refresh_clears_staleness(self):
+        db = self.make_db()
+        store = AgenticMemoryStore(policy=StalenessPolicy.LAZY)
+        store.attach(db)
+        artifact_id = store.put(note())
+        db.execute("INSERT INTO sales VALUES (2, 'WA')")
+        store.refresh(artifact_id, new_text="verified: still two-letter codes")
+        artifact = store.get(artifact_id)
+        assert not artifact.stale
+        assert "verified" in artifact.text
+
+
+class TestAccessControl:
+    def test_private_artifact_hidden_from_others(self):
+        store = AgenticMemoryStore()
+        artifact_id = store.put(note(principal="alice"))
+        with pytest.raises(AccessDenied):
+            store.get(artifact_id, principal="bob")
+
+    def test_shared_artifact_visible_when_sharing_on(self):
+        store = AgenticMemoryStore(share_across_principals=True)
+        artifact_id = store.put(note(principal="alice", shared=True))
+        assert store.get(artifact_id, principal="bob")
+
+    def test_shared_artifact_hidden_when_sharing_off(self):
+        store = AgenticMemoryStore(share_across_principals=False)
+        artifact_id = store.put(note(principal="alice", shared=True))
+        with pytest.raises(AccessDenied):
+            store.get(artifact_id, principal="bob")
+
+    def test_search_respects_namespaces(self):
+        store = AgenticMemoryStore()
+        store.put(note(principal="alice", text="alice private secret about sales"))
+        results = store.search("secret about sales", principal="bob")
+        assert results == []
+
+    def test_same_principal_always_sees_own(self):
+        store = AgenticMemoryStore(share_across_principals=False)
+        artifact_id = store.put(note(principal="alice"))
+        assert store.get(artifact_id, principal="alice")
+
+    def test_namespaced_put_does_not_supersede_other_principal(self):
+        store = AgenticMemoryStore()
+        store.put(note(principal="alice", text="alice fact"))
+        store.put(note(principal="bob", text="bob fact"))
+        found = store.lookup(
+            ArtifactKind.COLUMN_ENCODING, ("sales",), principal="alice"
+        )
+        assert [a.text for a in found] == ["alice fact"]

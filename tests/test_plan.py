@@ -1,0 +1,319 @@
+"""Tests for the plan layer: builder, optimizer rules, fingerprints, cost.
+
+The central property: every optimizer rewrite preserves query results. We
+run a corpus of queries through the unoptimized and optimized paths and
+compare row multisets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.engine.executor import ExecContext, Executor
+from repro.plan import (
+    Filter,
+    HashJoin,
+    IndexScan,
+    Scan,
+    build_plan,
+    estimate_cost,
+    fingerprint,
+    optimize_plan,
+    subexpressions,
+)
+from repro.plan.rules import fold_constants, prune_projections, push_down_filters
+from repro.sql.parser import parse_statement
+
+QUERY_CORPUS = [
+    "SELECT * FROM stores",
+    "SELECT city FROM stores WHERE state = 'CA'",
+    "SELECT s.city, x.amount FROM stores s JOIN sales x ON s.id = x.store_id",
+    "SELECT s.city FROM stores s JOIN sales x ON s.id = x.store_id"
+    " WHERE x.amount > 50 AND s.state = 'CA'",
+    "SELECT product, SUM(amount) AS total FROM sales GROUP BY product",
+    "SELECT product, SUM(amount) AS total FROM sales WHERE year = 2023"
+    " GROUP BY product HAVING SUM(amount) > 30 ORDER BY total DESC",
+    "SELECT DISTINCT state FROM stores ORDER BY state",
+    "SELECT city FROM stores ORDER BY opened DESC LIMIT 2",
+    "SELECT sub.product FROM (SELECT product, SUM(amount) AS t FROM sales"
+    " GROUP BY product) sub WHERE sub.t > 100",
+    "SELECT s.state, COUNT(*) FROM stores s LEFT JOIN sales x"
+    " ON s.id = x.store_id GROUP BY s.state",
+    "SELECT x.product FROM sales x WHERE x.store_id IN"
+    " (SELECT id FROM stores WHERE state = 'CA')",
+    "SELECT city FROM stores WHERE 1 = 1 AND state = 'CA'",
+    "SELECT s.city FROM stores s JOIN sales x ON s.id = x.store_id"
+    " AND x.amount > 100 WHERE s.opened < 2012",
+]
+
+
+def run_plan(db: Database, plan) -> list:
+    executor = Executor(db.catalog, ExecContext())
+    return executor.run(plan).rows
+
+
+class TestOptimizerEquivalence:
+    @pytest.mark.parametrize("sql", QUERY_CORPUS)
+    def test_optimized_matches_unoptimized(self, sales_db, sql):
+        statement = parse_statement(sql)
+        raw = build_plan(statement, sales_db.catalog)
+        optimized = optimize_plan(raw, sales_db.catalog)
+        assert sorted(map(repr, run_plan(sales_db, raw))) == sorted(
+            map(repr, run_plan(sales_db, optimized))
+        )
+
+    @pytest.mark.parametrize("sql", QUERY_CORPUS)
+    def test_optimized_with_indexes_matches(self, sales_db, sql):
+        sales_db.catalog.create_hash_index("stores", "state")
+        sales_db.catalog.create_sorted_index("sales", "amount")
+        statement = parse_statement(sql)
+        raw = build_plan(statement, sales_db.catalog)
+        optimized = optimize_plan(raw, sales_db.catalog)
+        assert sorted(map(repr, run_plan(sales_db, raw))) == sorted(
+            map(repr, run_plan(sales_db, optimized))
+        )
+
+
+class TestPushdown:
+    def test_filter_sinks_below_join(self, sales_db):
+        plan = sales_db.plan_select(
+            "SELECT s.city FROM stores s JOIN sales x ON s.id = x.store_id"
+            " WHERE s.state = 'CA' AND x.amount > 50"
+        )
+        # After pushdown, no Filter should sit directly above the HashJoin.
+        join = next(n for n in plan.walk() if isinstance(n, HashJoin))
+        assert any(isinstance(c, Filter) for c in join.children())
+
+    def test_pushdown_through_subquery(self, sales_db):
+        plan = sales_db.plan_select(
+            "SELECT sub.city FROM (SELECT city, state FROM stores) sub"
+            " WHERE sub.state = 'CA'"
+        )
+        filters = [n for n in plan.walk() if isinstance(n, Filter)]
+        assert filters, "filter should survive"
+        # The filter must sit below the SubqueryScan, adjacent to the scan.
+        scan_filter = [
+            f for f in filters if isinstance(f.child, (Scan, IndexScan))
+        ]
+        assert scan_filter
+
+    def test_left_join_right_filter_not_pushed(self, sales_db):
+        plan = sales_db.plan_select(
+            "SELECT s.city FROM stores s LEFT JOIN sales x ON s.id = x.store_id"
+            " WHERE x.amount > 50"
+        )
+        join = next(n for n in plan.walk() if isinstance(n, HashJoin))
+        # The right-side filter stays above the LEFT join for correctness.
+        assert not isinstance(join.right, Filter)
+
+    def test_fixpoint_terminates(self, sales_db):
+        plan = sales_db.plan_select(
+            "SELECT s.city FROM stores s WHERE s.state = 'CA' AND s.opened > 2000"
+            " AND s.city LIKE 'B%' AND s.id < 100"
+        )
+        assert push_down_filters(plan) == push_down_filters(push_down_filters(plan))
+
+
+class TestConstantFolding:
+    def test_true_conjunct_removed(self, sales_db):
+        statement = parse_statement("SELECT city FROM stores WHERE 1 = 1 AND state = 'CA'")
+        plan = fold_constants(build_plan(statement, sales_db.catalog))
+        filters = [n for n in plan.walk() if isinstance(n, Filter)]
+        assert all("1 = 1" not in f.predicate.sql() for f in filters)
+
+    def test_arithmetic_folded(self, sales_db):
+        statement = parse_statement("SELECT 2 + 3 * 4 FROM stores")
+        plan = fold_constants(build_plan(statement, sales_db.catalog))
+        assert "14" in plan.describe()
+
+
+class TestProjectionPruning:
+    def test_scan_narrowed(self, sales_db):
+        plan = sales_db.plan_select("SELECT city FROM stores WHERE state = 'CA'")
+        scan = next(n for n in plan.walk() if isinstance(n, Scan))
+        assert set(scan.columns) == {"city", "state"}
+
+    def test_count_star_keeps_single_column(self, sales_db):
+        plan = sales_db.plan_select("SELECT COUNT(*) FROM stores")
+        scan = next(n for n in plan.walk() if isinstance(n, Scan))
+        assert len(scan.columns) == 1
+
+    def test_join_keys_kept(self, sales_db):
+        plan = sales_db.plan_select(
+            "SELECT s.city FROM stores s JOIN sales x ON s.id = x.store_id"
+        )
+        scans = {n.table: n for n in plan.walk() if isinstance(n, Scan)}
+        assert "id" in scans["stores"].columns
+        assert "store_id" in scans["sales"].columns
+        assert "product" not in scans["sales"].columns
+
+
+class TestIndexSelection:
+    def test_equality_uses_hash_index(self, sales_db):
+        sales_db.catalog.create_hash_index("stores", "state")
+        plan = sales_db.plan_select("SELECT city FROM stores WHERE state = 'CA'")
+        assert any(isinstance(n, IndexScan) and n.is_equality for n in plan.walk())
+
+    def test_range_uses_sorted_index(self, sales_db):
+        sales_db.catalog.create_sorted_index("sales", "amount")
+        plan = sales_db.plan_select("SELECT id FROM sales WHERE amount > 100")
+        index_scan = next(n for n in plan.walk() if isinstance(n, IndexScan))
+        assert not index_scan.is_equality
+        assert index_scan.low == 100 and not index_scan.low_inclusive
+
+    def test_no_index_no_rewrite(self, sales_db):
+        plan = sales_db.plan_select("SELECT city FROM stores WHERE state = 'CA'")
+        assert not any(isinstance(n, IndexScan) for n in plan.walk())
+
+
+class TestFingerprints:
+    def plan_for(self, db, sql):
+        return build_plan(parse_statement(sql), db.catalog)
+
+    def test_alias_insensitive(self, sales_db):
+        a = self.plan_for(sales_db, "SELECT city FROM stores WHERE state = 'CA'")
+        b = self.plan_for(sales_db, "SELECT s.city FROM stores s WHERE s.state = 'CA'")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_conjunct_order_insensitive(self, sales_db):
+        a = self.plan_for(
+            sales_db, "SELECT city FROM stores WHERE state = 'CA' AND opened > 2000"
+        )
+        b = self.plan_for(
+            sales_db, "SELECT city FROM stores WHERE opened > 2000 AND state = 'CA'"
+        )
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_commutative_equality(self, sales_db):
+        a = self.plan_for(sales_db, "SELECT city FROM stores WHERE state = 'CA'")
+        b = self.plan_for(sales_db, "SELECT city FROM stores WHERE 'CA' = state")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_join_side_insensitive_lenient(self, sales_db):
+        a = self.plan_for(
+            sales_db,
+            "SELECT s.id, x.id FROM stores s JOIN sales x ON s.id = x.store_id",
+        )
+        b = self.plan_for(
+            sales_db,
+            "SELECT s.id, x.id FROM sales x JOIN stores s ON x.store_id = s.id",
+        )
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a, strict=True) != fingerprint(b, strict=True)
+
+    def test_projection_order_strictness(self, sales_db):
+        a = self.plan_for(sales_db, "SELECT city, state FROM stores")
+        b = self.plan_for(sales_db, "SELECT state, city FROM stores")
+        assert fingerprint(a) == fingerprint(b)
+        assert fingerprint(a, strict=True) != fingerprint(b, strict=True)
+
+    def test_different_literals_differ(self, sales_db):
+        a = self.plan_for(sales_db, "SELECT city FROM stores WHERE state = 'CA'")
+        b = self.plan_for(sales_db, "SELECT city FROM stores WHERE state = 'WA'")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_flipped_inequality_equal(self, sales_db):
+        a = self.plan_for(sales_db, "SELECT id FROM sales WHERE amount > 100")
+        b = self.plan_for(sales_db, "SELECT id FROM sales WHERE 100 < amount")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_subexpressions_counts(self, sales_db):
+        plan = self.plan_for(
+            sales_db,
+            "SELECT s.city FROM stores s JOIN sales x ON s.id = x.store_id"
+            " WHERE x.amount > 10",
+        )
+        subs = subexpressions(plan)
+        assert len(subs) == plan.node_count()
+        assert {s.size for s in subs} >= {1, plan.node_count()}
+        root = max(subs, key=lambda s: s.size)
+        assert root.root_code == "PR"
+
+    def test_root_codes_cover_taxonomy(self, sales_db):
+        plan = self.plan_for(
+            sales_db,
+            "SELECT s.state, COUNT(*) FROM stores s JOIN sales x"
+            " ON s.id = x.store_id WHERE x.amount > 10 GROUP BY s.state"
+            " ORDER BY s.state LIMIT 5",
+        )
+        codes = {s.root_code for s in subexpressions(plan)}
+        assert {"PR", "TS", "FI", "HJ", "UA", "OT"} <= codes
+
+
+class TestCostModel:
+    def test_scan_cost_equals_rows(self, sales_db):
+        plan = build_plan(parse_statement("SELECT * FROM sales"), sales_db.catalog)
+        estimate = estimate_cost(plan, sales_db.catalog)
+        assert estimate.rows == pytest.approx(10, abs=1)
+
+    def test_filter_reduces_estimate(self, sales_db):
+        all_plan = sales_db.plan_select("SELECT * FROM sales")
+        filtered = sales_db.plan_select("SELECT * FROM sales WHERE product = 'pastry'")
+        assert (
+            estimate_cost(filtered, sales_db.catalog).rows
+            < estimate_cost(all_plan, sales_db.catalog).rows
+        )
+
+    def test_join_cost_superadditive(self, sales_db):
+        join = sales_db.plan_select(
+            "SELECT s.city FROM stores s JOIN sales x ON s.id = x.store_id"
+        )
+        scan = sales_db.plan_select("SELECT city FROM stores")
+        assert (
+            estimate_cost(join, sales_db.catalog).cost
+            > estimate_cost(scan, sales_db.catalog).cost
+        )
+
+    def test_index_scan_cheaper_than_full_scan(self, sales_db):
+        no_index = sales_db.plan_select("SELECT city FROM stores WHERE state = 'CA'")
+        cost_before = estimate_cost(no_index, sales_db.catalog).cost
+        sales_db.catalog.create_hash_index("stores", "state")
+        with_index = sales_db.plan_select("SELECT city FROM stores WHERE state = 'CA'")
+        cost_after = estimate_cost(with_index, sales_db.catalog).cost
+        assert cost_after <= cost_before
+
+    def test_estimate_api(self, sales_db):
+        estimate = sales_db.estimate("SELECT * FROM sales WHERE amount > 100")
+        assert estimate.rows >= 0
+        assert estimate.cost > 0
+
+
+class TestPropertyBasedEquivalence:
+    """Random single-table predicates: optimized == unoptimized."""
+
+    predicate = st.sampled_from(
+        [
+            "amount > 50",
+            "amount <= 100",
+            "product = 'coffee'",
+            "product <> 'tea'",
+            "year = 2023",
+            "amount BETWEEN 20 AND 120",
+            "product IN ('tea', 'pastry')",
+            "product LIKE 'c%'",
+            "amount IS NOT NULL",
+        ]
+    )
+
+    @given(parts=st.lists(predicate, min_size=1, max_size=3), disjunct=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_random_predicates(self, parts, disjunct):
+        db = Database("prop")
+        db.execute("CREATE TABLE sales (id INT, product TEXT, amount FLOAT, year INT)")
+        db.execute(
+            "INSERT INTO sales VALUES "
+            "(1,'coffee',120.5,2023),(2,'tea',30.0,2023),(3,'coffee',80.0,2023),"
+            "(4,'coffee',200.0,2023),(5,'tea',55.5,2024),(6,'coffee',50.25,2024),"
+            "(7,NULL,99.0,2024),(8,'tea',NULL,2024)"
+        )
+        joiner = " OR " if disjunct else " AND "
+        sql = "SELECT id FROM sales WHERE " + joiner.join(parts)
+        statement = parse_statement(sql)
+        raw = build_plan(statement, db.catalog)
+        optimized = optimize_plan(raw, db.catalog)
+        raw_rows = sorted(Executor(db.catalog).run(raw).rows)
+        opt_rows = sorted(Executor(db.catalog).run(optimized).rows)
+        assert raw_rows == opt_rows

@@ -1,0 +1,149 @@
+"""Tests for semantic operators: embeddings, inverted index, anywhere-search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.semantic import (
+    HashedEmbedder,
+    InvertedIndex,
+    Location,
+    SemanticSearch,
+    cosine_similarity,
+)
+
+
+class TestEmbedder:
+    def test_deterministic(self):
+        embedder = HashedEmbedder()
+        assert np.allclose(embedder.embed("coffee sales"), embedder.embed("coffee sales"))
+
+    def test_unit_norm(self):
+        vector = HashedEmbedder().embed("electronics")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_zero_vector(self):
+        assert np.linalg.norm(HashedEmbedder().embed("")) == 0.0
+
+    def test_similar_strings_closer_than_random(self):
+        embedder = HashedEmbedder()
+        base = embedder.embed("electronic goods")
+        close = embedder.embed("electronics")
+        far = embedder.embed("flight crew roster")
+        assert cosine_similarity(base, close) > cosine_similarity(base, far)
+
+    def test_plural_folding(self):
+        embedder = HashedEmbedder()
+        similarity = cosine_similarity(embedder.embed("store"), embedder.embed("stores"))
+        assert similarity > 0.8
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            HashedEmbedder(dims=0)
+
+    def test_cosine_zero_for_zero_vector(self):
+        embedder = HashedEmbedder()
+        assert cosine_similarity(embedder.embed(""), embedder.embed("x")) == 0.0
+
+
+class TestInvertedIndex:
+    def test_add_and_lookup(self):
+        index = InvertedIndex()
+        loc = Location("table_name", "sales")
+        index.add_text("sales data", loc)
+        assert index.lookup("sales") == {loc}
+        assert index.lookup("data") == {loc}
+
+    def test_singular_plural_fold(self):
+        index = InvertedIndex()
+        loc = Location("table_name", "stores")
+        index.add_text("stores", loc)
+        assert index.lookup("store") == {loc}
+
+    def test_phrase_counts(self):
+        index = InvertedIndex()
+        loc = Location("column_name", "t", "coffee_sales")
+        index.add_text("coffee sales", loc)
+        hits = index.lookup_phrase("coffee bean sales")
+        assert hits[loc] == 2
+
+    def test_missing_token_empty(self):
+        assert InvertedIndex().lookup("ghost") == set()
+
+    def test_clear(self):
+        index = InvertedIndex()
+        index.add_text("x", Location("table_name", "t"))
+        index.clear()
+        assert index.vocabulary_size() == 0
+
+
+@pytest.fixture
+def shop_db() -> Database:
+    db = Database("shop")
+    db.execute(
+        "CREATE TABLE electronic_goods (id INT, product_name TEXT, price FLOAT)"
+    )
+    db.execute("CREATE TABLE coffee_sales (id INT, city TEXT, revenue FLOAT)")
+    db.execute("CREATE TABLE hr_roster (id INT, employee TEXT)")
+    db.execute(
+        "INSERT INTO electronic_goods VALUES (1,'laptop',999.0),(2,'tariff-free tv',499.0)"
+    )
+    db.execute(
+        "INSERT INTO coffee_sales VALUES (1,'Berkeley',120.0),(2,'Oakland',80.0)"
+    )
+    db.execute("INSERT INTO hr_roster VALUES (1,'Ada'),(2,'Grace')")
+    return db
+
+
+class TestSemanticSearch:
+    def test_finds_table_by_related_phrase(self, shop_db):
+        search = SemanticSearch(shop_db)
+        tables = search.find_tables("electronics import tariffs")
+        assert tables[0] == "electronic_goods"
+
+    def test_finds_value_in_cells(self, shop_db):
+        search = SemanticSearch(shop_db)
+        hits = search.search("Berkeley")
+        cell_hits = [h for h in hits if h.location.kind == "cell"]
+        assert cell_hits
+        assert cell_hits[0].location.table == "coffee_sales"
+        assert cell_hits[0].location.row_id is not None
+
+    def test_finds_column(self, shop_db):
+        search = SemanticSearch(shop_db)
+        columns = search.find_columns("product names")
+        assert ("electronic_goods", "product_name") in columns
+
+    def test_kind_filter(self, shop_db):
+        search = SemanticSearch(shop_db)
+        hits = search.search("coffee", kinds=("table_name",))
+        assert all(h.location.kind == "table_name" for h in hits)
+
+    def test_refresh_after_ddl(self, shop_db):
+        search = SemanticSearch(shop_db)
+        assert "tariff" not in " ".join(search.find_tables("spice inventory"))
+        shop_db.execute("CREATE TABLE spice_inventory (id INT, spice TEXT)")
+        tables = search.find_tables("spice inventory")
+        assert tables[0] == "spice_inventory"
+
+    def test_refresh_after_dml(self, shop_db):
+        search = SemanticSearch(shop_db)
+        search.refresh()
+        shop_db.execute("INSERT INTO coffee_sales VALUES (3, 'Zanzibar', 10.0)")
+        hits = search.search("Zanzibar")
+        assert any(h.location.kind == "cell" for h in hits)
+
+    def test_limit_respected(self, shop_db):
+        search = SemanticSearch(shop_db)
+        assert len(search.search("id", limit=2)) <= 2
+
+    def test_describe_is_readable(self, shop_db):
+        search = SemanticSearch(shop_db)
+        hits = search.search("coffee")
+        assert any("coffee" in h.describe() for h in hits)
+
+    def test_no_match_empty(self, shop_db):
+        search = SemanticSearch(shop_db)
+        assert search.search("xylophone zither") == []

@@ -1,0 +1,294 @@
+"""Tests for the storage substrate: types, schema, tables, catalog, stats,
+indexes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError, ExecutionError
+from repro.storage import (
+    Catalog,
+    Column,
+    DataType,
+    Table,
+    TableSchema,
+    coerce_value,
+    compute_table_stats,
+    infer_type,
+)
+from repro.storage.table import CHUNK_SIZE
+from repro.storage.types import compare_values
+
+
+def make_schema(name: str = "t") -> TableSchema:
+    return TableSchema(
+        name,
+        (
+            Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+        ),
+    )
+
+
+class TestTypes:
+    def test_parse_synonyms(self):
+        assert DataType.parse("varchar") is DataType.TEXT
+        assert DataType.parse("BIGINT") is DataType.INTEGER
+        assert DataType.parse("double") is DataType.FLOAT
+        assert DataType.parse("bool") is DataType.BOOLEAN
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ExecutionError):
+            DataType.parse("blob")
+
+    def test_coerce_int_widens_to_float(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+        assert isinstance(coerce_value(3, DataType.FLOAT), float)
+
+    def test_coerce_lossy_float_to_int_raises(self):
+        with pytest.raises(ExecutionError):
+            coerce_value(3.5, DataType.INTEGER)
+
+    def test_coerce_exact_float_to_int(self):
+        assert coerce_value(3.0, DataType.INTEGER) == 3
+
+    def test_coerce_null_passes_all_types(self):
+        for data_type in DataType:
+            assert coerce_value(None, data_type) is None
+
+    def test_coerce_string_to_number(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+        with pytest.raises(ExecutionError):
+            coerce_value("4x", DataType.INTEGER)
+
+    def test_coerce_boolean(self):
+        assert coerce_value("true", DataType.BOOLEAN) is True
+        assert coerce_value(1, DataType.BOOLEAN) is True
+        with pytest.raises(ExecutionError):
+            coerce_value(7, DataType.BOOLEAN)
+
+    def test_infer_type(self):
+        assert infer_type(1) is DataType.INTEGER
+        assert infer_type(True) is DataType.BOOLEAN
+        assert infer_type(1.5) is DataType.FLOAT
+        assert infer_type("x") is DataType.TEXT
+        assert infer_type(None) is None
+
+    def test_compare_values_null(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+
+    def test_compare_values_mixed_numeric(self):
+        assert compare_values(1, 1.5) == -1
+        assert compare_values(2.0, 2) == 0
+
+    def test_compare_values_cross_type_raises(self):
+        with pytest.raises(ExecutionError):
+            compare_values("a", 1)
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", DataType.TEXT), Column("A", DataType.TEXT)))
+
+    def test_position_lookup_case_insensitive(self):
+        schema = make_schema()
+        assert schema.position_of("NAME") == 1
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            make_schema().position_of("missing")
+
+    def test_primary_key_positions(self):
+        assert make_schema().primary_key_positions() == [0]
+
+    def test_fingerprint_payload_changes_with_schema(self):
+        a = make_schema()
+        b = TableSchema("t", a.columns + (Column("extra", DataType.TEXT),))
+        assert a.fingerprint_payload() != b.fingerprint_payload()
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        table = Table(make_schema())
+        table.insert((1, "a", 0.5))
+        table.insert((2, "b", None))
+        assert table.rows() == [(1, "a", 0.5), (2, "b", None)]
+
+    def test_not_null_enforced(self):
+        table = Table(make_schema())
+        with pytest.raises(ExecutionError):
+            table.insert((None, "a", 1.0))
+
+    def test_arity_enforced(self):
+        table = Table(make_schema())
+        with pytest.raises(ExecutionError):
+            table.insert((1, "a"))
+
+    def test_update_and_get(self):
+        table = Table(make_schema())
+        row_id = table.insert((1, "a", 0.5))
+        table.update(row_id, (1, "z", 9.0))
+        assert table.get(row_id) == (1, "z", 9.0)
+
+    def test_delete_removes_row(self):
+        table = Table(make_schema())
+        first = table.insert((1, "a", 0.5))
+        table.insert((2, "b", 1.5))
+        table.delete(first)
+        assert table.rows() == [(2, "b", 1.5)]
+        with pytest.raises(ExecutionError):
+            table.get(first)
+
+    def test_row_ids_stable_and_not_reused(self):
+        table = Table(make_schema())
+        first = table.insert((1, "a", None))
+        table.delete(first)
+        second = table.insert((2, "b", None))
+        assert second > first
+
+    def test_bulk_insert_chunking(self):
+        table = Table(make_schema())
+        table.insert_many((i, f"n{i}", float(i)) for i in range(CHUNK_SIZE * 2 + 10))
+        assert table.num_rows == CHUNK_SIZE * 2 + 10
+        assert table.num_chunks == 3
+
+    def test_snapshot_shares_storage(self):
+        table = Table(make_schema())
+        table.insert_many((i, "x", None) for i in range(10))
+        snap = table.snapshot()
+        clone = Table.from_snapshot(make_schema(), snap, table.next_row_id)
+        table.update(0, (0, "changed", None))
+        # The clone still sees the pre-update value: chunks are immutable.
+        assert clone.get(0) == (0, "x", None)
+        assert table.get(0) == (0, "changed", None)
+
+    def test_data_version_bumps(self):
+        table = Table(make_schema())
+        v0 = table.data_version
+        table.insert((1, "a", None))
+        assert table.data_version > v0
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=60, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_delete_everything_property(self, values):
+        table = Table(make_schema())
+        ids = [table.insert((v, str(v), None)) for v in values]
+        for row_id in ids:
+            table.delete(row_id)
+        assert table.num_rows == 0
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("users"))
+        assert catalog.has_table("USERS")
+        assert catalog.table("users").schema.name == "users"
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("t"))
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_schema("T"))
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("ghost")
+
+    def test_schema_version_bumps_on_ddl(self):
+        catalog = Catalog()
+        v0 = catalog.schema_version
+        catalog.create_table(make_schema("t"))
+        v1 = catalog.schema_version
+        catalog.drop_table("t")
+        assert v0 < v1 < catalog.schema_version
+
+    def test_hash_index_maintained_on_dml(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("t"))
+        catalog.insert_rows("t", [(1, "a", None), (2, "b", None)])
+        index = catalog.create_hash_index("t", "name")
+        assert index.lookup("a") != set()
+        (row_id,) = index.lookup("a")
+        catalog.update_row("t", row_id, (1, "z", None))
+        assert index.lookup("a") == set()
+        assert index.lookup("z") == {row_id}
+        catalog.delete_row("t", row_id)
+        assert index.lookup("z") == set()
+
+    def test_sorted_index_range(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("t"))
+        catalog.insert_rows("t", [(i, "x", float(i)) for i in range(10)])
+        index = catalog.create_sorted_index("t", "id")
+        ids = index.lookup_range(3, 6)
+        values = [catalog.table("t").get(r)[0] for r in ids]
+        assert values == [3, 4, 5, 6]
+
+    def test_stats_cached_until_change(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("t"))
+        catalog.insert_rows("t", [(1, "a", 1.0)])
+        stats1 = catalog.stats("t")
+        assert catalog.stats("t") is stats1
+        catalog.insert_rows("t", [(2, "b", 2.0)])
+        assert catalog.stats("t") is not stats1
+
+
+class TestStatistics:
+    def make_table(self) -> Table:
+        table = Table(make_schema())
+        rows = [(i, "ca" if i % 3 == 0 else "wa", float(i)) for i in range(30)]
+        rows.append((100, None, None))
+        table.insert_many(rows)
+        return table
+
+    def test_basic_counts(self):
+        stats = compute_table_stats(self.make_table())
+        name = stats.column("name")
+        assert name.row_count == 31
+        assert name.null_count == 1
+        assert name.distinct_count == 2
+
+    def test_min_max(self):
+        stats = compute_table_stats(self.make_table())
+        ids = stats.column("id")
+        assert ids.min_value == 0
+        assert ids.max_value == 100
+
+    def test_most_common_values(self):
+        stats = compute_table_stats(self.make_table())
+        top_value, top_count = stats.column("name").most_common[0]
+        assert top_value == "wa"
+        assert top_count == 20
+
+    def test_selectivity_equals_mcv(self):
+        stats = compute_table_stats(self.make_table())
+        name = stats.column("name")
+        assert name.selectivity_equals("wa") == pytest.approx(20 / 31)
+
+    def test_selectivity_equals_unseen(self):
+        stats = compute_table_stats(self.make_table())
+        assert 0 < stats.column("name").selectivity_equals("zz") <= 1
+
+    def test_selectivity_range(self):
+        stats = compute_table_stats(self.make_table())
+        ids = stats.column("id")
+        assert ids.selectivity_range(0, 50) == pytest.approx(0.5)
+        assert ids.selectivity_range(None, None) == 1.0
+
+    def test_histogram_buckets_sum(self):
+        stats = compute_table_stats(self.make_table())
+        score = stats.column("score")
+        assert sum(score.histogram) == 30  # one NULL excluded
+
+    def test_empty_table(self):
+        stats = compute_table_stats(Table(make_schema()))
+        column = stats.column("id")
+        assert column.row_count == 0
+        assert column.selectivity_equals(1) == 0.0

@@ -1,0 +1,193 @@
+"""Tests for the workload generators: BIRD-like pool, cross-backend tasks,
+update sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import RngStream
+from repro.workloads.bird import DOMAINS, BirdTaskPool, build_domain_db
+from repro.workloads.multibackend import build_cross_backend_tasks
+from repro.workloads.updates import (
+    fresh_accounts_manager,
+    simulate_agent_update_session,
+    simulate_human_update_session,
+)
+
+
+class TestDomainDatabases:
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_domains_build_and_populate(self, domain):
+        db = build_domain_db(domain, seed=1)
+        assert len(db.table_names()) >= 3
+        for table in db.table_names():
+            assert db.catalog.table(table).num_rows > 0
+
+    def test_deterministic_per_seed(self):
+        a = build_domain_db("retail", seed=9)
+        b = build_domain_db("retail", seed=9)
+        assert a.execute("SELECT COUNT(*) FROM sales").rows == b.execute(
+            "SELECT COUNT(*) FROM sales"
+        ).rows
+
+    def test_different_seeds_differ(self):
+        a = build_domain_db("retail", seed=1)
+        b = build_domain_db("retail", seed=2)
+        assert (
+            a.execute("SELECT SUM(amount) FROM sales").rows
+            != b.execute("SELECT SUM(amount) FROM sales").rows
+        )
+
+
+class TestBirdTaskPool:
+    def test_generates_requested_count(self):
+        tasks = BirdTaskPool(seed=3).generate(24)
+        assert len(tasks) == 24
+
+    def test_difficulty_mix(self):
+        tasks = BirdTaskPool(seed=3).generate(24)
+        difficulties = {t.difficulty for t in tasks}
+        assert difficulties == {"simple", "moderate", "challenging"}
+
+    def test_gold_sql_executes_nonempty(self):
+        for task in BirdTaskPool(seed=3).generate(24):
+            result = task.db.execute(task.gold_sql)
+            assert result.row_count > 0, task.gold_sql
+
+    def test_gold_checks_itself(self):
+        for task in BirdTaskPool(seed=3).generate(12):
+            assert task.check(task.gold_sql)
+
+    def test_check_rejects_wrong_sql(self):
+        task = BirdTaskPool(seed=3).generate(4)[0]
+        assert not task.check(f"SELECT COUNT(*) FROM {task.spec.fact_table} WHERE 1 = 0")
+        assert not task.check("totally invalid sql !!!")
+
+    def test_questions_mention_components(self):
+        for task in BirdTaskPool(seed=3).generate(8):
+            assert task.question.endswith("?")
+            assert task.spec.fact_table in task.question
+
+    def test_traps_present_in_pool(self):
+        tasks = BirdTaskPool(seed=3).generate(36)
+        trapped = [
+            t for t in tasks if any(f.wrong_value is not None for f in t.spec.filters)
+        ]
+        assert len(trapped) > len(tasks) * 0.4
+
+    def test_wrong_value_matches_nothing(self):
+        tasks = BirdTaskPool(seed=3).generate(24)
+        for task in tasks:
+            for filter_spec in task.spec.filters:
+                if filter_spec.wrong_value is None or filter_spec.op != "=":
+                    continue
+                literal = (
+                    f"'{filter_spec.wrong_value}'"
+                    if isinstance(filter_spec.wrong_value, str)
+                    else str(filter_spec.wrong_value)
+                )
+                count = task.db.execute(
+                    f"SELECT COUNT(*) FROM {filter_spec.table}"
+                    f" WHERE {filter_spec.column} = {literal}"
+                ).first_value()
+                assert count == 0
+
+    def test_distractors_exclude_task_tables(self):
+        for task in BirdTaskPool(seed=3).generate(12):
+            assert not set(task.distractor_tables) & set(task.spec.tables())
+
+    def test_pool_determinism(self):
+        a = BirdTaskPool(seed=5).generate(8)
+        b = BirdTaskPool(seed=5).generate(8)
+        assert [t.gold_sql for t in a] == [t.gold_sql for t in b]
+
+    def test_component_count_scales_with_difficulty(self):
+        tasks = BirdTaskPool(seed=3).generate(36)
+        simple = [t.spec.component_count() for t in tasks if t.difficulty == "simple"]
+        challenging = [
+            t.spec.component_count() for t in tasks if t.difficulty == "challenging"
+        ]
+        assert sum(challenging) / len(challenging) > sum(simple) / len(simple)
+
+
+class TestCrossBackendTasks:
+    def test_builds_22_tasks(self):
+        tasks = build_cross_backend_tasks(seed=1, n_tasks=22)
+        assert len(tasks) == 22
+
+    def test_two_backends_per_task(self):
+        task = build_cross_backend_tasks(seed=1, n_tasks=1)[0]
+        assert len(task.env.backend_names()) == 2
+
+    def test_gold_value_reachable(self):
+        """Recompute gold from raw backend contents; must match."""
+        task = build_cross_backend_tasks(seed=1, n_tasks=3)[0]
+        docs = task.env.backend(task.doc_backend).collection(task.collection)
+        matching = {
+            int(d[task.doc_key])
+            for d in docs.find({task.filter_field: task.filter_value})
+        }
+        rel = task.env.backend(task.rel_backend)
+        response = rel.query(
+            f"SELECT {task.rel_key}, {task.event_field} FROM {task.table}"
+        )
+        rows = [r for r in response.rows if r[0] in matching]
+        value = (
+            round(sum(r[1] for r in rows), 2)
+            if task.metric == "sum"
+            else float(len(rows))
+        )
+        assert task.check(value)
+
+    def test_wrong_filter_value_matches_nothing(self):
+        task = build_cross_backend_tasks(seed=1, n_tasks=1)[0]
+        docs = task.env.backend(task.doc_backend).collection(task.collection)
+        assert docs.find({task.filter_field: task.filter_wrong_value}) == []
+
+    def test_keys_are_type_mismatched(self):
+        task = build_cross_backend_tasks(seed=1, n_tasks=1)[0]
+        doc = task.env.backend(task.doc_backend).collection(task.collection).find(limit=1)[0]
+        assert isinstance(doc[task.doc_key], str)
+        rel = task.env.backend(task.rel_backend)
+        row = rel.query(f"SELECT {task.rel_key} FROM {task.table} LIMIT 1").rows[0]
+        assert isinstance(row[0], int)
+
+    def test_check_rejects_wrong_and_none(self):
+        task = build_cross_backend_tasks(seed=1, n_tasks=1)[0]
+        assert not task.check(None)
+        assert not task.check(task.gold_value + 1.0)
+        assert task.check(task.gold_value)
+
+
+class TestUpdateSessions:
+    def test_agent_branches_and_rollbacks_dominate(self):
+        manager = fresh_accounts_manager()
+        human = simulate_human_update_session(manager, RngStream(2, "h"), n_tasks=15)
+        manager = fresh_accounts_manager()
+        agent = simulate_agent_update_session(manager, RngStream(2, "a"), n_tasks=15)
+        assert agent.branches_created > human.branches_created * 5
+        assert agent.rollbacks > human.rollbacks * 5
+
+    def test_sessions_leave_no_stray_branches(self):
+        manager = fresh_accounts_manager()
+        simulate_agent_update_session(manager, RngStream(3, "a"), n_tasks=5)
+        assert manager.live_branch_count() == 1  # only main survives
+
+    def test_mainline_integrity_preserved(self):
+        manager = fresh_accounts_manager()
+        simulate_agent_update_session(manager, RngStream(4, "a"), n_tasks=5)
+        count = manager.main.execute("SELECT COUNT(*) FROM accounts").first_value()
+        assert count == 50
+
+    def test_deterministic(self):
+        a = simulate_agent_update_session(
+            fresh_accounts_manager(), RngStream(5, "x"), n_tasks=5
+        )
+        b = simulate_agent_update_session(
+            fresh_accounts_manager(), RngStream(5, "x"), n_tasks=5
+        )
+        assert (a.branches_created, a.rollbacks, a.updates) == (
+            b.branches_created,
+            b.rollbacks,
+            b.updates,
+        )
