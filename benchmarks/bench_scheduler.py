@@ -1,0 +1,135 @@
+"""Scheduler bench — batched ``submit_many`` vs serial per-agent serving.
+
+N concurrent agents each submit a probe whose sub-plans heavily overlap
+with the swarm's (Figure 2's 80-90% redundancy, here by construction:
+every agent asks the same join-aggregate plus a per-agent filter drawn
+from a small pool). The serial baseline serves each agent on its own
+fresh system — independent sessions, no cross-agent sharing; the batched
+path serves the whole swarm with one ``submit_many`` admission batch.
+
+Reported per N: engine rows processed and wall-clock, both ways. The
+acceptance bar: at N=16 the batch must process >=30% fewer rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import AgentFirstDataSystem, Brief, Probe
+from repro.db import Database
+from repro.util.tabulate import format_table
+
+AGENT_COUNTS = (1, 4, 16, 64)
+
+SHARED_JOIN = (
+    "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+    " ON s.id = x.store_id GROUP BY s.city"
+)
+
+
+def build_db() -> Database:
+    db = Database("sched-bench")
+    db.execute("CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)")
+    db.execute(
+        "CREATE TABLE sales (id INT, store_id INT, product TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'),(3,'Seattle','Washington'),"
+        "(4,'Austin','Texas'),(5,'Portland','Oregon')"
+    )
+    db.insert_rows(
+        "sales",
+        [
+            (i, 1 + i % 5, ("coffee", "tea", "pastry")[i % 3], float(i % 60))
+            for i in range(1500)
+        ],
+    )
+    return db
+
+
+def swarm_probes(n_agents: int) -> list[Probe]:
+    """One probe per agent: a swarm-wide join + a filter from a pool of 4."""
+    probes = []
+    for agent in range(n_agents):
+        probes.append(
+            Probe(
+                queries=(
+                    SHARED_JOIN,
+                    "SELECT COUNT(*), SUM(amount) FROM sales"
+                    f" WHERE store_id = {1 + agent % 4}",
+                ),
+                brief=Brief(goal="compute the exact answer"),
+                agent_id=f"agent-{agent}",
+            )
+        )
+    return probes
+
+
+@dataclass
+class SchedulerBenchResult:
+    rows: list[tuple] = field(default_factory=list)
+    #: Row-work saving fraction at N=16 (the acceptance metric).
+    saving_at_16: float = 0.0
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "agents",
+                "serial rows",
+                "batched rows",
+                "saved",
+                "serial ms",
+                "batched ms",
+            ],
+            self.rows,
+            title="batched submit_many vs serial per-agent serving",
+        )
+
+
+def run_scheduler_bench() -> SchedulerBenchResult:
+    result = SchedulerBenchResult()
+    for n_agents in AGENT_COUNTS:
+        probes = swarm_probes(n_agents)
+
+        # Build all systems outside the timers: we measure serving, not setup.
+        serial_systems = [AgentFirstDataSystem(build_db()) for _ in probes]
+        serial_rows = 0
+        started = time.perf_counter()
+        for system, probe in zip(serial_systems, probes):
+            serial_rows += system.submit(probe).rows_processed
+        serial_ms = (time.perf_counter() - started) * 1000.0
+
+        batch_system = AgentFirstDataSystem(build_db())
+        started = time.perf_counter()
+        responses = batch_system.submit_many(probes)
+        batched_ms = (time.perf_counter() - started) * 1000.0
+        batched_rows = sum(r.rows_processed for r in responses)
+
+        saved = 1.0 - batched_rows / serial_rows if serial_rows else 0.0
+        if n_agents == 16:
+            result.saving_at_16 = saved
+        result.rows.append(
+            (
+                n_agents,
+                serial_rows,
+                batched_rows,
+                f"{saved:.0%}",
+                f"{serial_ms:.1f}",
+                f"{batched_ms:.1f}",
+            )
+        )
+    return result
+
+
+def test_scheduler_batching(benchmark):
+    result = benchmark.pedantic(run_scheduler_bench, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.saving_at_16 >= 0.3
+
+
+if __name__ == "__main__":
+    print(run_scheduler_bench().render())

@@ -1,9 +1,11 @@
-"""Quickstart: an agent-first data system in 60 lines.
+"""Quickstart: an agent-first data system in 100 lines.
 
 Builds a small database, wraps it in an :class:`AgentFirstDataSystem`, and
 submits probes the way an LLM agent would: SQL plus a natural-language
 brief. The system answers, steers (why-not provenance, join discovery,
-history pointers), and remembers grounding.
+history pointers), remembers grounding — and serves whole swarms of
+concurrent agents in one ``submit_many`` admission batch, sharing
+duplicated work across them.
 
 Run:  python examples/quickstart.py
 """
@@ -74,7 +76,37 @@ def main() -> None:
     print("status:", repeat.outcomes[0].status, "|", repeat.outcomes[0].reason)
     print("answer:", repeat.first_result().first_value())
 
-    # 4. What the system has learned along the way.
+    # 4. Serving concurrent swarms: many agents, one admission batch.
+    #    submit_many interprets every probe up front, dispatches queries
+    #    round-robin across agents, and materialises each distinct
+    #    sub-plan once batch-wide — the answers are identical to serial
+    #    submission, the engine work is not.
+    swarm = [
+        Probe(
+            queries=(
+                "SELECT s.city, SUM(x.amount) FROM stores s"
+                " JOIN sales x ON s.id = x.store_id GROUP BY s.city",
+                f"SELECT COUNT(*) FROM sales WHERE store_id = {1 + agent % 2}",
+            ),
+            brief=Brief(goal="compute the exact revenue per city"),
+            agent_id=f"swarm-agent-{agent}",
+        )
+        for agent in range(8)
+    ]
+    responses = system.submit_many(swarm)
+    report = responses[0].sharing
+    print("\n== serving a concurrent swarm ==")
+    print(
+        f"{report.agents} agents, {report.queries} queries:"
+        f" {report.total_subplans} sub-plans, {report.distinct_subplans} distinct"
+        f" ({report.duplicate_fraction:.0%} duplicates),"
+        f" {report.cross_agent_subplans} shared across agents"
+    )
+    for hint in responses[-1].steering:
+        if "other agent" in hint:
+            print("steering:", hint)
+
+    # 5. What the system has learned along the way.
     print("\n== agentic memory ==")
     for artifact in system.memory.artifacts_about("stores"):
         print(artifact.describe())

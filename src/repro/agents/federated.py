@@ -14,6 +14,9 @@ from dataclasses import dataclass
 
 from repro.agents.model import ModelProfile
 from repro.agents.trace import Activity, AgentTrace
+from repro.backends import BackendResponse
+from repro.core import AgentFirstDataSystem, Probe
+from repro.core.system import shared_serving_system
 from repro.util.rng import RngStream
 from repro.workloads.multibackend import CrossBackendTask
 
@@ -119,6 +122,9 @@ class CrossBackendAgent:
                     satisfied = self._full_attempt()
             if satisfied:
                 break
+        return self.finish()
+
+    def finish(self) -> FederatedOutcome:
         success = self.task.check(self._answer)
         self.trace.success = success
         return FederatedOutcome(
@@ -128,6 +134,32 @@ class CrossBackendAgent:
             answer=self._answer,
             trace=self.trace,
         )
+
+    # -- lockstep cohort protocol ---------------------------------------------
+
+    def begin_step(self, step: int, max_steps: int) -> tuple[str, str] | None:
+        """Advance one step; return a pending full attempt, if any.
+
+        Exploration and partial attempts complete inline (they are the
+        agent's private grounding loop). A full attempt returns its
+        ``(document_request, relational_sql)`` pair *unexecuted*, so a
+        cohort runner can serve every agent's relational query for the
+        step as one admission batch through ``submit_many``. The caller
+        finishes it with :meth:`complete_full_attempt`.
+        """
+        if step == max_steps - 1 and self._answer is None:
+            return self._prepare_full_attempt()
+        action = self._choose_action(step)
+        if action is Activity.EXPLORING_TABLES:
+            self._explore_tables()
+            return None
+        if action is Activity.EXPLORING_COLUMNS:
+            self._explore_columns()
+            return None
+        if action is Activity.PARTIAL_ATTEMPT:
+            self._partial_attempt()
+            return None
+        return self._prepare_full_attempt()
 
     # -- policy -----------------------------------------------------------------
 
@@ -269,7 +301,8 @@ class CrossBackendAgent:
             row_count=len(response.rows),
         )
 
-    def _full_attempt(self) -> bool:
+    def _prepare_full_attempt(self) -> tuple[str, str]:
+        """The attempt's two requests: a document query and relational SQL."""
         g = self.grounding
         value = (
             self.task.filter_value
@@ -283,9 +316,19 @@ class CrossBackendAgent:
                 "projection": {self.task.doc_key: 1},
             }
         )
-        doc_response = self.task.env.query(self.task.doc_backend, doc_request)
         sql = f"SELECT {self.task.rel_key}, {self.task.event_field} FROM {self.task.table}"
+        return doc_request, sql
+
+    def _full_attempt(self) -> bool:
+        doc_request, sql = self._prepare_full_attempt()
+        doc_response = self.task.env.query(self.task.doc_backend, doc_request)
         rel_response = self.task.env.query(self.task.rel_backend, sql)
+        return self.complete_full_attempt(doc_response, rel_response)
+
+    def complete_full_attempt(
+        self, doc_response: BackendResponse, rel_response: BackendResponse
+    ) -> bool:
+        g = self.grounding
         ok = doc_response.ok and rel_response.ok
         answer: float | None = None
         if ok:
@@ -316,3 +359,72 @@ class CrossBackendAgent:
             return False
         satisfaction = 0.4 + 0.45 * g.coverage() + 0.1 * self.model.decisiveness
         return self.rng.bernoulli(satisfaction)
+
+
+def run_federated_cohort(
+    task: CrossBackendTask,
+    model: ModelProfile,
+    n_agents: int,
+    seed: int,
+    max_steps: int = 24,
+    hints: HintSet | None = None,
+) -> tuple[list[FederatedOutcome], AgentFirstDataSystem]:
+    """A swarm of field agents on one federated task, served in lockstep.
+
+    Each step, every still-running agent advances once; the agents whose
+    policy chose a full attempt this step have their relational queries
+    collected and served as *one admission batch* through
+    ``AgentFirstDataSystem.submit_many`` over the relational backend's
+    database — identical full-attempt SQL across the swarm (the common
+    case: every agent scans the same fact table) executes once and is
+    shared. Document-side queries stay per-agent: the document store has
+    no shared-work engine to route through.
+
+    Returns the per-agent outcomes plus the serving system, whose
+    responses' :class:`~repro.core.mqo.SharingReport` quantifies the
+    cross-agent saving.
+    """
+    relational = task.env.backend(task.rel_backend)
+    system = shared_serving_system(relational.db)
+    agents = [
+        CrossBackendAgent(
+            task, model, RngStream(seed, "cohort", task.task_id, index), hints
+        )
+        for index in range(n_agents)
+    ]
+    running = [True] * n_agents
+    for step in range(max_steps):
+        pending: list[tuple[int, str, str]] = []
+        for index, agent in enumerate(agents):
+            if not running[index]:
+                continue
+            request = agent.begin_step(step, max_steps)
+            if request is not None:
+                pending.append((index, request[0], request[1]))
+        if not pending:
+            continue
+        probes = [
+            Probe(queries=(sql,), agent_id=f"field-{index}")
+            for index, _, sql in pending
+        ]
+        responses = system.submit_many(probes)
+        for (index, doc_request, sql), response in zip(pending, responses):
+            doc_response = task.env.query(task.doc_backend, doc_request)
+            outcome = response.outcomes[0]
+            if outcome.result is not None:
+                rel_response = BackendResponse(
+                    ok=True,
+                    rows=outcome.result.rows,
+                    columns=outcome.result.columns,
+                    rows_scanned=outcome.result.stats.rows_scanned,
+                )
+            else:
+                rel_response = BackendResponse.failure(
+                    outcome.reason or "relational query failed"
+                )
+            # Keep the environment's interaction log complete: the batched
+            # relational query bypassed env.query.
+            task.env.record_external(task.rel_backend, "query", sql, rel_response)
+            if agents[index].complete_full_attempt(doc_response, rel_response):
+                running[index] = False
+    return [agent.finish() for agent in agents], system

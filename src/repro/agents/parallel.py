@@ -5,15 +5,23 @@ grounding warm-up, mirroring how one-shot agents skim the schema before
 answering); an agent-in-charge then picks one solution by result-signature
 plurality — self-consistency voting over *answers*, not SQL text. Attempts
 that error vote for nothing; empty results are weak votes.
+
+The K attempts are *served as one admission batch*: every field agent's
+SQL goes through ``AgentFirstDataSystem.submit_many``, so the 80-90%
+sub-plan redundancy across attempts (Figure 2) is shared at execution
+time instead of paid K times — the paper's agent-first serving path, on
+the paper's own workload.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.agents.attempts import AttemptGenerator
+from repro.agents.attempts import Attempt, AttemptGenerator
 from repro.agents.grounding import Grounding
 from repro.agents.model import ModelProfile
+from repro.core import AgentFirstDataSystem, Probe
+from repro.core.system import shared_serving_system
 from repro.util.rng import RngStream
 from repro.workloads.bird import BirdTask
 
@@ -35,6 +43,8 @@ class ParallelRunOutcome:
     attempts: list[FieldAttempt] = field(default_factory=list)
     picked_signature: str | None = None
     success: bool = False
+    #: Engine rows processed serving all K attempts (batched, shared).
+    rows_processed: int = 0
 
     def success_at(self, k: int, supervisor: "Supervisor", task: BirdTask) -> bool:
         """Re-vote using only the first k attempts (for the K sweep)."""
@@ -42,10 +52,14 @@ class ParallelRunOutcome:
         return picked is not None and picked == task.gold_signature
 
 
-def run_field_attempt(
+def generate_field_attempt(
     task: BirdTask, model: ModelProfile, rng: RngStream
-) -> FieldAttempt:
-    """One field agent: brief schema warm-up, then a single full attempt."""
+) -> Attempt:
+    """One field agent's SQL: brief schema warm-up, then a full attempt.
+
+    Generation only — execution happens wherever the caller serves it
+    (directly, or batched through ``submit_many``).
+    """
     grounding = Grounding()
     generator = AttemptGenerator(task, model)
 
@@ -58,7 +72,14 @@ def run_field_attempt(
         if rng.bernoulli(model.extraction_skill * 0.9):
             grounding.learn_table(table)
 
-    attempt = generator.full_attempt(grounding, rng.child("full"))
+    return generator.full_attempt(grounding, rng.child("full"))
+
+
+def run_field_attempt(
+    task: BirdTask, model: ModelProfile, rng: RngStream
+) -> FieldAttempt:
+    """One field agent executed standalone (no cross-attempt sharing)."""
+    attempt = generate_field_attempt(task, model, rng)
     try:
         result = task.db.execute(attempt.sql)
         return FieldAttempt(
@@ -98,15 +119,53 @@ def run_parallel_attempts(
     k: int,
     seed: int,
     supervisor: Supervisor | None = None,
+    system: AgentFirstDataSystem | None = None,
 ) -> ParallelRunOutcome:
-    """K independent field attempts + a supervisor pick."""
+    """K independent field attempts + a supervisor pick.
+
+    All K attempts are generated first, then served as one admission batch
+    through ``submit_many`` — duplicated sub-plans across the swarm
+    materialise once. By default the task database's shared serving system
+    answers the batch (one long-lived system per database; its history and
+    cache persist across calls). A ``system`` passed explicitly must wrap
+    the task's own database.
+    """
     supervisor = supervisor or Supervisor()
     rng = RngStream(seed, "parallel", task.task_id, model.name)
     outcome = ParallelRunOutcome(task_id=task.task_id, model=model.name)
-    for attempt_index in range(k):
-        outcome.attempts.append(
-            run_field_attempt(task, model, rng.child("agent", attempt_index))
+
+    attempts = [
+        generate_field_attempt(task, model, rng.child("agent", attempt_index))
+        for attempt_index in range(k)
+    ]
+    if system is None:
+        system = shared_serving_system(task.db)
+    elif system.db is not task.db:
+        raise ValueError(
+            "serving system wraps a different database than the task;"
+            " attempts would silently run against the wrong data"
         )
+    probes = [
+        Probe(queries=(attempt.sql,), agent_id=f"field-{index}")
+        for index, attempt in enumerate(attempts)
+    ]
+    responses = system.submit_many(probes)
+    for attempt, response in zip(attempts, responses):
+        answer = response.outcomes[0]
+        outcome.rows_processed += response.rows_processed
+        if answer.result is not None:
+            outcome.attempts.append(
+                FieldAttempt(
+                    sql=attempt.sql,
+                    ok=True,
+                    signature=answer.result.signature(),
+                    row_count=answer.result.row_count,
+                )
+            )
+        else:
+            outcome.attempts.append(
+                FieldAttempt(sql=attempt.sql, ok=False, signature=None, row_count=0)
+            )
     outcome.picked_signature = supervisor.pick(outcome.attempts)
     outcome.success = outcome.picked_signature == task.gold_signature
     return outcome

@@ -67,6 +67,18 @@ class FederatedEnvironment:
 
     # -- bookkeeping ----------------------------------------------------------------
 
+    def record_external(
+        self, backend: str, operation: str, request: str, response: BackendResponse
+    ) -> None:
+        """Log an interaction served outside the environment's own dispatch.
+
+        Batched serving paths (e.g. a probe-scheduler cohort answering a
+        backend's queries through ``submit_many``) bypass :meth:`query`;
+        they call this so the interaction log — the unit Figure 3's
+        labeling counts — stays complete.
+        """
+        self._record(backend, operation, request, response)
+
     def _record(self, backend: str, operation: str, request: str, response: BackendResponse) -> None:
         self.log.append(
             InteractionRecord(

@@ -8,13 +8,17 @@ This package implements the paper's Secs. 3-5:
 * :mod:`repro.core.satisfice` — what to run, and at what accuracy;
 * :mod:`repro.core.mqo` — shared execution across redundant probes;
 * :mod:`repro.core.optimizer` — intra- and inter-probe optimization;
+* :mod:`repro.core.scheduler` — cross-agent admission batches: fair
+  dispatch plus batch-wide shared-work execution (``submit_many``);
 * :mod:`repro.core.steering` — sleeper agents: hints, why-not provenance,
   cost feedback;
 * :mod:`repro.core.system` — the :class:`AgentFirstDataSystem` facade.
 """
 
 from repro.core.brief import Brief, Phase
+from repro.core.mqo import SharingReport
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
+from repro.core.scheduler import ProbeScheduler, ScheduledBatch
 from repro.core.system import AgentFirstDataSystem, SystemConfig
 
 __all__ = [
@@ -23,6 +27,9 @@ __all__ = [
     "Phase",
     "Probe",
     "ProbeResponse",
+    "ProbeScheduler",
     "QueryOutcome",
+    "ScheduledBatch",
+    "SharingReport",
     "SystemConfig",
 ]

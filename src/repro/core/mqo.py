@@ -22,14 +22,31 @@ from repro.plan.logical import PlanNode
 
 @dataclass
 class SharingReport:
-    """Work accounting for a batch executed with and without sharing."""
+    """Work accounting for a batch executed with and without sharing.
+
+    Batches come in two shapes: a list of plans from one caller (the
+    original :class:`BatchExecutor` surface) and an admission batch of
+    probes from many concurrent agents (the scheduler's surface). The
+    agent-level fields quantify the paper's cross-agent claim directly:
+    how many distinct agents contributed, and how many distinct subplans
+    were demanded by more than one of them.
+    """
 
     queries: int = 0
+    #: Number of probes in the batch (equals ``queries`` for plain plan
+    #: batches, where each plan stands alone).
+    probes: int = 0
+    #: Distinct agents that contributed at least one executable plan.
+    agents: int = 0
     total_subplans: int = 0
     distinct_subplans: int = 0
+    #: Distinct subplans demanded by two or more *different* agents — the
+    #: work that cross-agent scheduling (vs per-agent caching) saves.
+    cross_agent_subplans: int = 0
     rows_processed_shared: int = 0
     rows_processed_unshared: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def duplicate_fraction(self) -> float:
@@ -58,18 +75,21 @@ class BatchExecutor:
         self.cache = cache or SubplanCache()
 
     def execute_plans(
-        self, plans: list[PlanNode], measure_unshared: bool = False
+        self,
+        plans: list[PlanNode],
+        measure_unshared: bool = False,
+        agent_ids: list[str] | None = None,
     ) -> BatchOutcome:
         outcome = BatchOutcome()
         report = outcome.report
         report.queries = len(plans)
+        report.probes = len(plans)
 
-        fingerprints = Counter()
-        for plan in plans:
-            for sub in subexpressions(plan):
-                fingerprints[sub.fingerprint] += 1
-        report.total_subplans = sum(fingerprints.values())
-        report.distinct_subplans = len(fingerprints)
+        census = subplan_census(plans, agent_ids)
+        report.total_subplans = census.total
+        report.distinct_subplans = census.distinct
+        report.agents = census.agents
+        report.cross_agent_subplans = census.cross_agent
 
         for plan in plans:
             context = ExecContext(cache=self.cache)
@@ -78,6 +98,7 @@ class BatchExecutor:
             outcome.results.append(result)
             report.rows_processed_shared += context.stats.rows_processed
             report.cache_hits += context.stats.cache_hits
+            report.cache_misses += context.stats.cache_misses
 
         if measure_unshared:
             for plan in plans:
@@ -86,9 +107,53 @@ class BatchExecutor:
                 report.rows_processed_unshared += context.stats.rows_processed
         return outcome
 
-    def execute_sql(self, queries: list[str], measure_unshared: bool = False) -> BatchOutcome:
+    def execute_sql(
+        self,
+        queries: list[str],
+        measure_unshared: bool = False,
+        agent_ids: list[str] | None = None,
+    ) -> BatchOutcome:
         plans = [self._db.plan_select(sql) for sql in queries]
-        return self.execute_plans(plans, measure_unshared=measure_unshared)
+        return self.execute_plans(
+            plans, measure_unshared=measure_unshared, agent_ids=agent_ids
+        )
+
+
+@dataclass
+class SubplanCensus:
+    """Counts of (lenient-fingerprint) subplans across a batch of plans."""
+
+    total: int = 0
+    distinct: int = 0
+    agents: int = 0
+    cross_agent: int = 0
+
+
+def subplan_census(
+    plans: list[PlanNode], agent_ids: list[str] | None = None
+) -> SubplanCensus:
+    """Fingerprint every subtree of every plan; count duplication.
+
+    With ``agent_ids`` (parallel to ``plans``), also counts how many
+    distinct subplans were demanded by two or more different agents —
+    Figure 2's cross-agent redundancy, measured on a live batch.
+    """
+    fingerprints: Counter[str] = Counter()
+    agents_by_fingerprint: dict[str, set[str]] = {}
+    for index, plan in enumerate(plans):
+        agent = agent_ids[index] if agent_ids is not None else str(index)
+        for sub in subexpressions(plan):
+            fingerprints[sub.fingerprint] += 1
+            agents_by_fingerprint.setdefault(sub.fingerprint, set()).add(agent)
+    census = SubplanCensus(
+        total=sum(fingerprints.values()),
+        distinct=len(fingerprints),
+        agents=len(set(agent_ids)) if agent_ids else len(plans),
+        cross_agent=sum(
+            1 for agents in agents_by_fingerprint.values() if len(agents) > 1
+        ),
+    )
+    return census
 
 
 class MaterializationAdvisor:

@@ -3,7 +3,9 @@ optimization.
 
 Responsibilities (paper Sec. 5.2):
 
-* run the satisficer's decisions in order, at the decided accuracy;
+* resolve the satisficer's decisions at the decided accuracy (dispatch
+  *order* belongs to :class:`~repro.core.scheduler.ProbeScheduler`, which
+  drives this optimizer for both ``submit`` and ``submit_many``);
 * share work across queries, probes, agents and turns through one
   :class:`~repro.engine.executor.SubplanCache` (intra- and inter-probe MQO);
 * answer repeats from **history**: a query whose strict fingerprint was
@@ -52,61 +54,47 @@ class ProbeOptimizer:
     lenient_history: dict[str, HistoryEntry] = field(default_factory=dict)
     enable_history: bool = True
 
-    def execute(self, interpreted: InterpretedProbe, turn: int) -> list[QueryOutcome]:
-        decisions = self.satisficer.decide(interpreted)
-        outcomes: list[QueryOutcome] = []
-        results_so_far: list[QueryResult] = []
-        terminated = False
+    def run_decision(
+        self,
+        interpreted: InterpretedProbe,
+        decision: ExecutionDecision,
+        turn: int,
+    ) -> QueryOutcome:
+        """Resolve one satisficer decision into an outcome.
 
-        for decision in decisions:
-            query = decision.query
-            if decision.action == "prune":
-                outcomes.append(
-                    QueryOutcome(
-                        sql=query.sql,
-                        status="pruned",
-                        reason=decision.reason,
-                        estimated_cost=query.estimated_cost,
-                    )
-                )
-                continue
-            if query.plan is None:
-                outcomes.append(
-                    QueryOutcome(
-                        sql=query.sql,
-                        status="error",
-                        reason=query.parse_error or "unplannable query",
-                    )
-                )
-                continue
-            if terminated:
-                outcomes.append(
-                    QueryOutcome(
-                        sql=query.sql,
-                        status="terminated",
-                        reason="termination criterion satisfied by earlier results",
-                        estimated_cost=query.estimated_cost,
-                    )
-                )
-                continue
+        Handles the prune/error short-circuits, the answered-before history
+        check, and actual execution against the session's shared cache.
+        The caller — the probe scheduler, for both ``submit`` and
+        ``submit_many`` — owns dispatch order and termination bookkeeping
+        (those are probe- and batch-level state).
+        """
+        query = decision.query
+        if decision.action == "prune":
+            return QueryOutcome(
+                sql=query.sql,
+                status="pruned",
+                reason=decision.reason,
+                estimated_cost=query.estimated_cost,
+            )
+        if query.plan is None:
+            return QueryOutcome(
+                sql=query.sql,
+                status="error",
+                reason=query.parse_error or "unplannable query",
+            )
+        return self._execute_one(interpreted, query, decision, turn)
 
-            outcome = self._execute_one(interpreted, query, decision, turn)
-            outcomes.append(outcome)
-            if outcome.result is not None:
-                results_so_far.append(outcome.result)
-            criterion = interpreted.probe.termination
-            if criterion is not None and results_so_far:
-                try:
-                    terminated = bool(criterion(results_so_far))
-                except Exception:
-                    terminated = False
-
-        # Restore probe-declared order for the response (agents reference
-        # queries by index).
-        outcomes.sort(key=lambda o: _original_index(o, interpreted))
-        return outcomes
-
-    # -- single query ------------------------------------------------------------
+    def check_termination(
+        self, interpreted: InterpretedProbe, results_so_far: list[QueryResult]
+    ) -> bool:
+        """Evaluate the probe's termination criterion over partial results."""
+        criterion = interpreted.probe.termination
+        if criterion is None or not results_so_far:
+            return False
+        try:
+            return bool(criterion(results_so_far))
+        except Exception:
+            return False
 
     def _execute_one(
         self,
@@ -190,7 +178,12 @@ class ProbeOptimizer:
             self.cache.invalidate()
 
 
-def _original_index(outcome: QueryOutcome, interpreted: InterpretedProbe) -> int:
+def original_index(outcome: QueryOutcome, interpreted: InterpretedProbe) -> int:
+    """Sort key restoring probe-declared query order for a response.
+
+    Shared by the serial path and the probe scheduler so both produce
+    identically-ordered outcome lists.
+    """
     for query in interpreted.queries:
         if query.sql == outcome.sql:
             return query.index

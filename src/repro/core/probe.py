@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.brief import Brief
+from repro.core.mqo import SharingReport
 from repro.engine.result import QueryResult
 from repro.memstore.artifacts import Artifact
 from repro.semantic.search import SearchHit
@@ -75,6 +76,10 @@ class ProbeResponse:
     turn: int = 0
     rows_processed: int = 0
     cache_hits: int = 0
+    #: Batch-level work-sharing accounting for the admission batch this
+    #: probe was served in (every probe in a batch carries the same report;
+    #: a lone ``submit`` is a batch of one).
+    sharing: SharingReport | None = None
 
     def answered(self) -> list[QueryOutcome]:
         return [outcome for outcome in self.outcomes if outcome.answered]

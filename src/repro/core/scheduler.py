@@ -1,0 +1,307 @@
+"""Cross-agent probe scheduling: serve the swarm, not the request.
+
+The paper's central serving observation (Sec. 5.2.1, Fig. 2) is that
+80-90% of sub-plans across concurrent agent probes are duplicates, so the
+natural admission unit is the *batch of probes from many agents*, not one
+probe. :class:`ProbeScheduler` implements that serving path:
+
+1. **Admission** — every probe in the batch is interpreted and satisficed
+   up front; each gets its own turn number (admission order), exactly as
+   if the probes had arrived serially.
+2. **Shared-work census** — every executable sub-plan across all agents is
+   fingerprinted (via :func:`repro.plan.fingerprint.subexpressions`), and
+   the batch executes against the session's shared
+   :class:`~repro.engine.executor.SubplanCache`, so each distinct subtree
+   materialises once batch-wide. (With MQO disabled session-wide there is
+   no cache, and the batch honours that: ablation baselines stay honest.)
+3. **Fair dispatch** — queries are dispatched round-robin across probes so
+   no agent waits behind another agent's whole probe; within each round,
+   agents that have exhausted their :class:`~repro.core.brief.Brief`
+   ``max_cost`` budget are deprioritised.
+4. **Steering** — each probe's response carries the batch-level
+   :class:`~repro.core.mqo.SharingReport` and cross-agent hints ("N other
+   agents asked an equivalent query this turn").
+
+Equivalence contract
+--------------------
+
+``submit_many([p1..pn])`` returns byte-identical per-query rows and
+statuses to ``n`` serial ``submit`` calls on the same system. Round-robin
+dispatch alone would break that: whether a duplicate query executes or is
+answered ``from_history`` — and which earlier turn a merely *equivalent*
+query's steering pointer names — depends on *serial* order. The scheduler
+keeps the contract with **demand-driven pull-forward**: before a query
+executes, any serially-earlier query in the batch with the same lenient
+fingerprint (equivalent modulo output order, which subsumes strict
+duplicates) is advanced to resolution first — its probe's pending queries
+are dispatched out of round-robin turn, in that probe's own order.
+Pulled-forward work is shared work another agent demanded *now*, so
+running it early starves nobody; and because the pull always reaches
+strictly earlier probes, the recursion is well-founded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
+from repro.core.mqo import SharingReport, subplan_census
+from repro.core.optimizer import ProbeOptimizer, original_index
+from repro.core.probe import Probe, QueryOutcome
+from repro.core.satisfice import ExecutionDecision
+from repro.engine.result import QueryResult
+from repro.plan.fingerprint import fingerprint
+
+
+@dataclass
+class ScheduledProbe:
+    """One probe's progress through a batch dispatch."""
+
+    index: int
+    probe: Probe
+    interpreted: InterpretedProbe
+    turn: int
+    decisions: list[ExecutionDecision]
+    #: One slot per decision, filled as dispatch resolves it; replaced by
+    #: the probe-declared-order outcome list when the batch completes.
+    outcomes: list[QueryOutcome | None]
+    results_so_far: list[QueryResult] = field(default_factory=list)
+    terminated: bool = False
+    next_position: int = 0
+    #: Estimated engine cost of queries this probe has executed so far —
+    #: the budget-fairness input, compared against ``brief.max_cost``.
+    spent_cost: float = 0.0
+    #: Batch-level steering extras (cross-agent equivalence, budget).
+    hints: list[str] = field(default_factory=list)
+
+    def pending(self) -> bool:
+        return self.next_position < len(self.decisions)
+
+    def over_budget(self) -> bool:
+        budget = self.probe.brief.max_cost
+        return budget is not None and self.spent_cost > budget
+
+
+@dataclass
+class ScheduledBatch:
+    """What one admission batch produced: per-probe outcomes + accounting."""
+
+    probes: list[ScheduledProbe]
+    report: SharingReport
+
+
+@dataclass
+class _BatchRun:
+    """Per-call dispatch state: nothing outlives the batch it served."""
+
+    states: list[ScheduledProbe]
+    #: Lenient fingerprint per executable (probe index, decision position),
+    #: computed once at admission and reused by grouping, dispatch, and
+    #: the cross-agent steering hints.
+    lenient_fingerprints: dict[tuple[int, int], str]
+    #: Executable queries grouped by lenient fingerprint, members serially
+    #: sorted — the pull-forward index. Lenient equivalence subsumes
+    #: strict duplication, so this preserves both history attribution and
+    #: the "similar query answered at turn N" pointers.
+    groups: dict[str, list[tuple[int, int]]]
+
+
+class ProbeScheduler:
+    """Dispatches admission batches of probes with cross-agent sharing."""
+
+    def __init__(self, interpreter: ProbeInterpreter, optimizer: ProbeOptimizer) -> None:
+        self.interpreter = interpreter
+        self.optimizer = optimizer
+        #: Batches served and queries dispatched (observability counters).
+        self.batches_served = 0
+        self.queries_dispatched = 0
+
+    # -- batch entry point -------------------------------------------------------
+
+    def run_batch(self, probes: list[Probe], first_turn: int) -> ScheduledBatch:
+        states: list[ScheduledProbe] = []
+        for index, probe in enumerate(probes):
+            interpreted = self.interpreter.interpret(probe)
+            decisions = self.optimizer.satisficer.decide(interpreted)
+            states.append(
+                ScheduledProbe(
+                    index=index,
+                    probe=probe,
+                    interpreted=interpreted,
+                    turn=first_turn + index,
+                    decisions=decisions,
+                    outcomes=[None] * len(decisions),
+                )
+            )
+        run = self._plan_run(states)
+        cache = self.optimizer.cache  # None when MQO is disabled: no sharing
+        counters_before = cache.counters() if cache is not None else (0, 0, 0)
+
+        # Round-robin across probes at query granularity; within a round,
+        # over-budget agents go last (admission order breaks ties).
+        rounds = max((len(state.decisions) for state in states), default=0)
+        for round_no in range(rounds):
+            order = sorted(states, key=lambda s: (s.over_budget(), s.index))
+            for state in order:
+                while state.pending() and state.next_position <= round_no:
+                    self._dispatch_next(run, state)
+        for state in states:  # drain any stragglers (defensive; none expected)
+            while state.pending():
+                self._dispatch_next(run, state)
+
+        counters_after = cache.counters() if cache is not None else (0, 0, 0)
+        report = self._build_report(run, counters_before, counters_after)
+        self._attach_hints(run)
+        for state in states:
+            resolved = [outcome for outcome in state.outcomes if outcome is not None]
+            resolved.sort(key=lambda o: original_index(o, state.interpreted))
+            state.outcomes = resolved
+
+        self.batches_served += 1
+        return ScheduledBatch(probes=states, report=report)
+
+    def _plan_run(self, states: list[ScheduledProbe]) -> _BatchRun:
+        lenient_fingerprints: dict[tuple[int, int], str] = {}
+        groups: dict[str, list[tuple[int, int]]] = {}
+        for state in states:
+            for position, decision in enumerate(state.decisions):
+                if decision.action != "execute" or decision.query.plan is None:
+                    continue
+                lenient = fingerprint(decision.query.plan, strict=False)
+                lenient_fingerprints[(state.index, position)] = lenient
+                groups.setdefault(lenient, []).append((state.index, position))
+        for members in groups.values():
+            members.sort()
+        return _BatchRun(
+            states=states, lenient_fingerprints=lenient_fingerprints, groups=groups
+        )
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch_next(self, run: _BatchRun, state: ScheduledProbe) -> None:
+        position = state.next_position
+        state.next_position += 1
+        decision = state.decisions[position]
+        query = decision.query
+        executable = decision.action == "execute" and query.plan is not None
+        was_terminated = state.terminated
+
+        if executable and not was_terminated:
+            self._resolve_providers(run, state, position)
+
+        if executable and state.terminated:
+            outcome = QueryOutcome(
+                sql=query.sql,
+                status="terminated",
+                reason="termination criterion satisfied by earlier results",
+                estimated_cost=query.estimated_cost,
+            )
+        else:
+            outcome = self.optimizer.run_decision(
+                state.interpreted, decision, state.turn
+            )
+        state.outcomes[position] = outcome
+        self.queries_dispatched += 1
+
+        if outcome.result is not None:
+            state.results_so_far.append(outcome.result)
+        if outcome.executed:
+            state.spent_cost += query.estimated_cost
+        # The criterion is user code: call it exactly when a serial submit
+        # would — after a dispatched execute decision, never again once it
+        # has fired (stateful/time-based criteria observe the call count).
+        if executable and not was_terminated and not state.terminated:
+            state.terminated = self.optimizer.check_termination(
+                state.interpreted, state.results_so_far
+            )
+
+    def _resolve_providers(
+        self, run: _BatchRun, state: ScheduledProbe, position: int
+    ) -> None:
+        """Advance every serially-earlier equivalent of this query first.
+
+        This is the pull-forward that keeps batch responses identical to
+        serial submission: the serially-first duplicate must be the one
+        that executes (and lands in history), and a merely-equivalent
+        earlier query must land in lenient history before this one reads
+        it — no matter which agent's dispatch slot demanded work first.
+        """
+        me = (state.index, position)
+        lenient = run.lenient_fingerprints.get(me)
+        if lenient is None:
+            return
+        for member in run.groups.get(lenient, ()):
+            if member >= me:
+                break  # members are serially sorted; the rest come after us
+            provider = run.states[member[0]]
+            while provider.next_position <= member[1]:
+                self._dispatch_next(run, provider)
+
+    # -- accounting + steering ----------------------------------------------------
+
+    def _build_report(
+        self,
+        run: _BatchRun,
+        counters_before: tuple[int, int, int],
+        counters_after: tuple[int, int, int],
+    ) -> SharingReport:
+        plans = []
+        agent_ids = []
+        for state in run.states:
+            for decision in state.decisions:
+                if decision.action == "execute" and decision.query.plan is not None:
+                    plans.append(decision.query.plan)
+                    agent_ids.append(state.probe.agent_id)
+        census = subplan_census(plans, agent_ids)
+        rows_processed = sum(
+            outcome.result.stats.rows_processed
+            for state in run.states
+            for outcome in state.outcomes
+            if outcome is not None and outcome.executed and outcome.result is not None
+        )
+        return SharingReport(
+            # All submitted queries, matching BatchExecutor's semantics for
+            # the same field; the census below covers the plannable ones.
+            queries=sum(len(state.interpreted.queries) for state in run.states),
+            probes=len(run.states),
+            agents=census.agents,
+            total_subplans=census.total,
+            distinct_subplans=census.distinct,
+            cross_agent_subplans=census.cross_agent,
+            rows_processed_shared=rows_processed,
+            cache_hits=counters_after[0] - counters_before[0],
+            cache_misses=counters_after[1] - counters_before[1],
+        )
+
+    def _attach_hints(self, run: _BatchRun) -> None:
+        """Cross-agent equivalence + budget hints, per probe."""
+        asked_by: dict[str, set[str]] = {}
+        for state in run.states:
+            for position in range(len(state.decisions)):
+                lenient = run.lenient_fingerprints.get((state.index, position))
+                if lenient is not None:
+                    asked_by.setdefault(lenient, set()).add(state.probe.agent_id)
+        shared = (
+            "; the work was computed once and shared batch-wide"
+            if self.optimizer.cache is not None
+            else ""  # MQO off: equivalent asks happened, nothing was shared
+        )
+        for state in run.states:
+            for position, decision in enumerate(state.decisions):
+                lenient = run.lenient_fingerprints.get((state.index, position))
+                if lenient is None:
+                    continue
+                others = asked_by[lenient] - {state.probe.agent_id}
+                if others:
+                    state.hints.append(
+                        f"{len(others)} other agent(s) asked a query equivalent"
+                        f" to {decision.query.sql[:50]!r} this turn{shared}"
+                    )
+        for state in run.states:
+            if state.over_budget():
+                state.hints.append(
+                    f"batch budget: estimated cost {state.spent_cost:.0f}"
+                    f" exceeded the brief's max_cost"
+                    f" {state.probe.brief.max_cost:.0f}; this agent's queries"
+                    " were deprioritised in later dispatch rounds"
+                )

@@ -1,24 +1,36 @@
 """The agent-first data system facade (paper Sec. 3, Figure 4).
 
-``AgentFirstDataSystem`` wires every component together:
+``AgentFirstDataSystem`` wires every component together. The serving unit
+is the *admission batch*: ``submit_many`` accepts a batch of probes from
+many concurrent agents, and ``submit`` is the degenerate batch of one.
 
-    probes ──> probe interpreter ──> satisficer ──> probe optimizer
-                     │                                   │
-                     ▼                                   ▼
-               sleeper agents  <──────────────  shared-work cache
-                     │                                   │
-                     ▼                                   ▼
-              steering feedback               agentic memory store
+    agent swarm ──> submit_many(probes)
+                         │
+                         ▼
+                  probe scheduler ──────────────┐  admission, fairness,
+                         │                      │  cross-agent dedup
+                         ▼                      │
+    probe interpreter ──> satisficer ──> probe optimizer
+                     │                          │
+                     ▼                          ▼
+               sleeper agents  <───────  shared-work cache (batch-wide)
+                     │                          │
+                     ▼                          ▼
+              steering feedback         agentic memory store
 
-Each ``submit`` is one interaction turn: the probe's queries are
+Each probe in a batch is one interaction turn: its queries are
 interpreted, satisficed and executed (with cross-agent work sharing and
-history reuse); sleeper agents attach steering feedback; and newly-gleaned
-grounding is written back to the agentic memory store.
+history reuse); the scheduler dispatches round-robin across agents so no
+probe starves behind another, and shares every duplicated sub-plan
+batch-wide; sleeper agents attach steering feedback (including "N other
+agents asked an equivalent query this turn"); and newly-gleaned grounding
+is written back to the agentic memory store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.brief import Phase
 from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
@@ -26,6 +38,7 @@ from repro.core.mqo import MaterializationAdvisor
 from repro.core.optimizer import ProbeOptimizer
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.core.satisfice import Satisficer
+from repro.core.scheduler import ProbeScheduler, ScheduledProbe
 from repro.core.steering import CostAdvisor, JoinDiscovery, WhyNotDiagnoser
 from repro.db import Database
 from repro.db.database import ChangeEvent
@@ -75,18 +88,52 @@ class AgentFirstDataSystem:
         self.why_not = WhyNotDiagnoser(db)
         self.join_discovery = JoinDiscovery(db)
         self.cost_advisor = CostAdvisor(db, self.config.expensive_threshold)
+        self.scheduler = ProbeScheduler(
+            interpreter=self.interpreter, optimizer=self.optimizer
+        )
         self.turn = 0
         db.on_change(self._on_change)
 
-    # -- the one entry point -----------------------------------------------------
+    # -- the entry points -----------------------------------------------------
 
     def submit(self, probe: Probe) -> ProbeResponse:
-        """Answer one probe; returns answers plus steering feedback."""
-        self.turn += 1
-        interpreted = self.interpreter.interpret(probe)
-        response = ProbeResponse(turn=self.turn)
+        """Answer one probe; returns answers plus steering feedback.
 
-        # Beyond-SQL requests first: they are cheap and ground what follows.
+        A batch of one: the full serving path is ``submit_many``.
+        """
+        return self.submit_many([probe])[0]
+
+    def submit_many(self, probes: Sequence[Probe]) -> list[ProbeResponse]:
+        """Answer an admission batch of probes from concurrent agents.
+
+        All probes are interpreted up front; the scheduler dispatches their
+        queries round-robin across agents through one batch-shared subplan
+        cache, so every duplicated subtree materialises once. Per-query
+        rows and statuses are byte-identical to submitting the probes
+        serially; the engine work is not — duplicated work collapses.
+        """
+        if not probes:
+            return []
+        first_turn = self.turn + 1
+        batch = self.scheduler.run_batch(list(probes), first_turn)
+        self.turn += len(probes)
+
+        # Post-processing (beyond-SQL, steering, memory) runs per probe in
+        # admission order, preserving serial visibility: a later probe's
+        # memory recall sees what earlier probes in the batch wrote back.
+        responses = []
+        for scheduled in batch.probes:
+            response = self._finish_probe(scheduled)
+            response.sharing = batch.report
+            responses.append(response)
+        return responses
+
+    def _finish_probe(self, scheduled: ScheduledProbe) -> ProbeResponse:
+        probe = scheduled.probe
+        interpreted = scheduled.interpreted
+        response = ProbeResponse(turn=scheduled.turn, outcomes=scheduled.outcomes)
+
+        # Beyond-SQL requests: cheap grounding attached to the response.
         if probe.semantic_search:
             response.semantic_hits = self.search.search(probe.semantic_search, limit=8)
         for memory_query in probe.memory_queries:
@@ -99,7 +146,6 @@ class AgentFirstDataSystem:
                 self.memory.search(probe.brief.goal, principal=probe.principal, k=3)
             )
 
-        response.outcomes = self.optimizer.execute(interpreted, self.turn)
         for outcome in response.outcomes:
             # from_history outcomes reuse an old result object: no new work.
             if outcome.executed and outcome.result is not None:
@@ -107,7 +153,9 @@ class AgentFirstDataSystem:
                 response.cache_hits += outcome.result.stats.cache_hits
 
         if self.config.enable_steering:
-            response.steering = self._steer(probe, interpreted, response)
+            response.steering = self._steer(
+                probe, interpreted, response, batch_hints=scheduled.hints
+            )
         if self.config.enable_memory:
             self._remember(probe, interpreted, response)
         return response
@@ -119,6 +167,7 @@ class AgentFirstDataSystem:
         probe: Probe,
         interpreted: InterpretedProbe,
         response: ProbeResponse,
+        batch_hints: list[str] | None = None,
     ) -> list[str]:
         feedback: list[str] = []
 
@@ -163,7 +212,7 @@ class AgentFirstDataSystem:
 
         # Similar-query pointers (inter-probe novelty signal).
         for outcome in response.outcomes:
-            if outcome.similar_to_turn is not None and outcome.similar_to_turn < self.turn:
+            if outcome.similar_to_turn is not None and outcome.similar_to_turn < response.turn:
                 rows = outcome.result.row_count if outcome.result is not None else 0
                 feedback.append(
                     f"a query equivalent to {outcome.sql[:50]!r} was answered at"
@@ -179,6 +228,11 @@ class AgentFirstDataSystem:
                 len(interpreted.executable()),
             )
         )
+
+        # Batch-level hints from the scheduler: cross-agent equivalence and
+        # budget-fairness feedback ("N other agents asked this too").
+        if batch_hints:
+            feedback.extend(batch_hints)
         return _dedupe(feedback)
 
     # -- memory write-back ---------------------------------------------------------------
@@ -201,7 +255,7 @@ class AgentFirstDataSystem:
                     principal=probe.principal,
                     shared=True,
                     data_sensitive=False,
-                    turn=self.turn,
+                    turn=response.turn,
                 )
             if hint.startswith("empty result explained: "):
                 detail = hint.removeprefix("empty result explained: ")
@@ -214,7 +268,7 @@ class AgentFirstDataSystem:
                         principal=probe.principal,
                         shared=True,
                         data_sensitive=True,
-                        turn=self.turn,
+                        turn=response.turn,
                     )
         # Exact solution-phase results are reusable partial solutions.
         if interpreted.phase is not Phase.METADATA_EXPLORATION:
@@ -225,13 +279,13 @@ class AgentFirstDataSystem:
                         continue
                     self.memory.remember(
                         ArtifactKind.PROBE_RESULT,
-                        (tables[0], f"turn{self.turn}q{hash(outcome.sql) & 0xffff}"),
+                        (tables[0], f"turn{response.turn}q{hash(outcome.sql) & 0xffff}"),
                         f"{probe.brief.goal or 'query'}: {outcome.sql}"
                         f" -> {outcome.result.row_count} rows",
                         principal=probe.principal,
                         shared=True,
                         depends_on=tuple(tables),
-                        turn=self.turn,
+                        turn=response.turn,
                     )
 
     # -- plumbing ---------------------------------------------------------------------------
@@ -255,6 +309,27 @@ class AgentFirstDataSystem:
 
     def materialization_suggestions(self) -> list[tuple[str, int, str]]:
         return self.optimizer.advisor.suggestions()
+
+
+def shared_serving_system(db: Database) -> AgentFirstDataSystem:
+    """The database's long-lived headless serving system, built on demand.
+
+    Batched agent runners (parallel attempts, federated cohorts) use this
+    instead of constructing a fresh system per call: every
+    ``AgentFirstDataSystem`` registers a change observer on its database
+    that is never detached, so throwaway systems would accumulate — and
+    replay invalidations — for the database's whole lifetime. Steering and
+    memory are off (field agents never read them); MQO, history, and the
+    shared cache persist across calls, so repeat sweeps over the same
+    database keep getting cheaper.
+    """
+    system = getattr(db, "_serving_system", None)
+    if system is None:
+        system = AgentFirstDataSystem(
+            db, config=SystemConfig(enable_steering=False, enable_memory=False)
+        )
+        db._serving_system = system
+    return system
 
 
 def _dedupe(items: list[str]) -> list[str]:

@@ -19,6 +19,8 @@ agent-first layers above:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.engine import aggregates as agg_lib
@@ -34,36 +36,61 @@ from repro.util.rng import RngStream
 
 
 class SubplanCache:
-    """Fingerprint-keyed cache of materialised subplan results.
+    """Fingerprint-keyed LRU cache of materialised subplan results.
 
-    Shared across probes and agents; the cache key includes the sampling
-    rate so approximate and exact runs never alias. Entries are lists of
-    row tuples (immutable enough to share safely).
+    Shared across probes and agents — including interleaved use by the
+    probe scheduler, where many agents' executions hammer one cache inside
+    a single admission batch; a lock keeps the counters and the recency
+    list consistent under that interleaving. The cache key includes the
+    sampling rate (and, for sampled runs, the seed) so approximate and
+    exact runs never alias. Entries are lists of row tuples (immutable
+    enough to share safely).
+
+    Eviction is true LRU: a ``get`` refreshes the entry's recency, so a
+    hot subplan survives pressure from a stream of cold inserts.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
-        self._entries: dict[tuple[str, float], list[Row]] = {}
+        self._entries: OrderedDict[tuple, list[Row]] = OrderedDict()
         self._max_entries = max_entries
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get(self, key: tuple[str, float]) -> list[Row] | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+    def get(self, key: tuple) -> list[Row] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
-    def put(self, key: tuple[str, float], rows: list[Row]) -> None:
-        if len(self._entries) >= self._max_entries:
-            # Drop the oldest entry (insertion order); enough at this scale.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[key] = rows
+    def put(self, key: tuple, rows: list[Row]) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = rows
+                return
+            if len(self._entries) >= self._max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = rows
+
+    def counters(self) -> tuple[int, int, int]:
+        """A consistent (hits, misses, evictions) snapshot.
+
+        The scheduler differences two snapshots to attribute hit/miss
+        traffic to one admission batch.
+        """
+        with self._lock:
+            return (self.hits, self.misses, self.evictions)
 
     def invalidate(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -117,9 +144,19 @@ class Executor(SubqueryRunner):
     def _execute(self, node: logical.PlanNode) -> list[Row]:
         self.context.stats.operators_executed += 1
         cache = self.context.cache
-        cache_key: tuple[str, float] | None = None
+        cache_key: tuple | None = None
         if cache is not None and node.node_count() >= self.context.min_cacheable_size:
-            cache_key = (fingerprint(node, strict=True), self.context.sample_rate)
+            rate = self.context.sample_rate
+            if rate >= 1.0:
+                cache_key = (fingerprint(node, strict=True), rate)
+            else:
+                # Sampled rows depend on the seed: keying on it keeps a
+                # cached sample from aliasing a different execution's draw.
+                cache_key = (
+                    fingerprint(node, strict=True),
+                    rate,
+                    self.context.sample_seed,
+                )
             cached = cache.get(cache_key)
             if cached is not None:
                 self.context.stats.cache_hits += 1

@@ -103,6 +103,118 @@ class TestProbeExecution:
         assert "terminated" in statuses
         assert statuses.count("ok") >= 1
 
+    def test_termination_after_first_result_statuses(self, system):
+        """A criterion satisfied by the first result leaves every later
+        query with status 'terminated' (not silently dropped)."""
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales",
+                "SELECT COUNT(*) FROM stores",
+                "SELECT COUNT(*) FROM sales WHERE product = 'tea'",
+            ),
+            # Pin execution order: the satisficer runs highest-priority
+            # first, and the criterion fires on that first result.
+            brief=Brief(priorities={0: 5.0, 1: 2.0, 2: 1.0}),
+            termination=lambda results: len(results) >= 1,
+        )
+        response = system.submit(probe)
+        statuses = [o.status for o in response.outcomes]
+        assert statuses == ["ok", "terminated", "terminated"]
+        for outcome in response.outcomes[1:]:
+            assert outcome.result is None
+            assert "termination criterion" in outcome.reason
+
+    def test_termination_stops_work_accounting(self, system_db):
+        """Terminated queries must not add rows_processed: the probe's
+        bill equals the bill for its first query alone."""
+        first_only = AgentFirstDataSystem(system_db)
+        baseline = first_only.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+
+        terminating = AgentFirstDataSystem(system_db)
+        response = terminating.submit(
+            Probe(
+                queries=(
+                    "SELECT COUNT(*) FROM sales",
+                    "SELECT COUNT(*) FROM stores",
+                    "SELECT id FROM stores",
+                ),
+                brief=Brief(priorities={0: 5.0, 1: 2.0, 2: 1.0}),
+                termination=lambda results: len(results) >= 1,
+            )
+        )
+        assert response.rows_processed == baseline.rows_processed
+
+    def test_termination_criterion_error_is_ignored(self, system):
+        def broken(results):
+            raise RuntimeError("criterion bug")
+
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales",
+                "SELECT COUNT(*) FROM stores",
+            ),
+            termination=broken,
+        )
+        response = system.submit(probe)
+        assert [o.status for o in response.outcomes] == ["ok", "ok"]
+
+    def test_k_of_n_prunes_with_reason(self, system):
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales",
+                "SELECT COUNT(*) FROM stores",
+            ),
+            brief=Brief(goal="exact answer", complete_k_of_n=1),
+        )
+        response = system.submit(probe)
+        statuses = sorted(o.status for o in response.outcomes)
+        assert statuses == ["ok", "pruned"]
+        pruned = next(o for o in response.outcomes if o.status == "pruned")
+        assert "k-of-n" in pruned.reason
+        assert pruned.result is None
+
+    def test_semantic_prune_during_exploration(self, system):
+        probe = Probe(
+            queries=("SELECT city FROM stores",),
+            brief=Brief(goal="explore zzqx flurbles telemetry"),
+        )
+        response = system.submit(probe)
+        # Whatever the embedder decides, a pruned outcome must carry its
+        # reason and no result; an executed one must carry rows.
+        outcome = response.outcomes[0]
+        if outcome.status == "pruned":
+            assert "unrelated" in outcome.reason
+            assert outcome.result is None
+        else:
+            assert outcome.result is not None
+
+    def test_from_history_carries_no_new_work(self, system):
+        system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        repeat = system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        outcome = repeat.outcomes[0]
+        assert outcome.status == "from_history"
+        # The reused result object keeps its original stats, but the
+        # response bills zero new engine work for it.
+        assert repeat.rows_processed == 0
+        assert not outcome.executed
+        assert outcome.answered
+
+    def test_from_history_then_termination_interaction(self, system):
+        system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales",  # from history
+                "SELECT COUNT(*) FROM stores",  # terminated before running
+            ),
+            brief=Brief(priorities={0: 5.0, 1: 1.0}),
+            termination=lambda results: len(results) >= 1,
+        )
+        response = system.submit(probe)
+        assert [o.status for o in response.outcomes] == [
+            "from_history",
+            "terminated",
+        ]
+
     def test_semantic_search_attached(self, system):
         probe = Probe(
             queries=(),

@@ -438,3 +438,43 @@ class TestResultObject:
         result = sales_db.execute("SELECT COUNT(*) FROM sales")
         assert result.stats.rows_scanned == 10
         assert result.stats.rows_processed >= 10
+
+
+class TestSubplanCacheLru:
+    def test_hot_entry_survives_eviction_pressure(self):
+        from repro.engine.executor import SubplanCache
+
+        cache = SubplanCache(max_entries=4)
+        hot = ("hot-fingerprint", 1.0)
+        cache.put(hot, [(1,)])
+        # Keep the hot entry warm while a stream of cold inserts churns
+        # through the cache. Insertion-order eviction would drop it; true
+        # LRU must keep it because every round refreshes its recency.
+        for i in range(20):
+            assert cache.get(hot) == [(1,)]
+            cache.put((f"cold-{i}", 1.0), [(i,)])
+        assert cache.get(hot) == [(1,)]
+        assert cache.evictions > 0
+        assert len(cache) <= 4
+
+    def test_cold_entries_evicted_oldest_first(self):
+        from repro.engine.executor import SubplanCache
+
+        cache = SubplanCache(max_entries=2)
+        cache.put(("a", 1.0), [(1,)])
+        cache.put(("b", 1.0), [(2,)])
+        cache.get(("a", 1.0))  # refresh a: b is now least-recently used
+        cache.put(("c", 1.0), [(3,)])
+        assert cache.get(("b", 1.0)) is None
+        assert cache.get(("a", 1.0)) == [(1,)]
+
+    def test_put_existing_key_does_not_evict(self):
+        from repro.engine.executor import SubplanCache
+
+        cache = SubplanCache(max_entries=2)
+        cache.put(("a", 1.0), [(1,)])
+        cache.put(("b", 1.0), [(2,)])
+        cache.put(("a", 1.0), [(9,)])  # replace, at capacity
+        assert cache.evictions == 0
+        assert cache.get(("a", 1.0)) == [(9,)]
+        assert cache.get(("b", 1.0)) == [(2,)]
