@@ -1,26 +1,50 @@
 """Scheduler bench — batched ``submit_many`` vs serial per-agent serving.
 
-N concurrent agents each submit a probe whose sub-plans heavily overlap
-with the swarm's (Figure 2's 80-90% redundancy, here by construction:
-every agent asks the same join-aggregate plus a per-agent filter drawn
-from a small pool). The serial baseline serves each agent on its own
-fresh system — independent sessions, no cross-agent sharing; the batched
-path serves the whole swarm with one ``submit_many`` admission batch.
+Three sections, all recorded to machine-readable JSON
+(``BENCH_scheduler.json``, override via ``BENCH_SCHEDULER_JSON``) so the
+perf trajectory accumulates across PRs:
 
-Reported per N: engine rows processed and wall-clock, both ways. The
-acceptance bar: at N=16 the batch must process >=30% fewer rows.
+1. **Sharing** — N concurrent agents each submit a probe whose sub-plans
+   heavily overlap with the swarm's (Figure 2's 80-90% redundancy, here by
+   construction). The serial baseline serves each agent on its own fresh
+   system; the batched path serves the whole swarm with one
+   ``submit_many`` admission batch. Acceptance: at N=16 the batch must
+   process >=30% fewer rows.
+2. **Parallel dispatch speedup** — the same batched path at ``workers=1``
+   (serial loop) vs ``workers=4`` (speculative work-group execution) at
+   16/64 agents, on a workload with many independent work groups.
+   Acceptance: >=1.5x at 64 agents *when the host can actually run
+   threads in parallel* (>=4 CPUs and no GIL); on GIL-bound or small
+   hosts the table is still recorded and only a no-pathology floor is
+   asserted, since CPython serialises pure-Python engine work.
+3. **Fingerprint memoization** — a repeated-execution workload (every
+   subtree of every plan fingerprinted per round, mirroring the
+   executor's cache keying) measured against the per-call baseline.
+   Acceptance: >=3x fewer node canonicalisations, digests unchanged.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import sys
 import time
 from dataclasses import dataclass, field
 
 from repro.core import AgentFirstDataSystem, Brief, Probe
 from repro.db import Database
+from repro.plan.fingerprint import (
+    FINGERPRINT_STATS,
+    fingerprint,
+    fingerprint_uncached,
+)
 from repro.util.tabulate import format_table
 
 AGENT_COUNTS = (1, 4, 16, 64)
+SPEEDUP_AGENT_COUNTS = (16, 64)
+PARALLEL_WORKERS = 4
+JSON_PATH_ENV = "BENCH_SCHEDULER_JSON"
+DEFAULT_JSON_PATH = "BENCH_scheduler.json"
 
 SHARED_JOIN = (
     "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
@@ -67,41 +91,176 @@ def swarm_probes(n_agents: int) -> list[Probe]:
     return probes
 
 
+def parallel_probes(n_agents: int) -> list[Probe]:
+    """The speedup workload: many *independent* work groups.
+
+    Each agent asks the swarm-wide join plus one aggregate from a pool of
+    8 thresholds and one group-by from a pool of 4 stores: a 64-agent
+    batch carries 13 distinct work groups — enough independent engine
+    runs to occupy a worker pool.
+    """
+    probes = []
+    for agent in range(n_agents):
+        threshold = 6 * (agent % 8)
+        probes.append(
+            Probe(
+                queries=(
+                    SHARED_JOIN,
+                    "SELECT COUNT(*), SUM(amount), MIN(amount) FROM sales"
+                    f" WHERE amount > {threshold}.0",
+                    "SELECT product, COUNT(*) FROM sales"
+                    f" WHERE store_id = {1 + agent % 4} GROUP BY product",
+                ),
+                brief=Brief(goal="compute the exact answer"),
+                agent_id=f"agent-{agent}",
+            )
+        )
+    return probes
+
+
+def effective_parallelism() -> bool:
+    """Can this host actually overlap pure-Python engine work?"""
+    gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    return (os.cpu_count() or 1) >= PARALLEL_WORKERS and not gil_enabled
+
+
 @dataclass
 class SchedulerBenchResult:
-    rows: list[tuple] = field(default_factory=list)
-    #: Row-work saving fraction at N=16 (the acceptance metric).
+    #: (agents, serial_rows, batched_rows, saved, serial_ms, batched_ms).
+    sharing_rows: list[tuple] = field(default_factory=list)
+    #: (agents, groups, workers_1_ms, workers_n_ms, speedup).
+    speedup_rows: list[tuple] = field(default_factory=list)
+    #: Row-work saving fraction at N=16 (the sharing acceptance metric).
     saving_at_16: float = 0.0
+    #: workers=1 / workers=N wall-clock ratio at 64 agents.
+    speedup_at_64: float = 0.0
+    #: Canonicalisation-work reduction factor and digest equality.
+    fingerprint_reduction: float = 0.0
+    fingerprint_digests_match: bool = False
+    fingerprint_uncached_visits: int = 0
+    fingerprint_memoized_visits: int = 0
+    parallel_capable: bool = False
 
     def render(self) -> str:
-        return format_table(
-            [
-                "agents",
-                "serial rows",
-                "batched rows",
-                "saved",
-                "serial ms",
-                "batched ms",
+        sections = [
+            format_table(
+                [
+                    "agents",
+                    "serial rows",
+                    "batched rows",
+                    "saved",
+                    "serial ms",
+                    "batched ms",
+                ],
+                [
+                    (
+                        agents,
+                        serial_rows,
+                        batched_rows,
+                        f"{saved:.0%}",
+                        f"{serial_ms:.1f}",
+                        f"{batched_ms:.1f}",
+                    )
+                    for agents, serial_rows, batched_rows, saved, serial_ms, batched_ms in self.sharing_rows
+                ],
+                title="batched submit_many vs serial per-agent serving",
+            ),
+            format_table(
+                [
+                    "agents",
+                    "groups",
+                    "workers=1 ms",
+                    f"workers={PARALLEL_WORKERS} ms",
+                    "speedup",
+                ],
+                [
+                    (
+                        agents,
+                        groups,
+                        f"{serial_ms:.1f}",
+                        f"{parallel_ms:.1f}",
+                        f"{speedup:.2f}x",
+                    )
+                    for agents, groups, serial_ms, parallel_ms, speedup in self.speedup_rows
+                ],
+                title=(
+                    "parallel work-group dispatch"
+                    f" (parallel-capable host: {self.parallel_capable})"
+                ),
+            ),
+            format_table(
+                ["path", "node canonicalisations"],
+                [
+                    ("per-call (PR-1 baseline)", self.fingerprint_uncached_visits),
+                    ("memoized one-pass", self.fingerprint_memoized_visits),
+                    ("reduction", f"{self.fingerprint_reduction:.1f}x"),
+                ],
+                title="fingerprint memoization (repeated-execution workload)",
+            ),
+        ]
+        return "\n\n".join(sections)
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "scheduler",
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+                "python": sys.version.split()[0],
+                "parallel_capable": self.parallel_capable,
+            },
+            "sharing": [
+                {
+                    "agents": agents,
+                    "serial_rows": serial_rows,
+                    "batched_rows": batched_rows,
+                    "saved_fraction": round(saved, 4),
+                    "serial_ms": round(serial_ms, 2),
+                    "batched_ms": round(batched_ms, 2),
+                }
+                for agents, serial_rows, batched_rows, saved, serial_ms, batched_ms in self.sharing_rows
             ],
-            self.rows,
-            title="batched submit_many vs serial per-agent serving",
-        )
+            "speedup": [
+                {
+                    "agents": agents,
+                    "work_groups": groups,
+                    "workers": PARALLEL_WORKERS,
+                    "workers_1_ms": round(serial_ms, 2),
+                    "workers_n_ms": round(parallel_ms, 2),
+                    "speedup": round(speedup, 3),
+                }
+                for agents, groups, serial_ms, parallel_ms, speedup in self.speedup_rows
+            ],
+            "fingerprint": {
+                "uncached_node_visits": self.fingerprint_uncached_visits,
+                "memoized_node_visits": self.fingerprint_memoized_visits,
+                "reduction": round(self.fingerprint_reduction, 2),
+                "digests_match": self.fingerprint_digests_match,
+            },
+        }
 
 
-def run_scheduler_bench() -> SchedulerBenchResult:
-    result = SchedulerBenchResult()
+def run_sharing_bench(result: SchedulerBenchResult) -> None:
+    """Row-work accounting: sharing is measured at ``workers=1``.
+
+    Speculative execution can race shared subtrees into double computation
+    (answers identical, accounting inflated and timing-dependent); the
+    serial loop keeps this table — the cross-PR frugality trajectory —
+    deterministic. Wall-clock at higher worker counts is the *next*
+    table's job.
+    """
     for n_agents in AGENT_COUNTS:
         probes = swarm_probes(n_agents)
 
         # Build all systems outside the timers: we measure serving, not setup.
-        serial_systems = [AgentFirstDataSystem(build_db()) for _ in probes]
+        serial_systems = [AgentFirstDataSystem(build_db(), workers=1) for _ in probes]
         serial_rows = 0
         started = time.perf_counter()
         for system, probe in zip(serial_systems, probes):
             serial_rows += system.submit(probe).rows_processed
         serial_ms = (time.perf_counter() - started) * 1000.0
 
-        batch_system = AgentFirstDataSystem(build_db())
+        batch_system = AgentFirstDataSystem(build_db(), workers=1)
         started = time.perf_counter()
         responses = batch_system.submit_many(probes)
         batched_ms = (time.perf_counter() - started) * 1000.0
@@ -110,26 +269,114 @@ def run_scheduler_bench() -> SchedulerBenchResult:
         saved = 1.0 - batched_rows / serial_rows if serial_rows else 0.0
         if n_agents == 16:
             result.saving_at_16 = saved
-        result.rows.append(
-            (
-                n_agents,
-                serial_rows,
-                batched_rows,
-                f"{saved:.0%}",
-                f"{serial_ms:.1f}",
-                f"{batched_ms:.1f}",
-            )
+        result.sharing_rows.append(
+            (n_agents, serial_rows, batched_rows, saved, serial_ms, batched_ms)
         )
+
+
+def run_speedup_bench(result: SchedulerBenchResult) -> None:
+    """Wall-clock of the batched path: serial loop vs speculative pool."""
+    for n_agents in SPEEDUP_AGENT_COUNTS:
+        probes = parallel_probes(n_agents)
+        timings: dict[int, float] = {}
+        groups = 0
+        for workers in (1, PARALLEL_WORKERS):
+            # Fresh system per measurement: identical cold caches/history.
+            system = AgentFirstDataSystem(build_db(), workers=workers)
+            started = time.perf_counter()
+            system.submit_many(probes)
+            timings[workers] = (time.perf_counter() - started) * 1000.0
+            if workers > 1:
+                # Independent engine runs the speculative pool overlapped.
+                groups = system.scheduler.speculative_executions
+        speedup = (
+            timings[1] / timings[PARALLEL_WORKERS]
+            if timings[PARALLEL_WORKERS]
+            else 0.0
+        )
+        if n_agents == 64:
+            result.speedup_at_64 = speedup
+        result.speedup_rows.append(
+            (n_agents, groups, timings[1], timings[PARALLEL_WORKERS], speedup)
+        )
+
+
+def run_fingerprint_bench(result: SchedulerBenchResult, rounds: int = 4) -> None:
+    """Repeated-execution canonicalisation work: per-call vs memoized.
+
+    Mirrors the serving path's demand — every subtree of every plan needs
+    a strict digest per execution (executor cache keys) plus root digests
+    per query (history, grouping, advisor) — repeated ``rounds`` times, as
+    when a swarm re-asks overlapping probes across turns.
+    """
+    db = build_db()
+    sqls = [probe.queries for probe in parallel_probes(8)]
+    flat = [sql for queries in sqls for sql in queries]
+
+    baseline_plans = [db.plan_select(sql) for sql in flat]
+    FINGERPRINT_STATS.reset()
+    uncached_digests = []
+    for _ in range(rounds):
+        for plan in baseline_plans:
+            for node in plan.walk():
+                uncached_digests.append(fingerprint_uncached(node, strict=True))
+            uncached_digests.append(fingerprint_uncached(plan, strict=False))
+    uncached_visits = FINGERPRINT_STATS.nodes_canonicalised
+
+    memo_plans = [db.plan_select(sql) for sql in flat]
+    FINGERPRINT_STATS.reset()
+    memoized_digests = []
+    for _ in range(rounds):
+        for plan in memo_plans:
+            for node in plan.walk():
+                memoized_digests.append(fingerprint(node, strict=True))
+            memoized_digests.append(fingerprint(plan, strict=False))
+    memoized_visits = FINGERPRINT_STATS.nodes_canonicalised
+
+    result.fingerprint_uncached_visits = uncached_visits
+    result.fingerprint_memoized_visits = memoized_visits
+    result.fingerprint_reduction = uncached_visits / max(1, memoized_visits)
+    result.fingerprint_digests_match = uncached_digests == memoized_digests
+
+
+def run_scheduler_bench() -> SchedulerBenchResult:
+    result = SchedulerBenchResult()
+    result.parallel_capable = effective_parallelism()
+    run_sharing_bench(result)
+    run_speedup_bench(result)
+    run_fingerprint_bench(result)
     return result
+
+
+def write_json(result: SchedulerBenchResult) -> str:
+    path = os.environ.get(JSON_PATH_ENV, DEFAULT_JSON_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def test_scheduler_batching(benchmark):
     result = benchmark.pedantic(run_scheduler_bench, rounds=1, iterations=1)
     print()
     print(result.render())
+    print(f"\nwrote {write_json(result)}")
 
     assert result.saving_at_16 >= 0.3
+    assert result.fingerprint_digests_match
+    assert result.fingerprint_reduction >= 3.0
+    if result.parallel_capable:
+        # The real acceptance bar: independent work groups must overlap.
+        assert result.speedup_at_64 >= 1.5
+    else:
+        # GIL-bound / small host: parallel dispatch cannot beat the serial
+        # loop (CPython serialises pure-Python engine work), but it must
+        # not pathologically regress either. The JSON records the honest
+        # ratio for hosts that can check the 1.5x bar.
+        assert result.speedup_at_64 >= 0.4
 
 
 if __name__ == "__main__":
-    print(run_scheduler_bench().render())
+    result = run_scheduler_bench()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")

@@ -77,10 +77,12 @@ def main() -> None:
     print("answer:", repeat.first_result().first_value())
 
     # 4. Serving concurrent swarms: many agents, one admission batch.
-    #    submit_many interprets every probe up front, dispatches queries
-    #    round-robin across agents, and materialises each distinct
-    #    sub-plan once batch-wide — the answers are identical to serial
-    #    submission, the engine work is not.
+    #    submit_many interprets every probe up front, runs the batch's
+    #    independent work groups concurrently on the scheduler's worker
+    #    pool (configurable via AgentFirstDataSystem(..., workers=N)),
+    #    replays dispatch round-robin across agents, and materialises each
+    #    distinct sub-plan once batch-wide — the answers are identical to
+    #    serial submission, the engine work (and wall-clock) is not.
     swarm = [
         Probe(
             queries=(

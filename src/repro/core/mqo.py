@@ -10,13 +10,14 @@ bench reports.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.db import Database
 from repro.engine.executor import ExecContext, Executor, SubplanCache
 from repro.engine.result import QueryResult
-from repro.plan.fingerprint import subexpressions
+from repro.plan.fingerprint import fingerprints, subexpressions
 from repro.plan.logical import PlanNode
 
 
@@ -162,6 +163,10 @@ class MaterializationAdvisor:
     Implements the paper's inter-probe "decide to materialize the join"
     idea (Sec. 5.2.2): subplans (of meaningful size) that recur across
     probes/turns become materialization candidates.
+
+    Thread-safe: ``observe`` is on the probe optimizer's execution path,
+    which concurrent callers (and the scheduler's worker pool) may share,
+    so the counters sit behind a lock.
     """
 
     def __init__(self, min_occurrences: int = 3, min_size: int = 2) -> None:
@@ -169,28 +174,30 @@ class MaterializationAdvisor:
         self._min_size = min_size
         self._counts: Counter[str] = Counter()
         self._descriptions: dict[str, str] = {}
+        self._lock = threading.Lock()
 
     def observe(self, plan: PlanNode) -> None:
         seen_this_plan: set[str] = set()
-        for node in plan.walk():
-            if node.node_count() < self._min_size:
-                continue
-            subs = subexpressions(node)
-            fingerprint = subs[0].fingerprint
-            if fingerprint in seen_this_plan:
-                continue
-            seen_this_plan.add(fingerprint)
-            self._counts[fingerprint] += 1
-            self._descriptions.setdefault(
-                fingerprint, node.describe().splitlines()[0]
-            )
+        with self._lock:
+            for node in plan.walk():
+                digests = fingerprints(node)
+                if digests.size < self._min_size:
+                    continue
+                fingerprint = digests.lenient
+                if fingerprint in seen_this_plan:
+                    continue
+                seen_this_plan.add(fingerprint)
+                self._counts[fingerprint] += 1
+                if fingerprint not in self._descriptions:
+                    self._descriptions[fingerprint] = node.describe().splitlines()[0]
 
     def suggestions(self) -> list[tuple[str, int, str]]:
         """(fingerprint, occurrences, description) above the threshold."""
-        out = [
-            (fingerprint, count, self._descriptions[fingerprint])
-            for fingerprint, count in self._counts.items()
-            if count >= self._min_occurrences
-        ]
+        with self._lock:
+            out = [
+                (fingerprint, count, self._descriptions[fingerprint])
+                for fingerprint, count in self._counts.items()
+                if count >= self._min_occurrences
+            ]
         out.sort(key=lambda item: (-item[1], item[0]))
         return out

@@ -14,10 +14,18 @@ Responsibilities (paper Sec. 5.2):
   probe's remaining queries when satisfied;
 * feed the :class:`~repro.core.mqo.MaterializationAdvisor` so recurring
   subplans become materialization suggestions.
+
+Concurrency: the scheduler's worker pool runs :meth:`speculative_execute`
+from many threads (engine-only, no shared-state writes beyond the
+internally-locked :class:`~repro.engine.executor.SubplanCache`), and
+``run_decision`` itself may be called concurrently by independent serving
+threads — so the ``history`` / ``lenient_history`` dictionaries are
+guarded by a lock, and the advisor locks internally.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.interpreter import InterpretedProbe, PlannedQuery
@@ -28,7 +36,7 @@ from repro.db import Database
 from repro.engine.executor import ExecContext, Executor, SubplanCache
 from repro.engine.result import QueryResult
 from repro.errors import ReproError
-from repro.plan.fingerprint import fingerprint
+from repro.plan.fingerprint import fingerprints
 
 
 @dataclass
@@ -38,6 +46,20 @@ class HistoryEntry:
     sql: str
     result: QueryResult
     lenient_fingerprint: str
+
+
+@dataclass
+class PrecomputedExecution:
+    """One engine run performed ahead of serial bookkeeping.
+
+    The scheduler's worker pool produces these concurrently (pure engine
+    work: a result or an execution error); the serial replay then feeds
+    them back through :meth:`ProbeOptimizer.run_decision`, which applies
+    history, advisor, and steering bookkeeping in serial order.
+    """
+
+    result: QueryResult | None = None
+    error: str | None = None
 
 
 @dataclass
@@ -53,12 +75,17 @@ class ProbeOptimizer:
     #: lenient fingerprint -> most recent history entry (similarity pointer).
     lenient_history: dict[str, HistoryEntry] = field(default_factory=dict)
     enable_history: bool = True
+    #: Guards ``history`` and ``lenient_history`` under concurrent callers.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def run_decision(
         self,
         interpreted: InterpretedProbe,
         decision: ExecutionDecision,
         turn: int,
+        precomputed: PrecomputedExecution | None = None,
     ) -> QueryOutcome:
         """Resolve one satisficer decision into an outcome.
 
@@ -66,13 +93,16 @@ class ProbeOptimizer:
         check, and actual execution against the session's shared cache.
         The caller — the probe scheduler, for both ``submit`` and
         ``submit_many`` — owns dispatch order and termination bookkeeping
-        (those are probe- and batch-level state).
+        (those are probe- and batch-level state). When the scheduler
+        already ran the engine work speculatively, it passes the
+        ``precomputed`` result and only the bookkeeping happens here.
         """
         query = decision.query
         if decision.action == "prune":
             return QueryOutcome(
                 sql=query.sql,
                 status="pruned",
+                query_index=query.index,
                 reason=decision.reason,
                 estimated_cost=query.estimated_cost,
             )
@@ -80,9 +110,10 @@ class ProbeOptimizer:
             return QueryOutcome(
                 sql=query.sql,
                 status="error",
+                query_index=query.index,
                 reason=query.parse_error or "unplannable query",
             )
-        return self._execute_one(interpreted, query, decision, turn)
+        return self._execute_one(interpreted, query, decision, turn, precomputed)
 
     def check_termination(
         self, interpreted: InterpretedProbe, results_so_far: list[QueryResult]
@@ -96,17 +127,42 @@ class ProbeOptimizer:
         except Exception:
             return False
 
+    def speculative_execute(
+        self, decision: ExecutionDecision, turn: int
+    ) -> PrecomputedExecution:
+        """Engine-only execution of one decision — safe to run concurrently.
+
+        Touches no optimizer state except the internally-locked subplan
+        cache; history/advisor bookkeeping happens later, when the serial
+        replay feeds the result back through :meth:`run_decision`.
+        """
+        query = decision.query
+        assert query.plan is not None
+        context = ExecContext(
+            sample_rate=decision.sample_rate,
+            sample_seed=turn,
+            cache=self.cache,
+        )
+        executor = Executor(self.db.catalog, context)
+        try:
+            return PrecomputedExecution(result=executor.run(query.plan))
+        except ReproError as exc:
+            return PrecomputedExecution(error=str(exc))
+
     def _execute_one(
         self,
         interpreted: InterpretedProbe,
         query: PlannedQuery,
         decision: ExecutionDecision,
         turn: int,
+        precomputed: PrecomputedExecution | None = None,
     ) -> QueryOutcome:
         assert query.plan is not None
-        strict = fingerprint(query.plan, strict=True)
+        digests = fingerprints(query.plan)
+        strict = digests.strict
         if self.enable_history and decision.sample_rate >= 1.0:
-            entry = self.history.get(strict)
+            with self._lock:
+                entry = self.history.get(strict)
             if entry is not None:
                 # Materialization advice tracks logical demand: answering
                 # from history still counts as one more occurrence.
@@ -114,6 +170,7 @@ class ProbeOptimizer:
                 return QueryOutcome(
                     sql=query.sql,
                     status="from_history",
+                    query_index=query.index,
                     result=entry.result,
                     reason=(
                         f"identical query answered at turn {entry.turn}"
@@ -122,21 +179,20 @@ class ProbeOptimizer:
                     estimated_cost=query.estimated_cost,
                 )
 
-        context = ExecContext(
-            sample_rate=decision.sample_rate,
-            sample_seed=turn,
-            cache=self.cache,
-        )
-        executor = Executor(self.db.catalog, context)
-        try:
-            result = executor.run(query.plan)
-        except ReproError as exc:
-            return QueryOutcome(sql=query.sql, status="error", reason=str(exc))
+        if precomputed is None:
+            precomputed = self.speculative_execute(decision, turn)
+        if precomputed.error is not None:
+            return QueryOutcome(
+                sql=query.sql,
+                status="error",
+                query_index=query.index,
+                reason=precomputed.error,
+            )
+        result = precomputed.result
+        assert result is not None
 
         self.advisor.observe(query.plan)
-        lenient = fingerprint(query.plan, strict=False)
-        previous = self.lenient_history.get(lenient)
-        similar_to_turn = previous.turn if previous is not None else None
+        lenient = digests.lenient
         entry = HistoryEntry(
             turn=turn,
             agent_id=interpreted.probe.agent_id,
@@ -144,14 +200,18 @@ class ProbeOptimizer:
             result=result,
             lenient_fingerprint=lenient,
         )
-        if decision.sample_rate >= 1.0:
-            self.history[strict] = entry
-        self.lenient_history[lenient] = entry
+        with self._lock:
+            previous = self.lenient_history.get(lenient)
+            similar_to_turn = previous.turn if previous is not None else None
+            if decision.sample_rate >= 1.0:
+                self.history[strict] = entry
+            self.lenient_history[lenient] = entry
 
         status = "approximate" if decision.sample_rate < 1.0 else "ok"
         return QueryOutcome(
             sql=query.sql,
             status=status,
+            query_index=query.index,
             result=result,
             sample_rate=decision.sample_rate,
             estimated_cost=query.estimated_cost,
@@ -164,27 +224,17 @@ class ProbeOptimizer:
         """A past answer to a semantically-equal (modulo output order) query."""
         if query.plan is None:
             return None
-        lenient = fingerprint(query.plan, strict=False)
-        entry = self.lenient_history.get(lenient)
+        lenient = fingerprints(query.plan).lenient
+        with self._lock:
+            entry = self.lenient_history.get(lenient)
         if entry is not None and entry.sql != query.sql:
             return entry
         return entry if entry is not None else None
 
     def invalidate(self) -> None:
         """Drop history and cache after writes change the data."""
-        self.history.clear()
-        self.lenient_history.clear()
+        with self._lock:
+            self.history.clear()
+            self.lenient_history.clear()
         if self.cache is not None:
             self.cache.invalidate()
-
-
-def original_index(outcome: QueryOutcome, interpreted: InterpretedProbe) -> int:
-    """Sort key restoring probe-declared query order for a response.
-
-    Shared by the serial path and the probe scheduler so both produce
-    identically-ordered outcome lists.
-    """
-    for query in interpreted.queries:
-        if query.sql == outcome.sql:
-            return query.index
-    return len(interpreted.queries)

@@ -48,6 +48,11 @@ class QueryOutcome:
 
     sql: str
     status: str  # 'ok' | 'approximate' | 'pruned' | 'terminated' | 'from_history' | 'error'
+    #: Position of the query in the probe's declared ``queries`` tuple.
+    #: Dispatch may reorder (priorities, pull-forward); responses restore
+    #: declared order by sorting on this — not by matching SQL text, which
+    #: is ambiguous when a probe repeats a statement.
+    query_index: int = 0
     result: QueryResult | None = None
     sample_rate: float = 1.0
     reason: str = ""

@@ -14,11 +14,14 @@ probe. :class:`ProbeScheduler` implements that serving path:
    :class:`~repro.engine.executor.SubplanCache`, so each distinct subtree
    materialises once batch-wide. (With MQO disabled session-wide there is
    no cache, and the batch honours that: ablation baselines stay honest.)
-3. **Fair dispatch** — queries are dispatched round-robin across probes so
+3. **Parallel work-group execution** — the batch's independent engine work
+   runs concurrently on a worker pool (below), then a serial replay
+   re-imposes admission order on all observable bookkeeping.
+4. **Fair dispatch** — queries are dispatched round-robin across probes so
    no agent waits behind another agent's whole probe; within each round,
    agents that have exhausted their :class:`~repro.core.brief.Brief`
    ``max_cost`` budget are deprioritised.
-4. **Steering** — each probe's response carries the batch-level
+5. **Steering** — each probe's response carries the batch-level
    :class:`~repro.core.mqo.SharingReport` and cross-agent hints ("N other
    agents asked an equivalent query this turn").
 
@@ -26,31 +29,75 @@ Equivalence contract
 --------------------
 
 ``submit_many([p1..pn])`` returns byte-identical per-query rows and
-statuses to ``n`` serial ``submit`` calls on the same system. Round-robin
-dispatch alone would break that: whether a duplicate query executes or is
-answered ``from_history`` — and which earlier turn a merely *equivalent*
-query's steering pointer names — depends on *serial* order. The scheduler
-keeps the contract with **demand-driven pull-forward**: before a query
-executes, any serially-earlier query in the batch with the same lenient
-fingerprint (equivalent modulo output order, which subsumes strict
-duplicates) is advanced to resolution first — its probe's pending queries
-are dispatched out of round-robin turn, in that probe's own order.
-Pulled-forward work is shared work another agent demanded *now*, so
-running it early starves nobody; and because the pull always reaches
-strictly earlier probes, the recursion is well-founded.
+statuses to ``n`` serial ``submit`` calls on the same system — at every
+worker count. The contract is kept by splitting each batch into a
+*parallel execution phase* and a *serial replay phase*:
+
+**What runs concurrently.** Executable queries are partitioned by lenient
+fingerprint (the pull-forward index in ``_BatchRun.groups``). Within one
+group, members must resolve serially-first-wins — the serially-first
+occurrence of each strict fingerprint executes and lands in history, later
+ones answer ``from_history``, and a merely-equivalent earlier query must
+land in lenient history before a later one reads its "similar query
+answered at turn N" pointer. *Distinct groups share no history keys*
+(strict equality implies lenient equality, so all history interaction is
+within a group), which makes their engine work independent. The scheduler
+therefore speculatively executes, on a :class:`ThreadPoolExecutor` of
+``workers`` threads, exactly the engine runs serial dispatch would
+perform: the serially-first occurrence per strict fingerprint not already
+answered by session history, plus every sampled occurrence (sampling
+bypasses history and draws seed-per-turn). Engine runs are pure — results
+depend only on (plan, sample rate, seed, catalog); the shared subplan
+cache is internally locked and only redistributes work, never changes
+rows — so concurrent execution cannot change any answer.
+
+**Where serial order is re-imposed.** After the speculative phase, the
+original serial dispatch loop runs unchanged — round-robin with
+demand-driven pull-forward (before a query resolves, any serially-earlier
+group member is advanced first, in its own probe's order) — except that
+``ProbeOptimizer.run_decision`` consumes the precomputed engine result
+instead of re-executing. All order-sensitive effects happen here, in exact
+serial order: history attribution, ``from_history`` statuses, lenient
+"answered at turn N" pointers, termination-criterion calls (user code,
+invoked exactly as often as serial submission), budget accounting, and
+per-probe outcome order (restored via ``QueryOutcome.query_index``).
+Termination can skip queries the speculative phase already ran; those
+results are discarded — wasted work, never wrong answers — and a query
+whose execution shifted to a different occurrence simply executes inline
+during replay.
+
+``workers=1`` (and any batch with fewer than two independent engine runs)
+skips speculation entirely, preserving today's serial loop exactly.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
 from repro.core.mqo import SharingReport, subplan_census
-from repro.core.optimizer import ProbeOptimizer, original_index
+from repro.core.optimizer import PrecomputedExecution, ProbeOptimizer
 from repro.core.probe import Probe, QueryOutcome
 from repro.core.satisfice import ExecutionDecision
 from repro.engine.result import QueryResult
-from repro.plan.fingerprint import fingerprint
+from repro.plan.fingerprint import fingerprints
+
+#: Environment override for the default worker count — lets CI run the
+#: whole differential suite, unmodified, at several parallelism levels.
+WORKERS_ENV_VAR = "REPRO_SCHEDULER_WORKERS"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count setting (None -> env override or CPU-based)."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env:
+            workers = int(env)
+        else:
+            workers = min(8, os.cpu_count() or 1)
+    return max(1, int(workers))
 
 
 @dataclass
@@ -104,17 +151,36 @@ class _BatchRun:
     #: strict duplication, so this preserves both history attribution and
     #: the "similar query answered at turn N" pointers.
     groups: dict[str, list[tuple[int, int]]]
+    #: Speculatively-executed engine results, keyed by the (probe index,
+    #: decision position) expected to consume each one during replay.
+    precomputed: dict[tuple[int, int], PrecomputedExecution] = field(
+        default_factory=dict
+    )
 
 
 class ProbeScheduler:
-    """Dispatches admission batches of probes with cross-agent sharing."""
+    """Dispatches admission batches of probes with cross-agent sharing.
 
-    def __init__(self, interpreter: ProbeInterpreter, optimizer: ProbeOptimizer) -> None:
+    ``workers`` controls the speculative execution pool: ``None`` resolves
+    to the ``REPRO_SCHEDULER_WORKERS`` environment override, else
+    ``min(8, os.cpu_count())``; ``1`` disables speculation and preserves
+    the serial dispatch loop exactly.
+    """
+
+    def __init__(
+        self,
+        interpreter: ProbeInterpreter,
+        optimizer: ProbeOptimizer,
+        workers: int | None = None,
+    ) -> None:
         self.interpreter = interpreter
         self.optimizer = optimizer
-        #: Batches served and queries dispatched (observability counters).
+        self.workers = resolve_workers(workers)
+        #: Batches served, queries dispatched, and engine runs performed by
+        #: the speculative phase (observability counters).
         self.batches_served = 0
         self.queries_dispatched = 0
+        self.speculative_executions = 0
 
     # -- batch entry point -------------------------------------------------------
 
@@ -137,6 +203,9 @@ class ProbeScheduler:
         cache = self.optimizer.cache  # None when MQO is disabled: no sharing
         counters_before = cache.counters() if cache is not None else (0, 0, 0)
 
+        if self.workers > 1:
+            self._speculate(run)
+
         # Round-robin across probes at query granularity; within a round,
         # over-budget agents go last (admission order breaks ties).
         rounds = max((len(state.decisions) for state in states), default=0)
@@ -154,7 +223,7 @@ class ProbeScheduler:
         self._attach_hints(run)
         for state in states:
             resolved = [outcome for outcome in state.outcomes if outcome is not None]
-            resolved.sort(key=lambda o: original_index(o, state.interpreted))
+            resolved.sort(key=lambda o: o.query_index)
             state.outcomes = resolved
 
         self.batches_served += 1
@@ -167,7 +236,7 @@ class ProbeScheduler:
             for position, decision in enumerate(state.decisions):
                 if decision.action != "execute" or decision.query.plan is None:
                     continue
-                lenient = fingerprint(decision.query.plan, strict=False)
+                lenient = fingerprints(decision.query.plan).lenient
                 lenient_fingerprints[(state.index, position)] = lenient
                 groups.setdefault(lenient, []).append((state.index, position))
         for members in groups.values():
@@ -175,6 +244,64 @@ class ProbeScheduler:
         return _BatchRun(
             states=states, lenient_fingerprints=lenient_fingerprints, groups=groups
         )
+
+    # -- speculative parallel execution ------------------------------------------
+
+    def _speculate(self, run: _BatchRun) -> None:
+        """Run the batch's independent engine work on the worker pool.
+
+        Selects exactly the engine runs serial dispatch would perform —
+        per strict fingerprint, the serially-first executable occurrence
+        not already answered by session history (group members resolve in
+        (probe, position) order, so the claim order below matches serial
+        resolution order); every sampled occurrence runs, since sampling
+        bypasses history and seeds by turn. Results are keyed by the
+        occurrence expected to consume them; termination may strand a few
+        (discarded) or shift execution to a later occurrence (which then
+        executes inline during replay).
+        """
+        optimizer = self.optimizer
+        if optimizer.enable_history:
+            with optimizer._lock:
+                answered = set(optimizer.history)
+        else:
+            answered = set()
+        claimed: set[str] = set()
+        units: list[tuple[int, int]] = []
+        for state in run.states:
+            for position, decision in enumerate(state.decisions):
+                if decision.action != "execute" or decision.query.plan is None:
+                    continue
+                if decision.sample_rate >= 1.0 and optimizer.enable_history:
+                    strict = fingerprints(decision.query.plan).strict
+                    if strict in answered or strict in claimed:
+                        continue  # replay answers this one from history
+                    claimed.add(strict)
+                units.append((state.index, position))
+        if len(units) < 2:
+            return  # nothing to overlap; let the serial loop execute inline
+
+        # A pool per batch: threads never outlive the work they served
+        # (schedulers are as numerous as systems; leaked idle workers
+        # would pile up), and spawn cost is noise next to engine runs.
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(units)),
+            thread_name_prefix="probe-sched",
+        ) as pool:
+            futures = [
+                (
+                    (index, position),
+                    pool.submit(
+                        optimizer.speculative_execute,
+                        run.states[index].decisions[position],
+                        run.states[index].turn,
+                    ),
+                )
+                for index, position in units
+            ]
+            for key, future in futures:
+                run.precomputed[key] = future.result()
+        self.speculative_executions += len(units)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -193,12 +320,16 @@ class ProbeScheduler:
             outcome = QueryOutcome(
                 sql=query.sql,
                 status="terminated",
+                query_index=query.index,
                 reason="termination criterion satisfied by earlier results",
                 estimated_cost=query.estimated_cost,
             )
         else:
             outcome = self.optimizer.run_decision(
-                state.interpreted, decision, state.turn
+                state.interpreted,
+                decision,
+                state.turn,
+                precomputed=run.precomputed.pop((state.index, position), None),
             )
         state.outcomes[position] = outcome
         self.queries_dispatched += 1

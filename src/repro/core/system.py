@@ -59,6 +59,10 @@ class SystemConfig:
     enable_history: bool = True
     #: Cost above which the cost advisor warns even without a brief budget.
     expensive_threshold: float = 50_000.0
+    #: Worker threads for the scheduler's speculative execution pool.
+    #: ``None`` -> the ``REPRO_SCHEDULER_WORKERS`` env override, else
+    #: ``min(8, os.cpu_count())``; ``1`` keeps dispatch fully serial.
+    workers: int | None = None
 
 
 class AgentFirstDataSystem:
@@ -69,9 +73,13 @@ class AgentFirstDataSystem:
         db: Database,
         memory: AgenticMemoryStore | None = None,
         config: SystemConfig | None = None,
+        workers: int | None = None,
     ) -> None:
         self.db = db
         self.config = config or SystemConfig()
+        # The override must not write through to the caller's (possibly
+        # shared) SystemConfig object.
+        scheduler_workers = workers if workers is not None else self.config.workers
         self.memory = memory or AgenticMemoryStore()
         if self.config.enable_memory:
             self.memory.attach(db)
@@ -89,7 +97,9 @@ class AgentFirstDataSystem:
         self.join_discovery = JoinDiscovery(db)
         self.cost_advisor = CostAdvisor(db, self.config.expensive_threshold)
         self.scheduler = ProbeScheduler(
-            interpreter=self.interpreter, optimizer=self.optimizer
+            interpreter=self.interpreter,
+            optimizer=self.optimizer,
+            workers=scheduler_workers,
         )
         self.turn = 0
         db.on_change(self._on_change)
@@ -106,11 +116,14 @@ class AgentFirstDataSystem:
     def submit_many(self, probes: Sequence[Probe]) -> list[ProbeResponse]:
         """Answer an admission batch of probes from concurrent agents.
 
-        All probes are interpreted up front; the scheduler dispatches their
-        queries round-robin across agents through one batch-shared subplan
-        cache, so every duplicated subtree materialises once. Per-query
-        rows and statuses are byte-identical to submitting the probes
-        serially; the engine work is not — duplicated work collapses.
+        All probes are interpreted up front; the scheduler runs the batch's
+        independent engine work concurrently on its worker pool, then
+        replays dispatch round-robin across agents through one
+        batch-shared subplan cache, so every duplicated subtree
+        materialises once. Per-query rows and statuses are byte-identical
+        to submitting the probes serially — at any worker count; the
+        engine work is not — duplicated work collapses, and independent
+        work overlaps in wall-clock.
         """
         if not probes:
             return []

@@ -28,7 +28,7 @@ from repro.engine.expressions import SubqueryRunner, compile_expr
 from repro.engine.result import ExecStats, QueryResult
 from repro.errors import ExecutionError
 from repro.plan import logical
-from repro.plan.fingerprint import fingerprint
+from repro.plan.fingerprint import fingerprints
 from repro.sql import nodes
 from repro.storage.catalog import Catalog
 from repro.storage.types import Row, Value, compare_values
@@ -48,6 +48,12 @@ class SubplanCache:
 
     Eviction is true LRU: a ``get`` refreshes the entry's recency, so a
     hot subplan survives pressure from a stream of cold inserts.
+
+    Lock discipline: every accessor — including ``__len__`` and the
+    counter snapshot — takes ``_lock`` before touching ``_entries`` or the
+    hit/miss/eviction counters; nothing reads shared state unlocked. New
+    accessors must follow suit, and must not call other locked methods
+    while holding the lock (it is not reentrant).
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -93,7 +99,8 @@ class SubplanCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 @dataclass
@@ -145,18 +152,16 @@ class Executor(SubqueryRunner):
         self.context.stats.operators_executed += 1
         cache = self.context.cache
         cache_key: tuple | None = None
-        if cache is not None and node.node_count() >= self.context.min_cacheable_size:
-            rate = self.context.sample_rate
-            if rate >= 1.0:
-                cache_key = (fingerprint(node, strict=True), rate)
-            else:
-                # Sampled rows depend on the seed: keying on it keeps a
-                # cached sample from aliasing a different execution's draw.
-                cache_key = (
-                    fingerprint(node, strict=True),
-                    rate,
-                    self.context.sample_seed,
-                )
+        if cache is not None:
+            digests = fingerprints(node)
+            if digests.size >= self.context.min_cacheable_size:
+                rate = self.context.sample_rate
+                if rate >= 1.0:
+                    cache_key = (digests.strict, rate)
+                else:
+                    # Sampled rows depend on the seed: keying on it keeps a
+                    # cached sample from aliasing a different execution's draw.
+                    cache_key = (digests.strict, rate, self.context.sample_seed)
             cached = cache.get(cache_key)
             if cached is not None:
                 self.context.stats.cache_hits += 1

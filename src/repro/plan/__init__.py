@@ -2,7 +2,14 @@
 
 from repro.plan.builder import build_plan
 from repro.plan.cost import CostEstimate, estimate_cost
-from repro.plan.fingerprint import fingerprint, subexpressions
+from repro.plan.fingerprint import (
+    FINGERPRINT_STATS,
+    NodeFingerprints,
+    fingerprint,
+    fingerprint_uncached,
+    fingerprints,
+    subexpressions,
+)
 from repro.plan.logical import (
     Aggregate,
     Distinct,
@@ -24,6 +31,8 @@ from repro.plan.rules import optimize_plan
 __all__ = [
     "Aggregate",
     "CostEstimate",
+    "FINGERPRINT_STATS",
+    "NodeFingerprints",
     "Distinct",
     "Filter",
     "HashJoin",
@@ -39,6 +48,8 @@ __all__ = [
     "build_plan",
     "estimate_cost",
     "fingerprint",
+    "fingerprint_uncached",
+    "fingerprints",
     "optimize_plan",
     "root_operator_code",
     "subexpressions",

@@ -18,6 +18,25 @@ Canonicalisation performed:
   (``=``, ``<>``, ``+``, ``*``) order operands canonically;
 * projection output order is ignored (sorted), since a permutation of
   columns is the same work.
+
+Memoization
+-----------
+
+The serving path fingerprints the *same* plan many times: the executor
+keys its cache by the strict fingerprint of every node it materialises,
+the probe optimizer needs strict+lenient digests per executed query, and
+the scheduler/census walk whole batches of plans. Recomputing the binding
+map and re-canonicalising the full subtree on every call is O(depth²) per
+plan. Instead, :func:`fingerprints` computes strict and lenient digests
+(and the subtree size) for **all** subtrees in one bottom-up pass and
+caches them on each (immutable-after-optimize) :class:`PlanNode`, so every
+later call — on the root or any descendant — is a dict lookup.
+
+The bottom-up pass is byte-identical to the per-call path whenever no
+binding name is shadowed (two scans/aliases mapping one name to different
+relations), which a pre-pass verifies; the rare shadowed plan falls back
+to the original per-call computation (kept as :func:`fingerprint_uncached`,
+which also serves as the differential baseline in tests and benchmarks).
 """
 
 from __future__ import annotations
@@ -30,6 +49,62 @@ from repro.util.hashing import stable_hash
 
 _COMMUTATIVE_OPS = frozenset({"=", "<>", "+", "*"})
 
+#: Attribute name under which per-node digests are cached. Set with
+#: ``object.__setattr__`` (the nodes are frozen dataclasses); the cached
+#: value is content-derived, so sharing a subtree between plans is safe.
+_MEMO_ATTR = "_fingerprint_memo"
+
+
+@dataclass(frozen=True)
+class NodeFingerprints:
+    """Both digests (and the subtree size) of one plan node."""
+
+    lenient: str
+    strict: str
+    size: int
+
+
+@dataclass
+class FingerprintStats:
+    """Observability counters for the memoization layer.
+
+    ``nodes_canonicalised`` counts individual node canonicalisations (the
+    unit of work memoization removes); the scheduler benchmark differences
+    it to demonstrate the reduction. Counters are advisory: updates are
+    not synchronised, so under free-threaded builds they may undercount.
+    """
+
+    calls: int = 0
+    memo_hits: int = 0
+    trees_memoized: int = 0
+    shadowed_fallbacks: int = 0
+    nodes_canonicalised: int = 0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.memo_hits = 0
+        self.trees_memoized = 0
+        self.shadowed_fallbacks = 0
+        self.nodes_canonicalised = 0
+
+
+FINGERPRINT_STATS = FingerprintStats()
+
+
+def fingerprints(plan: logical.PlanNode) -> NodeFingerprints:
+    """Strict + lenient digests (and size) of ``plan``, memoized.
+
+    The first call on any node of a tree runs one bottom-up pass over that
+    node's subtree and caches a :class:`NodeFingerprints` on every node it
+    visits; subsequent calls — including on descendants — are lookups.
+    """
+    FINGERPRINT_STATS.calls += 1
+    memo = plan.__dict__.get(_MEMO_ATTR)
+    if memo is not None:
+        FINGERPRINT_STATS.memo_hits += 1
+        return memo[0]
+    return _memoize_tree(plan)[0]
+
 
 def fingerprint(plan: logical.PlanNode, strict: bool = False) -> str:
     """Canonical fingerprint of ``plan`` (40-char hex).
@@ -41,8 +116,19 @@ def fingerprint(plan: logical.PlanNode, strict: bool = False) -> str:
     order are preserved, so equal fingerprints imply byte-identical result
     rows.
     """
-    binding_map = _binding_map(plan)
-    return stable_hash(_canonical(plan, binding_map, strict))
+    memoized = fingerprints(plan)
+    return memoized.strict if strict else memoized.lenient
+
+
+def fingerprint_uncached(plan: logical.PlanNode, strict: bool = False) -> str:
+    """The per-call (non-memoized) fingerprint: rebuilds the binding map
+    and re-canonicalises the whole subtree.
+
+    Kept as the differential baseline for the memoization layer and as the
+    fallback for binding-shadowed plans; produces identical digests to
+    :func:`fingerprint` by construction.
+    """
+    return stable_hash(_canonical(plan, _binding_map(plan), strict))
 
 
 @dataclass(frozen=True)
@@ -56,6 +142,28 @@ class SubExpression:
 
 def subexpressions(plan: logical.PlanNode) -> list[SubExpression]:
     """Every subtree of ``plan`` with its fingerprint, size, and root code."""
+    memo = plan.__dict__.get(_MEMO_ATTR)
+    if memo is None:
+        memo = _memoize_tree(plan)
+    if memo[1] is None:
+        # Shadowed bindings: per-subtree maps diverge from the root's, so
+        # keep the original one-map-for-all-subtrees semantics.
+        return _subexpressions_uncached(plan)
+    out: list[SubExpression] = []
+    for node in plan.walk():
+        cached: NodeFingerprints = node.__dict__[_MEMO_ATTR][0]
+        out.append(
+            SubExpression(
+                fingerprint=cached.lenient,
+                size=cached.size,
+                root_code=logical.root_operator_code(node),
+            )
+        )
+    return out
+
+
+def _subexpressions_uncached(plan: logical.PlanNode) -> list[SubExpression]:
+    """Pre-memoization enumeration: one root binding map for all subtrees."""
     binding_map = _binding_map(plan)
     out: list[SubExpression] = []
     for node in plan.walk():
@@ -67,6 +175,93 @@ def subexpressions(plan: logical.PlanNode) -> list[SubExpression]:
             )
         )
     return out
+
+
+# ---------------------------------------------------------------------------
+# memoization pass
+# ---------------------------------------------------------------------------
+
+
+def _memoize_tree(root: logical.PlanNode) -> tuple:
+    """Memoize every node of ``root``'s tree; return the root's memo.
+
+    A memo is ``(NodeFingerprints, lenient_tuple, strict_tuple)``. The
+    canonical tuples are kept so parents can embed them without
+    re-canonicalising; fallback memos (shadowed bindings) carry ``None``
+    tuples, which also marks that descendants were *not* memoized.
+    """
+    bindings: dict[str, str] = {}
+    if _collect_bindings(root, bindings):
+        memo = _memoize_consistent(root, bindings)
+    else:
+        # A binding name maps to two different relations somewhere in this
+        # tree: subtree-local maps diverge, so only the root digest (always
+        # computed against its own map) can be cached safely.
+        FINGERPRINT_STATS.shadowed_fallbacks += 1
+        root_map = _binding_map(root)
+        lenient_tuple = _canonical(root, root_map, False)
+        strict_tuple = _canonical(root, root_map, True)
+        memo = (
+            NodeFingerprints(
+                lenient=stable_hash(lenient_tuple),
+                strict=stable_hash(strict_tuple),
+                size=root.node_count(),
+            ),
+            None,
+            None,
+        )
+        object.__setattr__(root, _MEMO_ATTR, memo)
+    FINGERPRINT_STATS.trees_memoized += 1
+    return memo
+
+
+def _collect_bindings(root: logical.PlanNode, out: dict[str, str]) -> bool:
+    """Build the root binding map; False when a name is shadowed."""
+    consistent = True
+    for node in root.walk():
+        if isinstance(node, (logical.Scan, logical.IndexScan)):
+            name, target = node.binding.lower(), node.table.lower()
+        elif isinstance(node, logical.SubqueryScan):
+            name = node.alias.lower()
+            target = name
+        else:
+            continue
+        existing = out.get(name)
+        if existing is None:
+            out[name] = target
+        elif existing != target:
+            consistent = False
+    return consistent
+
+
+def _memoize_consistent(node: logical.PlanNode, bindings: dict[str, str]) -> tuple:
+    """Bottom-up memoization under a shadow-free binding map.
+
+    With no shadowing, each subtree's own binding map agrees with the
+    root's on every name the subtree can reference, so child canonical
+    tuples computed here are exactly what ``fingerprint_uncached`` would
+    produce for the child — parents embed them directly instead of
+    re-canonicalising the whole subtree per level.
+    """
+    memo = node.__dict__.get(_MEMO_ATTR)
+    if memo is not None and memo[1] is not None:
+        return memo
+    child_memos = [_memoize_consistent(child, bindings) for child in node.children()]
+    child_lenient = tuple(child[1] for child in child_memos)
+    child_strict = tuple(child[2] for child in child_memos)
+    lenient_tuple = _canonical_node(node, bindings, False, child_lenient)
+    strict_tuple = _canonical_node(node, bindings, True, child_strict)
+    memo = (
+        NodeFingerprints(
+            lenient=stable_hash(lenient_tuple),
+            strict=stable_hash(strict_tuple),
+            size=1 + sum(child[0].size for child in child_memos),
+        ),
+        lenient_tuple,
+        strict_tuple,
+    )
+    object.__setattr__(node, _MEMO_ATTR, memo)
+    return memo
 
 
 # ---------------------------------------------------------------------------
@@ -86,6 +281,26 @@ def _binding_map(plan: logical.PlanNode) -> dict[str, str]:
 
 
 def _canonical(node: logical.PlanNode, bindings: dict[str, str], strict: bool) -> tuple:
+    """Per-call canonicalisation: recurses over children itself."""
+    child_tuples = tuple(
+        _canonical(child, bindings, strict) for child in node.children()
+    )
+    return _canonical_node(node, bindings, strict, child_tuples)
+
+
+def _canonical_node(
+    node: logical.PlanNode,
+    bindings: dict[str, str],
+    strict: bool,
+    child_tuples: tuple[tuple, ...],
+) -> tuple:
+    """Canonical tuple of one node given its children's canonical tuples.
+
+    ``child_tuples`` is parallel to ``node.children()``; both the per-call
+    path and the memoized bottom-up pass funnel through here, so their
+    tuples (and therefore digests) are identical by construction.
+    """
+    FINGERPRINT_STATS.nodes_canonicalised += 1
     if isinstance(node, logical.Scan):
         columns = [c.lower() for c in node.columns]
         if not strict:
@@ -110,21 +325,20 @@ def _canonical(node: logical.PlanNode, bindings: dict[str, str], strict: bool) -
     if isinstance(node, logical.OneRow):
         return ("onerow",)
     if isinstance(node, logical.SubqueryScan):
-        return ("subquery", node.alias.lower(), _canonical(node.child, bindings, strict))
+        return ("subquery", node.alias.lower(), child_tuples[0])
     if isinstance(node, logical.Filter):
         return (
             "filter",
             _canonical_predicate(node.predicate, bindings, node.child),
-            _canonical(node.child, bindings, strict),
+            child_tuples[0],
         )
     if isinstance(node, logical.Project):
         exprs = [_canonical_expr(expr, bindings, node.child) for expr in node.exprs]
         if not strict:
             exprs = sorted(exprs)
-        return ("project", tuple(exprs), _canonical(node.child, bindings, strict))
+        return ("project", tuple(exprs), child_tuples[0])
     if isinstance(node, logical.HashJoin):
-        left = _canonical(node.left, bindings, strict)
-        right = _canonical(node.right, bindings, strict)
+        left, right = child_tuples
         pairs = []
         for l, r in zip(node.left_keys, node.right_keys):
             pairs.append(
@@ -152,8 +366,7 @@ def _canonical(node: logical.PlanNode, bindings: dict[str, str], strict: bool) -
             if node.condition is None
             else _canonical_predicate(node.condition, bindings, node)
         )
-        left = _canonical(node.left, bindings, strict)
-        right = _canonical(node.right, bindings, strict)
+        left, right = child_tuples
         if node.kind in ("INNER", "CROSS") and not strict:
             first, second = sorted([left, right])
             return ("nljoin", node.kind, first, second, condition)
@@ -168,18 +381,18 @@ def _canonical(node: logical.PlanNode, bindings: dict[str, str], strict: bool) -
             "aggregate",
             tuple(group_list),
             tuple(agg_list),
-            _canonical(node.child, bindings, strict),
+            child_tuples[0],
         )
     if isinstance(node, logical.Sort):
         keys = tuple(
             (_canonical_expr(expr, bindings, node.child), asc)
             for expr, asc in node.keys
         )
-        return ("sort", keys, _canonical(node.child, bindings, strict))
+        return ("sort", keys, child_tuples[0])
     if isinstance(node, logical.Limit):
-        return ("limit", node.limit, node.offset, _canonical(node.child, bindings, strict))
+        return ("limit", node.limit, node.offset, child_tuples[0])
     if isinstance(node, logical.Distinct):
-        return ("distinct", _canonical(node.child, bindings, strict))
+        return ("distinct", child_tuples[0])
     raise TypeError(f"cannot canonicalise plan node {type(node).__name__}")
 
 

@@ -55,6 +55,18 @@ class PlanNode:
     def node_count(self) -> int:
         return sum(1 for _ in self.walk())
 
+    def fingerprints(self):
+        """Strict + lenient digests (and subtree size) of this node.
+
+        Plans are immutable after optimization, so the digests are computed
+        once for the whole tree (one bottom-up pass, memoized per node by
+        :func:`repro.plan.fingerprint.fingerprints`) and every later call
+        is a cached lookup.
+        """
+        from repro.plan.fingerprint import fingerprints
+
+        return fingerprints(self)
+
     def describe(self, indent: int = 0) -> str:
         """Readable EXPLAIN-style rendering."""
         line = "  " * indent + self._describe_line()

@@ -1,0 +1,163 @@
+"""Memoized fingerprints must be byte-identical to the per-call path.
+
+The one-pass bottom-up memoization in :mod:`repro.plan.fingerprint` is a
+pure performance layer: for every subtree of every plan, both digests
+(strict and lenient) and the enumeration used by Figure 2's census must
+equal what the original per-call computation produces — including for
+plans with shadowed binding names, where the memoizer must fall back.
+"""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.plan.fingerprint import (
+    FINGERPRINT_STATS,
+    _subexpressions_uncached,
+    fingerprint,
+    fingerprint_uncached,
+    fingerprints,
+    subexpressions,
+)
+
+#: A corpus exercising every operator the canonicaliser handles: scans,
+#: filters, projections, hash and nested-loop joins, aggregation, sorting,
+#: limits, DISTINCT, subquery scans, IN lists, CASE, and equivalence pairs
+#: (alias erasure, commuted operands, permuted projections).
+CORPUS = [
+    "SELECT city FROM stores",
+    "SELECT city, state FROM stores",
+    "SELECT state, city FROM stores",
+    "SELECT * FROM stores WHERE state = 'California' AND id > 1",
+    "SELECT * FROM stores WHERE id > 1 AND 'California' = state",
+    "SELECT COUNT(*) FROM sales WHERE store_id = 2",
+    "SELECT COUNT(*), SUM(amount) FROM sales WHERE amount > 10.0",
+    "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+    " ON s.id = x.store_id GROUP BY s.city",
+    "SELECT st.city, SUM(sa.amount) FROM stores st JOIN sales sa"
+    " ON st.id = sa.store_id GROUP BY st.city",
+    "SELECT DISTINCT product FROM sales",
+    "SELECT product, AVG(amount) FROM sales GROUP BY product"
+    " ORDER BY product DESC LIMIT 2",
+    "SELECT city FROM stores WHERE id IN (1, 2, 3) OR state = 'Texas'",
+    "SELECT CASE WHEN amount > 20 THEN 'big' ELSE 'small' END FROM sales",
+    "SELECT t.id FROM (SELECT id, amount FROM sales WHERE amount > 1.0) t"
+    " WHERE t.amount < 50.0",
+    "SELECT s.city, x.product FROM stores s JOIN sales x ON s.id < x.id",
+]
+
+
+def build_db() -> Database:
+    db = Database("fp-memo")
+    db.execute("CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)")
+    db.execute(
+        "CREATE TABLE sales (id INT, store_id INT, product TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'),(3,'Seattle','Washington')"
+    )
+    db.insert_rows(
+        "sales",
+        [(i, 1 + i % 3, "coffee" if i % 2 else "tea", float(i % 9)) for i in range(40)],
+    )
+    return db
+
+
+class TestMemoizedDigestsMatchUncached:
+    def test_every_subtree_both_strictness_levels(self):
+        db = build_db()
+        for sql in CORPUS:
+            memoized_plan = db.plan_select(sql)
+            fresh_plan = db.plan_select(sql)  # never memoized as a tree
+            for memo_node, fresh_node in zip(
+                memoized_plan.walk(), fresh_plan.walk()
+            ):
+                for strict in (False, True):
+                    assert fingerprint(memo_node, strict=strict) == (
+                        fingerprint_uncached(fresh_node, strict=strict)
+                    ), (sql, type(memo_node).__name__, strict)
+
+    def test_subexpression_enumeration_matches_legacy(self):
+        db = build_db()
+        for sql in CORPUS:
+            plan = db.plan_select(sql)
+            legacy = _subexpressions_uncached(db.plan_select(sql))
+            memoized = subexpressions(plan)
+            assert [
+                (s.fingerprint, s.size, s.root_code) for s in memoized
+            ] == [(s.fingerprint, s.size, s.root_code) for s in legacy], sql
+
+    def test_size_matches_node_count(self):
+        db = build_db()
+        for sql in CORPUS:
+            plan = db.plan_select(sql)
+            for node in plan.walk():
+                assert fingerprints(node).size == node.node_count()
+
+    def test_accessor_on_plan_node(self):
+        db = build_db()
+        plan = db.plan_select(CORPUS[7])
+        assert plan.fingerprints() is fingerprints(plan)
+
+    def test_equivalence_pairs_still_collapse(self):
+        """Memoization must not weaken the canonicalisation itself."""
+        db = build_db()
+        permuted_a = db.plan_select("SELECT city, state FROM stores")
+        permuted_b = db.plan_select("SELECT state, city FROM stores")
+        assert fingerprint(permuted_a) == fingerprint(permuted_b)
+        assert fingerprint(permuted_a, strict=True) != fingerprint(
+            permuted_b, strict=True
+        )
+        aliased_a = db.plan_select(
+            "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+            " ON s.id = x.store_id GROUP BY s.city"
+        )
+        aliased_b = db.plan_select(
+            "SELECT st.city, SUM(sa.amount) FROM stores st JOIN sales sa"
+            " ON st.id = sa.store_id GROUP BY st.city"
+        )
+        assert fingerprint(aliased_a) == fingerprint(aliased_b)
+
+
+class TestMemoizationMechanics:
+    def test_one_pass_then_lookups(self):
+        db = build_db()
+        plan = db.plan_select(CORPUS[7])
+        FINGERPRINT_STATS.reset()
+        fingerprint(plan, strict=True)
+        after_first = FINGERPRINT_STATS.nodes_canonicalised
+        assert after_first > 0
+        # Every further call — root or descendant, either strictness — is
+        # a cached lookup: no node is ever canonicalised again.
+        for node in plan.walk():
+            fingerprint(node, strict=False)
+            fingerprint(node, strict=True)
+        assert FINGERPRINT_STATS.nodes_canonicalised == after_first
+        assert FINGERPRINT_STATS.memo_hits > 0
+
+    def test_shared_subtrees_memoize_once_per_object(self):
+        db = build_db()
+        plan = db.plan_select(CORPUS[7])
+        fingerprint(plan)
+        FINGERPRINT_STATS.reset()
+        fingerprints(plan.children()[0])  # descendant: already memoized
+        assert FINGERPRINT_STATS.nodes_canonicalised == 0
+
+    def test_shadowed_alias_falls_back_to_uncached_path(self):
+        """A subquery alias that shadows an inner binding makes subtree
+        binding maps diverge; the memoizer must detect it and still return
+        the per-call digests."""
+        db = build_db()
+        sql = "SELECT t.id FROM (SELECT id FROM sales t) t WHERE t.id > 1"
+        before = FINGERPRINT_STATS.shadowed_fallbacks
+        plan = db.plan_select(sql)
+        fresh = db.plan_select(sql)
+        assert fingerprint(plan) == fingerprint_uncached(fresh)
+        assert fingerprint(plan, strict=True) == fingerprint_uncached(
+            fresh, strict=True
+        )
+        assert FINGERPRINT_STATS.shadowed_fallbacks > before
+        legacy = _subexpressions_uncached(db.plan_select(sql))
+        assert [
+            (s.fingerprint, s.size) for s in subexpressions(plan)
+        ] == [(s.fingerprint, s.size) for s in legacy]

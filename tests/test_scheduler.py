@@ -311,6 +311,205 @@ class TestDifferentialEquivalence:
         assert AgentFirstDataSystem(build_db()).submit_many([]) == []
 
 
+class TestWorkerDifferential:
+    """The parallel dispatch path must be byte-identical to serial
+    submission at every worker count — speculation may only move engine
+    work earlier, never change an answer, a status, or an attribution."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_exact_overlapping(self, workers):
+        probes = overlapping_probes(8)
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        batch_responses = AgentFirstDataSystem(
+            build_db(), workers=workers
+        ).submit_many(probes)
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_sampled_exploration(self, workers):
+        probes = [
+            Probe(
+                queries=(
+                    "SELECT COUNT(*) FROM sales WHERE amount > 5.0",
+                    "SELECT product FROM sales WHERE amount > 5.0",
+                ),
+                brief=Brief(accuracy=0.3),
+                agent_id=f"explorer-{i}",
+            )
+            for i in range(4)
+        ]
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        batch_responses = AgentFirstDataSystem(
+            build_db(), workers=workers
+        ).submit_many(probes)
+        assert any(
+            o.status == "approximate"
+            for r in batch_responses
+            for o in r.outcomes
+        )
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_mqo_disabled(self, workers):
+        probes = overlapping_probes(4)
+        config = SystemConfig(enable_mqo=False)
+        serial_system = AgentFirstDataSystem(build_db(), config=config)
+        serial_responses = [serial_system.submit(p) for p in probes]
+        batch_responses = AgentFirstDataSystem(
+            build_db(), config=SystemConfig(enable_mqo=False), workers=workers
+        ).submit_many(probes)
+        assert_same_outcomes(serial_responses, batch_responses)
+        # Without a cache the engine work is deterministic per query, so
+        # even the speculative path must account identical row totals.
+        assert sum(r.rows_processed for r in batch_responses) == sum(
+            r.rows_processed for r in serial_responses
+        )
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_termination_discards_speculative_work(self, workers):
+        """Speculation may run queries that termination then skips; the
+        results must be discarded, and criterion call counts must still
+        match serial submission exactly."""
+
+        class Counting:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, results):
+                self.calls += 1
+                return self.calls >= 2
+
+        def make_probes(criteria):
+            return [
+                Probe(
+                    queries=(
+                        "SELECT COUNT(*) FROM sales WHERE product = 'coffee'",
+                        "SELECT COUNT(*) FROM sales WHERE product = 'tea'",
+                        "SELECT COUNT(*) FROM stores",
+                    ),
+                    termination=criterion,
+                    agent_id=f"agent-{i}",
+                )
+                for i, criterion in enumerate(criteria)
+            ]
+
+        serial_criteria = [Counting() for _ in range(3)]
+        batch_criteria = [Counting() for _ in range(3)]
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [
+            serial_system.submit(p) for p in make_probes(serial_criteria)
+        ]
+        batch_responses = AgentFirstDataSystem(
+            build_db(), workers=workers
+        ).submit_many(make_probes(batch_criteria))
+        assert_same_outcomes(serial_responses, batch_responses)
+        assert [c.calls for c in serial_criteria] == [
+            c.calls for c in batch_criteria
+        ]
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_pull_forward_attribution_survives_speculation(self, workers):
+        duplicate = "SELECT COUNT(*) FROM sales WHERE product = 'coffee'"
+        first = Probe(
+            queries=("SELECT COUNT(*) FROM stores", duplicate),
+            brief=Brief(priorities={0: 5.0, 1: 1.0}),
+            agent_id="alice",
+        )
+        second = Probe(queries=(duplicate,), agent_id="bob")
+        batch_responses = AgentFirstDataSystem(
+            build_db(), workers=workers
+        ).submit_many([first, second])
+        assert batch_responses[0].outcomes[1].status == "ok"
+        assert batch_responses[1].outcomes[0].status == "from_history"
+        assert "alice" in batch_responses[1].outcomes[0].reason
+
+    def test_speculation_runs_only_independent_units(self):
+        """One engine run per distinct strict fingerprint; a repeat batch
+        is answered entirely by history, so nothing speculates."""
+        system = AgentFirstDataSystem(build_db(), workers=4)
+        system.submit_many(overlapping_probes(6))
+        # The shared join plus the two distinct filters (store_id 1 / 2).
+        assert system.scheduler.speculative_executions == 3
+        system.submit_many(overlapping_probes(6))
+        assert system.scheduler.speculative_executions == 3
+
+    def test_workers_one_never_speculates(self):
+        system = AgentFirstDataSystem(build_db(), workers=1)
+        system.submit_many(overlapping_probes(6))
+        assert system.scheduler.speculative_executions == 0
+
+    def test_workers_override_does_not_mutate_shared_config(self):
+        config = SystemConfig()
+        system = AgentFirstDataSystem(build_db(), config=config, workers=1)
+        assert system.scheduler.workers == 1
+        assert config.workers is None  # caller's object left untouched
+
+
+class TestThreadedOptimizerState:
+    """ProbeOptimizer owns session-shared history; with the scheduler's
+    worker pool (and any concurrent serving threads) in play, its state
+    must stay consistent under concurrent ``run_decision`` calls."""
+
+    def test_concurrent_run_decision_keeps_history_consistent(self):
+        from repro.plan.fingerprint import fingerprints
+
+        system = AgentFirstDataSystem(build_db())
+        optimizer = system.optimizer
+        probe = Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales",
+                "SELECT COUNT(*) FROM stores",
+                "SELECT city, state FROM stores",
+                "SELECT state, city FROM stores",
+                "SELECT COUNT(*) FROM sales WHERE product = 'coffee'",
+            ),
+            brief=Brief(goal="compute the exact answer"),
+        )
+        interpreted = system.interpreter.interpret(probe)
+        decisions = optimizer.satisficer.decide(interpreted)
+        failures: list[Exception] = []
+
+        def hammer(thread_index: int) -> None:
+            try:
+                for i in range(40):
+                    for decision in decisions:
+                        outcome = optimizer.run_decision(
+                            interpreted, decision, 1 + thread_index * 1000 + i
+                        )
+                        assert outcome.status in ("ok", "from_history")
+                        assert outcome.result is not None
+            except Exception as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        strict_fps = {
+            fingerprints(d.query.plan).strict
+            for d in decisions
+            if d.query.plan is not None
+        }
+        lenient_fps = {
+            fingerprints(d.query.plan).lenient
+            for d in decisions
+            if d.query.plan is not None
+        }
+        # Exactly one entry per distinct fingerprint, each internally
+        # consistent — no torn writes, no lost keys, no phantom entries.
+        assert set(optimizer.history) == strict_fps
+        assert set(optimizer.lenient_history) == lenient_fps
+        for lenient, entry in optimizer.lenient_history.items():
+            assert entry.lenient_fingerprint == lenient
+            assert entry.result is not None
+
+
 class TestSharedWork:
     def test_batch_processes_fewer_rows_than_independent_agents(self):
         probes = overlapping_probes(8)
