@@ -4,11 +4,14 @@ Builds a small database, wraps it in an :class:`AgentFirstDataSystem`, and
 submits probes the way an LLM agent would: SQL plus a natural-language
 brief. The system answers, steers (why-not provenance, join discovery,
 history pointers), remembers grounding — and serves whole swarms of
-concurrent agents in one ``submit_many`` admission batch, sharing
-duplicated work across them.
+concurrent agents: hand a batch to ``submit_many``, or just open sessions
+and stream probes in; the gateway's admission loop forms the batches and
+shares duplicated work across agents that never coordinated.
 
 Run:  python examples/quickstart.py
 """
+
+import asyncio
 
 from repro.core import AgentFirstDataSystem, Brief, Probe
 from repro.db import Database
@@ -108,7 +111,64 @@ def main() -> None:
         if "other agent" in hint:
             print("steering:", hint)
 
-    # 5. What the system has learned along the way.
+    # 5. A *streaming* swarm: the batch as an emergent property. Each
+    #    agent opens a session (sticky identity + brief defaults — no
+    #    per-probe agent_id/principal plumbing) and submits independently;
+    #    session.submit returns a ProbeTicket immediately, and the
+    #    gateway's admission loop coalesces whatever is in flight across
+    #    sessions into admission windows (close at max_batch pending or
+    #    max_wait elapsed, both on SystemConfig). Window boundaries never
+    #    change an answer — only how much work gets shared when.
+    print("\n== streaming swarm: sessions + tickets ==")
+    sessions = [
+        system.session(
+            agent_id=f"stream-agent-{agent}",
+            defaults=Brief(goal="compute the exact revenue per city"),
+        )
+        for agent in range(6)
+    ]
+    tickets = [
+        session.submit(
+            Probe(
+                queries=(
+                    "SELECT s.city, SUM(x.amount) FROM stores s"
+                    " JOIN sales x ON s.id = x.store_id GROUP BY s.city",
+                ),
+            )
+        )
+        for session in sessions
+    ]
+    print("tickets issued:", len(tickets), "| done yet?", tickets[-1].done())
+    system.gateway.flush()  # optional: close the window now, skip the timer
+    for ticket in tickets:
+        ticket.result(timeout=30.0)
+    print("answer:", tickets[0].result().first_result().to_text().splitlines()[0])
+    print(sessions[0].describe())
+    print("gateway:", system.gateway.stats()["windows_streamed"], "window(s) formed")
+
+    # 6. The same loop, from asyncio: `await session.asubmit(probe)` and
+    #    `async for response in gateway.serve(aiter_of_probes)`.
+    async def async_swarm() -> None:
+        session = system.session(agent_id="async-agent")
+        response = await session.asubmit(
+            Probe.sql("SELECT COUNT(*) FROM sales", goal="exact count")
+        )
+        print("asubmit:", response.first_result().first_value(), "sales rows")
+
+        async def arrivals():
+            for store in (1, 2, 3):
+                yield Probe.sql(f"SELECT COUNT(*) FROM sales WHERE store_id = {store}")
+
+        counts = [
+            response.first_result().first_value()
+            async for response in system.gateway.serve(arrivals(), session=session)
+        ]
+        print("streamed counts per store:", counts)
+
+    print("\n== asyncio surface ==")
+    asyncio.run(async_swarm())
+
+    # 7. What the system has learned along the way.
     print("\n== agentic memory ==")
     for artifact in system.memory.artifacts_about("stores"):
         print(artifact.describe())

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.agents.grounding import Grounding
 from repro.agents.model import ModelProfile
+from repro.core.probe import Probe
 from repro.util.rng import RngStream
 from repro.workloads.bird import BirdTask, FilterSpec, TaskSpec
 
@@ -34,6 +35,14 @@ class Attempt:
     @property
     def intended_correct(self) -> bool:
         return not self.mistakes
+
+    def probe(self) -> Probe:
+        """This attempt as a one-query probe, ready for session streaming.
+
+        Identity (agent id, principal, brief) is deliberately left to the
+        submitting :class:`~repro.core.gateway.AgentSession` defaults.
+        """
+        return Probe(queries=(self.sql,))
 
 
 class AttemptGenerator:

@@ -371,14 +371,15 @@ def run_federated_cohort(
 ) -> tuple[list[FederatedOutcome], AgentFirstDataSystem]:
     """A swarm of field agents on one federated task, served in lockstep.
 
-    Each step, every still-running agent advances once; the agents whose
-    policy chose a full attempt this step have their relational queries
-    collected and served as *one admission batch* through
-    ``AgentFirstDataSystem.submit_many`` over the relational backend's
-    database — identical full-attempt SQL across the swarm (the common
-    case: every agent scans the same fact table) executes once and is
-    shared. Document-side queries stay per-agent: the document store has
-    no shared-work engine to route through.
+    Each agent holds its own session on the relational backend's serving
+    system. Each step, every still-running agent advances once; the agents
+    whose policy chose a full attempt this step *stream* their relational
+    queries through their sessions, and the gateway's admission loop
+    coalesces the uncoordinated submissions into admission windows —
+    identical full-attempt SQL across the swarm (the common case: every
+    agent scans the same fact table) executes once and is shared, with no
+    caller assembling a batch. Document-side queries stay per-agent: the
+    document store has no shared-work engine to route through.
 
     Returns the per-agent outcomes plus the serving system, whose
     responses' :class:`~repro.core.mqo.SharingReport` quantifies the
@@ -392,23 +393,27 @@ def run_federated_cohort(
         )
         for index in range(n_agents)
     ]
+    sessions = [
+        system.session(agent_id=f"field-{index}") for index in range(n_agents)
+    ]
     running = [True] * n_agents
     for step in range(max_steps):
-        pending: list[tuple[int, str, str]] = []
+        pending: list[tuple[int, str, str, "object"]] = []
         for index, agent in enumerate(agents):
             if not running[index]:
                 continue
             request = agent.begin_step(step, max_steps)
             if request is not None:
-                pending.append((index, request[0], request[1]))
+                doc_request, sql = request
+                ticket = sessions[index].submit(Probe(queries=(sql,)))
+                pending.append((index, doc_request, sql, ticket))
         if not pending:
             continue
-        probes = [
-            Probe(queries=(sql,), agent_id=f"field-{index}")
-            for index, _, sql in pending
-        ]
-        responses = system.submit_many(probes)
-        for (index, doc_request, sql), response in zip(pending, responses):
+        # The step's stragglers are all in flight: close the window now
+        # instead of waiting out the admission timer.
+        system.gateway.flush()
+        for index, doc_request, sql, ticket in pending:
+            response = ticket.result(timeout=120.0)
             doc_response = task.env.query(task.doc_backend, doc_request)
             outcome = response.outcomes[0]
             if outcome.result is not None:

@@ -6,11 +6,13 @@ answering); an agent-in-charge then picks one solution by result-signature
 plurality — self-consistency voting over *answers*, not SQL text. Attempts
 that error vote for nothing; empty results are weak votes.
 
-The K attempts are *served as one admission batch*: every field agent's
-SQL goes through ``AgentFirstDataSystem.submit_many``, so the 80-90%
-sub-plan redundancy across attempts (Figure 2) is shared at execution
-time instead of paid K times — the paper's agent-first serving path, on
-the paper's own workload.
+The K attempts are *streamed through agent sessions*: each field agent
+opens its own session on the task database's serving system and submits
+its probe independently; the gateway's admission loop coalesces the
+uncoordinated arrivals into admission windows, so the 80-90% sub-plan
+redundancy across attempts (Figure 2) is shared at execution time instead
+of paid K times — the paper's agent-first serving path, on the paper's
+own workload, without anyone hand-assembling a batch.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.agents.attempts import Attempt, AttemptGenerator
 from repro.agents.grounding import Grounding
 from repro.agents.model import ModelProfile
-from repro.core import AgentFirstDataSystem, Probe
+from repro.core import AgentFirstDataSystem
 from repro.core.system import shared_serving_system
 from repro.util.rng import RngStream
 from repro.workloads.bird import BirdTask
@@ -123,12 +125,13 @@ def run_parallel_attempts(
 ) -> ParallelRunOutcome:
     """K independent field attempts + a supervisor pick.
 
-    All K attempts are generated first, then served as one admission batch
-    through ``submit_many`` — duplicated sub-plans across the swarm
-    materialise once. By default the task database's shared serving system
-    answers the batch (one long-lived system per database; its history and
-    cache persist across calls). A ``system`` passed explicitly must wrap
-    the task's own database.
+    Each field agent opens its own session on the serving system and
+    streams its attempt in; the gateway's admission loop forms the batch,
+    so duplicated sub-plans across the swarm materialise once without any
+    caller pre-assembling a ``submit_many`` list. By default the task
+    database's shared serving system answers (one long-lived system per
+    database; its history and cache persist across calls). A ``system``
+    passed explicitly must wrap the task's own database.
     """
     supervisor = supervisor or Supervisor()
     rng = RngStream(seed, "parallel", task.task_id, model.name)
@@ -145,11 +148,15 @@ def run_parallel_attempts(
             "serving system wraps a different database than the task;"
             " attempts would silently run against the wrong data"
         )
-    probes = [
-        Probe(queries=(attempt.sql,), agent_id=f"field-{index}")
+    tickets = [
+        system.session(agent_id=f"field-{index}").submit(attempt.probe())
         for index, attempt in enumerate(attempts)
     ]
-    responses = system.submit_many(probes)
+    # All K are in flight; close the window now rather than waiting out
+    # the admission timer (purely a latency hint — outcomes are identical
+    # however the stream splits into windows).
+    system.gateway.flush()
+    responses = [ticket.result(timeout=120.0) for ticket in tickets]
     for attempt, response in zip(attempts, responses):
         answer = response.outcomes[0]
         outcome.rows_processed += response.rows_processed

@@ -9,13 +9,18 @@ This package implements the paper's Secs. 3-5:
 * :mod:`repro.core.mqo` — shared execution across redundant probes;
 * :mod:`repro.core.optimizer` — intra- and inter-probe optimization;
 * :mod:`repro.core.scheduler` — cross-agent admission batches: fair
-  dispatch plus batch-wide shared-work execution (``submit_many``);
+  dispatch plus batch-wide shared-work execution;
+* :mod:`repro.core.gateway` — agent sessions, probe tickets, and the
+  streaming admission loop that forms those batches from uncoordinated
+  arrivals (``session.submit`` / ``asubmit``; ``submit_many`` is the
+  caller-assembled one-window shim);
 * :mod:`repro.core.steering` — sleeper agents: hints, why-not provenance,
   cost feedback;
 * :mod:`repro.core.system` — the :class:`AgentFirstDataSystem` facade.
 """
 
 from repro.core.brief import Brief, Phase
+from repro.core.gateway import AgentSession, ProbeGateway, ProbeTicket
 from repro.core.mqo import SharingReport
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.core.scheduler import ProbeScheduler, ScheduledBatch
@@ -23,11 +28,14 @@ from repro.core.system import AgentFirstDataSystem, SystemConfig
 
 __all__ = [
     "AgentFirstDataSystem",
+    "AgentSession",
     "Brief",
     "Phase",
     "Probe",
+    "ProbeGateway",
     "ProbeResponse",
     "ProbeScheduler",
+    "ProbeTicket",
     "QueryOutcome",
     "ScheduledBatch",
     "SharingReport",

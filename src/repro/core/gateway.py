@@ -1,0 +1,488 @@
+"""Streaming admission gateway: the batch is an emergent property.
+
+PR 1 made the admission batch the serving unit — but only for callers who
+hand-assembled a ``submit_many`` list. The paper's actual workload is
+*independently arriving* agents (Sec. 3, 5.2.1): nobody owns the batch.
+This module moves batch formation into the system:
+
+* :class:`AgentSession` — an agent's sticky identity on the system
+  (``system.session(agent_id=..., principal=..., defaults=Brief(...))``).
+  Probes submitted through a session inherit its identity and brief
+  defaults (so per-probe ``agent_id``/``principal`` plumbing is optional)
+  and the session accumulates turn/query/row/cost accounting.
+* :class:`ProbeTicket` — the future-like handle ``session.submit(probe)``
+  returns immediately: ``result(timeout=)``, ``done()``, and ``cancel()``
+  for probes not yet admitted into a window.
+* :class:`ProbeGateway` — the admission loop. Streamed probes queue up
+  across all sessions; a window closes when ``max_batch`` probes are
+  pending or ``max_wait`` has elapsed since the oldest arrival (both
+  configurable on :class:`~repro.core.system.SystemConfig`), and the
+  window is served through the scheduler's batch path — cross-agent
+  dedup/sharing now happens between agents that never coordinated.
+  ``submit``/``submit_many`` remain as shims over a one-window gateway,
+  and ``await session.asubmit(probe)`` / ``async for response in
+  gateway.serve(aiter_of_probes)`` expose the same loop to asyncio.
+
+Equivalence contract
+--------------------
+
+Window boundaries are invisible in rows and statuses. Serving one window
+equals serial ``submit`` of its probes (the scheduler's differential
+contract), and *cross-window* reuse flows through session-lived state —
+history, lenient history, the shared subplan cache — exactly as serial
+submission would populate it. A streamed probe's per-query rows and
+statuses are therefore byte-identical to serial submission in admission
+order no matter how arrivals split into windows, which is what lets CI
+re-run the unmodified differential suite with jittered window timing
+(``REPRO_GATEWAY_JITTER``) and at any worker count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import random
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import replace
+from typing import TYPE_CHECKING, AsyncIterator, Iterable
+
+from repro.core.brief import Brief
+from repro.core.probe import Probe, ProbeResponse
+
+if TYPE_CHECKING:
+    from repro.core.system import AgentFirstDataSystem
+
+#: Environment overrides for the admission-window knobs. CI uses
+#: ``REPRO_GATEWAY_JITTER`` to fuzz window formation timing under the
+#: differential suite: answers must not depend on where windows close.
+MAX_BATCH_ENV_VAR = "REPRO_GATEWAY_MAX_BATCH"
+MAX_WAIT_ENV_VAR = "REPRO_GATEWAY_MAX_WAIT"
+JITTER_ENV_VAR = "REPRO_GATEWAY_JITTER"
+
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT = 0.01  # seconds
+
+
+def resolve_max_batch(max_batch: int | None) -> int:
+    """Normalise a window-size setting (None -> env override or default)."""
+    if max_batch is None:
+        env = os.environ.get(MAX_BATCH_ENV_VAR)
+        max_batch = int(env) if env else DEFAULT_MAX_BATCH
+    return max(1, int(max_batch))
+
+
+def resolve_max_wait(max_wait: float | None) -> float:
+    """Normalise a window-wait setting (None -> env override or default)."""
+    if max_wait is None:
+        env = os.environ.get(MAX_WAIT_ENV_VAR)
+        max_wait = float(env) if env else DEFAULT_MAX_WAIT
+    return max(0.0, float(max_wait))
+
+
+def merge_brief(brief: Brief, defaults: Brief) -> Brief:
+    """Field-wise overlay: the probe's brief wins wherever it says anything.
+
+    Unset fields (empty string, ``None``, empty dict) fall back to the
+    session's defaults, so a bare ``Probe(queries=(sql,))`` submitted
+    through a session behaves as if it carried the session's brief.
+    """
+    return Brief(
+        goal=brief.goal or defaults.goal,
+        phase=brief.phase if brief.phase is not None else defaults.phase,
+        accuracy=brief.accuracy if brief.accuracy is not None else defaults.accuracy,
+        priorities=dict(brief.priorities or defaults.priorities),
+        complete_k_of_n=(
+            brief.complete_k_of_n
+            if brief.complete_k_of_n is not None
+            else defaults.complete_k_of_n
+        ),
+        max_cost=brief.max_cost if brief.max_cost is not None else defaults.max_cost,
+        notes=brief.notes or defaults.notes,
+    )
+
+
+class ProbeTicket:
+    """Future-like handle for one streamed probe.
+
+    Returned immediately by ``session.submit``/``gateway.submit``; the
+    response arrives when the probe's admission window has been served.
+    """
+
+    def __init__(
+        self,
+        gateway: "ProbeGateway",
+        probe: Probe,
+        session: "AgentSession | None" = None,
+    ) -> None:
+        self.probe = probe
+        self.session = session
+        self._gateway = gateway
+        self._future: Future[ProbeResponse] = Future()
+        self._enqueued_at = time.monotonic()
+        self._admitted = False
+
+    def done(self) -> bool:
+        """True once the response is available (or the ticket cancelled)."""
+        return self._future.done()
+
+    def cancelled(self) -> bool:
+        return self._future.cancelled()
+
+    def admitted(self) -> bool:
+        """True once the probe has been admitted into a window (at which
+        point it can no longer be cancelled)."""
+        return self._admitted
+
+    def result(self, timeout: float | None = None) -> ProbeResponse:
+        """Block until the probe's window is served; returns the response.
+
+        Raises ``concurrent.futures.CancelledError`` if the ticket was
+        cancelled, ``concurrent.futures.TimeoutError`` on timeout.
+        """
+        return self._future.result(timeout)
+
+    def cancel(self) -> bool:
+        """Withdraw a probe that has not yet been admitted into a window.
+
+        Returns True on success; False if the probe was already admitted
+        (its window is being — or has been — served).
+        """
+        return self._gateway._cancel(self)
+
+    def aresult(self) -> "asyncio.Future[ProbeResponse]":
+        """An awaitable view of this ticket for the running asyncio loop."""
+        return asyncio.wrap_future(self._future)
+
+
+class AgentSession:
+    """One agent's sticky identity + accounting on a serving system.
+
+    Sessions are cheap handles: they hold no queue of their own — every
+    submitted probe goes straight to the gateway's shared admission loop,
+    which is exactly what makes the batch cross-agent.
+    """
+
+    def __init__(
+        self,
+        gateway: "ProbeGateway",
+        agent_id: str | None = None,
+        principal: str | None = None,
+        defaults: Brief | None = None,
+    ) -> None:
+        self.gateway = gateway
+        self.agent_id = agent_id
+        self.principal = principal
+        self.defaults = defaults
+        #: Accounting, updated as each of this session's tickets resolves.
+        self.probes_submitted = 0
+        self.turns_served = 0
+        self.queries_served = 0
+        self.rows_processed = 0
+        self.cache_hits = 0
+        self.spent_cost = 0.0
+        self.last_turn = 0
+        self._lock = threading.Lock()
+
+    # -- the streaming surface ------------------------------------------------
+
+    def submit(self, probe: Probe) -> ProbeTicket:
+        """Stream one probe into the gateway; returns its ticket at once."""
+        ticket = self.gateway.submit(self.effective(probe), session=self)
+        with self._lock:  # after the gateway accepts: a closed gateway raises
+            self.probes_submitted += 1
+        return ticket
+
+    async def asubmit(self, probe: Probe) -> ProbeResponse:
+        """Asyncio twin of :meth:`submit`: awaits the served response."""
+        return await self.submit(probe).aresult()
+
+    # -- defaults -------------------------------------------------------------
+
+    def effective(self, probe: Probe) -> Probe:
+        """The probe as served: session identity/brief fill unset fields."""
+        updates: dict = {}
+        if self.agent_id is not None and probe.agent_id == "anon":
+            updates["agent_id"] = self.agent_id
+        if self.principal is not None and probe.principal == "public":
+            updates["principal"] = self.principal
+        if self.defaults is not None:
+            merged = merge_brief(probe.brief, self.defaults)
+            if merged != probe.brief:
+                updates["brief"] = merged
+        return replace(probe, **updates) if updates else probe
+
+    # -- accounting -----------------------------------------------------------
+
+    def _account(self, response: ProbeResponse) -> None:
+        with self._lock:
+            self.turns_served += 1
+            self.last_turn = max(self.last_turn, response.turn)
+            self.queries_served += len(response.outcomes)
+            self.rows_processed += response.rows_processed
+            self.cache_hits += response.cache_hits
+            self.spent_cost += sum(
+                outcome.estimated_cost
+                for outcome in response.outcomes
+                if outcome.executed
+            )
+
+    def describe(self) -> str:
+        name = self.agent_id or "anon"
+        return (
+            f"session {name}: {self.turns_served}/{self.probes_submitted} probes"
+            f" served, {self.queries_served} queries, {self.rows_processed} rows,"
+            f" cost {self.spent_cost:.0f}"
+        )
+
+
+class ProbeGateway:
+    """Admits streamed probes into cross-session admission windows.
+
+    The loop thread starts lazily on the first streamed submit; systems
+    that only ever use the synchronous ``submit``/``submit_many`` shims
+    never pay for it. ``flush()`` closes the current window immediately
+    (callers that know their stream has a lull use it to skip the
+    ``max_wait`` timer); ``close()`` drains pending probes and stops the
+    loop.
+    """
+
+    def __init__(
+        self,
+        system: "AgentFirstDataSystem",
+        max_batch: int | None = None,
+        max_wait: float | None = None,
+    ) -> None:
+        self.system = system
+        self.max_batch = resolve_max_batch(max_batch)
+        self.max_wait = resolve_max_wait(max_wait)
+        #: Extra per-window wait drawn uniformly from [0, jitter] seconds —
+        #: CI's tool for proving answers don't depend on window timing.
+        self.jitter = max(0.0, float(os.environ.get(JITTER_ENV_VAR, 0.0) or 0.0))
+        self._jitter_rng = random.Random(0xA6E27)
+        self._pending: deque[ProbeTicket] = deque()
+        self._cond = threading.Condition()
+        #: Serialises window serving: streamed windows and direct
+        #: ``submit_many`` windows interleave without tearing turn numbers.
+        self._serve_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+        self._flush_requested = False
+        #: Retire the admission thread after this long with nothing
+        #: pending; a later streamed submit restarts it. Long-lived
+        #: serving systems (one per database) otherwise pile up idle
+        #: threads across a harness sweep.
+        self.idle_stop = 5.0
+        #: Observability: streamed-window formation stats (the bench reads
+        #: these via :meth:`stats`) plus the caller-assembled windows
+        #: served synchronously. Running aggregates, not per-window lists:
+        #: a long-lived gateway must not grow without bound.
+        self.windows_streamed = 0
+        self.probes_streamed = 0
+        self.windows_direct = 0
+        self._window_size_max = 0
+        self._formation_ms_total = 0.0
+        self._formation_ms_max = 0.0
+
+    # -- synchronous window serving (the submit/submit_many shim path) --------
+
+    def serve_window(self, probes: list[Probe]) -> list[ProbeResponse]:
+        """Serve one caller-assembled admission window, synchronously."""
+        if not probes:
+            return []
+        with self._serve_lock:
+            responses = self.system._serve_batch(probes)
+        with self._cond:  # stats share the cond lock with the loop thread
+            self.windows_direct += 1
+        return responses
+
+    # -- the streaming surface ------------------------------------------------
+
+    def submit(self, probe: Probe, session: AgentSession | None = None) -> ProbeTicket:
+        """Enqueue one probe for admission; returns its ticket immediately."""
+        ticket = ProbeTicket(self, probe, session)
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError("gateway is closed")
+            self._ensure_loop()
+            self._pending.append(ticket)
+            self._cond.notify_all()
+        return ticket
+
+    def flush(self) -> None:
+        """Close the current window now instead of waiting out ``max_wait``."""
+        with self._cond:
+            self._flush_requested = True
+            self._cond.notify_all()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain pending probes, serve them, and stop the admission loop."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def pending_probes(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    async def serve(
+        self,
+        probes: "AsyncIterator[Probe] | Iterable[Probe]",
+        session: AgentSession | None = None,
+    ) -> "AsyncIterator[ProbeResponse]":
+        """Stream probes from an (async) iterator; yield served responses.
+
+        Probes are admitted as they arrive — submission keeps running
+        while earlier responses are awaited, so a slow producer and the
+        admission timer overlap. Responses come back in submission order.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        submit = session.submit if session is not None else self.submit
+
+        async def _feed() -> None:
+            # The sentinel (or the producer's failure) must always reach
+            # the consumer, or it would block on queue.get() forever.
+            try:
+                if hasattr(probes, "__aiter__"):
+                    async for probe in probes:  # type: ignore[union-attr]
+                        queue.put_nowait(submit(probe))
+                else:
+                    for probe in probes:  # type: ignore[union-attr]
+                        queue.put_nowait(submit(probe))
+                        await asyncio.sleep(0)  # let consumers interleave
+            except BaseException as exc:
+                queue.put_nowait(exc)
+                raise
+            queue.put_nowait(None)
+
+        feeder = asyncio.ensure_future(_feed())
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield await item.aresult()
+        finally:
+            feeder.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await feeder
+
+    # -- admission loop -------------------------------------------------------
+
+    def _ensure_loop(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="probe-gateway", daemon=True
+            )
+            self._thread.start()
+
+    def _window_wait(self) -> float:
+        if not self.jitter:
+            return self.max_wait
+        return self.max_wait + self._jitter_rng.uniform(0.0, self.jitter)
+
+    def _loop(self) -> None:
+        while True:
+            window: list[ProbeTicket] = []
+            with self._cond:
+                while not self._pending and not self._stopped:
+                    self._flush_requested = False
+                    woke = self._cond.wait(timeout=self.idle_stop)
+                    if not woke and not self._pending and not self._stopped:
+                        # Idle past the retirement window: stop this
+                        # thread; the next streamed submit restarts one.
+                        self._thread = None
+                        return
+                if not self._pending and self._stopped:
+                    return
+                window_wait = self._window_wait()
+                while (
+                    self._pending
+                    and len(self._pending) < self.max_batch
+                    and not self._flush_requested
+                    and not self._stopped
+                ):
+                    remaining = (
+                        self._pending[0]._enqueued_at
+                        + window_wait
+                        - time.monotonic()
+                    )
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                if not self._pending:  # everything cancelled while waiting
+                    continue
+                first_enqueued = self._pending[0]._enqueued_at
+                while self._pending and len(window) < self.max_batch:
+                    ticket = self._pending.popleft()
+                    ticket._admitted = True
+                    window.append(ticket)
+                if not self._pending:
+                    self._flush_requested = False
+                formation_ms = (time.monotonic() - first_enqueued) * 1000.0
+            self._serve_streamed_window(window, formation_ms)
+
+    def _serve_streamed_window(
+        self, window: list[ProbeTicket], formation_ms: float
+    ) -> None:
+        probes = [ticket.probe for ticket in window]
+        try:
+            with self._serve_lock:
+                responses = self.system._serve_batch(probes)
+        except BaseException as exc:  # pragma: no cover - defensive
+            for ticket in window:
+                if not ticket._future.done():
+                    ticket._future.set_exception(exc)
+            return
+        with self._cond:
+            self.windows_streamed += 1
+            self.probes_streamed += len(window)
+            self._window_size_max = max(self._window_size_max, len(window))
+            self._formation_ms_total += formation_ms
+            self._formation_ms_max = max(self._formation_ms_max, formation_ms)
+        for ticket, response in zip(window, responses):
+            if ticket.session is not None:
+                ticket.session._account(response)
+            ticket._future.set_result(response)
+
+    # -- cancellation ---------------------------------------------------------
+
+    def _cancel(self, ticket: ProbeTicket) -> bool:
+        with self._cond:
+            if ticket._admitted or ticket._future.done():
+                return False
+            try:
+                self._pending.remove(ticket)
+            except ValueError:
+                return False
+            cancelled = ticket._future.cancel()
+            self._cond.notify_all()
+            return cancelled
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A snapshot of window-formation behaviour (the bench records it)."""
+        with self._cond:
+            windows = self.windows_streamed
+            return {
+                "windows_streamed": windows,
+                "probes_streamed": self.probes_streamed,
+                "windows_direct": self.windows_direct,
+                "mean_window_size": (
+                    self.probes_streamed / windows if windows else 0.0
+                ),
+                "max_window_size": self._window_size_max,
+                "mean_formation_ms": (
+                    self._formation_ms_total / windows if windows else 0.0
+                ),
+                "max_formation_ms": self._formation_ms_max,
+            }

@@ -106,7 +106,10 @@ class ProbeResponse:
                 summary += f", {outcome.result.row_count} rows"
             if outcome.reason:
                 summary += f" ({outcome.reason})"
-            lines.append(f"  - {outcome.sql[:60]}... -> {summary}")
+            # Ellipsize only genuinely-truncated SQL, and lead with the
+            # declared query index so reordered outcomes stay readable.
+            sql = outcome.sql if len(outcome.sql) <= 60 else outcome.sql[:60] + "..."
+            lines.append(f"  - [{outcome.query_index}] {sql} -> {summary}")
         for hint in self.steering:
             lines.append(f"  * steering: {hint}")
         return "\n".join(lines)

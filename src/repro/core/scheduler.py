@@ -3,7 +3,11 @@
 The paper's central serving observation (Sec. 5.2.1, Fig. 2) is that
 80-90% of sub-plans across concurrent agent probes are duplicates, so the
 natural admission unit is the *batch of probes from many agents*, not one
-probe. :class:`ProbeScheduler` implements that serving path:
+probe. Batches reach this module from two directions: the streaming
+admission gateway (:mod:`repro.core.gateway`) closes windows over probes
+that arrived independently across agent sessions, and ``submit_many``
+hands over a caller-assembled window directly. Either way,
+:class:`ProbeScheduler` implements the serving path:
 
 1. **Admission** — every probe in the batch is interpreted and satisficed
    up front; each gets its own turn number (admission order), exactly as

@@ -1,15 +1,24 @@
 """The agent-first data system facade (paper Sec. 3, Figure 4).
 
 ``AgentFirstDataSystem`` wires every component together. The serving unit
-is the *admission batch*: ``submit_many`` accepts a batch of probes from
-many concurrent agents, and ``submit`` is the degenerate batch of one.
+is the *admission window*: agents open sessions and stream probes in, and
+the gateway's admission loop coalesces everything in flight — across all
+sessions — into windows served as one batch. Callers who already hold a
+batch use ``submit_many`` (a one-window shim); ``submit`` is the
+degenerate window of one.
 
-    agent swarm ──> submit_many(probes)
-                         │
-                         ▼
-                  probe scheduler ──────────────┐  admission, fairness,
-                         │                      │  cross-agent dedup
-                         ▼                      │
+    agent swarm ──> session.submit(probe) ──────> ProbeTicket
+        │                    │              (result()/done()/cancel(),
+        │                    ▼               await session.asubmit(...))
+        │            probe gateway ── admission loop: close the window at
+        │                    │        max_batch pending or max_wait elapsed
+        ▼                    ▼
+    submit_many ────> admission window
+    (one-window shim)        │
+                             ▼
+                      probe scheduler ──────────┐  admission, fairness,
+                             │                  │  cross-agent dedup
+                             ▼                  │
     probe interpreter ──> satisficer ──> probe optimizer
                      │                          │
                      ▼                          ▼
@@ -18,13 +27,15 @@ many concurrent agents, and ``submit`` is the degenerate batch of one.
                      ▼                          ▼
               steering feedback         agentic memory store
 
-Each probe in a batch is one interaction turn: its queries are
+Each probe in a window is one interaction turn: its queries are
 interpreted, satisficed and executed (with cross-agent work sharing and
 history reuse); the scheduler dispatches round-robin across agents so no
 probe starves behind another, and shares every duplicated sub-plan
 batch-wide; sleeper agents attach steering feedback (including "N other
 agents asked an equivalent query this turn"); and newly-gleaned grounding
-is written back to the agentic memory store.
+is written back to the agentic memory store. Window boundaries never
+change an answer: rows and statuses are byte-identical to serial
+submission in admission order, however arrivals happen to batch up.
 """
 
 from __future__ import annotations
@@ -32,7 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.brief import Phase
+from repro.core.brief import Brief, Phase
+from repro.core.gateway import AgentSession, ProbeGateway
 from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
 from repro.core.mqo import MaterializationAdvisor
 from repro.core.optimizer import ProbeOptimizer
@@ -46,6 +58,7 @@ from repro.engine.executor import SubplanCache
 from repro.memstore import AgenticMemoryStore, ArtifactKind
 from repro.plan import logical
 from repro.semantic.search import SemanticSearch
+from repro.util.hashing import stable_hash_int
 
 
 @dataclass
@@ -63,6 +76,13 @@ class SystemConfig:
     #: ``None`` -> the ``REPRO_SCHEDULER_WORKERS`` env override, else
     #: ``min(8, os.cpu_count())``; ``1`` keeps dispatch fully serial.
     workers: int | None = None
+    #: Streaming admission window knobs: the gateway closes a window when
+    #: ``gateway_max_batch`` probes are pending or ``gateway_max_wait``
+    #: seconds have elapsed since the oldest arrival. ``None`` -> the
+    #: ``REPRO_GATEWAY_MAX_BATCH`` / ``REPRO_GATEWAY_MAX_WAIT`` env
+    #: overrides, else 64 probes / 0.01 s.
+    gateway_max_batch: int | None = None
+    gateway_max_wait: float | None = None
 
 
 class AgentFirstDataSystem:
@@ -101,32 +121,64 @@ class AgentFirstDataSystem:
             optimizer=self.optimizer,
             workers=scheduler_workers,
         )
+        self.gateway = ProbeGateway(
+            self,
+            max_batch=self.config.gateway_max_batch,
+            max_wait=self.config.gateway_max_wait,
+        )
         self.turn = 0
         db.on_change(self._on_change)
 
     # -- the entry points -----------------------------------------------------
 
+    def session(
+        self,
+        agent_id: str | None = None,
+        principal: str | None = None,
+        defaults: Brief | None = None,
+    ) -> AgentSession:
+        """Open an agent session on the streaming admission gateway.
+
+        ``session.submit(probe)`` returns a :class:`ProbeTicket`
+        immediately; the gateway coalesces in-flight probes across all
+        sessions into admission windows, so cross-agent sharing happens
+        between agents that never coordinated. The session's identity and
+        brief ``defaults`` fill any fields the probe leaves unset, and the
+        session accumulates turn/query/row/cost accounting.
+        """
+        return AgentSession(
+            self.gateway, agent_id=agent_id, principal=principal, defaults=defaults
+        )
+
     def submit(self, probe: Probe) -> ProbeResponse:
         """Answer one probe; returns answers plus steering feedback.
 
-        A batch of one: the full serving path is ``submit_many``.
+        A window of one: the full serving path is the gateway's admission
+        loop (``session``/``submit_many``).
         """
         return self.submit_many([probe])[0]
 
     def submit_many(self, probes: Sequence[Probe]) -> list[ProbeResponse]:
-        """Answer an admission batch of probes from concurrent agents.
+        """Answer a caller-assembled admission window of probes.
 
-        All probes are interpreted up front; the scheduler runs the batch's
-        independent engine work concurrently on its worker pool, then
-        replays dispatch round-robin across agents through one
-        batch-shared subplan cache, so every duplicated subtree
-        materialises once. Per-query rows and statuses are byte-identical
-        to submitting the probes serially — at any worker count; the
-        engine work is not — duplicated work collapses, and independent
-        work overlaps in wall-clock.
+        A thin synchronous shim over a one-window gateway: the whole list
+        is served as a single admission window, exactly as if the probes
+        had streamed in together. All probes are interpreted up front; the
+        scheduler runs the window's independent engine work concurrently
+        on its worker pool, then replays dispatch round-robin across
+        agents through one batch-shared subplan cache, so every
+        duplicated subtree materialises once. Per-query rows and statuses
+        are byte-identical to submitting the probes serially — at any
+        worker count; the engine work is not — duplicated work collapses,
+        and independent work overlaps in wall-clock.
         """
         if not probes:
             return []
+        return self.gateway.serve_window(list(probes))
+
+    def _serve_batch(self, probes: Sequence[Probe]) -> list[ProbeResponse]:
+        """Serve one admission window (gateway-internal; callers hold the
+        gateway's serve lock, which serialises turn accounting)."""
         first_turn = self.turn + 1
         batch = self.scheduler.run_batch(list(probes), first_turn)
         self.turn += len(probes)
@@ -292,7 +344,13 @@ class AgentFirstDataSystem:
                         continue
                     self.memory.remember(
                         ArtifactKind.PROBE_RESULT,
-                        (tables[0], f"turn{response.turn}q{hash(outcome.sql) & 0xffff}"),
+                        # Keyed by a process-stable digest: python's builtin
+                        # ``hash`` is salted per run (PYTHONHASHSEED) and
+                        # would scatter keys across processes.
+                        (
+                            tables[0],
+                            f"turn{response.turn}q{stable_hash_int(outcome.sql, 16):04x}",
+                        ),
                         f"{probe.brief.goal or 'query'}: {outcome.sql}"
                         f" -> {outcome.result.row_count} rows",
                         principal=probe.principal,

@@ -500,7 +500,9 @@ def run_memory_ablation(seed: int = 0, n_tasks: int = 6, repeats: int = 4) -> Me
 
     tasks = build_stream()
     # Identical probe stream: each task's gold query asked `repeats` times by
-    # different agents (the repetitive cross-agent workload of Sec. 6.1).
+    # different agents (the repetitive cross-agent workload of Sec. 6.1),
+    # streamed through per-agent sessions — the gateway forms the admission
+    # windows; nobody pre-batches.
     def run(config: SystemConfig) -> tuple[int, int]:
         rows = 0
         history_hits = 0
@@ -512,17 +514,19 @@ def run_memory_ablation(seed: int = 0, n_tasks: int = 6, repeats: int = 4) -> Me
         for group in by_db.values():
             system = AgentFirstDataSystem(group[0].db, config=config)
             for repeat in range(repeats):
-                for task in group:
-                    response = system.submit(
-                        Probe(
-                            queries=(task.gold_sql,),
-                            agent_id=f"agent{repeat}",
-                        )
-                    )
+                session = system.session(agent_id=f"agent{repeat}")
+                tickets = [
+                    session.submit(Probe(queries=(task.gold_sql,)))
+                    for task in group
+                ]
+                system.gateway.flush()
+                for ticket in tickets:
+                    response = ticket.result(timeout=120.0)
                     rows += response.rows_processed
                     history_hits += sum(
                         1 for o in response.outcomes if o.status == "from_history"
                     )
+            system.gateway.close()
         return rows, history_hits
 
     rows_on, hits_on = run(SystemConfig())

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from repro.core.brief import Phase
+from repro.core.probe import ProbeResponse, QueryOutcome
 from repro.core.steering import JoinDiscovery, WhyNotDiagnoser
 from repro.db import Database
 from repro.memstore import ArtifactKind
+from repro.util.hashing import stable_hash_int
 
 
 @pytest.fixture
@@ -323,6 +331,129 @@ class TestMemoryIntegration:
         )
         assert response.memory_hits
         assert "dollars" in response.memory_hits[0][0].text
+
+    def test_probe_result_key_uses_stable_digest(self, system):
+        sql = "SELECT COUNT(*) FROM sales"
+        response = system.submit(Probe.sql(sql, goal="compute the exact answer"))
+        keys = [
+            artifact.subject
+            for artifact in system.memory._artifacts.values()
+            if artifact.kind is ArtifactKind.PROBE_RESULT
+        ]
+        expected = ("sales", f"turn{response.turn}q{stable_hash_int(sql, 16):04x}")
+        assert expected in keys
+
+    def test_probe_result_keys_reproducible_across_processes(self):
+        """Python string ``hash`` is salted per process; the memory keys
+        must not be. Run the same probe under two different
+        ``PYTHONHASHSEED`` values and require identical artifact keys."""
+        script = (
+            "from repro.core import AgentFirstDataSystem, Probe\n"
+            "from repro.db import Database\n"
+            "from repro.memstore import ArtifactKind\n"
+            "db = Database('m')\n"
+            "db.execute('CREATE TABLE t (id INT, v FLOAT)')\n"
+            "db.execute('INSERT INTO t VALUES (1, 2.0), (2, 3.5)')\n"
+            "system = AgentFirstDataSystem(db)\n"
+            "system.submit(Probe.sql('SELECT COUNT(*) FROM t',"
+            " goal='compute the exact answer'))\n"
+            "print(sorted(a.subject for a in system.memory._artifacts.values()"
+            " if a.kind is ArtifactKind.PROBE_RESULT))\n"
+        )
+        repo_root = Path(__file__).resolve().parents[1]
+        outputs = []
+        for hash_seed in ("1", "271828"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = str(repo_root / "src")
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=repo_root,
+                check=True,
+            )
+            outputs.append(completed.stdout.strip())
+        assert outputs[0] == outputs[1]
+        assert "turn1q" in outputs[0]
+
+
+class TestResponseDescribe:
+    def outcome(self, sql, index=0, status="ok"):
+        return QueryOutcome(sql=sql, status=status, query_index=index)
+
+    def test_short_sql_is_not_ellipsized(self):
+        response = ProbeResponse(
+            turn=3, outcomes=[self.outcome("SELECT COUNT(*) FROM sales")]
+        )
+        text = response.describe()
+        assert "SELECT COUNT(*) FROM sales -> ok" in text
+        assert "..." not in text
+
+    def test_long_sql_is_truncated_with_ellipsis(self):
+        long_sql = "SELECT " + ", ".join(f"col_{i}" for i in range(20)) + " FROM t"
+        assert len(long_sql) > 60
+        response = ProbeResponse(turn=1, outcomes=[self.outcome(long_sql)])
+        text = response.describe()
+        assert long_sql[:60] + "..." in text
+        assert long_sql not in text
+
+    def test_query_index_labels_reordered_outcomes(self):
+        response = ProbeResponse(
+            turn=2,
+            outcomes=[
+                self.outcome("SELECT COUNT(*) FROM stores", index=1),
+                self.outcome("SELECT COUNT(*) FROM sales", index=0),
+            ],
+        )
+        lines = response.describe().splitlines()
+        assert lines[1].startswith("  - [1] ")
+        assert lines[2].startswith("  - [0] ")
+
+
+class TestBriefInference:
+    def test_explicit_phase_wins_over_markers(self):
+        brief = Brief(goal="explore the schema sample", phase=Phase.VALIDATION)
+        assert brief.infer_phase() is Phase.VALIDATION
+
+    def test_validation_marker_beats_exploration_votes(self):
+        # Plenty of exploration evidence, but a single validation marker
+        # decides the phase outright.
+        brief = Brief(goal="verify the schema sample statistics we explored")
+        assert brief.infer_phase() is Phase.VALIDATION
+
+    def test_tie_between_exploration_and_solution_is_solution(self):
+        # One exploration marker ("explore") vs one solution marker
+        # ("final"): ties fall through to solution formulation.
+        brief = Brief(goal="explore the final table")
+        assert brief.infer_phase() is Phase.SOLUTION_FORMULATION
+
+    def test_markers_in_notes_only(self):
+        brief = Brief(goal="", notes="look around the schema first")
+        assert brief.infer_phase() is Phase.METADATA_EXPLORATION
+
+    def test_validation_marker_in_notes_only(self):
+        brief = Brief(goal="", notes="double-check the totals")
+        assert brief.infer_phase() is Phase.VALIDATION
+
+    def test_empty_brief_defaults_to_solution(self):
+        assert Brief().infer_phase() is Phase.SOLUTION_FORMULATION
+
+    def test_repeated_markers_outvote_single_solution_marker(self):
+        brief = Brief(goal="sample the schema, sample the statistics, answer")
+        # exploration: sample x2 + schema + statistics = 4 > solution: 1.
+        assert brief.infer_phase() is Phase.METADATA_EXPLORATION
+
+    def test_priority_of_defaults_to_one(self):
+        assert Brief().priority_of(0) == 1.0
+        assert Brief().priority_of(7) == 1.0
+
+    def test_priority_of_reads_table_and_falls_back(self):
+        brief = Brief(priorities={1: 2.5, 2: 0.25})
+        assert brief.priority_of(1) == 2.5
+        assert brief.priority_of(2) == 0.25
+        assert brief.priority_of(0) == 1.0
 
 
 class TestMaterializationAdvisor:

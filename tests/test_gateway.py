@@ -1,0 +1,448 @@
+"""Differential and API tests for the streaming admission gateway.
+
+The gateway's contract: for any probe stream, gateway-served responses
+have byte-identical per-query rows and statuses to serial ``submit`` of
+the same probes in admission order — at every worker count, and *no
+matter how arrivals split into admission windows* (``max_batch`` /
+``max_wait`` / jitter only move work between windows; session-lived
+history and caches carry sharing across the boundaries). The suite is
+parametrized over worker counts and window shapes, and CI re-runs it
+unmodified under ``REPRO_SCHEDULER_WORKERS`` 1/8 with window-timing
+jitter (``REPRO_GATEWAY_JITTER``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from test_scheduler import assert_same_outcomes, build_db, overlapping_probes
+
+
+def stream_and_gather(system, probes, session=None):
+    """Stream probes in submission order; gather responses via tickets."""
+    submit = session.submit if session is not None else system.gateway.submit
+    tickets = [submit(probe) for probe in probes]
+    system.gateway.flush()
+    responses = [ticket.result(timeout=60.0) for ticket in tickets]
+    system.gateway.close()
+    return responses
+
+
+def mixed_stream():
+    """A heterogeneous stream: errors, pruning, sampling, termination."""
+
+    def stop_after_first(results):
+        return any(r.rows for r in results)
+
+    return [
+        Probe.sql("SELECT * FROM ghost_table"),
+        Probe(
+            queries=("SELECT COUNT(*) FROM sales", "SELECT COUNT(*) FROM stores"),
+            brief=Brief(goal="exact answer", complete_k_of_n=1),
+            agent_id="pruner",
+        ),
+        *overlapping_probes(4),
+        Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales WHERE amount > 5.0",
+                "SELECT product FROM sales WHERE amount > 5.0",
+            ),
+            brief=Brief(accuracy=0.3),
+            agent_id="explorer",
+        ),
+        Probe(
+            queries=(
+                "SELECT COUNT(*) FROM sales WHERE product = 'coffee'",
+                "SELECT COUNT(*) FROM sales WHERE product = 'tea'",
+                "SELECT COUNT(*) FROM stores",
+            ),
+            termination=stop_after_first,
+            agent_id="terminator",
+        ),
+    ]
+
+
+class TestStreamingDifferential:
+    """Streamed admission vs serial submit, across window shapes."""
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    @pytest.mark.parametrize(
+        "max_batch,max_wait",
+        [
+            (64, 30.0),  # one big window (flush closes it)
+            (3, 30.0),  # size-split windows
+            (1, 0.0),  # every probe its own window
+            (64, 0.0),  # timer-split windows (racy sizes, same answers)
+        ],
+    )
+    def test_streamed_matches_serial(self, workers, max_batch, max_wait):
+        serial_system = AgentFirstDataSystem(build_db(), workers=workers)
+        serial_responses = [serial_system.submit(p) for p in mixed_stream()]
+
+        stream_system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(
+                gateway_max_batch=max_batch, gateway_max_wait=max_wait
+            ),
+            workers=workers,
+        )
+        stream_responses = stream_and_gather(stream_system, mixed_stream())
+        assert_same_outcomes(serial_responses, stream_responses)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_streamed_matches_serial_with_mqo_disabled(self, workers):
+        config = SystemConfig(enable_mqo=False, gateway_max_batch=2)
+        serial_system = AgentFirstDataSystem(
+            build_db(), config=SystemConfig(enable_mqo=False), workers=workers
+        )
+        serial_responses = [serial_system.submit(p) for p in overlapping_probes(4)]
+        stream_system = AgentFirstDataSystem(build_db(), config=config, workers=workers)
+        stream_responses = stream_and_gather(stream_system, overlapping_probes(4))
+        assert_same_outcomes(serial_responses, stream_responses)
+        assert sum(r.rows_processed for r in stream_responses) == sum(
+            r.rows_processed for r in serial_responses
+        )
+
+    def test_window_split_is_invisible_in_rows_and_work(self):
+        """The same stream served as one window vs many: identical rows,
+        statuses, and row-work accounting (history + the session-lived
+        cache carry sharing across window boundaries)."""
+        one_window = AgentFirstDataSystem(build_db(), workers=1)
+        one_responses = one_window.submit_many(overlapping_probes(8))
+        split_system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=3, gateway_max_wait=30.0),
+            workers=1,
+        )
+        split_responses = stream_and_gather(split_system, overlapping_probes(8))
+        assert_same_outcomes(one_responses, split_responses)
+        assert sum(r.rows_processed for r in split_responses) == sum(
+            r.rows_processed for r in one_responses
+        )
+
+    def test_turns_follow_admission_order(self):
+        system = AgentFirstDataSystem(build_db())
+        responses = stream_and_gather(system, overlapping_probes(5))
+        assert [r.turn for r in responses] == [1, 2, 3, 4, 5]
+
+
+class TestAdmissionWindows:
+    def test_max_batch_bounds_window_size(self):
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=4, gateway_max_wait=30.0),
+        )
+        responses = stream_and_gather(system, overlapping_probes(10))
+        assert len(responses) == 10
+        stats = system.gateway.stats()
+        assert stats["probes_streamed"] == 10
+        assert stats["max_window_size"] <= 4
+        assert stats["windows_streamed"] >= 3
+
+    def test_max_wait_closes_partial_window(self):
+        """A lone probe must not wait forever for max_batch company."""
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=64, gateway_max_wait=0.01),
+        )
+        ticket = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM stores"))
+        response = ticket.result(timeout=30.0)  # no flush: the timer fires
+        assert response.outcomes[0].status == "ok"
+        system.gateway.close()
+
+    def test_submit_many_is_a_one_window_shim(self):
+        system = AgentFirstDataSystem(build_db())
+        system.submit_many(overlapping_probes(3))
+        system.submit(Probe.sql("SELECT COUNT(*) FROM stores"))
+        assert system.gateway.windows_direct == 2
+        assert system.gateway.windows_streamed == 0
+        # The shim path never starts the admission loop thread.
+        assert system.gateway._thread is None
+
+    def test_uncoordinated_threads_share_work(self):
+        """The tentpole scenario: independently-arriving agents (threads
+        that never coordinate) get cross-agent sharing because the
+        gateway — not a caller — forms the batch."""
+        n_agents = 12
+        probes = overlapping_probes(n_agents)
+        reference = build_db()
+        expected = {
+            probe.agent_id: [reference.execute(sql).rows for sql in probe.queries]
+            for probe in probes
+        }
+
+        system = AgentFirstDataSystem(
+            build_db(), config=SystemConfig(gateway_max_wait=0.05)
+        )
+        responses: dict[str, object] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(n_agents)
+
+        def agent_main(probe):
+            try:
+                session = system.session(agent_id=probe.agent_id)
+                barrier.wait()
+                responses[probe.agent_id] = session.submit(
+                    Probe(queries=probe.queries)
+                ).result(timeout=60.0)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=agent_main, args=(probe,)) for probe in probes
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for probe in probes:
+            got = [o.result.rows for o in responses[probe.agent_id].outcomes]
+            assert got == expected[probe.agent_id]
+
+        # Sharing actually happened: the swarm processed fewer rows than
+        # the same probes served by independent per-agent systems.
+        independent = sum(
+            AgentFirstDataSystem(build_db()).submit(p).rows_processed for p in probes
+        )
+        streamed = sum(r.rows_processed for r in responses.values())
+        assert streamed < independent
+        assert system.gateway.stats()["probes_streamed"] == n_agents
+        system.gateway.close()
+
+
+class TestProbeTickets:
+    def make_slow_gateway_system(self):
+        return AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=100, gateway_max_wait=30.0),
+        )
+
+    def test_ticket_lifecycle(self):
+        system = self.make_slow_gateway_system()
+        ticket = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        assert not ticket.done()
+        system.gateway.flush()
+        response = ticket.result(timeout=30.0)
+        assert ticket.done() and not ticket.cancelled()
+        assert response.outcomes[0].status == "ok"
+        assert ticket.cancel() is False  # too late: already served
+        system.gateway.close()
+
+    def test_cancel_before_admission(self):
+        system = self.make_slow_gateway_system()
+        keep = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        drop = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM stores"))
+        assert drop.cancel() is True
+        assert drop.cancelled() and drop.done()
+        with pytest.raises(CancelledError):
+            drop.result(timeout=1.0)
+        system.gateway.flush()
+        assert keep.result(timeout=30.0).outcomes[0].status == "ok"
+        # The cancelled probe never consumed a turn: serial equivalence is
+        # against the admitted stream only.
+        assert keep.result().turn == 1
+        system.gateway.close()
+
+    def test_submit_after_close_raises(self):
+        system = AgentFirstDataSystem(build_db())
+        system.gateway.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            system.gateway.submit(Probe.sql("SELECT 1"))
+
+    def test_idle_admission_thread_retires_and_restarts(self):
+        """Long-lived serving systems must not pin an idle thread per
+        database forever; the loop retires after ``idle_stop`` and a
+        later streamed submit restarts it transparently."""
+        system = AgentFirstDataSystem(
+            build_db(), config=SystemConfig(gateway_max_wait=0.005)
+        )
+        system.gateway.idle_stop = 0.05
+        first = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        assert first.result(timeout=30.0).outcomes[0].status == "ok"
+        thread = system.gateway._thread
+        assert thread is not None
+        thread.join(timeout=30.0)  # retires once idle past idle_stop
+        assert system.gateway._thread is None
+        second = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM stores"))
+        assert second.result(timeout=30.0).outcomes[0].status == "ok"
+        assert second.result().turn == 2  # same system state, new thread
+        system.gateway.close()
+
+
+class TestAgentSessions:
+    def test_sticky_identity_without_probe_plumbing(self):
+        system = AgentFirstDataSystem(build_db())
+        alice = system.session(agent_id="alice", principal="alice-p")
+        bob = system.session(agent_id="bob")
+        sql = "SELECT COUNT(*) FROM sales WHERE product = 'coffee'"
+        first = alice.submit(Probe(queries=(sql,)))  # no agent_id anywhere
+        system.gateway.flush()
+        first.result(timeout=30.0)
+        second = bob.submit(Probe(queries=(sql,)))
+        system.gateway.flush()
+        outcome = second.result(timeout=30.0).outcomes[0]
+        assert outcome.status == "from_history"
+        assert "alice" in outcome.reason  # history attribution saw the session id
+        system.gateway.close()
+
+    def test_probe_identity_beats_session_identity(self):
+        system = AgentFirstDataSystem(build_db())
+        session = system.session(agent_id="session-id")
+        effective = session.effective(Probe.sql("SELECT 1"))
+        assert effective.agent_id == "session-id"
+        explicit = session.effective(
+            Probe(queries=("SELECT 1",), agent_id="explicit")
+        )
+        assert explicit.agent_id == "explicit"
+
+    def test_brief_defaults_merge_fieldwise(self):
+        system = AgentFirstDataSystem(build_db())
+        session = system.session(
+            defaults=Brief(goal="explore the schema", accuracy=0.3, max_cost=9.0)
+        )
+        merged = session.effective(Probe(queries=("SELECT 1",))).brief
+        assert merged.goal == "explore the schema"
+        assert merged.accuracy == 0.3
+        assert merged.max_cost == 9.0
+        overridden = session.effective(
+            Probe(queries=("SELECT 1",), brief=Brief(goal="final answer"))
+        ).brief
+        assert overridden.goal == "final answer"  # probe wins where it speaks
+        assert overridden.accuracy == 0.3  # defaults fill the silence
+
+    def test_session_brief_defaults_drive_satisficing(self):
+        """An accuracy default on the session makes bare SQL approximate."""
+        system = AgentFirstDataSystem(build_db())
+        explorer = system.session(agent_id="explorer", defaults=Brief(accuracy=0.3))
+        ticket = explorer.submit(
+            Probe(queries=("SELECT COUNT(*) FROM sales WHERE amount > 5.0",))
+        )
+        system.gateway.flush()
+        assert ticket.result(timeout=30.0).outcomes[0].status == "approximate"
+        system.gateway.close()
+
+    def test_session_accounting(self):
+        system = AgentFirstDataSystem(build_db())
+        session = system.session(agent_id="bean-counter")
+        tickets = [
+            session.submit(Probe.sql("SELECT COUNT(*) FROM sales")),
+            session.submit(Probe.sql("SELECT COUNT(*) FROM stores")),
+        ]
+        system.gateway.flush()
+        responses = [t.result(timeout=30.0) for t in tickets]
+        assert session.probes_submitted == 2
+        assert session.turns_served == 2
+        assert session.queries_served == 2
+        assert session.rows_processed == sum(r.rows_processed for r in responses)
+        assert session.spent_cost > 0
+        assert session.last_turn == responses[-1].turn
+        assert "bean-counter" in session.describe()
+        system.gateway.close()
+
+
+class TestAsyncSurface:
+    def test_asubmit_and_serve(self):
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in overlapping_probes(4)]
+
+        async def main():
+            system = AgentFirstDataSystem(
+                build_db(), config=SystemConfig(gateway_max_wait=0.005)
+            )
+            session = system.session(agent_id="async-agent")
+            first = await session.asubmit(Probe.sql("SELECT COUNT(*) FROM sales"))
+            assert first.outcomes[0].status == "ok"
+
+            async def arrivals():
+                for probe in overlapping_probes(4):
+                    yield probe
+
+            streamed = [r async for r in system.gateway.serve(arrivals())]
+            system.gateway.close()
+            return streamed
+
+        streamed = asyncio.run(main())
+        # The async-served stream matches serial submission of the same
+        # probes (the asubmit warm-up occupies turn 1, so compare rows and
+        # statuses, which are turn-independent here).
+        assert len(streamed) == 4
+        for serial, async_served in zip(serial_responses, streamed):
+            assert [o.status for o in serial.outcomes] == [
+                o.status for o in async_served.outcomes
+            ]
+            assert [
+                o.result.rows if o.result is not None else None
+                for o in serial.outcomes
+            ] == [
+                o.result.rows if o.result is not None else None
+                for o in async_served.outcomes
+            ]
+
+    def test_serve_propagates_producer_errors(self):
+        """A failing probe producer must surface its exception to the
+        consumer instead of leaving it blocked on the queue forever."""
+
+        async def main():
+            system = AgentFirstDataSystem(
+                build_db(), config=SystemConfig(gateway_max_wait=0.005)
+            )
+
+            async def arrivals():
+                yield Probe.sql("SELECT COUNT(*) FROM sales")
+                raise ValueError("producer broke mid-stream")
+
+            served = []
+            with pytest.raises(ValueError, match="producer broke"):
+                async for response in system.gateway.serve(arrivals()):
+                    served.append(response)
+            system.gateway.close()
+            return served
+
+        served = asyncio.run(asyncio.wait_for(main(), timeout=30.0))
+        # The probe submitted before the failure was still served.
+        assert len(served) == 1
+        assert served[0].outcomes[0].status == "ok"
+
+    def test_serve_accepts_plain_iterables(self):
+        async def main():
+            system = AgentFirstDataSystem(
+                build_db(), config=SystemConfig(gateway_max_wait=0.005)
+            )
+            values = [
+                response.first_result().first_value()
+                async for response in system.gateway.serve(
+                    [
+                        Probe.sql("SELECT COUNT(*) FROM sales"),
+                        Probe.sql("SELECT COUNT(*) FROM stores"),
+                    ]
+                )
+            ]
+            system.gateway.close()
+            return values
+
+        assert asyncio.run(main()) == [900, 3]
+
+
+class TestSharedServingPathsStillDifferential:
+    """The rewired agent runners stream through sessions; their results
+    must still match the old hand-assembled batching exactly."""
+
+    def test_parallel_attempts_unchanged_by_streaming(self):
+        from repro.agents.model import GPT_4O_MINI_SIM
+        from repro.agents.parallel import run_parallel_attempts
+        from repro.workloads.bird import BirdTaskPool
+
+        task = BirdTaskPool(seed=5).generate(1)[0]
+        first = run_parallel_attempts(task, GPT_4O_MINI_SIM, 8, seed=3)
+        again = run_parallel_attempts(task, GPT_4O_MINI_SIM, 8, seed=3)
+        assert [a.sql for a in first.attempts] == [a.sql for a in again.attempts]
+        assert [a.signature for a in first.attempts] == [
+            a.signature for a in again.attempts
+        ]
+        assert first.picked_signature == again.picked_signature
