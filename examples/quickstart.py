@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py
 
 import asyncio
 
-from repro.core import AgentFirstDataSystem, Brief, Probe
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
 from repro.db import Database
 
 
@@ -168,7 +168,26 @@ def main() -> None:
     print("\n== asyncio surface ==")
     asyncio.run(async_swarm())
 
-    # 7. What the system has learned along the way.
+    # 7. Choosing a dispatch backend for the scheduler's speculative
+    #    phase. "thread" (the default) shares this process's catalog and
+    #    cache, but the GIL serialises pure-Python engine work; "process"
+    #    runs each batch's independent engine runs in spawned workers fed
+    #    versioned catalog snapshots — real cores, re-shipped only when a
+    #    write bumps the catalog version. "auto" picks process exactly
+    #    when threads can't parallelise on a multi-core host. Env
+    #    override: REPRO_SCHEDULER_BACKEND; `system.prestart()` warms
+    #    the worker pool ahead of the first batch (`system.close()` is
+    #    its lifecycle pair).
+    tuned = AgentFirstDataSystem(
+        Database("backend-demo"),
+        config=SystemConfig(dispatch_backend="auto"),
+        workers=2,
+    )
+    print("\n== dispatch backend ==")
+    print("auto resolved to:", tuned.prestart(), "on this host")
+    tuned.close()
+
+    # 8. What the system has learned along the way.
     print("\n== agentic memory ==")
     for artifact in system.memory.artifacts_about("stores"):
         print(artifact.describe())

@@ -21,6 +21,14 @@ internally-locked :class:`~repro.engine.executor.SubplanCache`), and
 ``run_decision`` itself may be called concurrently by independent serving
 threads — so the ``history`` / ``lenient_history`` dictionaries are
 guarded by a lock, and the advisor locks internally.
+
+Under the *process* dispatch backend the same engine work crosses a
+process boundary instead: :meth:`speculation_payload` derives the
+picklable ``(plan, sample_rate, seed)`` unit whose worker-side execution
+(:func:`repro.core.dispatch._worker_run`) mirrors
+:meth:`speculative_execute` byte-for-byte against a catalog snapshot of
+the same version. Either way the serial replay feeds results back through
+:meth:`run_decision`, which owns all order-sensitive bookkeeping.
 """
 
 from __future__ import annotations
@@ -126,6 +134,26 @@ class ProbeOptimizer:
             return bool(criterion(results_so_far))
         except Exception:
             return False
+
+    def speculation_payload(self, decision: ExecutionDecision, turn: int):
+        """The picklable form of one speculative engine run.
+
+        Exactly the knobs :meth:`speculative_execute` would use — same
+        plan, same sampling rate, seed-by-turn — with no optimizer,
+        history, or cache references, so the unit can cross a process
+        boundary. The import is local to keep this module free of the
+        dispatch layer at import time (dispatch imports us for
+        :class:`PrecomputedExecution`).
+        """
+        from repro.core.dispatch import SpeculationPayload
+
+        query = decision.query
+        assert query.plan is not None
+        return SpeculationPayload(
+            plan=query.plan,
+            sample_rate=decision.sample_rate,
+            sample_seed=turn,
+        )
 
     def speculative_execute(
         self, decision: ExecutionDecision, turn: int

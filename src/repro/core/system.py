@@ -19,6 +19,13 @@ degenerate window of one.
                       probe scheduler ──────────┐  admission, fairness,
                              │                  │  cross-agent dedup
                              ▼                  │
+            dispatch backend (speculative phase)│
+             thread pool  │  process pool       │
+             (shared GIL) │  (spawned workers,  │
+                          │   versioned catalog │
+                          │   snapshots)        │
+                             │                  │
+                             ▼                  │
     probe interpreter ──> satisficer ──> probe optimizer
                      │                          │
                      ▼                          ▼
@@ -76,6 +83,13 @@ class SystemConfig:
     #: ``None`` -> the ``REPRO_SCHEDULER_WORKERS`` env override, else
     #: ``min(8, os.cpu_count())``; ``1`` keeps dispatch fully serial.
     workers: int | None = None
+    #: Execution substrate for the speculative phase: ``"thread"`` (shared
+    #: catalog, GIL-bound on stock CPython), ``"process"`` (spawned
+    #: workers with versioned catalog snapshots — real cores for
+    #: pure-Python engine work), or ``"auto"`` (process exactly when
+    #: threads cannot parallelise on a multi-core host). ``None`` -> the
+    #: ``REPRO_SCHEDULER_BACKEND`` env override, else ``"thread"``.
+    dispatch_backend: str | None = None
     #: Streaming admission window knobs: the gateway closes a window when
     #: ``gateway_max_batch`` probes are pending or ``gateway_max_wait``
     #: seconds have elapsed since the oldest arrival. ``None`` -> the
@@ -120,6 +134,7 @@ class AgentFirstDataSystem:
             interpreter=self.interpreter,
             optimizer=self.optimizer,
             workers=scheduler_workers,
+            backend=self.config.dispatch_backend,
         )
         self.gateway = ProbeGateway(
             self,
@@ -375,6 +390,36 @@ class AgentFirstDataSystem:
     def _on_change(self, event: ChangeEvent) -> None:
         if event.kind in ("insert", "update", "delete", "create", "drop"):
             self.optimizer.invalidate()
+            # Worker-process snapshots are now stale too. The dispatcher
+            # would notice on next use (it re-checks the catalog version);
+            # retiring eagerly just frees the stale workers sooner.
+            self.scheduler.invalidate_backend()
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    def prestart(self) -> str:
+        """Warm the serving path; returns the resolved dispatch backend.
+
+        For the process backend this spawns the worker pool and ships the
+        catalog snapshot now instead of inside the first batch's serving
+        latency; a no-op for threads. The lifecycle pair of
+        :meth:`close`.
+        """
+        return self.scheduler.prestart()
+
+    def close(self) -> None:
+        """Release serving resources: the gateway's admission loop and the
+        scheduler's dispatch backend (worker processes, if any). Idempotent;
+        ``submit``/``submit_many`` keep working after close — only streamed
+        submission (``session.submit``) requires a live gateway."""
+        self.gateway.close()
+        self.scheduler.close()
+
+    def __enter__(self) -> "AgentFirstDataSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- reporting ---------------------------------------------------------------------------
 

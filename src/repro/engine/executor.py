@@ -15,6 +15,12 @@ agent-first layers above:
 * **Sampling mode** — ``sample_rate < 1`` makes scans Bernoulli-sample
   their input with a seeded RNG and aggregates scale up, implementing the
   approximate execution that satisficing relies on (Sec. 5.2).
+* **Compiled-expression memo** — agent swarms re-ask the same plans for
+  whole sessions; expressions compile once per ``(plan-node strict
+  fingerprint, slot)`` into a process-wide bounded memo instead of once
+  per execution. Only subquery-free expressions are memoized: their
+  closures capture row positions and constants, never executor state, so
+  sharing them across executors, threads, and catalogs is safe.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.engine import aggregates as agg_lib
-from repro.engine.expressions import SubqueryRunner, compile_expr
+from repro.engine.expressions import Compiled, SubqueryRunner, compile_expr
 from repro.engine.result import ExecStats, QueryResult
 from repro.errors import ExecutionError
 from repro.plan import logical
@@ -33,6 +39,33 @@ from repro.sql import nodes
 from repro.storage.catalog import Catalog
 from repro.storage.types import Row, Value, compare_values
 from repro.util.rng import RngStream
+
+#: Subplans smaller than this are cheaper to recompute than to look up —
+#: the default for :attr:`ExecContext.min_cacheable_size`, shared with the
+#: scheduler's dispatch backends so both sides key the cache identically.
+DEFAULT_MIN_CACHEABLE_SIZE = 2
+
+
+def subplan_cache_key(
+    node: logical.PlanNode,
+    sample_rate: float,
+    sample_seed: int,
+    min_cacheable_size: int = DEFAULT_MIN_CACHEABLE_SIZE,
+) -> tuple | None:
+    """The shared-work cache key for one subplan, or None when uncacheable.
+
+    Single source of truth for cache keying: the executor uses it per
+    materialised node, and the process-pool dispatch backend uses it to
+    probe for (and install) whole-unit materialisations. The key includes
+    the sampling rate — and, for sampled runs, the seed — so approximate
+    and exact executions never alias.
+    """
+    digests = fingerprints(node)
+    if digests.size < min_cacheable_size:
+        return None
+    if sample_rate >= 1.0:
+        return (digests.strict, sample_rate)
+    return (digests.strict, sample_rate, sample_seed)
 
 
 class SubplanCache:
@@ -85,6 +118,18 @@ class SubplanCache:
                 self.evictions += 1
             self._entries[key] = rows
 
+    def contains(self, key: tuple | None) -> bool:
+        """Presence probe that observes nothing: no counters, no recency.
+
+        The process-pool dispatch backend uses this to skip shipping units
+        whose materialisation is already cached in-process; the serial
+        replay's own ``get`` then records the hit exactly once.
+        """
+        if key is None:
+            return False
+        with self._lock:
+            return key in self._entries
+
     def counters(self) -> tuple[int, int, int]:
         """A consistent (hits, misses, evictions) snapshot.
 
@@ -111,8 +156,46 @@ class ExecContext:
     sample_seed: int = 0
     cache: SubplanCache | None = None
     #: Subplans smaller than this are cheaper to recompute than to look up.
-    min_cacheable_size: int = 2
+    min_cacheable_size: int = DEFAULT_MIN_CACHEABLE_SIZE
     stats: ExecStats = field(default_factory=ExecStats)
+
+
+@dataclass
+class ExprMemoStats:
+    """Observability counters for the compiled-expression memo.
+
+    Advisory (updates are not synchronised): the regression suite resets
+    them around single-threaded workloads to prove that repeated probes of
+    the same plan stop recompiling identical expression trees.
+    """
+
+    compilations: int = 0
+    hits: int = 0
+
+    def reset(self) -> None:
+        self.compilations = 0
+        self.hits = 0
+
+
+EXPR_MEMO_STATS = ExprMemoStats()
+
+#: Process-wide bounded LRU of compiled expressions, keyed by
+#: (plan-node strict fingerprint, slot). Equal strict fingerprints imply
+#: structurally identical nodes (modulo alias naming, which compilation
+#: erases into row positions), so a memoized closure is interchangeable
+#: with a fresh compile — the same equivalence the subplan cache already
+#: relies on for whole materialisations. Guarded by ``_EXPR_MEMO_LOCK``.
+_EXPR_MEMO: OrderedDict[tuple, Compiled] = OrderedDict()
+_EXPR_MEMO_LOCK = threading.Lock()
+_EXPR_MEMO_MAX = 4096
+
+_SUBQUERY_EXPRS = (nodes.InSubquery, nodes.ScalarSubquery, nodes.Exists)
+
+
+def clear_expr_memo() -> None:
+    """Drop all memoized compiled expressions (test isolation hook)."""
+    with _EXPR_MEMO_LOCK:
+        _EXPR_MEMO.clear()
 
 
 class Executor(SubqueryRunner):
@@ -122,6 +205,40 @@ class Executor(SubqueryRunner):
         self._catalog = catalog
         self.context = context or ExecContext()
         self._estimate_errors: dict[str, float] = {}
+
+    # -- compiled-expression memo ---------------------------------------------
+
+    def _compile(
+        self,
+        node: logical.PlanNode,
+        slot: tuple,
+        expr: nodes.Expr,
+        output: tuple[logical.OutputCol, ...],
+    ) -> Compiled:
+        """Compile ``expr`` (one slot of ``node``) through the shared memo.
+
+        Subquery-bearing expressions are compiled fresh every time: their
+        closures capture this executor (as the subquery runner) and memoise
+        subquery results per compile, neither of which may outlive one
+        execution. Everything else closes over row positions and constants
+        only, and is shared process-wide.
+        """
+        key = (fingerprints(node).strict, slot)
+        with _EXPR_MEMO_LOCK:
+            memoized = _EXPR_MEMO.get(key)
+            if memoized is not None:
+                _EXPR_MEMO.move_to_end(key)
+                EXPR_MEMO_STATS.hits += 1
+                return memoized
+        EXPR_MEMO_STATS.compilations += 1
+        if any(isinstance(n, _SUBQUERY_EXPRS) for n in nodes.walk(expr)):
+            return compile_expr(expr, output, self)
+        compiled = compile_expr(expr, output, None)
+        with _EXPR_MEMO_LOCK:
+            if key not in _EXPR_MEMO and len(_EXPR_MEMO) >= _EXPR_MEMO_MAX:
+                _EXPR_MEMO.popitem(last=False)
+            _EXPR_MEMO[key] = compiled
+        return compiled
 
     # -- public API ----------------------------------------------------------
 
@@ -153,20 +270,22 @@ class Executor(SubqueryRunner):
         cache = self.context.cache
         cache_key: tuple | None = None
         if cache is not None:
-            digests = fingerprints(node)
-            if digests.size >= self.context.min_cacheable_size:
-                rate = self.context.sample_rate
-                if rate >= 1.0:
-                    cache_key = (digests.strict, rate)
-                else:
-                    # Sampled rows depend on the seed: keying on it keeps a
-                    # cached sample from aliasing a different execution's draw.
-                    cache_key = (digests.strict, rate, self.context.sample_seed)
-            cached = cache.get(cache_key)
-            if cached is not None:
-                self.context.stats.cache_hits += 1
-                return cached
-            self.context.stats.cache_misses += 1
+            cache_key = subplan_cache_key(
+                node,
+                self.context.sample_rate,
+                self.context.sample_seed,
+                self.context.min_cacheable_size,
+            )
+            # Sub-threshold subplans (cache_key None) were never cacheable:
+            # skip the lookup entirely — taking the lock and counting a
+            # miss for them inflated the miss counter and serialised
+            # concurrent executions for nothing.
+            if cache_key is not None:
+                cached = cache.get(cache_key)
+                if cached is not None:
+                    self.context.stats.cache_hits += 1
+                    return cached
+                self.context.stats.cache_misses += 1
 
         rows = self._execute_uncached(node)
 
@@ -207,11 +326,15 @@ class Executor(SubqueryRunner):
         table = self._catalog.table(node.table)
         positions = [table.schema.position_of(c) for c in node.columns]
         sampler = self._make_sampler(node.table)
+        # Every input row is scanned and processed whether or not the
+        # sampler keeps it, so the counters batch to the table size.
+        stats = self.context.stats
+        stats.rows_scanned += table.num_rows
+        stats.rows_processed += table.num_rows
         rows: list[Row] = []
+        rate = self.context.sample_rate
         for row in table.scan():
-            self.context.stats.rows_scanned += 1
-            self.context.stats.rows_processed += 1
-            if sampler is not None and not sampler.bernoulli(self.context.sample_rate):
+            if sampler is not None and not sampler.bernoulli(rate):
                 continue
             rows.append(tuple(row[p] for p in positions))
         return rows
@@ -236,11 +359,13 @@ class Executor(SubqueryRunner):
                 node.low, node.high, node.low_inclusive, node.high_inclusive
             )
         sampler = self._make_sampler(node.table)
+        stats = self.context.stats
+        stats.rows_scanned += len(row_ids)
+        stats.rows_processed += len(row_ids)
         rows: list[Row] = []
+        rate = self.context.sample_rate
         for row_id in row_ids:
-            self.context.stats.rows_scanned += 1
-            self.context.stats.rows_processed += 1
-            if sampler is not None and not sampler.bernoulli(self.context.sample_rate):
+            if sampler is not None and not sampler.bernoulli(rate):
                 continue
             row = table.get(row_id)
             rows.append(tuple(row[p] for p in positions))
@@ -255,10 +380,12 @@ class Executor(SubqueryRunner):
 
     def _exec_filter(self, node: logical.Filter) -> list[Row]:
         child_rows = self._execute(node.child)
-        predicate = compile_expr(node.predicate, node.child.output, self)
+        predicate = self._compile(node, ("filter",), node.predicate, node.child.output)
+        # The loop touches exactly len(child_rows) rows: batch the counter
+        # once instead of chasing self.context.stats per row.
+        self.context.stats.rows_processed += len(child_rows)
         out: list[Row] = []
         for row in child_rows:
-            self.context.stats.rows_processed += 1
             value = predicate(row)
             if value is not None and value is not False and value != 0:
                 out.append(row)
@@ -266,27 +393,34 @@ class Executor(SubqueryRunner):
 
     def _exec_project(self, node: logical.Project) -> list[Row]:
         child_rows = self._execute(node.child)
-        compiled = [compile_expr(e, node.child.output, self) for e in node.exprs]
-        out: list[Row] = []
-        for row in child_rows:
-            self.context.stats.rows_processed += 1
-            out.append(tuple(fn(row) for fn in compiled))
-        return out
+        compiled = [
+            self._compile(node, ("project", i), e, node.child.output)
+            for i, e in enumerate(node.exprs)
+        ]
+        self.context.stats.rows_processed += len(child_rows)
+        return [tuple(fn(row) for fn in compiled) for row in child_rows]
 
     def _exec_hash_join(self, node: logical.HashJoin) -> list[Row]:
         left_rows = self._execute(node.left)
         right_rows = self._execute(node.right)
-        left_keys = [compile_expr(k, node.left.output, self) for k in node.left_keys]
-        right_keys = [compile_expr(k, node.right.output, self) for k in node.right_keys]
+        left_keys = [
+            self._compile(node, ("hj-left", i), k, node.left.output)
+            for i, k in enumerate(node.left_keys)
+        ]
+        right_keys = [
+            self._compile(node, ("hj-right", i), k, node.right.output)
+            for i, k in enumerate(node.right_keys)
+        ]
         residual = (
-            compile_expr(node.residual, node.output, self)
+            self._compile(node, ("hj-residual",), node.residual, node.output)
             if node.residual is not None
             else None
         )
+        # Build touches every left row, probe every right row.
+        self.context.stats.rows_processed += len(left_rows) + len(right_rows)
 
         build: dict[tuple, list[int]] = {}
         for position, row in enumerate(left_rows):
-            self.context.stats.rows_processed += 1
             key = tuple(fn(row) for fn in left_keys)
             if any(part is None for part in key):
                 continue
@@ -295,7 +429,6 @@ class Executor(SubqueryRunner):
         matched_left: set[int] = set()
         out: list[Row] = []
         for row in right_rows:
-            self.context.stats.rows_processed += 1
             key = tuple(fn(row) for fn in right_keys)
             if any(part is None for part in key):
                 continue
@@ -323,16 +456,17 @@ class Executor(SubqueryRunner):
         left_rows = self._execute(node.left)
         right_rows = self._execute(node.right)
         condition = (
-            compile_expr(node.condition, node.output, self)
+            self._compile(node, ("nl-cond",), node.condition, node.output)
             if node.condition is not None
             else None
         )
         out: list[Row] = []
         null_pad = (None,) * len(node.right.output)
+        # The inner loop runs once per (left, right) pair unconditionally.
+        self.context.stats.rows_processed += len(left_rows) * len(right_rows)
         for left_row in left_rows:
             matched = False
             for right_row in right_rows:
-                self.context.stats.rows_processed += 1
                 combined = left_row + right_row
                 if condition is not None:
                     verdict = condition(combined)
@@ -346,15 +480,29 @@ class Executor(SubqueryRunner):
 
     def _exec_aggregate(self, node: logical.Aggregate) -> list[Row]:
         child_rows = self._execute(node.child)
-        group_fns = [compile_expr(e, node.child.output, self) for e in node.group_exprs]
+        group_fns = [
+            self._compile(node, ("group", i), e, node.child.output)
+            for i, e in enumerate(node.group_exprs)
+        ]
+
+        # Accumulator argument expressions route through the memo too:
+        # they recompile per *group* today, so hot group-bys pay the most.
+        arg_slots = {
+            id(arg): ("agg-arg", call_index, arg_index)
+            for call_index, call in enumerate(node.agg_calls)
+            for arg_index, arg in enumerate(call.args)
+        }
 
         def compile_arg(expr: nodes.Expr):
-            return compile_expr(expr, node.child.output, self)
+            slot = arg_slots.get(id(expr))
+            if slot is None:  # not a declared argument: compile directly
+                return compile_expr(expr, node.child.output, self)
+            return self._compile(node, slot, expr, node.child.output)
 
+        self.context.stats.rows_processed += len(child_rows)
         groups: dict[tuple, list[agg_lib.Accumulator]] = {}
         order: list[tuple] = []
         for row in child_rows:
-            self.context.stats.rows_processed += 1
             key = tuple(fn(row) for fn in group_fns)
             accumulators = groups.get(key)
             if accumulators is None:
@@ -393,8 +541,8 @@ class Executor(SubqueryRunner):
     def _exec_sort(self, node: logical.Sort) -> list[Row]:
         child_rows = self._execute(node.child)
         compiled = [
-            (compile_expr(expr, node.child.output, self), ascending)
-            for expr, ascending in node.keys
+            (self._compile(node, ("sort", i), expr, node.child.output), ascending)
+            for i, (expr, ascending) in enumerate(node.keys)
         ]
         self.context.stats.rows_processed += len(child_rows)
 
@@ -415,10 +563,10 @@ class Executor(SubqueryRunner):
 
     def _exec_distinct(self, node: logical.Distinct) -> list[Row]:
         child_rows = self._execute(node.child)
+        self.context.stats.rows_processed += len(child_rows)
         seen: set[Row] = set()
         out: list[Row] = []
         for row in child_rows:
-            self.context.stats.rows_processed += 1
             if row not in seen:
                 seen.add(row)
                 out.append(row)

@@ -34,6 +34,24 @@ class OutputCol:
 class PlanNode:
     """Base class for logical operators."""
 
+    # -- serialization -----------------------------------------------------
+    #
+    # Plans cross process boundaries (the scheduler's process-pool dispatch
+    # backend pickles them into worker payloads). The fingerprint memo that
+    # :func:`repro.plan.fingerprint.fingerprints` caches on each node is
+    # content-derived and cheap to rebuild, so it is stripped from the
+    # pickled state: payloads stay small and receivers re-memoize lazily.
+    # Frozen dataclass subclasses unpickle fine through ``__setstate__``'s
+    # direct ``__dict__`` update — it bypasses the frozen ``__setattr__``.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_fingerprint_memo", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def output(self) -> tuple[OutputCol, ...]:
         raise NotImplementedError

@@ -1,24 +1,56 @@
 """The catalog: named tables, their indexes, and cached statistics.
 
 The catalog is the unit the database facade and the branched transaction
-manager both wrap. It tracks two version counters used by the agentic memory
-store's staleness machinery (paper Sec. 6.1):
+manager both wrap. It tracks version counters used by the agentic memory
+store's staleness machinery (paper Sec. 6.1) and by the scheduler's
+process-pool dispatch backend (which ships whole-catalog snapshots to
+worker processes and must know when they go stale):
 
 * ``schema_version`` — bumped on CREATE/DROP/ALTER-like changes;
-* per-table ``data_version`` — bumped by the table on every DML.
+* ``data_epoch`` — bumped by every catalog-mediated write, including
+  whole-table swaps (branch checkout via :meth:`replace_table`);
+* per-table ``data_version`` — bumped by the table on every DML, even
+  when the mutation bypasses the catalog.
+
+:meth:`version` folds all three into one comparable value, so a snapshot
+consumer can detect *any* change — schema, catalog-mediated DML, table
+swaps, or direct table mutation — with a single equality check.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import CatalogError
 from repro.storage.indexes import HashIndex, SortedIndex
 from repro.storage.schema import TableSchema
 from repro.storage.statistics import TableStats, compute_table_stats
-from repro.storage.table import Table
+from repro.storage.table import Table, TableSnapshot
 from repro.storage.types import Value
 from repro.util.text import normalize_identifier
+
+
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """A complete, picklable image of a catalog at one version.
+
+    Tables carry their full chunk state (:class:`TableSnapshot`); indexes
+    travel as *definitions* only — their contents are derivable, and
+    rebuilding them at restore time is cheaper than pickling value->row-id
+    maps. ``version`` records the source catalog's :meth:`Catalog.version`
+    so consumers (the process-pool dispatch backend) can tell when a
+    shipped snapshot no longer matches the live catalog.
+    """
+
+    version: tuple
+    tables: tuple[TableSnapshot, ...]
+    hash_indexes: tuple[tuple[str, str], ...]
+    sorted_indexes: tuple[tuple[str, str], ...]
+
+    @property
+    def num_rows(self) -> int:
+        return sum(table.num_rows for table in self.tables)
 
 
 class Catalog:
@@ -30,6 +62,58 @@ class Catalog:
         self._sorted_indexes: dict[tuple[str, str], SortedIndex] = {}
         self._stats_cache: dict[str, tuple[int, TableStats]] = {}
         self.schema_version = 0
+        #: Bumped by every catalog-mediated write path (DML helpers and
+        #: whole-table swaps); one input to :meth:`version`.
+        self.data_epoch = 0
+
+    # -- versioning ----------------------------------------------------------
+
+    def version(self) -> tuple:
+        """One comparable value covering every observable catalog state.
+
+        Includes per-table ``data_version`` counters so even writes that
+        bypass the catalog (direct ``Table.insert``/``update``/``delete``)
+        change the version. The process-pool dispatch backend compares
+        versions to decide whether its shipped worker snapshots are still
+        valid; cost is O(#tables) per check.
+        """
+        return (
+            self.schema_version,
+            self.data_epoch,
+            tuple(sorted((key, t.data_version) for key, t in self._tables.items())),
+        )
+
+    # -- whole-catalog snapshots ----------------------------------------------
+
+    def snapshot(self) -> CatalogSnapshot:
+        """Capture every table (chunk-shared) plus index definitions."""
+        return CatalogSnapshot(
+            version=self.version(),
+            tables=tuple(t.snapshot_state() for t in self._tables.values()),
+            hash_indexes=tuple(
+                (index.table, index.column) for index in self._hash_indexes.values()
+            ),
+            sorted_indexes=tuple(
+                (index.table, index.column) for index in self._sorted_indexes.values()
+            ),
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: CatalogSnapshot) -> "Catalog":
+        """Rebuild a catalog (tables + indexes) from a snapshot.
+
+        Index contents are rebuilt by scanning the restored tables; row
+        ids are part of the snapshot, so lookups return exactly what the
+        source catalog's indexes would.
+        """
+        catalog = cls()
+        for state in snapshot.tables:
+            catalog.register_table(Table.restore(state))
+        for table_name, column in snapshot.hash_indexes:
+            catalog.create_hash_index(table_name, column)
+        for table_name, column in snapshot.sorted_indexes:
+            catalog.create_sorted_index(table_name, column)
+        return catalog
 
     # -- table lifecycle -----------------------------------------------------
 
@@ -63,11 +147,17 @@ class Catalog:
         self.schema_version += 1
 
     def replace_table(self, table: Table) -> None:
-        """Swap in a new table object under the same name (branch checkout)."""
+        """Swap in a new table object under the same name (branch checkout).
+
+        Bumps ``data_epoch``: the swapped-in table may carry any
+        ``data_version``, so per-table counters alone cannot signal this
+        change to snapshot consumers.
+        """
         key = normalize_identifier(table.schema.name)
         self._tables[key] = table
         self._stats_cache.pop(key, None)
         self._rebuild_indexes_for(key)
+        self.data_epoch += 1
 
     # -- lookups ---------------------------------------------------------------
 
@@ -96,6 +186,7 @@ class Catalog:
             for row_id in row_ids:
                 self._index_row(key, table, row_id, add=True)
         self._stats_cache.pop(key, None)
+        self.data_epoch += 1
         return row_ids
 
     def update_row(self, name: str, row_id: int, values: Iterable[Value]) -> None:
@@ -107,6 +198,7 @@ class Catalog:
         if self._indexed_columns(key):
             self._index_row(key, table, row_id, add=True)
         self._stats_cache.pop(key, None)
+        self.data_epoch += 1
 
     def delete_row(self, name: str, row_id: int) -> None:
         table = self.table(name)
@@ -115,6 +207,7 @@ class Catalog:
             self._index_row(key, table, row_id, add=False)
         table.delete(row_id)
         self._stats_cache.pop(key, None)
+        self.data_epoch += 1
 
     # -- indexes -----------------------------------------------------------------
 

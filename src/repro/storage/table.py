@@ -36,6 +36,28 @@ class Chunk:
         return len(self.rows)
 
 
+@dataclass(frozen=True)
+class TableSnapshot:
+    """One table's complete state as an immutable, picklable value.
+
+    Everything inside is tuples of plain values, so a snapshot crosses
+    process boundaries intact — the scheduler's process-pool dispatch
+    backend ships these to worker processes, and the branched transaction
+    manager keeps them as fork/merge baselines. Within one process,
+    restoring shares all chunk storage with the source table (chunks are
+    immutable); across processes, pickling copies it exactly once.
+    """
+
+    schema: TableSchema
+    chunks: tuple[Chunk, ...]
+    next_row_id: int
+    data_version: int
+
+    @property
+    def num_rows(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks)
+
+
 class Table:
     """A mutable table facade over immutable chunks.
 
@@ -56,6 +78,22 @@ class Table:
     def snapshot(self) -> tuple[Chunk, ...]:
         """Return the current chunk list; shares all row storage."""
         return tuple(self._chunks)
+
+    def snapshot_state(self) -> TableSnapshot:
+        """The table's complete state as one immutable, picklable value."""
+        return TableSnapshot(
+            schema=self.schema,
+            chunks=tuple(self._chunks),
+            next_row_id=self._next_row_id,
+            data_version=self.data_version,
+        )
+
+    @classmethod
+    def restore(cls, state: TableSnapshot) -> "Table":
+        """Rebuild a table from :meth:`snapshot_state` output."""
+        return cls.from_snapshot(
+            state.schema, state.chunks, state.next_row_id, state.data_version
+        )
 
     @classmethod
     def from_snapshot(

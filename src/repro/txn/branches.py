@@ -17,23 +17,12 @@ chunk-shared copy-on-write storage:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.db.database import ChangeEvent, Database
 from repro.errors import BranchNotFound, TransactionError
-from repro.storage.table import Chunk, Table
+from repro.storage.table import Table, TableSnapshot
 from repro.storage.types import Value
 from repro.txn.merge import MergeResult, detect_conflicts, ensure_mergeable, replay
 from repro.txn.write_log import WriteLog, WriteOp
-
-
-@dataclass(frozen=True)
-class _TableVersion:
-    """Immutable snapshot of one table's storage."""
-
-    chunks: tuple[Chunk, ...]
-    next_row_id: int
-    data_version: int
 
 
 class Branch:
@@ -82,15 +71,10 @@ class Branch:
 
     # -- snapshots -----------------------------------------------------------------
 
-    def snapshot(self) -> dict[str, _TableVersion]:
-        versions: dict[str, _TableVersion] = {}
+    def snapshot(self) -> dict[str, TableSnapshot]:
+        versions: dict[str, TableSnapshot] = {}
         for name in self.db.table_names():
-            table = self.db.catalog.table(name)
-            versions[name.lower()] = _TableVersion(
-                chunks=table.snapshot(),
-                next_row_id=table.next_row_id,
-                data_version=table.data_version,
-            )
+            versions[name.lower()] = self.db.catalog.table(name).snapshot_state()
         return versions
 
     def writes_since_fork(self) -> set[tuple[str, int]]:
@@ -154,13 +138,13 @@ class BranchManager:
         child_db = Database(new_name)
         for name in parent.db.table_names():
             table = parent.db.catalog.table(name)
-            clone = Table.from_snapshot(
-                table.schema,
-                table.snapshot(),
-                table.next_row_id,
-                table.data_version,
-            )
-            child_db.catalog.register_table(clone)
+            # Chunk-shared restore: the clone references the parent's
+            # immutable chunks until either side rewrites one (COW). All
+            # branch write paths go through the catalog DML helpers, so
+            # they bump the child catalog's data_epoch/version — which is
+            # what invalidates any process-pool worker snapshots shipped
+            # from a branch's database.
+            child_db.catalog.register_table(Table.restore(table.snapshot_state()))
         child = Branch(new_name, child_db, parent=parent.name)
         child.fork_point = len(parent.log)
         self._branches[key] = child

@@ -1,0 +1,334 @@
+"""Process-pool dispatch backend: differential + lifecycle tests.
+
+The contract mirrors the thread backend's: at any worker count, on any
+backend, ``submit_many`` answers are byte-identical to serial ``submit``
+on an identically-fresh system — speculation only moves engine work onto
+other cores, never changes an answer, a status, or an attribution. On top
+of that, the process backend's pool lifecycle must be economical (one
+snapshot ship per catalog version, reuse across batches) and resilient
+(any pool failure falls back to in-process execution mid-batch).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from repro.core.dispatch import (
+    BACKEND_ENV_VAR,
+    ProcessDispatcher,
+    resolve_backend,
+    threads_can_parallelise,
+)
+from repro.db import Database
+
+
+def build_db() -> Database:
+    db = Database("dispatch")
+    db.execute("CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)")
+    db.execute(
+        "CREATE TABLE sales (id INT, store_id INT, product TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'),(3,'Seattle','Washington')"
+    )
+    db.insert_rows(
+        "sales",
+        [
+            (i, 1 + i % 3, "coffee" if i % 2 else "tea", float(i % 40))
+            for i in range(900)
+        ],
+    )
+    return db
+
+
+SHARED_JOIN = (
+    "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+    " ON s.id = x.store_id GROUP BY s.city"
+)
+
+
+def overlapping_probes(n: int) -> list[Probe]:
+    return [
+        Probe(
+            queries=(
+                SHARED_JOIN,
+                f"SELECT COUNT(*) FROM sales WHERE store_id = {1 + agent % 2}",
+            ),
+            brief=Brief(goal="compute the exact answer"),
+            agent_id=f"agent-{agent}",
+        )
+        for agent in range(n)
+    ]
+
+
+def process_system(db: Database | None = None, workers: int = 2, **config_kwargs):
+    config = SystemConfig(dispatch_backend="process", **config_kwargs)
+    return AgentFirstDataSystem(db or build_db(), config=config, workers=workers)
+
+
+def assert_same_outcomes(serial_responses, batch_responses):
+    assert len(serial_responses) == len(batch_responses)
+    for serial, batch in zip(serial_responses, batch_responses):
+        assert serial.turn == batch.turn
+        assert [o.sql for o in serial.outcomes] == [o.sql for o in batch.outcomes]
+        assert [o.status for o in serial.outcomes] == [
+            o.status for o in batch.outcomes
+        ]
+        assert [o.reason for o in serial.outcomes] == [
+            o.reason for o in batch.outcomes
+        ]
+        for serial_outcome, batch_outcome in zip(serial.outcomes, batch.outcomes):
+            serial_rows = serial_outcome.result.rows if serial_outcome.result else None
+            batch_rows = batch_outcome.result.rows if batch_outcome.result else None
+            assert serial_rows == batch_rows
+
+
+class TestBackendResolution:
+    def test_explicit_values(self):
+        assert resolve_backend("thread") == "thread"
+        assert resolve_backend("process") == "process"
+        assert resolve_backend("PROCESS") == "process"
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "thread"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        assert resolve_backend(None) == "process"
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        assert resolve_backend("thread") == "thread"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown dispatch backend"):
+            resolve_backend("fibers")
+
+    def test_auto_matches_host_capability(self):
+        resolved = resolve_backend("auto")
+        multicore = (os.cpu_count() or 1) > 1
+        expected = "process" if multicore and not threads_can_parallelise() else "thread"
+        assert resolved == expected
+
+    def test_workers_one_never_builds_a_dispatcher(self):
+        system = process_system(workers=1)
+        assert system.scheduler._dispatcher is None
+        system.submit_many(overlapping_probes(4))  # serial loop, no pool
+        assert system.scheduler.speculative_executions == 0
+
+
+class TestProcessDifferential:
+    """Serial vs process-backend batch, over the scenarios that exercise
+    every replay interaction (history, pruning, errors, termination,
+    sampling, MQO-off)."""
+
+    def test_exact_overlapping(self):
+        probes = overlapping_probes(8)
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        with process_system() as system:
+            batch_responses = system.submit_many(probes)
+            assert system.scheduler._dispatcher.units_dispatched > 0
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    def test_errors_and_pruning(self):
+        probes = [
+            Probe.sql("SELECT * FROM ghost_table"),
+            Probe(
+                queries=(
+                    "SELECT COUNT(*) FROM sales",
+                    "SELECT COUNT(*) FROM stores",
+                ),
+                brief=Brief(goal="exact answer", complete_k_of_n=1),
+            ),
+            Probe.sql("SELECT COUNT(*) FROM sales"),
+        ]
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        with process_system() as system:
+            batch_responses = system.submit_many(probes)
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    def test_engine_error_surfaces_identically(self):
+        probes = [
+            Probe.sql("SELECT 1 / (id - id) FROM stores"),
+            Probe.sql("SELECT COUNT(*) FROM sales"),
+        ]
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        with process_system() as system:
+            batch_responses = system.submit_many(probes)
+        assert_same_outcomes(serial_responses, batch_responses)
+        assert batch_responses[0].outcomes[0].status == "error"
+        assert "division by zero" in batch_responses[0].outcomes[0].reason
+
+    def test_termination_discards_speculative_work(self):
+        class Counting:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, results):
+                self.calls += 1
+                return self.calls >= 2
+
+        def make_probes(criteria):
+            return [
+                Probe(
+                    queries=(
+                        "SELECT COUNT(*) FROM sales WHERE product = 'coffee'",
+                        "SELECT COUNT(*) FROM sales WHERE product = 'tea'",
+                        "SELECT COUNT(*) FROM stores",
+                    ),
+                    termination=criterion,
+                    agent_id=f"agent-{i}",
+                )
+                for i, criterion in enumerate(criteria)
+            ]
+
+        serial_criteria = [Counting() for _ in range(3)]
+        batch_criteria = [Counting() for _ in range(3)]
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [
+            serial_system.submit(p) for p in make_probes(serial_criteria)
+        ]
+        with process_system() as system:
+            batch_responses = system.submit_many(make_probes(batch_criteria))
+        assert_same_outcomes(serial_responses, batch_responses)
+        assert [c.calls for c in serial_criteria] == [
+            c.calls for c in batch_criteria
+        ]
+
+    def test_sampled_exploration_draws_identical_rows(self):
+        probes = [
+            Probe(
+                queries=(
+                    "SELECT COUNT(*) FROM sales WHERE amount > 5.0",
+                    "SELECT product FROM sales WHERE amount > 5.0",
+                ),
+                brief=Brief(accuracy=0.3),
+                agent_id=f"explorer-{i}",
+            )
+            for i in range(4)
+        ]
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        with process_system() as system:
+            batch_responses = system.submit_many(probes)
+        assert any(
+            o.status == "approximate" for r in batch_responses for o in r.outcomes
+        )
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    def test_mqo_disabled_accounts_identical_row_totals(self):
+        """No cache anywhere — including in the workers: the process
+        backend must not smuggle sharing into the ablation baseline."""
+        probes = overlapping_probes(4)
+        serial_system = AgentFirstDataSystem(
+            build_db(), config=SystemConfig(enable_mqo=False)
+        )
+        serial_responses = [serial_system.submit(p) for p in probes]
+        with process_system(enable_mqo=False) as system:
+            batch_responses = system.submit_many(probes)
+        assert_same_outcomes(serial_responses, batch_responses)
+        assert sum(r.rows_processed for r in batch_responses) == sum(
+            r.rows_processed for r in serial_responses
+        )
+
+
+class TestPoolLifecycle:
+    def test_snapshot_ships_once_and_pool_reused_across_batches(self):
+        with process_system() as system:
+            dispatcher = system.scheduler._dispatcher
+            system.submit_many(overlapping_probes(6))
+            assert dispatcher.snapshot_ships == 1
+            assert dispatcher.units_dispatched == 3  # join + two filters
+            # Repeat batch: history answers everything, nothing ships,
+            # and the pool (with its snapshot) is untouched.
+            system.submit_many(overlapping_probes(6))
+            assert dispatcher.snapshot_ships == 1
+            assert dispatcher.units_dispatched == 3
+
+    def test_write_invalidates_snapshot_and_reships(self):
+        with process_system() as system:
+            dispatcher = system.scheduler._dispatcher
+            system.submit_many(overlapping_probes(4))
+            assert dispatcher.snapshot_ships == 1
+            system.db.execute("INSERT INTO stores VALUES (4,'Austin','Texas')")
+            responses = system.submit_many(overlapping_probes(4))
+            assert dispatcher.snapshot_ships == 2
+            # The re-shipped snapshot sees the write.
+            serial_system = AgentFirstDataSystem(build_db())
+            serial_system.db.execute("INSERT INTO stores VALUES (4,'Austin','Texas')")
+            serial_responses = [
+                serial_system.submit(p) for p in overlapping_probes(4)
+            ]
+            for serial, batch in zip(serial_responses, responses):
+                for a, b in zip(serial.outcomes, batch.outcomes):
+                    assert (a.result.rows if a.result else None) == (
+                        b.result.rows if b.result else None
+                    )
+
+    def test_cached_units_are_not_reshipped(self):
+        """With history off, repeat batches re-select every unit — but
+        units whose materialisation already sits in the in-process cache
+        must not cross the process boundary again."""
+        with process_system(enable_history=False) as system:
+            dispatcher = system.scheduler._dispatcher
+            system.submit_many(overlapping_probes(4))
+            shipped_first = dispatcher.units_dispatched
+            assert shipped_first > 0
+            responses = system.submit_many(overlapping_probes(4))
+            assert dispatcher.units_dispatched == shipped_first  # all cache-resident
+            assert all(
+                outcome.status == "ok"
+                for response in responses
+                for outcome in response.outcomes
+            )
+
+    def test_prestart_spawns_pool_before_first_batch(self):
+        with process_system() as system:
+            assert system.prestart() == "process"
+            dispatcher = system.scheduler._dispatcher
+            assert dispatcher.snapshot_ships == 1
+            system.submit_many(overlapping_probes(4))
+            assert dispatcher.snapshot_ships == 1  # first batch reused it
+
+    def test_pool_failure_falls_back_to_threads_mid_batch(self, monkeypatch):
+        probes = overlapping_probes(6)
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        with process_system() as system:
+            dispatcher = system.scheduler._dispatcher
+
+            def broken_run(*args, **kwargs):
+                raise RuntimeError("pool exploded")
+
+            monkeypatch.setattr(dispatcher, "run", broken_run)
+            batch_responses = system.submit_many(probes)
+            # Fallback executed on threads: same answers, pool retired.
+            assert dispatcher._pool is None
+            assert system.scheduler.speculative_executions == 3
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    def test_close_is_idempotent_and_serving_survives(self):
+        system = process_system()
+        system.submit_many(overlapping_probes(4))
+        system.close()
+        system.close()
+        assert system.scheduler._dispatcher._pool is None
+        # Post-close batches rebuild what they need.
+        responses = system.submit_many(overlapping_probes(4))
+        assert all(o.executed or o.status == "from_history"
+                   for r in responses for o in r.outcomes)
+        system.close()
+
+    def test_dispatcher_retire_without_pool_is_safe(self):
+        dispatcher = ProcessDispatcher(workers=2)
+        dispatcher.retire()
+        dispatcher.retire()
+        assert dispatcher.snapshot_ships == 0

@@ -478,3 +478,333 @@ class TestSubplanCacheLru:
         assert cache.evictions == 0
         assert cache.get(("a", 1.0)) == [(9,)]
         assert cache.get(("b", 1.0)) == [(2,)]
+
+
+class TestSubThresholdCacheLookup:
+    """Sub-threshold subplans (size < min_cacheable_size) were never
+    cacheable, yet ``_execute`` used to call ``cache.get(None)`` for each
+    of them — taking the lock and inflating the miss counter. The lookup
+    must be skipped entirely when the cache key is None."""
+
+    def cacheable_count(self, db, sql):
+        from repro.engine.executor import DEFAULT_MIN_CACHEABLE_SIZE
+        from repro.plan.fingerprint import fingerprints
+
+        plan = db.plan_select(sql)
+        return sum(
+            1
+            for node in plan.walk()
+            if fingerprints(node).size >= DEFAULT_MIN_CACHEABLE_SIZE
+        )
+
+    def test_miss_counter_counts_only_cacheable_subplans(self, sales_db):
+        from repro.engine.executor import SubplanCache
+
+        sql = "SELECT city FROM stores WHERE state = 'CA'"
+        cacheable = self.cacheable_count(sales_db, sql)
+        plan_size = sales_db.plan_select(sql).node_count()
+        assert cacheable < plan_size  # the corpus includes a bare scan
+
+        cache = SubplanCache()
+        sales_db.execute(sql, cache=cache)
+        hits, misses, _ = cache.counters()
+        assert (hits, misses) == (0, cacheable)
+
+    def test_repeat_execution_hits_only_the_root(self, sales_db):
+        from repro.engine.executor import SubplanCache
+
+        sql = "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x" \
+              " ON s.id = x.store_id GROUP BY s.city"
+        cache = SubplanCache()
+        first = sales_db.execute(sql, cache=cache)
+        _, misses_after_first, _ = cache.counters()
+        assert misses_after_first == self.cacheable_count(sales_db, sql)
+        second = sales_db.execute(sql, cache=cache)
+        hits, misses, _ = cache.counters()
+        # Root hit short-circuits the whole tree: one hit, no new misses.
+        assert (hits, misses) == (1, misses_after_first)
+        assert second.rows == first.rows
+
+    def test_uncacheable_rows_never_stored(self, sales_db):
+        from repro.engine.executor import SubplanCache
+
+        cache = SubplanCache()
+        sales_db.execute("SELECT city FROM stores WHERE state = 'CA'", cache=cache)
+        assert cache.contains(None) is False
+        assert len(cache) == cache.counters()[1]  # one entry per miss
+
+
+class TestHoistedCounterEquivalence:
+    """The hot loops batch ``rows_processed`` increments (filter, project,
+    distinct, scans, joins, aggregate count exactly their input sizes).
+    This differential pins the new accounting to the seed's per-row
+    accounting, reimplemented verbatim below."""
+
+    CORPUS = [
+        "SELECT city FROM stores WHERE state = 'CA'",
+        "SELECT city, opened + 1 FROM stores",
+        "SELECT DISTINCT product FROM sales",
+        "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+        " ON s.id = x.store_id GROUP BY s.city",
+        "SELECT s.city, x.amount FROM stores s LEFT JOIN sales x"
+        " ON s.id = x.store_id",
+        "SELECT s.city FROM stores s JOIN sales x ON s.id < x.store_id",
+        "SELECT product, COUNT(*), SUM(amount) FROM sales GROUP BY product",
+        "SELECT city FROM stores ORDER BY city DESC LIMIT 3",
+        "SELECT COUNT(*) FROM sales WHERE amount > 10.0",
+    ]
+
+    def legacy_executor(self, catalog, context):
+        """The seed's per-row accounting, as a differential baseline."""
+        from repro.engine import aggregates as agg_lib
+        from repro.engine.executor import Executor
+        from repro.engine.expressions import compile_expr
+        from repro.storage.types import Row
+
+        class LegacyExecutor(Executor):
+            def _exec_scan(self, node):
+                table = self._catalog.table(node.table)
+                positions = [table.schema.position_of(c) for c in node.columns]
+                sampler = self._make_sampler(node.table)
+                rows: list[Row] = []
+                for row in table.scan():
+                    self.context.stats.rows_scanned += 1
+                    self.context.stats.rows_processed += 1
+                    if sampler is not None and not sampler.bernoulli(
+                        self.context.sample_rate
+                    ):
+                        continue
+                    rows.append(tuple(row[p] for p in positions))
+                return rows
+
+            def _exec_filter(self, node):
+                child_rows = self._execute(node.child)
+                predicate = compile_expr(node.predicate, node.child.output, self)
+                out: list[Row] = []
+                for row in child_rows:
+                    self.context.stats.rows_processed += 1
+                    value = predicate(row)
+                    if value is not None and value is not False and value != 0:
+                        out.append(row)
+                return out
+
+            def _exec_project(self, node):
+                child_rows = self._execute(node.child)
+                compiled = [
+                    compile_expr(e, node.child.output, self) for e in node.exprs
+                ]
+                out: list[Row] = []
+                for row in child_rows:
+                    self.context.stats.rows_processed += 1
+                    out.append(tuple(fn(row) for fn in compiled))
+                return out
+
+            def _exec_hash_join(self, node):
+                left_rows = self._execute(node.left)
+                right_rows = self._execute(node.right)
+                left_keys = [
+                    compile_expr(k, node.left.output, self) for k in node.left_keys
+                ]
+                right_keys = [
+                    compile_expr(k, node.right.output, self) for k in node.right_keys
+                ]
+                residual = (
+                    compile_expr(node.residual, node.output, self)
+                    if node.residual is not None
+                    else None
+                )
+                build: dict[tuple, list[int]] = {}
+                for position, row in enumerate(left_rows):
+                    self.context.stats.rows_processed += 1
+                    key = tuple(fn(row) for fn in left_keys)
+                    if any(part is None for part in key):
+                        continue
+                    build.setdefault(key, []).append(position)
+                matched_left: set[int] = set()
+                out: list[Row] = []
+                for row in right_rows:
+                    self.context.stats.rows_processed += 1
+                    key = tuple(fn(row) for fn in right_keys)
+                    if any(part is None for part in key):
+                        continue
+                    for position in build.get(key, ()):
+                        combined = left_rows[position] + row
+                        if residual is not None:
+                            verdict = residual(combined)
+                            if verdict is None or verdict is False or verdict == 0:
+                                continue
+                        matched_left.add(position)
+                        out.append(combined)
+                if node.kind == "LEFT":
+                    null_pad = (None,) * len(node.right.output)
+                    out.extend(
+                        left_rows[i] + null_pad
+                        for i in range(len(left_rows))
+                        if i not in matched_left
+                    )
+                return out
+
+            def _exec_nested_loop(self, node):
+                left_rows = self._execute(node.left)
+                right_rows = self._execute(node.right)
+                condition = (
+                    compile_expr(node.condition, node.output, self)
+                    if node.condition is not None
+                    else None
+                )
+                out: list[Row] = []
+                null_pad = (None,) * len(node.right.output)
+                for left_row in left_rows:
+                    matched = False
+                    for right_row in right_rows:
+                        self.context.stats.rows_processed += 1
+                        combined = left_row + right_row
+                        if condition is not None:
+                            verdict = condition(combined)
+                            if verdict is None or verdict is False or verdict == 0:
+                                continue
+                        matched = True
+                        out.append(combined)
+                    if node.kind == "LEFT" and not matched:
+                        out.append(left_row + null_pad)
+                return out
+
+            def _exec_aggregate(self, node):
+                child_rows = self._execute(node.child)
+                group_fns = [
+                    compile_expr(e, node.child.output, self)
+                    for e in node.group_exprs
+                ]
+
+                def compile_arg(expr):
+                    return compile_expr(expr, node.child.output, self)
+
+                groups: dict[tuple, list] = {}
+                order: list[tuple] = []
+                for row in child_rows:
+                    self.context.stats.rows_processed += 1
+                    key = tuple(fn(row) for fn in group_fns)
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = [
+                            agg_lib.make_accumulator(call, compile_arg)
+                            for call in node.agg_calls
+                        ]
+                        groups[key] = accumulators
+                        order.append(key)
+                    for accumulator in accumulators:
+                        accumulator.add(row)
+                if not groups and not node.group_exprs:
+                    accumulators = [
+                        agg_lib.make_accumulator(call, compile_arg)
+                        for call in node.agg_calls
+                    ]
+                    groups[()] = accumulators
+                    order.append(())
+                scale = (
+                    1.0 / self.context.sample_rate
+                    if self.context.sample_rate < 1.0
+                    else 1.0
+                )
+                self._estimate_errors = {}
+                out: list[Row] = []
+                for key in order:
+                    values = list(key)
+                    for name, accumulator in zip(node.agg_names, groups[key]):
+                        value, error = accumulator.result(scale)
+                        values.append(value)
+                        if error is not None:
+                            self._estimate_errors[name] = max(
+                                self._estimate_errors.get(name, 0.0), error
+                            )
+                    out.append(tuple(values))
+                return out
+
+            def _exec_distinct(self, node):
+                child_rows = self._execute(node.child)
+                seen: set[Row] = set()
+                out: list[Row] = []
+                for row in child_rows:
+                    self.context.stats.rows_processed += 1
+                    if row not in seen:
+                        seen.add(row)
+                        out.append(row)
+                return out
+
+        return LegacyExecutor(catalog, context)
+
+    @pytest.mark.parametrize("sample_rate", [1.0, 0.25])
+    def test_counters_match_legacy_per_row_accounting(self, sales_db, sample_rate):
+        from dataclasses import asdict
+
+        from repro.engine.executor import ExecContext, Executor
+
+        for sql in self.CORPUS:
+            plan = sales_db.plan_select(sql)
+            current_context = ExecContext(sample_rate=sample_rate, sample_seed=11)
+            legacy_context = ExecContext(sample_rate=sample_rate, sample_seed=11)
+            current = Executor(sales_db.catalog, current_context).run(plan)
+            legacy = self.legacy_executor(sales_db.catalog, legacy_context).run(plan)
+            assert current.rows == legacy.rows, sql
+            assert asdict(current_context.stats) == asdict(legacy_context.stats), sql
+
+
+class TestCompiledExpressionMemo:
+    """Repeated probes of the same plan must stop recompiling identical
+    expression trees: compilation happens once per (plan-node strict
+    fingerprint, slot) process-wide, except for subquery-bearing
+    expressions, which capture executor state and always compile fresh."""
+
+    def test_repeated_execution_compiles_nothing_new(self, sales_db):
+        from repro.engine.executor import EXPR_MEMO_STATS, clear_expr_memo
+
+        sql = (
+            "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+            " ON s.id = x.store_id WHERE x.amount > 1.0 GROUP BY s.city"
+            " ORDER BY s.city"
+        )
+        clear_expr_memo()
+        first = sales_db.execute(sql)
+        EXPR_MEMO_STATS.reset()
+        second = sales_db.execute(sql)
+        assert second.rows == first.rows
+        assert EXPR_MEMO_STATS.compilations == 0
+        assert EXPR_MEMO_STATS.hits > 0
+
+    def test_equivalent_plans_share_compiled_expressions(self, sales_db):
+        """Alias renaming does not change the strict fingerprint, so the
+        re-aliased twin reuses every compiled expression."""
+        from repro.engine.executor import EXPR_MEMO_STATS, clear_expr_memo
+
+        clear_expr_memo()
+        baseline = sales_db.execute(
+            "SELECT a.city FROM stores a WHERE a.state = 'CA'"
+        )
+        EXPR_MEMO_STATS.reset()
+        renamed = sales_db.execute(
+            "SELECT b.city FROM stores b WHERE b.state = 'CA'"
+        )
+        assert renamed.rows == baseline.rows
+        assert EXPR_MEMO_STATS.compilations == 0
+
+    def test_subquery_expressions_compile_fresh_every_run(self, sales_db):
+        from repro.engine.executor import EXPR_MEMO_STATS, clear_expr_memo
+
+        sql = "SELECT city FROM stores WHERE id = (SELECT MIN(id) FROM stores)"
+        clear_expr_memo()
+        first = sales_db.execute(sql)
+        EXPR_MEMO_STATS.reset()
+        second = sales_db.execute(sql)
+        assert second.rows == first.rows == [("Berkeley",)]
+        # The subquery-bearing predicate recompiled; everything else hit.
+        assert EXPR_MEMO_STATS.compilations >= 1
+        assert EXPR_MEMO_STATS.hits >= 1
+
+    def test_memo_is_bounded(self, sales_db):
+        from repro.engine import executor as executor_module
+
+        executor_module.clear_expr_memo()
+        for i in range(30):
+            sales_db.execute(f"SELECT city FROM stores WHERE opened > {i}")
+        with executor_module._EXPR_MEMO_LOCK:
+            assert len(executor_module._EXPR_MEMO) <= executor_module._EXPR_MEMO_MAX

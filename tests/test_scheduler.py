@@ -447,6 +447,52 @@ class TestWorkerDifferential:
         assert config.workers is None  # caller's object left untouched
 
 
+class TestBackendDifferential:
+    """The dispatch-backend axis of the equivalence contract, pinned
+    explicitly (CI additionally reruns this whole file with
+    ``REPRO_SCHEDULER_BACKEND=process`` at several worker counts): the
+    same batch must produce byte-identical rows, statuses, and
+    attributions on the thread and process substrates."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process", "auto"])
+    def test_exact_overlapping_matches_serial(self, backend):
+        probes = overlapping_probes(6)
+        serial_system = AgentFirstDataSystem(build_db())
+        serial_responses = [serial_system.submit(p) for p in probes]
+        batch_system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(dispatch_backend=backend),
+            workers=2,
+        )
+        try:
+            batch_responses = batch_system.submit_many(probes)
+        finally:
+            batch_system.close()
+        assert_same_outcomes(serial_responses, batch_responses)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_history_attribution_matches_across_backends(self, backend):
+        duplicate = "SELECT COUNT(*) FROM sales WHERE product = 'coffee'"
+        first = Probe(
+            queries=("SELECT COUNT(*) FROM stores", duplicate),
+            brief=Brief(priorities={0: 5.0, 1: 1.0}),
+            agent_id="alice",
+        )
+        second = Probe(queries=(duplicate,), agent_id="bob")
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(dispatch_backend=backend),
+            workers=2,
+        )
+        try:
+            batch_responses = system.submit_many([first, second])
+        finally:
+            system.close()
+        assert batch_responses[0].outcomes[1].status == "ok"
+        assert batch_responses[1].outcomes[0].status == "from_history"
+        assert "alice" in batch_responses[1].outcomes[0].reason
+
+
 class TestThreadedOptimizerState:
     """ProbeOptimizer owns session-shared history; with the scheduler's
     worker pool (and any concurrent serving threads) in play, its state
