@@ -30,7 +30,6 @@ table.
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
@@ -248,11 +247,10 @@ def run_gateway_bench() -> GatewayBenchResult:
 
 
 def write_json(result: GatewayBenchResult) -> str:
-    path = os.environ.get(JSON_PATH_ENV, DEFAULT_JSON_PATH)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result.to_json(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    """Append this run (keyed by git SHA + date) to the perf trajectory."""
+    from bench_record import append_run
+
+    return append_run(JSON_PATH_ENV, DEFAULT_JSON_PATH, result.to_json())
 
 
 def test_gateway_streaming_admission(benchmark):

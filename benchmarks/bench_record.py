@@ -1,0 +1,77 @@
+"""Cross-PR perf-trajectory recording for the benchmark suite.
+
+Benches used to overwrite their JSON on every run, so the artifact CI
+uploads only ever held the latest numbers and the cross-PR trajectory
+was empty. This helper appends instead: each run becomes one record
+keyed by git SHA + date inside ``{"bench": ..., "runs": [...]}``. A
+legacy single-run file (the pre-append format: the payload dict at top
+level) is adopted as the first run so no history is thrown away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+
+
+def git_sha() -> str:
+    """The current commit's short SHA; CI env fallback; "unknown" offline."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except Exception:
+        pass
+    env_sha = os.environ.get("GITHUB_SHA", "")
+    return env_sha[:12] if env_sha else "unknown"
+
+
+def _load_runs(path: str, bench: str) -> list[dict]:
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return []  # unreadable artifact: start a fresh trajectory
+    if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
+        return [run for run in existing["runs"] if isinstance(run, dict)]
+    if isinstance(existing, dict) and existing.get("bench") == bench:
+        # Legacy overwrite-format file: adopt it as the first run.
+        adopted = dict(existing)
+        adopted.setdefault("git_sha", "unknown")
+        adopted.setdefault("date", None)
+        return [adopted]
+    return []
+
+
+def append_run(path_env: str, default_path: str, payload: dict) -> str:
+    """Append one run record to the bench's JSON trajectory file.
+
+    ``payload`` is the bench's ``to_json()`` dict (must carry ``bench``);
+    the record it becomes is stamped with the git SHA and UTC date/time.
+    Returns the path written.
+    """
+    path = os.environ.get(path_env, default_path)
+    bench = str(payload.get("bench", "unknown"))
+    runs = _load_runs(path, bench)
+    now = datetime.now(timezone.utc)
+    record = {
+        "git_sha": git_sha(),
+        "date": now.date().isoformat(),
+        "recorded_at": now.isoformat(timespec="seconds"),
+        **payload,
+    }
+    runs.append(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"bench": bench, "runs": runs}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

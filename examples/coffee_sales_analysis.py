@@ -110,8 +110,9 @@ def main() -> None:
     print(f"engine work saved:              {saved:>10.1%}")
 
     print("\n== materialization advice ==")
-    for fingerprint, count, description in shared.materialization_suggestions()[:3]:
-        print(f"seen {count}x: {description}")
+    for suggestion in shared.materialization_suggestions()[:3]:
+        built = " [materialized]" if suggestion.materialized else ""
+        print(f"seen {suggestion.count}x: {suggestion.description}{built}")
 
 
 if __name__ == "__main__":

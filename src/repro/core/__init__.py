@@ -21,7 +21,7 @@ This package implements the paper's Secs. 3-5:
 
 from repro.core.brief import Brief, Phase
 from repro.core.gateway import AgentSession, ProbeGateway, ProbeTicket
-from repro.core.mqo import SharingReport
+from repro.core.mqo import MaterializationSuggestion, SharingReport
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.core.scheduler import ProbeScheduler, ScheduledBatch
 from repro.core.system import AgentFirstDataSystem, SystemConfig
@@ -30,6 +30,7 @@ __all__ = [
     "AgentFirstDataSystem",
     "AgentSession",
     "Brief",
+    "MaterializationSuggestion",
     "Phase",
     "Probe",
     "ProbeGateway",

@@ -48,7 +48,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import replace
-from typing import TYPE_CHECKING, AsyncIterator, Iterable
+from typing import TYPE_CHECKING, AsyncIterator, Callable, Iterable
 
 from repro.core.brief import Brief
 from repro.core.probe import Probe, ProbeResponse
@@ -264,10 +264,19 @@ class ProbeGateway:
         self.jitter = max(0.0, float(os.environ.get(JITTER_ENV_VAR, 0.0) or 0.0))
         self._jitter_rng = random.Random(0xA6E27)
         self._pending: deque[ProbeTicket] = deque()
+        #: Windows (streamed or direct) currently waiting for — or holding
+        #: — the serve lock; the maintenance runtime's preemption signal
+        #: for probes that are past admission. Guarded by ``_cond``.
+        self._serve_waiters = 0
         self._cond = threading.Condition()
         #: Serialises window serving: streamed windows and direct
         #: ``submit_many`` windows interleave without tearing turn numbers.
+        #: The maintenance runtime takes the same lock for its idle-window
+        #: jobs, so sleeper-agent work is never co-resident with serving.
         self._serve_lock = threading.Lock()
+        #: Maintenance hook: called (outside all gateway locks) whenever
+        #: the admission loop drains its queue — an idle window opened.
+        self.idle_hook: "Callable[[], None] | None" = None
         self._thread: threading.Thread | None = None
         self._stopped = False
         self._flush_requested = False
@@ -293,8 +302,14 @@ class ProbeGateway:
         """Serve one caller-assembled admission window, synchronously."""
         if not probes:
             return []
-        with self._serve_lock:
-            responses = self.system._serve_batch(probes)
+        with self._cond:
+            self._serve_waiters += 1  # visible to maintenance preemption
+        try:
+            with self._serve_lock:
+                responses = self.system._serve_batch(probes)
+        finally:
+            with self._cond:
+                self._serve_waiters -= 1
         with self._cond:  # stats share the cond lock with the loop thread
             self.windows_direct += 1
         return responses
@@ -330,6 +345,21 @@ class ProbeGateway:
     def pending_probes(self) -> int:
         with self._cond:
             return len(self._pending)
+
+    def serving_demand(self) -> int:
+        """Probes that would be served right now if nothing were in the
+        way: queued for admission, plus windows (streamed or direct)
+        waiting on — or holding — the serve lock. The maintenance
+        runtime's preemption predicate: any positive value means a
+        sleeper job should yield the lock."""
+        with self._cond:
+            return len(self._pending) + self._serve_waiters
+
+    @property
+    def serve_lock(self) -> threading.Lock:
+        """The window-serving lock; the maintenance runtime holds it for
+        idle-window jobs so sleeper work and serving never overlap."""
+        return self._serve_lock
 
     async def serve(
         self,
@@ -435,8 +465,14 @@ class ProbeGateway:
     ) -> None:
         probes = [ticket.probe for ticket in window]
         try:
-            with self._serve_lock:
-                responses = self.system._serve_batch(probes)
+            with self._cond:
+                self._serve_waiters += 1  # admitted probes still count as demand
+            try:
+                with self._serve_lock:
+                    responses = self.system._serve_batch(probes)
+            finally:
+                with self._cond:
+                    self._serve_waiters -= 1
         except BaseException as exc:  # pragma: no cover - defensive
             for ticket in window:
                 if not ticket._future.done():
@@ -452,6 +488,15 @@ class ProbeGateway:
             if ticket.session is not None:
                 ticket.session._account(response)
             ticket._future.set_result(response)
+        # The queue drained behind this window: an idle window opened for
+        # the maintenance runtime. Fired outside all gateway locks; the
+        # runtime re-checks for pending probes before (and while) working.
+        hook = self.idle_hook
+        if hook is not None and self.pending_probes() == 0:
+            try:
+                hook()
+            except Exception:  # pragma: no cover - maintenance must not break serving
+                pass
 
     # -- cancellation ---------------------------------------------------------
 

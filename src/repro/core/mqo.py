@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.db import Database
 from repro.engine.executor import ExecContext, Executor, SubplanCache
@@ -157,12 +158,45 @@ def subplan_census(
     return census
 
 
+class MaterializationSuggestion(NamedTuple):
+    """One deduplicated, ranked materialization suggestion.
+
+    Supersedes the old raw ``(fingerprint, count, description)`` tuples:
+    indexes 0 and 1 are unchanged, but ``description`` moved from [2] to
+    [3] to make room for the subtree ``size``, and ``materialized`` says
+    whether the sleeper-agent runtime has already built this subplan as a
+    view — prefer the named fields over positional unpacking.
+    """
+
+    fingerprint: str
+    count: int
+    size: int
+    description: str
+    materialized: bool
+
+
+@dataclass(frozen=True)
+class MaterializationCandidate:
+    """An advisor candidate with enough context to actually build the view."""
+
+    fingerprint: str  # lenient digest — the dedupe key
+    strict_fingerprint: str  # of the representative plan below
+    count: int
+    size: int
+    description: str
+    plan: PlanNode  # first-observed representative subtree
+
+
 class MaterializationAdvisor:
     """Observes plan history; suggests materializing hot subplans.
 
     Implements the paper's inter-probe "decide to materialize the join"
     idea (Sec. 5.2.2): subplans (of meaningful size) that recur across
-    probes/turns become materialization candidates.
+    probes/turns become materialization candidates. Beyond the counters,
+    the advisor retains the *first-observed representative plan* per
+    lenient fingerprint, which is what lets the sleeper-agent maintenance
+    runtime execute the subplan and register a materialized view instead
+    of merely describing it.
 
     Thread-safe: ``observe`` is on the probe optimizer's execution path,
     which concurrent callers (and the scheduler's worker pool) may share,
@@ -174,7 +208,14 @@ class MaterializationAdvisor:
         self._min_size = min_size
         self._counts: Counter[str] = Counter()
         self._descriptions: dict[str, str] = {}
+        #: lenient fingerprint -> (representative plan, its strict digest,
+        #: subtree size); plans are immutable, so holding them is safe.
+        self._plans: dict[str, tuple[PlanNode, str, int]] = {}
         self._lock = threading.Lock()
+
+    @property
+    def min_occurrences(self) -> int:
+        return self._min_occurrences
 
     def observe(self, plan: PlanNode) -> None:
         seen_this_plan: set[str] = set()
@@ -190,6 +231,7 @@ class MaterializationAdvisor:
                 self._counts[fingerprint] += 1
                 if fingerprint not in self._descriptions:
                     self._descriptions[fingerprint] = node.describe().splitlines()[0]
+                    self._plans[fingerprint] = (node, digests.strict, digests.size)
 
     def suggestions(self) -> list[tuple[str, int, str]]:
         """(fingerprint, occurrences, description) above the threshold."""
@@ -200,4 +242,28 @@ class MaterializationAdvisor:
                 if count >= self._min_occurrences
             ]
         out.sort(key=lambda item: (-item[1], item[0]))
+        return out
+
+    def candidates(
+        self, min_occurrences: int | None = None
+    ) -> list[MaterializationCandidate]:
+        """Buildable candidates, deduplicated by lenient fingerprint and
+        ranked by (occurrences, subtree size) descending."""
+        threshold = (
+            self._min_occurrences if min_occurrences is None else min_occurrences
+        )
+        with self._lock:
+            out = [
+                MaterializationCandidate(
+                    fingerprint=fingerprint,
+                    strict_fingerprint=self._plans[fingerprint][1],
+                    count=count,
+                    size=self._plans[fingerprint][2],
+                    description=self._descriptions[fingerprint],
+                    plan=self._plans[fingerprint][0],
+                )
+                for fingerprint, count in self._counts.items()
+                if count >= threshold and fingerprint in self._plans
+            ]
+        out.sort(key=lambda c: (-c.count, -c.size, c.fingerprint))
         return out

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.interpreter import InterpretedProbe, PlannedQuery
 from repro.core.mqo import MaterializationAdvisor
@@ -83,6 +84,19 @@ class ProbeOptimizer:
     #: lenient fingerprint -> most recent history entry (similarity pointer).
     lenient_history: dict[str, HistoryEntry] = field(default_factory=dict)
     enable_history: bool = True
+    #: Maintenance hook: rewrites a plan immediately before an *exact*
+    #: engine run (materialized views, auxiliary indexes). All history,
+    #: advisor, and fingerprint bookkeeping stays keyed on the original
+    #: plan, so the rewrite can change work but never an answer. Must be
+    #: pure and exception-free (the runtime guards internally).
+    execution_rewriter: "Callable[[object], object] | None" = field(
+        default=None, repr=False, compare=False
+    )
+    #: Maintenance hook: observes each logically-demanded plan (alongside
+    #: the advisor) so the runtime can mine predicates for auto-indexing.
+    plan_observer: "Callable[[object], None] | None" = field(
+        default=None, repr=False, compare=False
+    )
     #: Guards ``history`` and ``lenient_history`` under concurrent callers.
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
@@ -150,10 +164,22 @@ class ProbeOptimizer:
         query = decision.query
         assert query.plan is not None
         return SpeculationPayload(
-            plan=query.plan,
+            plan=self._plan_for_execution(query.plan, decision.sample_rate),
             sample_rate=decision.sample_rate,
             sample_seed=turn,
         )
+
+    def _plan_for_execution(self, plan, sample_rate: float):
+        """The plan an engine run should actually execute.
+
+        Applies the maintenance runtime's execution-time rewrite (views,
+        auxiliary indexes) for exact runs only — sampled scans must draw
+        their own rows, never be answered from a full materialization.
+        Every consumer of the *result* still keys on the original plan.
+        """
+        if self.execution_rewriter is None or sample_rate < 1.0:
+            return plan
+        return self.execution_rewriter(plan)
 
     def speculative_execute(
         self, decision: ExecutionDecision, turn: int
@@ -172,8 +198,9 @@ class ProbeOptimizer:
             cache=self.cache,
         )
         executor = Executor(self.db.catalog, context)
+        plan = self._plan_for_execution(query.plan, decision.sample_rate)
         try:
-            return PrecomputedExecution(result=executor.run(query.plan))
+            return PrecomputedExecution(result=executor.run(plan))
         except ReproError as exc:
             return PrecomputedExecution(error=str(exc))
 
@@ -195,6 +222,8 @@ class ProbeOptimizer:
                 # Materialization advice tracks logical demand: answering
                 # from history still counts as one more occurrence.
                 self.advisor.observe(query.plan)
+                if self.plan_observer is not None:
+                    self.plan_observer(query.plan)
                 return QueryOutcome(
                     sql=query.sql,
                     status="from_history",
@@ -220,6 +249,8 @@ class ProbeOptimizer:
         assert result is not None
 
         self.advisor.observe(query.plan)
+        if self.plan_observer is not None:
+            self.plan_observer(query.plan)
         lenient = digests.lenient
         entry = HistoryEntry(
             turn=turn,

@@ -34,6 +34,12 @@ degenerate window of one.
                      ▼                          ▼
               steering feedback         agentic memory store
 
+    maintenance runtime (idle windows; REPRO_MAINTENANCE / SystemConfig)
+        gateway idle ──> serve lock ──┬─> view materializer ──> ViewScan
+        (no probes        (preempted  ├─> auto-indexer ──> aux IndexScan
+         in flight)        by any     ├─> statistics refresher   rewrites
+                           arrival)   └─> subplan-cache pre-warmer
+
 Each probe in a window is one interaction turn: its queries are
 interpreted, satisficed and executed (with cross-agent work sharing and
 history reuse); the scheduler dispatches round-robin across agents so no
@@ -43,6 +49,16 @@ agents asked an equivalent query this turn"); and newly-gleaned grounding
 is written back to the agentic memory store. Window boundaries never
 change an answer: rows and statuses are byte-identical to serial
 submission in admission order, however arrivals happen to batch up.
+
+Between windows, the sleeper-agent maintenance runtime converts advice
+into artifacts: recurring subplans become version-stamped materialized
+views served through execution-time ViewScan rewrites, mined
+equality/range predicates become auxiliary (planner-invisible) indexes,
+statistics are re-derived after write bursts, and evicted hot subplan
+cache entries are re-installed from views. Every artifact is validated
+through ``Catalog.version()``/``ChangeEvent`` staleness machinery, so a
+maintenance-on run stays byte-identical to a maintenance-off run — just
+faster on repeated workloads.
 """
 
 from __future__ import annotations
@@ -53,7 +69,7 @@ from typing import Sequence
 from repro.core.brief import Brief, Phase
 from repro.core.gateway import AgentSession, ProbeGateway
 from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
-from repro.core.mqo import MaterializationAdvisor
+from repro.core.mqo import MaterializationAdvisor, MaterializationSuggestion
 from repro.core.optimizer import ProbeOptimizer
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.core.satisfice import Satisficer
@@ -62,6 +78,7 @@ from repro.core.steering import CostAdvisor, JoinDiscovery, WhyNotDiagnoser
 from repro.db import Database
 from repro.db.database import ChangeEvent
 from repro.engine.executor import SubplanCache
+from repro.maintenance import MaintenanceConfig, MaintenanceRuntime
 from repro.memstore import AgenticMemoryStore, ArtifactKind
 from repro.plan import logical
 from repro.semantic.search import SemanticSearch
@@ -97,6 +114,15 @@ class SystemConfig:
     #: overrides, else 64 probes / 0.01 s.
     gateway_max_batch: int | None = None
     gateway_max_wait: float | None = None
+    #: Sleeper-agent maintenance runtime: idle-window view
+    #: materialization, auto-indexing, statistics refresh, and cache
+    #: pre-warming. ``None`` -> the ``REPRO_MAINTENANCE`` env override,
+    #: else off. Answers are byte-identical either way; only the work
+    #: (and wall-clock) changes.
+    enable_maintenance: bool | None = None
+    #: Detailed maintenance knobs (thresholds, view budget); ``None``
+    #: uses :class:`~repro.maintenance.MaintenanceConfig` defaults.
+    maintenance: MaintenanceConfig | None = None
 
 
 class AgentFirstDataSystem:
@@ -141,6 +167,13 @@ class AgentFirstDataSystem:
             max_batch=self.config.gateway_max_batch,
             max_wait=self.config.gateway_max_wait,
         )
+        self.maintenance = MaintenanceRuntime(
+            self,
+            config=self.config.maintenance,
+            enabled=self.config.enable_maintenance,
+        )
+        if self.maintenance.enabled:
+            self.maintenance.attach()
         self.turn = 0
         db.on_change(self._on_change)
 
@@ -313,6 +346,14 @@ class AgentFirstDataSystem:
         # budget-fairness feedback ("N other agents asked this too").
         if batch_hints:
             feedback.extend(batch_hints)
+
+        # Sleeper-agent provenance: when a query was answered through a
+        # materialized view or an auto-built index, say so — field agents
+        # should learn why repeats of this shape come back fast.
+        if self.maintenance.enabled:
+            for outcome, query in zip(response.outcomes, interpreted.queries):
+                if outcome.executed and outcome.sample_rate >= 1.0:
+                    feedback.extend(self.maintenance.serving_notes(query.plan))
         return _dedupe(feedback)
 
     # -- memory write-back ---------------------------------------------------------------
@@ -394,6 +435,9 @@ class AgentFirstDataSystem:
             # would notice on next use (it re-checks the catalog version);
             # retiring eagerly just frees the stale workers sooner.
             self.scheduler.invalidate_backend()
+            # Maintenance artifacts built against the old data retire
+            # (views eagerly dropped; the table queues for a stats refresh).
+            self.maintenance.observe_change(event)
 
     # -- lifecycle ----------------------------------------------------------------------------
 
@@ -408,11 +452,13 @@ class AgentFirstDataSystem:
         return self.scheduler.prestart()
 
     def close(self) -> None:
-        """Release serving resources: the gateway's admission loop and the
-        scheduler's dispatch backend (worker processes, if any). Idempotent;
+        """Release serving resources: the gateway's admission loop, the
+        maintenance runtime's idle loop, and the scheduler's dispatch
+        backend (worker processes, if any). Idempotent;
         ``submit``/``submit_many`` keep working after close — only streamed
         submission (``session.submit``) requires a live gateway."""
         self.gateway.close()
+        self.maintenance.stop()
         self.scheduler.close()
 
     def __enter__(self) -> "AgentFirstDataSystem":
@@ -423,8 +469,26 @@ class AgentFirstDataSystem:
 
     # -- reporting ---------------------------------------------------------------------------
 
-    def materialization_suggestions(self) -> list[tuple[str, int, str]]:
-        return self.optimizer.advisor.suggestions()
+    def materialization_suggestions(self) -> list[MaterializationSuggestion]:
+        """The advisor's materialization advice, ready for an agent to read.
+
+        Deduplicated by lenient fingerprint (the advisor counts each
+        recurring subplan once however many turns demanded it), sorted by
+        (occurrences, subtree size) descending, and flagged with whether
+        the sleeper-agent maintenance runtime has already materialized
+        each one as a view.
+        """
+        materialized = self.maintenance.materialized_fingerprints()
+        return [
+            MaterializationSuggestion(
+                fingerprint=candidate.fingerprint,
+                count=candidate.count,
+                size=candidate.size,
+                description=candidate.description,
+                materialized=candidate.fingerprint in materialized,
+            )
+            for candidate in self.optimizer.advisor.candidates()
+        ]
 
 
 def shared_serving_system(db: Database) -> AgentFirstDataSystem:

@@ -298,6 +298,8 @@ class Executor(SubqueryRunner):
             return self._exec_scan(node)
         if isinstance(node, logical.IndexScan):
             return self._exec_index_scan(node)
+        if isinstance(node, logical.ViewScan):
+            return self._exec_view_scan(node)
         if isinstance(node, logical.OneRow):
             return [()]
         if isinstance(node, logical.SubqueryScan):
@@ -343,21 +345,40 @@ class Executor(SubqueryRunner):
         table = self._catalog.table(node.table)
         positions = [table.schema.position_of(c) for c in node.columns]
         if node.is_equality:
-            index = self._catalog.hash_index(node.table, node.index_column)
+            # lookup_hash_index also finds maintenance-built auxiliary
+            # indexes, which the planner never sees but rewritten plans use.
+            index = self._catalog.lookup_hash_index(node.table, node.index_column)
             if index is None:
-                raise ExecutionError(
-                    f"missing hash index on {node.table}.{node.index_column}"
-                )
-            row_ids = sorted(index.lookup(node.equal_value))
+                if node.row_id_order:
+                    # Maintenance-emitted node whose auxiliary index went
+                    # stale between rewrite and execution: degrade to the
+                    # equivalent predicate scan — never to an error.
+                    row_ids = self._index_scan_fallback_ids(node, table)
+                else:
+                    raise ExecutionError(
+                        f"missing hash index on {node.table}.{node.index_column}"
+                    )
+            else:
+                row_ids = sorted(index.lookup(node.equal_value))
         else:
-            sorted_index = self._catalog.sorted_index(node.table, node.index_column)
-            if sorted_index is None:
-                raise ExecutionError(
-                    f"missing sorted index on {node.table}.{node.index_column}"
-                )
-            row_ids = sorted_index.lookup_range(
-                node.low, node.high, node.low_inclusive, node.high_inclusive
+            sorted_index = self._catalog.lookup_sorted_index(
+                node.table, node.index_column
             )
+            if sorted_index is None:
+                if node.row_id_order:
+                    row_ids = self._index_scan_fallback_ids(node, table)
+                else:
+                    raise ExecutionError(
+                        f"missing sorted index on {node.table}.{node.index_column}"
+                    )
+            else:
+                row_ids = sorted_index.lookup_range(
+                    node.low, node.high, node.low_inclusive, node.high_inclusive
+                )
+                if node.row_id_order:
+                    # Base-table scan order, so a rewritten Filter-over-Scan
+                    # keeps byte-identical output order.
+                    row_ids = sorted(row_ids)
         sampler = self._make_sampler(node.table)
         stats = self.context.stats
         stats.rows_scanned += len(row_ids)
@@ -369,6 +390,53 @@ class Executor(SubqueryRunner):
                 continue
             row = table.get(row_id)
             rows.append(tuple(row[p] for p in positions))
+        return rows
+
+    def _index_scan_fallback_ids(self, node: logical.IndexScan, table) -> list[int]:
+        """Scan-order row ids matching the IndexScan's own condition.
+
+        The degraded path for maintenance-emitted (row_id_order) index
+        scans whose auxiliary index is gone or stale: the eq/range bound
+        *is* the conjunct the rewrite lifted out of the Filter, and index
+        lookups skip NULLs, so selecting the same rows in scan order is
+        byte-identical to what the index would have served when fresh.
+        """
+        position = table.schema.position_of(node.index_column)
+        out: list[int] = []
+        for row_id, row in table.scan_with_ids():
+            value = row[position]
+            if value is None:
+                continue
+            if node.is_equality:
+                if value == node.equal_value:
+                    out.append(row_id)
+                continue
+            if node.low is not None:
+                if node.low_inclusive:
+                    if value < node.low:
+                        continue
+                elif value <= node.low:
+                    continue
+            if node.high is not None:
+                if node.high_inclusive:
+                    if value > node.high:
+                        continue
+                elif value >= node.high:
+                    continue
+            out.append(row_id)
+        return out
+
+    def _exec_view_scan(self, node: logical.ViewScan) -> list[Row]:
+        """Serve a materialized view: the rows travel with the node.
+
+        View rewrites are only applied to exact (sample_rate 1.0) runs, so
+        no sampler is consulted; work accounting charges exactly the rows
+        emitted — the saving the maintenance bench measures.
+        """
+        rows = node.materialized_rows()
+        stats = self.context.stats
+        stats.rows_scanned += len(rows)
+        stats.rows_processed += len(rows)
         return rows
 
     def _make_sampler(self, table: str) -> RngStream | None:

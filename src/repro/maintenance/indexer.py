@@ -1,0 +1,96 @@
+"""Predicate mining for the auto-indexer sleeper agent.
+
+The :class:`PredicateMiner` watches every logically-demanded plan (the
+probe optimizer's ``plan_observer`` hook, which fires even for queries
+answered from history — demand is demand) and counts simple
+equality/range comparisons over base-table scans. When a (table, column,
+kind) key recurs often enough on a large-enough table, the maintenance
+runtime builds the matching auxiliary index in an idle window:
+
+* ``eq``    -> :class:`~repro.storage.indexes.HashIndex`
+* ``range`` -> :class:`~repro.storage.indexes.SortedIndex`
+
+The miner uses the same (column, literal, op) extractor as the
+execution-time rewrite (:func:`repro.plan.rules.simple_comparison`), so
+every predicate it counts is one the rewrite will actually accelerate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.plan import logical
+from repro.plan.rules import simple_comparison, split_conjuncts
+
+#: Comparison kinds the auto-indexer understands.
+KIND_EQ = "eq"
+KIND_RANGE = "range"
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class IndexCandidate:
+    """One mined (table, column, kind) with its demand count."""
+
+    table: str
+    column: str
+    kind: str  # 'eq' | 'range'
+    count: int
+
+
+class PredicateMiner:
+    """Counts repeated simple predicates across observed plans.
+
+    Each (table, column, kind) key is counted at most once per observed
+    plan — a probe that filters the same column three ways is one unit of
+    demand, not three. Thread-safe: observation happens on the serving
+    path (potentially from scheduler worker threads).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[tuple[str, str, str]] = Counter()
+        self._lock = threading.Lock()
+
+    def observe(self, plan: logical.PlanNode) -> None:
+        keys: set[tuple[str, str, str]] = set()
+        for node in plan.walk():
+            if not (
+                isinstance(node, logical.Filter)
+                and isinstance(node.child, logical.Scan)
+            ):
+                continue
+            scan = node.child
+            for conjunct in split_conjuncts(node.predicate):
+                column, literal, op = simple_comparison(conjunct, scan)
+                if column is None or literal is None:
+                    continue
+                if op == "=":
+                    kind = KIND_EQ
+                elif op in _RANGE_OPS:
+                    kind = KIND_RANGE
+                else:
+                    continue
+                keys.add((scan.table.lower(), column.lower(), kind))
+        if not keys:
+            return
+        with self._lock:
+            for key in keys:
+                self._counts[key] += 1
+
+    def candidates(self, min_occurrences: int) -> list[IndexCandidate]:
+        """Keys at or above the demand threshold, hottest first."""
+        with self._lock:
+            out = [
+                IndexCandidate(table=t, column=c, kind=k, count=count)
+                for (t, c, k), count in self._counts.items()
+                if count >= min_occurrences
+            ]
+        out.sort(key=lambda cand: (-cand.count, cand.table, cand.column, cand.kind))
+        return out
+
+    def count(self, table: str, column: str, kind: str) -> int:
+        with self._lock:
+            return self._counts[(table.lower(), column.lower(), kind)]

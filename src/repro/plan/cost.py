@@ -68,6 +68,10 @@ class _Estimator:
             return CostEstimate(rows, rows + _log2(table_rows))
         if isinstance(node, logical.OneRow):
             return CostEstimate(1.0, 0.0)
+        if isinstance(node, logical.ViewScan):
+            # Materialized rows are served as-is: cost = emitting them.
+            rows = float(len(node.rows))
+            return CostEstimate(rows, rows)
         if isinstance(node, logical.SubqueryScan):
             return self.estimate(node.child)
         if isinstance(node, logical.Filter):

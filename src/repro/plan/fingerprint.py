@@ -310,7 +310,7 @@ def _canonical_node(
         index_columns = [c.lower() for c in node.columns]
         if not strict:
             index_columns = sorted(index_columns)
-        return (
+        base = (
             "indexscan",
             node.table.lower(),
             tuple(index_columns),
@@ -322,6 +322,15 @@ def _canonical_node(
             node.high_inclusive,
             node.is_equality,
         )
+        # Row-id-ordered scans produce a different row order than native
+        # index order, so they must never share a digest with the default;
+        # appending the marker only when set keeps historical digests for
+        # planner-emitted scans unchanged.
+        return base + ("rid-order",) if node.row_id_order else base
+    if isinstance(node, logical.ViewScan):
+        # Identity is (source subtree, build, column permutation): rows are
+        # pinned by build_id, so equal digests imply identical output.
+        return ("viewscan", node.source_strict, node.build_id, node.projection)
     if isinstance(node, logical.OneRow):
         return ("onerow",)
     if isinstance(node, logical.SubqueryScan):

@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Iterator
 
 from repro.sql import nodes
-from repro.storage.types import Value
+from repro.storage.types import Row, Value
 
 
 @dataclass(frozen=True)
@@ -134,6 +134,11 @@ class IndexScan(PlanNode):
     low_inclusive: bool = True
     high_inclusive: bool = True
     is_equality: bool = True
+    #: Emit rows in ascending row-id order (= base-table scan order)
+    #: instead of the index's native order. The maintenance runtime's
+    #: execution-time rewrites set this so an auto-built sorted index can
+    #: replace a Filter-over-Scan without changing output row order.
+    row_id_order: bool = False
 
     @property
     def output(self) -> tuple[OutputCol, ...]:
@@ -387,6 +392,54 @@ _ROOT_CODES: dict[type, str] = {
 def root_operator_code(node: PlanNode) -> str:
     """Map a plan node to the paper's Figure 2b operator-type code."""
     return _ROOT_CODES.get(type(node), "OT")
+
+
+@dataclass(frozen=True)
+class ViewScan(PlanNode):
+    """Leaf serving a maintenance-built materialized view's rows.
+
+    Never emitted by the planner: the maintenance runtime substitutes one
+    for a plan subtree whose strict fingerprint matches a valid view (or
+    whose lenient fingerprint matches modulo an output-column permutation,
+    closed by ``projection``) immediately before execution. The node is
+    self-contained — it carries the view's rows — so it crosses the
+    process-dispatch boundary without the worker needing the view store.
+
+    ``columns`` is the *replaced subtree's* output (names and bindings),
+    so parents compile their expressions against exactly the schema they
+    were planned for; ``projection`` maps each output column to its
+    position in the stored view rows (the identity for strict matches).
+    ``build_id`` is unique per view build, which keeps subplan-cache keys
+    from ever aliasing rows across rebuilds.
+    """
+
+    name: str
+    source_strict: str
+    build_id: int
+    columns: tuple[OutputCol, ...]
+    rows: tuple[Row, ...]
+    projection: tuple[int, ...]
+
+    @property
+    def output(self) -> tuple[OutputCol, ...]:
+        return self.columns
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return ()
+
+    def with_children(self, children: tuple[PlanNode, ...]) -> "ViewScan":
+        assert not children
+        return self
+
+    def materialized_rows(self) -> list[Row]:
+        """The served rows, with the output-column permutation applied."""
+        if self.projection == tuple(range(len(self.projection))):
+            return list(self.rows)
+        indices = self.projection
+        return [tuple(row[i] for i in indices) for row in self.rows]
+
+    def _describe_line(self) -> str:
+        return f"ViewScan {self.name} [{len(self.rows)} rows]"
 
 
 @dataclass(frozen=True)

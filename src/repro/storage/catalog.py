@@ -40,17 +40,41 @@ class CatalogSnapshot:
     rebuilding them at restore time is cheaper than pickling value->row-id
     maps. ``version`` records the source catalog's :meth:`Catalog.version`
     so consumers (the process-pool dispatch backend) can tell when a
-    shipped snapshot no longer matches the live catalog.
+    shipped snapshot no longer matches the live catalog. Auxiliary
+    (maintenance-built) index definitions ship too: rewritten plans
+    executing in worker processes reference them by column.
     """
 
     version: tuple
     tables: tuple[TableSnapshot, ...]
     hash_indexes: tuple[tuple[str, str], ...]
     sorted_indexes: tuple[tuple[str, str], ...]
+    aux_hash_indexes: tuple[tuple[str, str], ...] = ()
+    aux_sorted_indexes: tuple[tuple[str, str], ...] = ()
 
     @property
     def num_rows(self) -> int:
         return sum(table.num_rows for table in self.tables)
+
+
+@dataclass
+class AuxiliaryIndex:
+    """A maintenance-built index: executor-visible, planner-invisible.
+
+    The planner's index-selection rule never consults these, so creating
+    one cannot change plan shapes or fingerprints — answers stay
+    byte-identical to an index-free run. The maintenance runtime's
+    execution-time rewrite substitutes :class:`~repro.plan.logical.IndexScan`
+    nodes that the executor resolves through :meth:`Catalog.lookup_hash_index`
+    / :meth:`Catalog.lookup_sorted_index`.
+
+    ``data_version`` tracks the source table's ``data_version`` as of the
+    last catalog-mediated maintenance, so a direct ``Table`` mutation that
+    bypassed the catalog is detectable (the rewrite refuses stale entries).
+    """
+
+    index: HashIndex | SortedIndex
+    data_version: int
 
 
 class Catalog:
@@ -60,28 +84,47 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._hash_indexes: dict[tuple[str, str], HashIndex] = {}
         self._sorted_indexes: dict[tuple[str, str], SortedIndex] = {}
+        self._aux_hash_indexes: dict[tuple[str, str], AuxiliaryIndex] = {}
+        self._aux_sorted_indexes: dict[tuple[str, str], AuxiliaryIndex] = {}
         self._stats_cache: dict[str, tuple[int, TableStats]] = {}
         self.schema_version = 0
         #: Bumped by every catalog-mediated write path (DML helpers and
         #: whole-table swaps); one input to :meth:`version`.
         self.data_epoch = 0
+        #: Bumped when auxiliary (maintenance-built) indexes are created or
+        #: dropped. Part of :meth:`version` (worker snapshots must re-ship
+        #: so rewritten plans find their indexes) but *not* of
+        #: :meth:`data_version_tuple` (building an index changes no rows,
+        #: so materialized views stay valid across it).
+        self.aux_index_version = 0
 
     # -- versioning ----------------------------------------------------------
 
-    def version(self) -> tuple:
-        """One comparable value covering every observable catalog state.
+    def data_version_tuple(self) -> tuple:
+        """Every observable *data* state: schema, epochs, per-table counters.
 
-        Includes per-table ``data_version`` counters so even writes that
-        bypass the catalog (direct ``Table.insert``/``update``/``delete``)
-        change the version. The process-pool dispatch backend compares
-        versions to decide whether its shipped worker snapshots are still
-        valid; cost is O(#tables) per check.
+        The validity stamp for maintenance-built materialized views — any
+        change that could alter a query's rows moves it, while auxiliary
+        index builds (which change no rows) do not.
         """
         return (
             self.schema_version,
             self.data_epoch,
             tuple(sorted((key, t.data_version) for key, t in self._tables.items())),
         )
+
+    def version(self) -> tuple:
+        """One comparable value covering every observable catalog state.
+
+        Includes per-table ``data_version`` counters so even writes that
+        bypass the catalog (direct ``Table.insert``/``update``/``delete``)
+        change the version, plus the auxiliary-index counter so shipped
+        worker snapshots are refreshed when maintenance builds an index.
+        The process-pool dispatch backend compares versions to decide
+        whether its shipped worker snapshots are still valid; cost is
+        O(#tables) per check.
+        """
+        return self.data_version_tuple() + (self.aux_index_version,)
 
     # -- whole-catalog snapshots ----------------------------------------------
 
@@ -95,6 +138,14 @@ class Catalog:
             ),
             sorted_indexes=tuple(
                 (index.table, index.column) for index in self._sorted_indexes.values()
+            ),
+            aux_hash_indexes=tuple(
+                (entry.index.table, entry.index.column)
+                for entry in self._aux_hash_indexes.values()
+            ),
+            aux_sorted_indexes=tuple(
+                (entry.index.table, entry.index.column)
+                for entry in self._aux_sorted_indexes.values()
             ),
         )
 
@@ -113,6 +164,10 @@ class Catalog:
             catalog.create_hash_index(table_name, column)
         for table_name, column in snapshot.sorted_indexes:
             catalog.create_sorted_index(table_name, column)
+        for table_name, column in snapshot.aux_hash_indexes:
+            catalog.create_auxiliary_hash_index(table_name, column)
+        for table_name, column in snapshot.aux_sorted_indexes:
+            catalog.create_auxiliary_sorted_index(table_name, column)
         return catalog
 
     # -- table lifecycle -----------------------------------------------------
@@ -144,6 +199,10 @@ class Catalog:
             del self._hash_indexes[index_key]
         for index_key in [k for k in self._sorted_indexes if k[0] == key]:
             del self._sorted_indexes[index_key]
+        for registry in (self._aux_hash_indexes, self._aux_sorted_indexes):
+            for index_key in [k for k in registry if k[0] == key]:
+                del registry[index_key]
+                self.aux_index_version += 1
         self.schema_version += 1
 
     def replace_table(self, table: Table) -> None:
@@ -180,32 +239,38 @@ class Catalog:
 
     def insert_rows(self, name: str, rows: Iterable[Iterable[Value]]) -> list[int]:
         table = self.table(name)
+        before_version = table.data_version
         row_ids = table.insert_many(rows)
         key = normalize_identifier(name)
         if self._indexed_columns(key):
             for row_id in row_ids:
                 self._index_row(key, table, row_id, add=True)
+        self._sync_aux_versions(key, table, before_version)
         self._stats_cache.pop(key, None)
         self.data_epoch += 1
         return row_ids
 
     def update_row(self, name: str, row_id: int, values: Iterable[Value]) -> None:
         table = self.table(name)
+        before_version = table.data_version
         key = normalize_identifier(name)
         if self._indexed_columns(key):
             self._index_row(key, table, row_id, add=False)
         table.update(row_id, values)
         if self._indexed_columns(key):
             self._index_row(key, table, row_id, add=True)
+        self._sync_aux_versions(key, table, before_version)
         self._stats_cache.pop(key, None)
         self.data_epoch += 1
 
     def delete_row(self, name: str, row_id: int) -> None:
         table = self.table(name)
+        before_version = table.data_version
         key = normalize_identifier(name)
         if self._indexed_columns(key):
             self._index_row(key, table, row_id, add=False)
         table.delete(row_id)
+        self._sync_aux_versions(key, table, before_version)
         self._stats_cache.pop(key, None)
         self.data_epoch += 1
 
@@ -247,6 +312,98 @@ class Catalog:
             (normalize_identifier(table_name), normalize_identifier(column))
         )
 
+    # -- auxiliary (maintenance-built) indexes -----------------------------------
+    #
+    # Auxiliary indexes are executor-visible but planner-invisible: the
+    # index-selection rewrite rule never sees them, so building one cannot
+    # change a plan's shape or fingerprint. The maintenance runtime builds
+    # them from mined predicate history and substitutes IndexScans at
+    # execution time, keeping answers byte-identical to a maintenance-off
+    # run while the scan paths get faster.
+
+    def create_auxiliary_hash_index(self, table_name: str, column: str) -> HashIndex:
+        table = self.table(table_name)
+        key = (normalize_identifier(table_name), normalize_identifier(column))
+        if key in self._aux_hash_indexes:
+            raise CatalogError(
+                f"auxiliary hash index on {table_name}.{column} already exists"
+            )
+        # Stamp the version observed *before* the build scan: a write that
+        # races the scan leaves the entry behind the table's version, so
+        # the possibly-incomplete index is born stale (refused) instead of
+        # laundered fresh.
+        before_version = table.data_version
+        index = HashIndex(table.schema.name, column)
+        position = table.schema.position_of(column)
+        for row_id, row in table.scan_with_ids():
+            index.add(row[position], row_id)
+        self._aux_hash_indexes[key] = AuxiliaryIndex(index, before_version)
+        self.aux_index_version += 1
+        return index
+
+    def create_auxiliary_sorted_index(self, table_name: str, column: str) -> SortedIndex:
+        table = self.table(table_name)
+        key = (normalize_identifier(table_name), normalize_identifier(column))
+        if key in self._aux_sorted_indexes:
+            raise CatalogError(
+                f"auxiliary sorted index on {table_name}.{column} already exists"
+            )
+        before_version = table.data_version  # see create_auxiliary_hash_index
+        index = SortedIndex(table.schema.name, column)
+        position = table.schema.position_of(column)
+        for row_id, row in table.scan_with_ids():
+            index.add(row[position], row_id)
+        self._aux_sorted_indexes[key] = AuxiliaryIndex(index, before_version)
+        self.aux_index_version += 1
+        return index
+
+    def auxiliary_hash_index(self, table_name: str, column: str) -> HashIndex | None:
+        """The auxiliary hash index on (table, column) — fresh entries only.
+
+        Returns ``None`` when the entry's recorded ``data_version`` trails
+        the table's (a direct ``Table`` mutation bypassed catalog index
+        maintenance), so rewrites never serve a stale index.
+        """
+        key = (normalize_identifier(table_name), normalize_identifier(column))
+        entry = self._aux_hash_indexes.get(key)
+        if entry is None:
+            return None
+        table = self._tables.get(key[0])
+        if table is None or entry.data_version != table.data_version:
+            return None
+        return entry.index
+
+    def auxiliary_sorted_index(self, table_name: str, column: str) -> SortedIndex | None:
+        """The auxiliary sorted index on (table, column) — fresh entries only."""
+        key = (normalize_identifier(table_name), normalize_identifier(column))
+        entry = self._aux_sorted_indexes.get(key)
+        if entry is None:
+            return None
+        table = self._tables.get(key[0])
+        if table is None or entry.data_version != table.data_version:
+            return None
+        return entry.index
+
+    def auxiliary_index_keys(self) -> list[tuple[str, str, str]]:
+        """(table, column, kind) for every auxiliary index (observability)."""
+        out = [(t, c, "hash") for (t, c) in self._aux_hash_indexes]
+        out += [(t, c, "sorted") for (t, c) in self._aux_sorted_indexes]
+        return sorted(out)
+
+    def lookup_hash_index(self, table_name: str, column: str) -> HashIndex | None:
+        """Planner index if declared, else a fresh auxiliary one (executor
+        resolution path for IndexScan nodes)."""
+        index = self.hash_index(table_name, column)
+        if index is not None:
+            return index
+        return self.auxiliary_hash_index(table_name, column)
+
+    def lookup_sorted_index(self, table_name: str, column: str) -> SortedIndex | None:
+        index = self.sorted_index(table_name, column)
+        if index is not None:
+            return index
+        return self.auxiliary_sorted_index(table_name, column)
+
     # -- statistics --------------------------------------------------------------
 
     def stats(self, table_name: str) -> TableStats:
@@ -263,22 +420,54 @@ class Catalog:
     # -- internals -----------------------------------------------------------------
 
     def _indexed_columns(self, table_key: str) -> list[str]:
-        columns = [c for (t, c) in self._hash_indexes if t == table_key]
-        columns += [c for (t, c) in self._sorted_indexes if t == table_key]
+        # list() copies before iterating: the maintenance thread may be
+        # registering an auxiliary index concurrently with a DML caller.
+        columns = [c for (t, c) in list(self._hash_indexes) if t == table_key]
+        columns += [c for (t, c) in list(self._sorted_indexes) if t == table_key]
+        columns += [c for (t, c) in list(self._aux_hash_indexes) if t == table_key]
+        columns += [c for (t, c) in list(self._aux_sorted_indexes) if t == table_key]
         return columns
+
+    def _all_indexes_for(self, table_key: str) -> list[tuple[str, HashIndex | SortedIndex]]:
+        """(column, index) pairs for every index — planner and auxiliary —
+        on one table; the shared iteration for row-level maintenance."""
+        out: list[tuple[str, HashIndex | SortedIndex]] = []
+        for (t, column), index in list(self._hash_indexes.items()):
+            if t == table_key:
+                out.append((column, index))
+        for (t, column), index in list(self._sorted_indexes.items()):
+            if t == table_key:
+                out.append((column, index))
+        for registry in (self._aux_hash_indexes, self._aux_sorted_indexes):
+            for (t, column), entry in list(registry.items()):
+                if t == table_key:
+                    out.append((column, entry.index))
+        return out
 
     def _index_row(self, table_key: str, table: Table, row_id: int, add: bool) -> None:
         row = table.get(row_id)
-        for (t, column), index in list(self._hash_indexes.items()):
-            if t != table_key:
-                continue
+        for column, index in self._all_indexes_for(table_key):
             value = row[table.schema.position_of(column)]
             index.add(value, row_id) if add else index.remove(value, row_id)
-        for (t, column), index in list(self._sorted_indexes.items()):
-            if t != table_key:
-                continue
-            value = row[table.schema.position_of(column)]
-            index.add(value, row_id) if add else index.remove(value, row_id)
+
+    def _sync_aux_versions(
+        self, table_key: str, table: Table, before_version: int
+    ) -> None:
+        """Record that auxiliary indexes saw this catalog-mediated write.
+
+        Only entries that were in sync with the table *before* this
+        mutation advance to the new ``table.data_version`` — an entry
+        already stale (a direct ``Table`` mutation bypassed catalog index
+        maintenance at some point, so it is permanently missing rows)
+        must stay detectably stale, never be laundered fresh by a later
+        catalog-mediated write.
+        """
+        for registry in (self._aux_hash_indexes, self._aux_sorted_indexes):
+            # Copy before iterating: the maintenance thread may register a
+            # new auxiliary index while a DML caller runs this sync.
+            for (t, _column), entry in list(registry.items()):
+                if t == table_key and entry.data_version == before_version:
+                    entry.data_version = table.data_version
 
     def _rebuild_indexes_for(self, table_key: str) -> None:
         table = self._tables[table_key]
@@ -298,3 +487,15 @@ class Catalog:
             for row_id, row in table.scan_with_ids():
                 sorted_index.add(row[position], row_id)
             self._sorted_indexes[(t, column)] = sorted_index
+        for registry, factory in (
+            (self._aux_hash_indexes, HashIndex),
+            (self._aux_sorted_indexes, SortedIndex),
+        ):
+            for (t, column), old_entry in list(registry.items()):
+                if t != table_key:
+                    continue
+                rebuilt = factory(old_entry.index.table, column)
+                position = table.schema.position_of(column)
+                for row_id, row in table.scan_with_ids():
+                    rebuilt.add(row[position], row_id)
+                registry[(t, column)] = AuxiliaryIndex(rebuilt, table.data_version)

@@ -121,6 +121,46 @@ class TestPlanPickling:
             logical.Distinct,
         }
         assert executable <= seen
+        # ViewScan is planner-invisible (the maintenance runtime
+        # substitutes it at execution time), so its round-trip coverage
+        # lives in the dedicated maintenance-rewrite tests below.
+
+    def test_maintenance_view_scan_round_trip(self):
+        """ViewScan crosses the dispatch pickle boundary carrying its rows
+        (optimizer.speculation_payload rewrites plans before shipping), and
+        a pickle regression would only show as a silent thread fallback —
+        so round-trip it explicitly, memo-stripping included."""
+        scan = logical.ViewScan(
+            name="mv_test",
+            source_strict="deadbeef",
+            build_id=3,
+            columns=(logical.OutputCol("city", "s"), logical.OutputCol("total")),
+            rows=((u"Berkeley", 150.5), ("Oakland", 80.0)),
+            projection=(1, 0),
+        )
+        plan = logical.Limit(child=scan, limit=1)
+        original = fingerprints(plan)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert fingerprints(clone) == original
+        assert clone.child.materialized_rows() == scan.materialized_rows()
+        assert "_fingerprint_memo" not in pickle.loads(pickle.dumps(scan)).__dict__
+
+    def test_row_id_ordered_index_scan_round_trip_with_distinct_digest(self):
+        """The maintenance rewrite's rid-ordered IndexScan variant must
+        pickle and must never share a digest with the planner's native
+        ordering (their output row order differs)."""
+        db = build_db()
+        db.catalog.create_hash_index("stores", "state")
+        plan = db.plan_select("SELECT city FROM stores WHERE state = 'CA'")
+        (native,) = [n for n in plan.walk() if isinstance(n, logical.IndexScan)]
+        import dataclasses
+
+        ordered = dataclasses.replace(native, row_id_order=True)
+        clone = pickle.loads(pickle.dumps(ordered))
+        assert clone == ordered
+        assert fingerprints(clone) == fingerprints(ordered)
+        assert fingerprints(ordered).strict != fingerprints(native).strict
 
     def test_memo_is_stripped_from_the_wire_form(self):
         db = build_db()

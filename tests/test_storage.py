@@ -240,6 +240,166 @@ class TestCatalog:
         assert catalog.stats("t") is not stats1
 
 
+class TestIndexWritePathMaintenance:
+    """Index contents under the full write path: inserts, updates, deletes
+    — lookup / lookup_range / distinct_keys must track the table exactly.
+    Previously only exercised indirectly through query execution."""
+
+    def populated(self) -> Catalog:
+        catalog = Catalog()
+        catalog.create_table(make_schema("t"))
+        catalog.insert_rows(
+            "t", [(i, ("a", "b", "c")[i % 3], float(i)) for i in range(12)]
+        )
+        return catalog
+
+    def lookup_matches_scan(self, catalog: Catalog, column: str, value) -> None:
+        index = catalog.hash_index("t", column) or catalog.auxiliary_hash_index(
+            "t", column
+        )
+        table = catalog.table("t")
+        position = table.schema.position_of(column)
+        expected = {
+            row_id for row_id, row in table.scan_with_ids() if row[position] == value
+        }
+        assert index.lookup(value) == expected
+
+    def test_hash_lookup_consistent_across_mixed_dml(self):
+        catalog = self.populated()
+        catalog.create_hash_index("t", "name")
+        catalog.insert_rows("t", [(100, "a", 1.5), (101, None, 2.5)])
+        for value in ("a", "b", "c"):
+            self.lookup_matches_scan(catalog, "name", value)
+        # Update moves a row between buckets; NULL leaves the index.
+        moved = min(catalog.hash_index("t", "name").lookup("a"))
+        catalog.update_row("t", moved, (999, "c", 0.0))
+        self.lookup_matches_scan(catalog, "name", "a")
+        self.lookup_matches_scan(catalog, "name", "c")
+        catalog.update_row("t", moved, (999, None, 0.0))
+        self.lookup_matches_scan(catalog, "name", "c")
+        assert moved not in catalog.hash_index("t", "name").lookup("c")
+        # Deletes shrink buckets all the way to removal.
+        for row_id in sorted(catalog.hash_index("t", "name").lookup("b")):
+            catalog.delete_row("t", row_id)
+        assert catalog.hash_index("t", "name").lookup("b") == set()
+
+    def test_distinct_keys_after_deletions(self):
+        catalog = self.populated()
+        index = catalog.create_hash_index("t", "name")
+        assert index.distinct_keys == 3
+        for row_id in sorted(index.lookup("c")):
+            catalog.delete_row("t", row_id)
+        assert index.distinct_keys == 2  # emptied bucket is dropped
+        assert len(index) == catalog.table("t").num_rows
+
+    def test_sorted_range_consistent_across_mixed_dml(self):
+        catalog = self.populated()
+        index = catalog.create_sorted_index("t", "score")
+        catalog.insert_rows("t", [(200, "z", 4.5), (201, "z", None)])
+        catalog.delete_row("t", min(index.lookup(3.0)))
+        (victim,) = index.lookup(5.0)
+        catalog.update_row("t", victim, (5, "z", 50.0))
+        table = catalog.table("t")
+        position = table.schema.position_of("score")
+        populated_rows = [
+            (row_id, row)
+            for row_id, row in table.scan_with_ids()
+            if row[position] is not None
+        ]
+        expected = [
+            row_id
+            for row_id, row in sorted(
+                populated_rows, key=lambda pair: (pair[1][position], pair[0])
+            )
+            if 2.0 <= row[position] <= 50.0
+        ]
+        assert index.lookup_range(2.0, 50.0) == expected
+        assert len(index) == sum(
+            1 for row in table.scan() if row[position] is not None
+        )
+
+    def test_auxiliary_indexes_maintained_like_planner_ones(self):
+        catalog = self.populated()
+        catalog.create_auxiliary_hash_index("t", "name")
+        catalog.create_auxiliary_sorted_index("t", "score")
+        catalog.insert_rows("t", [(300, "a", 30.0)])
+        self.lookup_matches_scan(catalog, "name", "a")
+        sorted_index = catalog.auxiliary_sorted_index("t", "score")
+        assert 300 in {
+            catalog.table("t").get(r)[0]
+            for r in sorted_index.lookup_range(30.0, 30.0)
+        }
+        row_id = min(catalog.auxiliary_hash_index("t", "name").lookup("a"))
+        catalog.delete_row("t", row_id)
+        self.lookup_matches_scan(catalog, "name", "a")
+        # Catalog-mediated DML keeps auxiliary entries fresh...
+        assert catalog.auxiliary_hash_index("t", "name") is not None
+        # ...while direct table mutation marks them stale (refused).
+        catalog.table("t").insert((400, "a", 40.0))
+        assert catalog.auxiliary_hash_index("t", "name") is None
+        assert catalog.auxiliary_sorted_index("t", "score") is None
+
+    def test_catalog_dml_never_launders_a_stale_auxiliary_index(self):
+        """An entry stale from a catalog-bypassing write is permanently
+        missing rows — a later catalog-mediated write (which maintains
+        only its own rows) must not re-stamp it fresh."""
+        catalog = self.populated()
+        catalog.create_auxiliary_hash_index("t", "name")
+        catalog.table("t").insert((500, "a", 5.0))  # bypasses index upkeep
+        assert catalog.auxiliary_hash_index("t", "name") is None
+        catalog.insert_rows("t", [(501, "a", 6.0)])  # maintained write
+        assert catalog.auxiliary_hash_index("t", "name") is None  # still stale
+        # A rebuild (replace_table path) restores freshness from scratch.
+        catalog.replace_table(catalog.table("t"))
+        index = catalog.auxiliary_hash_index("t", "name")
+        assert index is not None
+        self.lookup_matches_scan(catalog, "name", "a")
+
+    def test_write_racing_an_auxiliary_build_leaves_the_entry_stale(self):
+        """The build stamps the data_version observed *before* its scan: a
+        write landing mid-build leaves the (possibly incomplete) index
+        detectably stale instead of laundered fresh."""
+        catalog = self.populated()
+        table = catalog.table("t")
+        original = table.scan_with_ids
+
+        def racing_scan():
+            raced = False
+            for item in original():
+                if not raced:
+                    table.insert((600, "a", 6.0))  # concurrent writer
+                    raced = True
+                yield item
+
+        table.scan_with_ids = racing_scan  # type: ignore[method-assign]
+        try:
+            catalog.create_auxiliary_hash_index("t", "name")
+        finally:
+            del table.scan_with_ids
+        assert catalog.auxiliary_hash_index("t", "name") is None
+
+    def test_auxiliary_registry_versioning_and_snapshot_round_trip(self):
+        catalog = self.populated()
+        before = catalog.version()
+        catalog.create_auxiliary_hash_index("t", "name")
+        assert catalog.version() != before
+        # ...but building an index never moves the *data* version views
+        # are stamped with.
+        assert catalog.data_version_tuple() == before[:-1]
+        with pytest.raises(CatalogError):
+            catalog.create_auxiliary_hash_index("t", "name")
+        restored = Catalog.from_snapshot(catalog.snapshot())
+        assert restored.auxiliary_hash_index("t", "name") is not None
+        assert restored.auxiliary_hash_index("t", "name").lookup(
+            "a"
+        ) == catalog.auxiliary_hash_index("t", "name").lookup("a")
+        # Planner-facing lookups never see auxiliary entries.
+        assert catalog.hash_index("t", "name") is None
+        assert catalog.lookup_hash_index("t", "name") is not None
+        catalog.drop_table("t")
+        assert catalog.auxiliary_index_keys() == []
+
+
 class TestStatistics:
     def make_table(self) -> Table:
         table = Table(make_schema())
