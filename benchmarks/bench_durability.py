@@ -1,0 +1,245 @@
+"""Durability bench — crash-recovery cost and replica read offload.
+
+Two questions the WAL subsystem must answer with numbers, recorded to
+``BENCH_durability.json`` (override via ``BENCH_DURABILITY_JSON``) so the
+trajectory accumulates across PRs:
+
+1. **Recovery time vs log length.** Recovery replays the committed tail
+   after the last checkpoint, so its cost is linear in tail records, and
+   a checkpoint collapses it to near-constant. We crash a database after
+   N single-row logged writes (no checkpoint) and time
+   ``Database.recover``; a final row checkpoints first and recovers from
+   an empty tail. Every recovery is verified exact (row count + catalog
+   version) before its time is reported.
+
+2. **Replica read offload.** 64 uncoordinated agents stream
+   bounded-staleness reads (``Brief(max_staleness=...)``) through the
+   gateway (``max_batch`` 16) backed by 2 log-fed replicas: the loaded
+   windows spill eligible probes to the replicas, and every replica-served
+   response carries its explicit staleness hint.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from repro.db import Database
+from repro.util.tabulate import format_table
+
+TAIL_LENGTHS = (100, 1000, 5000)
+SWARM_AGENTS = 64
+REPLICAS = 2
+MAX_BATCH = 16
+JSON_PATH_ENV = "BENCH_DURABILITY_JSON"
+DEFAULT_JSON_PATH = "BENCH_durability.json"
+
+
+@dataclass
+class DurabilityBenchResult:
+    #: (tail_records, checkpointed, recover_ms, exact).
+    recovery_rows: list[tuple] = field(default_factory=list)
+    #: Replica offload at 64 agents.
+    agents: int = 0
+    probes_offloaded: int = 0
+    offload_fraction: float = 0.0
+    hinted_fraction: float = 0.0
+    stream_ms: float = 0.0
+
+    def render(self) -> str:
+        recovery = format_table(
+            ["tail records", "checkpointed", "recover ms", "exact"],
+            [
+                (tail, "yes" if ckpt else "no", f"{ms:.1f}", "yes" if ok else "NO")
+                for tail, ckpt, ms, ok in self.recovery_rows
+            ],
+            title="crash-recovery time vs committed tail length",
+        )
+        offload = format_table(
+            ["agents", "replicas", "offloaded", "fraction", "hinted", "ms"],
+            [
+                (
+                    self.agents,
+                    REPLICAS,
+                    self.probes_offloaded,
+                    f"{self.offload_fraction:.0%}",
+                    f"{self.hinted_fraction:.0%}",
+                    f"{self.stream_ms:.1f}",
+                )
+            ],
+            title="replica read offload under a loaded gateway",
+        )
+        return recovery + "\n\n" + offload
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "durability",
+            "recovery": [
+                {
+                    "tail_records": tail,
+                    "checkpointed": ckpt,
+                    "recover_ms": round(ms, 2),
+                    "exact": ok,
+                }
+                for tail, ckpt, ms, ok in self.recovery_rows
+            ],
+            "offload": {
+                "agents": self.agents,
+                "replicas": REPLICAS,
+                "max_batch": MAX_BATCH,
+                "probes_offloaded": self.probes_offloaded,
+                "offload_fraction": round(self.offload_fraction, 4),
+                "hinted_fraction": round(self.hinted_fraction, 4),
+                "stream_ms": round(self.stream_ms, 2),
+            },
+        }
+
+
+def time_recovery(tail_records: int, checkpointed: bool) -> tuple[float, bool]:
+    """Crash a database after ``tail_records`` logged writes; time recovery."""
+    wal_dir = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        # A huge checkpoint interval keeps the whole workload in the tail.
+        db = Database("bench", wal_dir=False)
+        db.attach_wal(wal_dir, checkpoint_every=10**9)
+        db.execute("CREATE TABLE events (id INT PRIMARY KEY, payload TEXT)")
+        for i in range(tail_records):
+            db.catalog.insert_rows("events", [(i, f"event-{i}")])
+        if checkpointed:
+            db.checkpoint()
+        expected_version = db.catalog.version()
+        wal = db.wal
+        db.catalog.wal = None
+        wal.close()  # crash: no flush beyond the acknowledged appends
+
+        started = time.perf_counter()
+        recovered = Database.recover(wal_dir)
+        recover_ms = (time.perf_counter() - started) * 1000.0
+        exact = (
+            recovered.catalog.version() == expected_version
+            and recovered.execute("SELECT COUNT(*) FROM events").first_value()
+            == tail_records
+        )
+        crash_wal = recovered.wal
+        recovered.catalog.wal = None
+        crash_wal.close()
+        return recover_ms, exact
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def build_db(rows: int = 900) -> Database:
+    db = Database("bench")
+    db.execute("CREATE TABLE sales (id INT, store_id INT, amount FLOAT)")
+    db.insert_rows(
+        "sales", [(i, 1 + i % 4, float(i % 23)) for i in range(rows)]
+    )
+    return db
+
+
+def run_offload_swarm() -> tuple[int, float, float, float]:
+    """64 uncoordinated bounded-staleness readers against 2 replicas."""
+    wal_dir = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        db = build_db()
+        db.attach_wal(wal_dir)
+        system = AgentFirstDataSystem(
+            db,
+            config=SystemConfig(
+                read_replicas=REPLICAS,
+                gateway_max_batch=MAX_BATCH,
+                gateway_max_wait=0.05,
+            ),
+            workers=1,
+        )
+        responses: list = [None] * SWARM_AGENTS
+        barrier = threading.Barrier(SWARM_AGENTS + 1)
+
+        def agent_main(index: int) -> None:
+            probe = Probe(
+                queries=(
+                    f"SELECT COUNT(*) FROM sales WHERE store_id = {1 + index % 4}",
+                ),
+                brief=Brief(max_staleness=16),
+                agent_id=f"agent-{index}",
+            )
+            ticket = system.gateway.submit(probe)
+            barrier.wait()
+            responses[index] = ticket.result(timeout=120.0)
+
+        threads = [
+            threading.Thread(target=agent_main, args=(index,))
+            for index in range(SWARM_AGENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        system.gateway.flush()
+        for thread in threads:
+            thread.join()
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        offloaded = system.gateway.stats()["probes_offloaded"]
+        hinted = sum(
+            1
+            for response in responses
+            if any("read replica" in hint for hint in response.steering)
+        )
+        system.close()
+        return offloaded, offloaded / SWARM_AGENTS, hinted / SWARM_AGENTS, elapsed_ms
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def run_durability_bench() -> DurabilityBenchResult:
+    result = DurabilityBenchResult(agents=SWARM_AGENTS)
+    for tail in TAIL_LENGTHS:
+        recover_ms, exact = time_recovery(tail, checkpointed=False)
+        result.recovery_rows.append((tail, False, recover_ms, exact))
+    # The checkpointed run: same write count as the longest tail, but the
+    # checkpoint collapses replay to (near) nothing.
+    recover_ms, exact = time_recovery(TAIL_LENGTHS[-1], checkpointed=True)
+    result.recovery_rows.append((TAIL_LENGTHS[-1], True, recover_ms, exact))
+
+    offloaded, fraction, hinted, stream_ms = run_offload_swarm()
+    result.probes_offloaded = offloaded
+    result.offload_fraction = fraction
+    result.hinted_fraction = hinted
+    result.stream_ms = stream_ms
+    return result
+
+
+def write_json(result: DurabilityBenchResult) -> str:
+    """Append this run (keyed by git SHA + date) to the perf trajectory."""
+    from bench_record import append_run
+
+    return append_run(JSON_PATH_ENV, DEFAULT_JSON_PATH, result.to_json())
+
+
+def test_durability(benchmark):
+    result = benchmark.pedantic(run_durability_bench, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")
+
+    # Every recovery must be exact — speed means nothing otherwise.
+    assert all(ok for _, _, _, ok in result.recovery_rows)
+    # A checkpoint must beat replaying the full longest tail.
+    longest = max(ms for _, ckpt, ms, _ in result.recovery_rows if not ckpt)
+    checkpointed = [ms for _, ckpt, ms, _ in result.recovery_rows if ckpt][0]
+    assert checkpointed < longest
+    # The loaded gateway actually spilled reads, and every offloaded
+    # response was explicitly hinted.
+    assert result.probes_offloaded > 0
+    assert result.hinted_fraction == result.offload_fraction
+
+
+if __name__ == "__main__":
+    result = run_durability_bench()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")

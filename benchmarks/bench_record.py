@@ -6,6 +6,12 @@ was empty. This helper appends instead: each run becomes one record
 keyed by git SHA + date inside ``{"bench": ..., "runs": [...]}``. A
 legacy single-run file (the pre-append format: the payload dict at top
 level) is adopted as the first run so no history is thrown away.
+
+Re-running a bench on the *same commit* replaces that commit's record
+instead of appending a duplicate — a retried CI job or a local re-run
+must not double-count a SHA in the trajectory. (Runs whose SHA could not
+be resolved — ``"unknown"`` — are never deduplicated, as they cannot be
+told apart.)
 """
 
 from __future__ import annotations
@@ -64,12 +70,16 @@ def append_run(path_env: str, default_path: str, payload: dict) -> str:
     bench = str(payload.get("bench", "unknown"))
     runs = _load_runs(path, bench)
     now = datetime.now(timezone.utc)
+    sha = git_sha()
     record = {
-        "git_sha": git_sha(),
+        "git_sha": sha,
         "date": now.date().isoformat(),
         "recorded_at": now.isoformat(timespec="seconds"),
         **payload,
     }
+    if sha != "unknown":
+        # Same commit re-run: replace, don't double-count in the trajectory.
+        runs = [run for run in runs if run.get("git_sha") != sha]
     runs.append(record)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"bench": bench, "runs": runs}, handle, indent=2, sort_keys=True)

@@ -65,6 +65,12 @@ class Brief:
     #: Soft cost budget in engine work units; the system warns when a
     #: query's estimate exceeds it and may increase approximation.
     max_cost: float | None = None
+    #: Bounded-staleness tolerance: how many catalog write versions of lag
+    #: the agent accepts on this probe's answers. Setting it lets the
+    #: gateway serve the probe from a read replica under load (the
+    #: response then carries an explicit staleness steering hint);
+    #: ``None`` means answers always come from the primary.
+    max_staleness: int | None = None
     #: Free-form extra context, passed through to sleeper agents.
     notes: str = ""
 

@@ -41,12 +41,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import os
 import random
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import replace
 from typing import TYPE_CHECKING, AsyncIterator, Callable, Iterable
 
@@ -55,6 +56,8 @@ from repro.core.probe import Probe, ProbeResponse
 
 if TYPE_CHECKING:
     from repro.core.system import AgentFirstDataSystem
+
+_LOG = logging.getLogger(__name__)
 
 #: Environment overrides for the admission-window knobs. CI uses
 #: ``REPRO_GATEWAY_JITTER`` to fuzz window formation timing under the
@@ -101,6 +104,11 @@ def merge_brief(brief: Brief, defaults: Brief) -> Brief:
             else defaults.complete_k_of_n
         ),
         max_cost=brief.max_cost if brief.max_cost is not None else defaults.max_cost,
+        max_staleness=(
+            brief.max_staleness
+            if brief.max_staleness is not None
+            else defaults.max_staleness
+        ),
         notes=brief.notes or defaults.notes,
     )
 
@@ -295,6 +303,11 @@ class ProbeGateway:
         self._window_size_max = 0
         self._formation_ms_total = 0.0
         self._formation_ms_max = 0.0
+        #: Probes answered by read replicas instead of the primary window.
+        self.probes_offloaded = 0
+        #: Idle-hook failures survived (see ``_serve_streamed_window``).
+        self.idle_hook_errors = 0
+        self.last_idle_hook_error: str | None = None
 
     # -- synchronous window serving (the submit/submit_many shim path) --------
 
@@ -453,41 +466,53 @@ class ProbeGateway:
                 first_enqueued = self._pending[0]._enqueued_at
                 while self._pending and len(window) < self.max_batch:
                     ticket = self._pending.popleft()
+                    # Settle the admission race with cancel() here, under
+                    # the same lock _cancel takes. Marking the future
+                    # RUNNING makes any later Future.cancel() — including
+                    # out-of-band ones from asyncio.wait_for timing out on
+                    # aresult() — return False deterministically; a future
+                    # already cancelled out-of-band is skipped, never
+                    # served to a caller who gave up on it.
+                    if not ticket._future.set_running_or_notify_cancel():
+                        continue
                     ticket._admitted = True
                     window.append(ticket)
                 if not self._pending:
                     self._flush_requested = False
                 formation_ms = (time.monotonic() - first_enqueued) * 1000.0
+            if not window:  # everything was cancelled at the admission edge
+                continue
             self._serve_streamed_window(window, formation_ms)
 
     def _serve_streamed_window(
         self, window: list[ProbeTicket], formation_ms: float
     ) -> None:
-        probes = [ticket.probe for ticket in window]
-        try:
-            with self._cond:
-                self._serve_waiters += 1  # admitted probes still count as demand
+        window = self._offload_to_replicas(window)
+        if window:
+            probes = [ticket.probe for ticket in window]
             try:
-                with self._serve_lock:
-                    responses = self.system._serve_batch(probes)
-            finally:
                 with self._cond:
-                    self._serve_waiters -= 1
-        except BaseException as exc:  # pragma: no cover - defensive
-            for ticket in window:
-                if not ticket._future.done():
-                    ticket._future.set_exception(exc)
-            return
-        with self._cond:
-            self.windows_streamed += 1
-            self.probes_streamed += len(window)
-            self._window_size_max = max(self._window_size_max, len(window))
-            self._formation_ms_total += formation_ms
-            self._formation_ms_max = max(self._formation_ms_max, formation_ms)
-        for ticket, response in zip(window, responses):
-            if ticket.session is not None:
-                ticket.session._account(response)
-            ticket._future.set_result(response)
+                    self._serve_waiters += 1  # admitted probes still count as demand
+                try:
+                    with self._serve_lock:
+                        responses = self.system._serve_batch(probes)
+                finally:
+                    with self._cond:
+                        self._serve_waiters -= 1
+            except BaseException as exc:  # pragma: no cover - defensive
+                for ticket in window:
+                    if not ticket._future.done():
+                        with contextlib.suppress(InvalidStateError):
+                            ticket._future.set_exception(exc)
+                return
+            with self._cond:
+                self.windows_streamed += 1
+                self.probes_streamed += len(window)
+                self._window_size_max = max(self._window_size_max, len(window))
+                self._formation_ms_total += formation_ms
+                self._formation_ms_max = max(self._formation_ms_max, formation_ms)
+            for ticket, response in zip(window, responses):
+                self._deliver(ticket, response)
         # The queue drained behind this window: an idle window opened for
         # the maintenance runtime. Fired outside all gateway locks; the
         # runtime re-checks for pending probes before (and while) working.
@@ -495,8 +520,47 @@ class ProbeGateway:
         if hook is not None and self.pending_probes() == 0:
             try:
                 hook()
-            except Exception:  # pragma: no cover - maintenance must not break serving
-                pass
+            except Exception as exc:
+                # A poison maintenance job must never take the admission
+                # loop down with it: log, count, keep serving.
+                _LOG.exception("gateway idle hook failed; admission continues")
+                with self._cond:
+                    self.idle_hook_errors += 1
+                    self.last_idle_hook_error = f"{type(exc).__name__}: {exc}"
+
+    @staticmethod
+    def _deliver(ticket: ProbeTicket, response: ProbeResponse) -> None:
+        if ticket.session is not None:
+            ticket.session._account(response)
+        # A future in an unexpected state (an out-of-band cancel that slid
+        # past the admission edge) just drops the response; raising here
+        # would kill the admission loop for every other session.
+        with contextlib.suppress(InvalidStateError):
+            ticket._future.set_result(response)
+
+    def _offload_to_replicas(self, window: list[ProbeTicket]) -> list[ProbeTicket]:
+        """Spill eligible probes to read replicas when the primary is loaded.
+
+        Only fires when this window is full or more probes are already
+        queued behind it — an unloaded primary serves everything itself
+        (fresher answers at no extra cost). Returns the tickets the
+        primary still has to serve.
+        """
+        pool = getattr(self.system, "replicas", None)
+        if pool is None or not window:
+            return window
+        if len(window) < self.max_batch and self.pending_probes() == 0:
+            return window
+        kept: list[ProbeTicket] = []
+        for ticket in window:
+            response = pool.try_serve(ticket.probe)
+            if response is None:
+                kept.append(ticket)
+                continue
+            with self._cond:
+                self.probes_offloaded += 1
+            self._deliver(ticket, response)
+        return kept
 
     # -- cancellation ---------------------------------------------------------
 
@@ -530,4 +594,7 @@ class ProbeGateway:
                     self._formation_ms_total / windows if windows else 0.0
                 ),
                 "max_formation_ms": self._formation_ms_max,
+                "probes_offloaded": self.probes_offloaded,
+                "idle_hook_errors": self.idle_hook_errors,
+                "last_idle_hook_error": self.last_idle_hook_error,
             }

@@ -40,6 +40,17 @@ degenerate window of one.
          in flight)        by any     ├─> statistics refresher   rewrites
                            arrival)   └─> subplan-cache pre-warmer
 
+    durability layer (REPRO_WAL / Database.attach_wal; txn/wal.py)
+        catalog writes ──> write-ahead log (append BEFORE mutate)
+        admission windows bracketed: window_begin … serve_state commit
+        periodic checkpoints (Catalog.snapshot + serve state) prune the log
+        crash ──> AgentFirstDataSystem.recover(dir): checkpoint + replay,
+                  exact data_version_tuple AND history attribution restored
+        log ──> read replicas (REPRO_REPLICAS / SystemConfig.read_replicas):
+                gateway spills exact read probes under load, tagging each
+                response "served by read replica: staleness ≤ N versions"
+                and never exceeding the brief's max_staleness tolerance
+
 Each probe in a window is one interaction turn: its queries are
 interpreted, satisficed and executed (with cross-agent work sharing and
 history reuse); the scheduler dispatches round-robin across agents so no
@@ -63,6 +74,7 @@ faster on repeated workloads.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -123,6 +135,12 @@ class SystemConfig:
     #: Detailed maintenance knobs (thresholds, view budget); ``None``
     #: uses :class:`~repro.maintenance.MaintenanceConfig` defaults.
     maintenance: MaintenanceConfig | None = None
+    #: In-process read replicas fed from the write-ahead log (requires a
+    #: WAL-attached database). ``None`` -> the ``REPRO_REPLICAS`` env
+    #: override, else 0. Replicas serve read-only exact probes whose
+    #: brief declares a ``max_staleness`` tolerance; everything else goes
+    #: through the primary.
+    read_replicas: int | None = None
 
 
 class AgentFirstDataSystem:
@@ -175,6 +193,32 @@ class AgentFirstDataSystem:
         if self.maintenance.enabled:
             self.maintenance.attach()
         self.turn = 0
+        #: Guards ``turn``: windows reserve their turn range up front, and
+        #: replica-served responses draw turns concurrently.
+        self._turn_lock = threading.Lock()
+        self.replicas = None
+        wal = db.catalog.wal
+        if wal is not None:
+            # Local import: repro.txn.replica needs repro.core.probe, so a
+            # module-level import here would close an import cycle
+            # through the repro.core package __init__.
+            from repro.txn.replica import ReplicaPool, resolve_replica_count
+
+            # Journal serve-state deltas so each window's commit record
+            # carries its surviving history additions, and let checkpoints
+            # embed the full serve state.
+            self.optimizer.enable_wal_journal()
+            wal.state_provider = lambda: self.optimizer.serve_state_snapshot(
+                self.turn
+            )
+            if db.recovered_serve is not None:
+                self.turn = db.recovered_serve.turn
+                self.optimizer.restore_serve_state(db.recovered_serve)
+            replica_count = resolve_replica_count(self.config.read_replicas)
+            if replica_count > 0:
+                self.replicas = ReplicaPool(
+                    wal, replica_count, turn_source=self._next_replica_turn
+                )
         db.on_change(self._on_change)
 
     # -- the entry points -----------------------------------------------------
@@ -226,20 +270,54 @@ class AgentFirstDataSystem:
 
     def _serve_batch(self, probes: Sequence[Probe]) -> list[ProbeResponse]:
         """Serve one admission window (gateway-internal; callers hold the
-        gateway's serve lock, which serialises turn accounting)."""
-        first_turn = self.turn + 1
-        batch = self.scheduler.run_batch(list(probes), first_turn)
-        self.turn += len(probes)
+        gateway's serve lock, which serialises window order)."""
+        # Reserve the window's whole turn range up front: replica-served
+        # responses draw turns concurrently and must never collide.
+        with self._turn_lock:
+            first_turn = self.turn + 1
+            self.turn += len(probes)
+        wal = self.db.catalog.wal
+        if wal is not None:
+            # Bracket the window in the log. A crash mid-window leaves a
+            # window_begin without its serve_state commit; recovery
+            # truncates it (the responses never reached callers), so the
+            # recovered system resumes at the last served boundary.
+            wal.begin_window()
+        try:
+            batch = self.scheduler.run_batch(list(probes), first_turn)
 
-        # Post-processing (beyond-SQL, steering, memory) runs per probe in
-        # admission order, preserving serial visibility: a later probe's
-        # memory recall sees what earlier probes in the batch wrote back.
-        responses = []
-        for scheduled in batch.probes:
-            response = self._finish_probe(scheduled)
-            response.sharing = batch.report
-            responses.append(response)
+            # Post-processing (beyond-SQL, steering, memory) runs per probe
+            # in admission order, preserving serial visibility: a later
+            # probe's memory recall sees what earlier probes wrote back.
+            responses = []
+            for scheduled in batch.probes:
+                response = self._finish_probe(scheduled)
+                response.sharing = batch.report
+                responses.append(response)
+        finally:
+            if wal is not None:
+                # Commit even on the exception path: any catalog writes
+                # the window performed are already logged and live.
+                wal.commit_window(self._wal_serve_delta())
+        if wal is not None and wal.checkpoint_due():
+            self.db.checkpoint()
         return responses
+
+    def _wal_serve_delta(self) -> dict:
+        """The serve-state delta one window's commit record carries."""
+        history, lenient = self.optimizer.drain_wal_journal()
+        return {
+            "turn": self.turn,
+            "history": history,
+            "lenient": lenient,
+            "advisor": self.optimizer.advisor.drain_wal_delta(),
+        }
+
+    def _next_replica_turn(self) -> int:
+        """Draw one turn number for a replica-served response."""
+        with self._turn_lock:
+            self.turn += 1
+            return self.turn
 
     def _finish_probe(self, scheduled: ScheduledProbe) -> ProbeResponse:
         probe = scheduled.probe
@@ -430,6 +508,13 @@ class AgentFirstDataSystem:
 
     def _on_change(self, event: ChangeEvent) -> None:
         if event.kind in ("insert", "update", "delete", "create", "drop"):
+            # Journal the history wipe: recovery must clear its shadow
+            # history at exactly this point in the replay. (Raw catalog
+            # records cannot stand in — information-schema refreshes drop
+            # and register tables without publishing a change.)
+            wal = self.db.catalog.wal
+            if wal is not None:
+                wal.log_invalidation()
             self.optimizer.invalidate()
             # Worker-process snapshots are now stale too. The dispatcher
             # would notice on next use (it re-checks the catalog version);
@@ -440,6 +525,28 @@ class AgentFirstDataSystem:
             self.maintenance.observe_change(event)
 
     # -- lifecycle ----------------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        config: SystemConfig | None = None,
+        memory: AgenticMemoryStore | None = None,
+        workers: int | None = None,
+        name: str = "db",
+    ) -> "AgentFirstDataSystem":
+        """Rebuild a serving system from a WAL directory after a crash.
+
+        Restores the database to its exact pre-crash version (rows, row
+        ids, every counter) *and* the serving state: the turn counter,
+        the answered-before history (so a repeated query still comes back
+        ``from_history`` with its original "answered at turn N (agent
+        X)" attribution), and the materialization advisor's demand
+        counts. The log stays attached; serving continues appending to
+        it.
+        """
+        db = Database.recover(directory, name=name)
+        return cls(db, memory=memory, config=config, workers=workers)
 
     def prestart(self) -> str:
         """Warm the serving path; returns the resolved dispatch backend.

@@ -6,14 +6,22 @@ full pipeline: parse → build → optimize → execute. It also
 * serves virtual ``information_schema`` tables (rebuilt when stale),
 * evaluates DML (INSERT/UPDATE/DELETE) with index maintenance,
 * publishes :class:`ChangeEvent` notifications that the agentic memory
-  store's staleness tracker subscribes to (paper Sec. 6.1), and
+  store's staleness tracker subscribes to (paper Sec. 6.1),
 * accepts per-query sampling rates and a shared
   :class:`~repro.engine.executor.SubplanCache` — the hooks the probe
-  optimizer drives.
+  optimizer drives, and
+* optionally attaches a write-ahead log (:meth:`Database.attach_wal`,
+  ``REPRO_WAL=1`` for an auto-provisioned temp directory) so committed
+  state survives a crash; :meth:`Database.recover` rebuilds a facade from
+  a log directory at the exact pre-crash version.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -52,11 +60,90 @@ class ChangeEvent:
 class Database:
     """A single-node SQL database with an agent-friendly surface."""
 
-    def __init__(self, name: str = "db") -> None:
+    def __init__(
+        self, name: str = "db", *, wal_dir: str | bool | None = None
+    ) -> None:
         self.name = name
         self.catalog = Catalog()
         self._observers: list[Callable[[ChangeEvent], None]] = []
         self._info_schema_version = -1
+        #: Serve-state recovered alongside the catalog (set by
+        #: :meth:`recover`; the serving system consumes it at rebuild).
+        self.recovered_serve = None
+        self._wal_tmp: str | None = None
+        if wal_dir is None:
+            # REPRO_WAL=1 turns durability on globally: every facade gets
+            # a throwaway log directory (reclaimed at GC / interpreter
+            # exit). Pass ``wal_dir=False`` to opt a facade out.
+            if os.environ.get("REPRO_WAL", "") not in ("", "0"):
+                wal_dir = tempfile.mkdtemp(prefix=f"repro-wal-{name}-")
+                self._wal_tmp = wal_dir
+        if wal_dir:
+            self.attach_wal(wal_dir)
+
+    # -- durability ------------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.txn.wal.WriteAheadLog`, or ``None``."""
+        return self.catalog.wal
+
+    def attach_wal(self, directory: str, **wal_kwargs) -> None:
+        """Attach a write-ahead log rooted at ``directory``.
+
+        The directory must be fresh — reopening an existing log without
+        replaying it would fork history, so that path goes through
+        :meth:`recover` instead. An initial checkpoint captures whatever
+        state the facade already holds, making the log self-contained
+        from its first byte (replicas can seed from it immediately).
+        """
+        from repro.errors import WalError
+        from repro.txn.wal import WriteAheadLog
+
+        if self.catalog.wal is not None:
+            raise WalError("a write-ahead log is already attached")
+        if os.path.isdir(directory) and any(
+            entry.startswith(("wal-", "ckpt-")) for entry in os.listdir(directory)
+        ):
+            raise WalError(
+                f"{directory!r} already contains a write-ahead log; "
+                "use Database.recover() to resume from it"
+            )
+        wal = WriteAheadLog(directory, **wal_kwargs)
+        self.catalog.wal = wal
+        self.checkpoint()
+        weakref.finalize(self, _release_wal, wal, self._wal_tmp)
+
+    def checkpoint(self) -> str | None:
+        """Write a durable checkpoint now (no-op without a log attached, or
+        while an admission window is open). Returns the checkpoint path."""
+        wal = self.catalog.wal
+        if wal is None:
+            return None
+        return wal.write_checkpoint(
+            self.catalog, info_schema_marker=self._info_schema_version
+        )
+
+    @classmethod
+    def recover(cls, directory: str, name: str = "db", **wal_kwargs) -> "Database":
+        """Rebuild a facade from a WAL directory: checkpoint + tail replay.
+
+        The recovered catalog sits at the exact pre-crash
+        ``data_version_tuple()`` — row ids, version counters, and the
+        information-schema freshness marker all match, so a recovered run
+        is byte-identical to one that never crashed. The log stays
+        attached and appendable. ``recovered_serve`` carries the serving
+        system's state for :meth:`AgentFirstDataSystem.recover`.
+        """
+        from repro.txn.wal import recover as wal_recover
+
+        state = wal_recover(directory, **wal_kwargs)
+        db = cls(name, wal_dir=False)
+        db.catalog = state.catalog
+        db._info_schema_version = state.extra.get("info_schema_marker", -1)
+        db.recovered_serve = state.serve
+        weakref.finalize(db, _release_wal, state.wal, None)
+        return db
 
     # -- observers -------------------------------------------------------------
 
@@ -67,6 +154,11 @@ class Database:
     def _publish(self, event: ChangeEvent) -> None:
         for callback in self._observers:
             callback(event)
+        # Checkpoint opportunistically at change boundaries (never
+        # mid-admission-window; write_checkpoint refuses those).
+        wal = self.catalog.wal
+        if wal is not None and wal.checkpoint_due():
+            self.checkpoint()
 
     # -- DDL helpers (programmatic API) ------------------------------------------
 
@@ -190,6 +282,13 @@ class Database:
             ),
         )
         self._info_schema_version = hash(current)
+        # Journal the marker: a recovered facade must consider the
+        # replayed information-schema tables exactly as fresh as the
+        # crashed one did, neither re-registering them (extra
+        # schema_version bumps) nor laundering stale ones fresh.
+        wal = self.catalog.wal
+        if wal is not None:
+            wal.append("info_schema_marker", (self._info_schema_version,))
 
     # -- DDL ------------------------------------------------------------------------
 
@@ -313,6 +412,16 @@ class Database:
         details = tuple((rid, None) for rid in victims)
         self._publish(ChangeEvent("delete", statement.table, len(victims), details))
         return _status_result(f"deleted {len(victims)}")
+
+
+def _release_wal(wal, tmp_dir: str | None) -> None:
+    """GC finalizer: close the log, reclaim an auto-provisioned temp dir."""
+    try:
+        wal.close()
+    except Exception:
+        pass
+    if tmp_dir is not None:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
 
 
 def _status_result(message: str) -> QueryResult:

@@ -46,6 +46,12 @@ class ExecutionError(ReproError):
     """Raised when a plan fails at runtime (type errors, division by zero)."""
 
 
+class WalError(ReproError):
+    """Raised for write-ahead-log violations (bad directory, misuse of the
+    append/abort protocol). Torn or corrupt log tails are *not* errors —
+    recovery truncates them to the last committed point."""
+
+
 class TransactionError(ReproError):
     """Base class for errors from the branched transaction manager."""
 

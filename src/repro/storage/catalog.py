@@ -97,6 +97,25 @@ class Catalog:
         #: :meth:`data_version_tuple` (building an index changes no rows,
         #: so materialized views stay valid across it).
         self.aux_index_version = 0
+        #: Optional write-ahead log (:class:`repro.txn.wal.WriteAheadLog`).
+        #: When attached, every write method appends a record *before*
+        #: mutating state, and aborts it if the mutation raises.
+        self.wal = None
+
+    # -- write-ahead logging ---------------------------------------------------
+
+    def _wal_log(self, kind: str, *payload):
+        """Append a record covering the write about to happen (or ``None``
+        when no log is attached). Callers append *after* validation but
+        *before* mutation, and :meth:`_wal_abort` on mutation failure."""
+        wal = self.wal
+        if wal is None:
+            return None
+        return wal.append(kind, payload)
+
+    def _wal_abort(self, token) -> None:
+        if token is not None:
+            self.wal.abort(token)
 
     # -- versioning ----------------------------------------------------------
 
@@ -170,15 +189,40 @@ class Catalog:
             catalog.create_auxiliary_sorted_index(table_name, column)
         return catalog
 
+    @classmethod
+    def restore_exact(cls, snapshot: CatalogSnapshot) -> "Catalog":
+        """Rebuild a catalog *at the snapshot's exact version counters*.
+
+        :meth:`from_snapshot` re-registers tables and re-creates indexes,
+        which re-bumps ``schema_version``/``aux_index_version`` from zero
+        — fine for throwaway worker copies, wrong for crash recovery and
+        replicas, where :meth:`version` must land on the source's value so
+        staleness checks and the recovery differential line up. This
+        variant overwrites the counters with the recorded ones (per-table
+        ``data_version``/``next_row_id`` already travel inside each
+        :class:`TableSnapshot`).
+        """
+        catalog = cls.from_snapshot(snapshot)
+        schema_version, data_epoch, _per_table, aux_index_version = snapshot.version
+        catalog.schema_version = schema_version
+        catalog.data_epoch = data_epoch
+        catalog.aux_index_version = aux_index_version
+        return catalog
+
     # -- table lifecycle -----------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
         key = normalize_identifier(schema.name)
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema)
-        self._tables[key] = table
-        self.schema_version += 1
+        token = self._wal_log("create_table", schema)
+        try:
+            table = Table(schema)
+            self._tables[key] = table
+            self.schema_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
         return table
 
     def register_table(self, table: Table) -> None:
@@ -186,24 +230,34 @@ class Catalog:
         key = normalize_identifier(table.schema.name)
         if key in self._tables:
             raise CatalogError(f"table {table.schema.name!r} already exists")
-        self._tables[key] = table
-        self.schema_version += 1
+        token = self._wal_log("register_table", table.snapshot_state())
+        try:
+            self._tables[key] = table
+            self.schema_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
 
     def drop_table(self, name: str) -> None:
         key = normalize_identifier(name)
         if key not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
-        del self._tables[key]
-        self._stats_cache.pop(key, None)
-        for index_key in [k for k in self._hash_indexes if k[0] == key]:
-            del self._hash_indexes[index_key]
-        for index_key in [k for k in self._sorted_indexes if k[0] == key]:
-            del self._sorted_indexes[index_key]
-        for registry in (self._aux_hash_indexes, self._aux_sorted_indexes):
-            for index_key in [k for k in registry if k[0] == key]:
-                del registry[index_key]
-                self.aux_index_version += 1
-        self.schema_version += 1
+        token = self._wal_log("drop_table", name)
+        try:
+            del self._tables[key]
+            self._stats_cache.pop(key, None)
+            for index_key in [k for k in self._hash_indexes if k[0] == key]:
+                del self._hash_indexes[index_key]
+            for index_key in [k for k in self._sorted_indexes if k[0] == key]:
+                del self._sorted_indexes[index_key]
+            for registry in (self._aux_hash_indexes, self._aux_sorted_indexes):
+                for index_key in [k for k in registry if k[0] == key]:
+                    del registry[index_key]
+                    self.aux_index_version += 1
+            self.schema_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
 
     def replace_table(self, table: Table) -> None:
         """Swap in a new table object under the same name (branch checkout).
@@ -213,10 +267,15 @@ class Catalog:
         change to snapshot consumers.
         """
         key = normalize_identifier(table.schema.name)
-        self._tables[key] = table
-        self._stats_cache.pop(key, None)
-        self._rebuild_indexes_for(key)
-        self.data_epoch += 1
+        token = self._wal_log("replace_table", table.snapshot_state())
+        try:
+            self._tables[key] = table
+            self._stats_cache.pop(key, None)
+            self._rebuild_indexes_for(key)
+            self.data_epoch += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
 
     # -- lookups ---------------------------------------------------------------
 
@@ -239,40 +298,57 @@ class Catalog:
 
     def insert_rows(self, name: str, rows: Iterable[Iterable[Value]]) -> list[int]:
         table = self.table(name)
-        before_version = table.data_version
-        row_ids = table.insert_many(rows)
-        key = normalize_identifier(name)
-        if self._indexed_columns(key):
-            for row_id in row_ids:
-                self._index_row(key, table, row_id, add=True)
-        self._sync_aux_versions(key, table, before_version)
-        self._stats_cache.pop(key, None)
-        self.data_epoch += 1
+        rows = [tuple(row) for row in rows]  # materialize: logged then consumed
+        token = self._wal_log("insert", name, tuple(rows))
+        try:
+            before_version = table.data_version
+            row_ids = table.insert_many(rows)
+            key = normalize_identifier(name)
+            if self._indexed_columns(key):
+                for row_id in row_ids:
+                    self._index_row(key, table, row_id, add=True)
+            self._sync_aux_versions(key, table, before_version)
+            self._stats_cache.pop(key, None)
+            self.data_epoch += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
         return row_ids
 
     def update_row(self, name: str, row_id: int, values: Iterable[Value]) -> None:
         table = self.table(name)
-        before_version = table.data_version
-        key = normalize_identifier(name)
-        if self._indexed_columns(key):
-            self._index_row(key, table, row_id, add=False)
-        table.update(row_id, values)
-        if self._indexed_columns(key):
-            self._index_row(key, table, row_id, add=True)
-        self._sync_aux_versions(key, table, before_version)
-        self._stats_cache.pop(key, None)
-        self.data_epoch += 1
+        values = tuple(values)  # materialize: logged then consumed
+        token = self._wal_log("update", name, row_id, values)
+        try:
+            before_version = table.data_version
+            key = normalize_identifier(name)
+            if self._indexed_columns(key):
+                self._index_row(key, table, row_id, add=False)
+            table.update(row_id, values)
+            if self._indexed_columns(key):
+                self._index_row(key, table, row_id, add=True)
+            self._sync_aux_versions(key, table, before_version)
+            self._stats_cache.pop(key, None)
+            self.data_epoch += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
 
     def delete_row(self, name: str, row_id: int) -> None:
         table = self.table(name)
-        before_version = table.data_version
-        key = normalize_identifier(name)
-        if self._indexed_columns(key):
-            self._index_row(key, table, row_id, add=False)
-        table.delete(row_id)
-        self._sync_aux_versions(key, table, before_version)
-        self._stats_cache.pop(key, None)
-        self.data_epoch += 1
+        token = self._wal_log("delete", name, row_id)
+        try:
+            before_version = table.data_version
+            key = normalize_identifier(name)
+            if self._indexed_columns(key):
+                self._index_row(key, table, row_id, add=False)
+            table.delete(row_id)
+            self._sync_aux_versions(key, table, before_version)
+            self._stats_cache.pop(key, None)
+            self.data_epoch += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
 
     # -- indexes -----------------------------------------------------------------
 
@@ -281,12 +357,17 @@ class Catalog:
         key = (normalize_identifier(table_name), normalize_identifier(column))
         if key in self._hash_indexes:
             raise CatalogError(f"hash index on {table_name}.{column} already exists")
-        index = HashIndex(table.schema.name, column)
-        position = table.schema.position_of(column)
-        for row_id, row in table.scan_with_ids():
-            index.add(row[position], row_id)
-        self._hash_indexes[key] = index
-        self.schema_version += 1
+        token = self._wal_log("hash_index", table_name, column)
+        try:
+            index = HashIndex(table.schema.name, column)
+            position = table.schema.position_of(column)
+            for row_id, row in table.scan_with_ids():
+                index.add(row[position], row_id)
+            self._hash_indexes[key] = index
+            self.schema_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
         return index
 
     def create_sorted_index(self, table_name: str, column: str) -> SortedIndex:
@@ -294,12 +375,17 @@ class Catalog:
         key = (normalize_identifier(table_name), normalize_identifier(column))
         if key in self._sorted_indexes:
             raise CatalogError(f"sorted index on {table_name}.{column} already exists")
-        index = SortedIndex(table.schema.name, column)
-        position = table.schema.position_of(column)
-        for row_id, row in table.scan_with_ids():
-            index.add(row[position], row_id)
-        self._sorted_indexes[key] = index
-        self.schema_version += 1
+        token = self._wal_log("sorted_index", table_name, column)
+        try:
+            index = SortedIndex(table.schema.name, column)
+            position = table.schema.position_of(column)
+            for row_id, row in table.scan_with_ids():
+                index.add(row[position], row_id)
+            self._sorted_indexes[key] = index
+            self.schema_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
         return index
 
     def hash_index(self, table_name: str, column: str) -> HashIndex | None:
@@ -328,17 +414,22 @@ class Catalog:
             raise CatalogError(
                 f"auxiliary hash index on {table_name}.{column} already exists"
             )
-        # Stamp the version observed *before* the build scan: a write that
-        # races the scan leaves the entry behind the table's version, so
-        # the possibly-incomplete index is born stale (refused) instead of
-        # laundered fresh.
-        before_version = table.data_version
-        index = HashIndex(table.schema.name, column)
-        position = table.schema.position_of(column)
-        for row_id, row in table.scan_with_ids():
-            index.add(row[position], row_id)
-        self._aux_hash_indexes[key] = AuxiliaryIndex(index, before_version)
-        self.aux_index_version += 1
+        token = self._wal_log("aux_hash_index", table_name, column)
+        try:
+            # Stamp the version observed *before* the build scan: a write
+            # that races the scan leaves the entry behind the table's
+            # version, so the possibly-incomplete index is born stale
+            # (refused) instead of laundered fresh.
+            before_version = table.data_version
+            index = HashIndex(table.schema.name, column)
+            position = table.schema.position_of(column)
+            for row_id, row in table.scan_with_ids():
+                index.add(row[position], row_id)
+            self._aux_hash_indexes[key] = AuxiliaryIndex(index, before_version)
+            self.aux_index_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
         return index
 
     def create_auxiliary_sorted_index(self, table_name: str, column: str) -> SortedIndex:
@@ -348,13 +439,18 @@ class Catalog:
             raise CatalogError(
                 f"auxiliary sorted index on {table_name}.{column} already exists"
             )
-        before_version = table.data_version  # see create_auxiliary_hash_index
-        index = SortedIndex(table.schema.name, column)
-        position = table.schema.position_of(column)
-        for row_id, row in table.scan_with_ids():
-            index.add(row[position], row_id)
-        self._aux_sorted_indexes[key] = AuxiliaryIndex(index, before_version)
-        self.aux_index_version += 1
+        token = self._wal_log("aux_sorted_index", table_name, column)
+        try:
+            before_version = table.data_version  # see create_auxiliary_hash_index
+            index = SortedIndex(table.schema.name, column)
+            position = table.schema.position_of(column)
+            for row_id, row in table.scan_with_ids():
+                index.add(row[position], row_id)
+            self._aux_sorted_indexes[key] = AuxiliaryIndex(index, before_version)
+            self.aux_index_version += 1
+        except BaseException:
+            self._wal_abort(token)
+            raise
         return index
 
     def auxiliary_hash_index(self, table_name: str, column: str) -> HashIndex | None:

@@ -39,7 +39,9 @@ def replay(ops: list[WriteOp], target_branch, result: MergeResult) -> None:
     """
     remap: dict[tuple[str, int], int] = {}
     for op in ops:
-        key = (op.table.lower(), op.row_id)
+        # op.key is normalized at WriteOp construction — the one identity
+        # conflict detection also uses; never recompute it independently.
+        key = op.key
         if op.kind == "insert":
             assert op.values is not None
             new_id = target_branch.insert_row(op.table, op.values)

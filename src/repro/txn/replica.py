@@ -1,0 +1,229 @@
+"""In-process read replicas fed from the write-ahead log.
+
+A :class:`ReadReplica` is a follower catalog: it seeds from the log's
+latest checkpoint and applies committed catalog records in LSN order, so
+at every point it holds a state the primary actually passed through. Its
+**staleness** is the number of catalog write records the primary has
+logged that the replica has not yet applied — the same unit
+``Catalog.data_epoch`` counts in, surfaced to agents in the steering
+hint.
+
+Replicas serve only the easy-but-common case: read-only *exact* probes
+whose brief declares a ``max_staleness`` tolerance (paper Sec. 4 — the
+brief is where agents state what quality they need; a bounded-staleness
+read is a quality statement like any sampling tolerance). Everything else
+— DML-adjacent machinery, semantic search, memory recall, termination
+criteria, information-schema reads — falls through to the primary.
+Responses are tagged with an explicit staleness hint rather than
+pretending to be fresh, following the agent-interface principle that
+degraded service must be legible to the caller.
+
+Execution deliberately bypasses the :class:`~repro.db.Database` facade:
+a facade would refresh information-schema tables *into the replica's
+catalog* (local mutations that would then collide with replayed primary
+records). The replica plans and executes directly against its catalog,
+which is also what guarantees serving never writes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable
+
+from repro.core.probe import Probe, ProbeResponse, QueryOutcome
+from repro.engine.executor import ExecContext, Executor
+from repro.errors import ReproError
+from repro.plan.builder import build_plan
+from repro.plan.rules import optimize_plan
+from repro.sql import nodes
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog
+from repro.txn.wal import CATALOG_KINDS, WriteAheadLog, apply_record
+
+
+def resolve_replica_count(count: int | None) -> int:
+    """Explicit config wins; else the ``REPRO_REPLICAS`` env override; else 0."""
+    if count is not None:
+        return max(0, int(count))
+    env = os.environ.get("REPRO_REPLICAS", "")
+    try:
+        return max(0, int(env)) if env else 0
+    except ValueError:
+        return 0
+
+
+class ReadReplica:
+    """One follower catalog consuming the primary's log."""
+
+    def __init__(self, wal: WriteAheadLog, name: str = "replica-0") -> None:
+        self.wal = wal
+        self.name = name
+        self._lock = threading.Lock()
+        self.records_applied = 0
+        self.probes_served = 0
+        self._seed()
+
+    def _seed(self) -> None:
+        """(Re)build from the log's latest checkpoint — a consistent image
+        by construction, unlike snapshotting a live concurrently-written
+        catalog."""
+        checkpoint = self.wal.latest_checkpoint
+        if checkpoint is not None:
+            self.catalog = Catalog.restore_exact(checkpoint.snapshot)
+            self.applied_lsn = checkpoint.last_lsn
+            self.data_seq = checkpoint.data_seq
+        else:
+            self.catalog = Catalog()
+            self.applied_lsn = 0
+            self.data_seq = 0
+
+    def catch_up(self) -> int:
+        """Apply every committed record the primary has logged; returns the
+        number of catalog records applied. Reseeds from the latest
+        checkpoint when the replica's horizon has been pruned."""
+        with self._lock:
+            records = self.wal.records_since(self.applied_lsn)
+            if records is None:
+                self._seed()
+                records = self.wal.records_since(self.applied_lsn) or []
+            applied = 0
+            for record in records:
+                if record.kind in CATALOG_KINDS:
+                    apply_record(self.catalog, record)
+                    self.data_seq += 1
+                    applied += 1
+                self.applied_lsn = record.lsn
+            self.records_applied += applied
+            return applied
+
+    def staleness(self) -> int:
+        """Catalog write records logged by the primary but not yet applied."""
+        return max(0, self.wal.data_seq - self.data_seq)
+
+    def serve(
+        self,
+        probe: Probe,
+        tolerance: int,
+        turn_source: Callable[[], int],
+        catch_up: bool = True,
+    ) -> ProbeResponse | None:
+        """Answer a read-only exact probe, or ``None`` to defer to the
+        primary (too stale, unparseable here, or any execution trouble —
+        the primary owns error reporting).
+
+        The staleness bound is checked *after* catching up, and the hint
+        reports the residual lag (writes that landed on the primary while
+        this replica was applying). The turn number is drawn from the
+        primary's counter only once the response is certain, so deferrals
+        never burn a turn.
+        """
+        if catch_up:
+            self.catch_up()
+        lag = self.staleness()
+        if lag > tolerance:
+            return None
+        try:
+            plans = []
+            for sql in probe.queries:
+                statement = parse_statement(sql)
+                if not isinstance(statement, nodes.Select):
+                    return None
+                if _references_information_schema(statement):
+                    # The virtual tables are facade-maintained; serving
+                    # them here would require mutating this catalog.
+                    return None
+                plan = build_plan(statement, self.catalog)
+                plans.append(optimize_plan(plan, self.catalog))
+            outcomes = []
+            rows_processed = 0
+            for index, (sql, plan) in enumerate(zip(probe.queries, plans)):
+                context = ExecContext()
+                result = Executor(self.catalog, context).run(plan)
+                rows_processed += context.stats.rows_processed
+                outcomes.append(
+                    QueryOutcome(
+                        sql=sql, status="ok", query_index=index, result=result
+                    )
+                )
+        except ReproError:
+            return None
+        self.probes_served += 1
+        response = ProbeResponse(
+            outcomes=outcomes,
+            turn=turn_source(),
+            rows_processed=rows_processed,
+        )
+        response.steering.append(
+            f"served by read replica {self.name!r}:"
+            f" staleness {lag} ≤ {tolerance} versions"
+        )
+        return response
+
+
+class ReplicaPool:
+    """Round-robin pool of read replicas behind one primary log."""
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        count: int,
+        turn_source: Callable[[], int],
+    ) -> None:
+        self.replicas = [
+            ReadReplica(wal, name=f"replica-{i}") for i in range(max(1, count))
+        ]
+        self._turn_source = turn_source
+        self._next = 0
+        self._lock = threading.Lock()
+        self.probes_served = 0
+        self.probes_declined = 0
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def eligible(self, probe: Probe) -> bool:
+        """Only read-only exact SQL with a declared staleness tolerance:
+        no beyond-SQL requests (they need primary-side state) and no
+        termination criteria (partial-result semantics live with the
+        scheduler)."""
+        return (
+            probe.brief.max_staleness is not None
+            and bool(probe.queries)
+            and not probe.semantic_search
+            and not probe.memory_queries
+            and probe.termination is None
+        )
+
+    def try_serve(self, probe: Probe) -> ProbeResponse | None:
+        """Serve from the next replica if the probe qualifies, else ``None``
+        (the caller keeps it on the primary path)."""
+        if not self.eligible(probe):
+            return None
+        with self._lock:
+            replica = self.replicas[self._next % len(self.replicas)]
+            self._next += 1
+        response = replica.serve(
+            probe, probe.brief.max_staleness, self._turn_source
+        )
+        if response is None:
+            self.probes_declined += 1
+        else:
+            self.probes_served += 1
+        return response
+
+    def stats(self) -> dict:
+        return {
+            "replicas": len(self.replicas),
+            "probes_served": self.probes_served,
+            "probes_declined": self.probes_declined,
+            "staleness": [replica.staleness() for replica in self.replicas],
+        }
+
+
+def _references_information_schema(statement: nodes.Select) -> bool:
+    from repro.db.database import (
+        _references_information_schema as facade_check,
+    )
+
+    return facade_check(statement)

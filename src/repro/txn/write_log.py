@@ -15,20 +15,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.storage.types import Value
+from repro.util.text import normalize_identifier
 
 
 @dataclass(frozen=True)
 class WriteOp:
-    """One row-level write: insert, update or delete."""
+    """One row-level write: insert, update or delete.
+
+    The table name is normalized once, at construction, through the same
+    :func:`normalize_identifier` the catalog uses — so conflict detection
+    and merge replay always agree on identity. (Before this, ``key``
+    lowercased while replay used the raw name: a branch writing
+    ``"Accounts"`` — quoted — and another writing ``accounts`` could
+    dodge conflict detection yet replay into the same table.)
+    """
 
     kind: str  # 'insert' | 'update' | 'delete'
     table: str
     row_id: int
     values: tuple[Value, ...] | None  # None for deletes
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "table", normalize_identifier(self.table))
+
     @property
     def key(self) -> tuple[str, int]:
-        return (self.table.lower(), self.row_id)
+        return (self.table, self.row_id)
 
 
 class WriteLog:

@@ -1,0 +1,99 @@
+"""bench_record: append-only perf trajectories with same-commit replacement.
+
+A retried CI job (or a local re-run) lands on the same git SHA; its
+record must *replace* that commit's earlier run instead of double-counting
+it in the trajectory. Runs whose SHA could not be resolved ("unknown")
+are never deduplicated — they cannot be told apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+    ),
+)
+
+import bench_record  # noqa: E402
+
+
+def read_runs(path: str) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)["runs"]
+
+
+@pytest.fixture
+def trajectory(tmp_path, monkeypatch):
+    path = str(tmp_path / "BENCH_test.json")
+
+    def append(sha: str, **payload) -> str:
+        monkeypatch.setattr(bench_record, "git_sha", lambda: sha)
+        return bench_record.append_run(
+            "BENCH_TEST_JSON_UNSET", path, {"bench": "t", **payload}
+        )
+
+    return path, append
+
+
+class TestSameCommitReplacement:
+    def test_same_sha_rerun_replaces_not_appends(self, trajectory):
+        path, append = trajectory
+        append("abc123", metric=1)
+        append("abc123", metric=2)
+        runs = read_runs(path)
+        assert len(runs) == 1
+        assert runs[0]["metric"] == 2  # the retry's numbers won
+
+    def test_different_shas_accumulate(self, trajectory):
+        path, append = trajectory
+        append("abc123", metric=1)
+        append("def456", metric=2)
+        runs = read_runs(path)
+        assert [run["git_sha"] for run in runs] == ["abc123", "def456"]
+
+    def test_unknown_sha_never_deduplicated(self, trajectory):
+        path, append = trajectory
+        append("unknown", metric=1)
+        append("unknown", metric=2)
+        assert len(read_runs(path)) == 2
+
+    def test_replacement_keeps_other_commits(self, trajectory):
+        path, append = trajectory
+        append("aaa", metric=1)
+        append("bbb", metric=2)
+        append("aaa", metric=3)
+        runs = read_runs(path)
+        assert len(runs) == 2
+        by_sha = {run["git_sha"]: run["metric"] for run in runs}
+        assert by_sha == {"aaa": 3, "bbb": 2}
+
+    def test_legacy_single_run_adopted_then_deduped(self, trajectory, tmp_path):
+        path, append = trajectory
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"bench": "t", "metric": 0}, handle)  # pre-append format
+        append("abc123", metric=1)
+        runs = read_runs(path)
+        # The legacy run (unknown SHA) is preserved alongside the new one.
+        assert len(runs) == 2
+        assert runs[0]["git_sha"] == "unknown" and runs[0]["metric"] == 0
+        append("abc123", metric=2)
+        runs = read_runs(path)
+        assert len(runs) == 2  # replaced abc123, kept the legacy record
+        assert runs[-1]["metric"] == 2
+
+    def test_env_var_overrides_path(self, tmp_path, monkeypatch):
+        override = str(tmp_path / "elsewhere.json")
+        monkeypatch.setenv("BENCH_TEST_JSON", override)
+        monkeypatch.setattr(bench_record, "git_sha", lambda: "abc123")
+        written = bench_record.append_run(
+            "BENCH_TEST_JSON", str(tmp_path / "default.json"), {"bench": "t"}
+        )
+        assert written == override
+        assert len(read_runs(override)) == 1

@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeout
 
 import pytest
 
@@ -247,6 +248,97 @@ class TestProbeTickets:
         # The cancelled probe never consumed a turn: serial equivalence is
         # against the admitted stream only.
         assert keep.result().turn == 1
+        system.gateway.close()
+
+    def hold_serving(self, system, monkeypatch):
+        """Block ``_serve_batch`` so a window sits admitted-but-unserved."""
+        entered = threading.Event()
+        release = threading.Event()
+        original = system._serve_batch
+
+        def slow(probes):
+            entered.set()
+            release.wait(timeout=30.0)
+            return original(probes)
+
+        monkeypatch.setattr(system, "_serve_batch", slow)
+        return entered, release
+
+    def test_cancel_after_admission_is_deterministically_false(
+        self, monkeypatch
+    ):
+        """The racing window: a probe pulled into a window but not yet
+        served. ``cancel()`` used to return True here while the window
+        served the probe anyway (burning a turn for a caller who thinks
+        it never ran); admission now marks the future RUNNING, so the
+        answer is a deterministic False."""
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=1, gateway_max_wait=0.01),
+        )
+        entered, release = self.hold_serving(system, monkeypatch)
+        ticket = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        system.gateway.flush()
+        assert entered.wait(timeout=30.0)
+        assert ticket.admitted()
+        assert ticket.cancel() is False  # in-flight: refusal, not a lie
+        assert not ticket.cancelled()
+        release.set()
+        response = ticket.result(timeout=30.0)
+        assert response.outcomes[0].status == "ok"
+        assert response.turn == 1
+        system.gateway.close()
+
+    def test_result_timeout_leaves_ticket_servable(self, monkeypatch):
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=1, gateway_max_wait=0.01),
+        )
+        entered, release = self.hold_serving(system, monkeypatch)
+        ticket = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        system.gateway.flush()
+        assert entered.wait(timeout=30.0)
+        with pytest.raises(FuturesTimeout):
+            ticket.result(timeout=0.05)
+        release.set()  # an expired wait is not a cancel: the probe finishes
+        assert ticket.result(timeout=30.0).outcomes[0].status == "ok"
+        system.gateway.close()
+
+    def test_cancel_hammer_never_strands_or_double_serves(self):
+        """Cancels racing admission from another thread: every ticket ends
+        exactly one way — CancelledError before it burned a turn, or a
+        served response — and the served turns stay contiguous."""
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=2, gateway_max_wait=0.001),
+        )
+        tickets = [
+            system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM stores"))
+            for _ in range(24)
+        ]
+        canceller = threading.Thread(
+            target=lambda: [t.cancel() for t in reversed(tickets)]
+        )
+        canceller.start()
+        system.gateway.flush()
+        canceller.join(timeout=30.0)
+        served = 0
+        for ticket in tickets:
+            # The canceller has finished: every ticket is either cancelled
+            # for good or owed a served response — nothing may strand.
+            if ticket.cancelled():
+                with pytest.raises(CancelledError):
+                    ticket.result(timeout=5.0)
+            else:
+                response = ticket.result(timeout=30.0)
+                assert response.outcomes[0].status in ("ok", "from_history")
+                assert response.outcomes[0].result.rows == [(3,)]
+                served += 1
+            assert ticket.done()
+        turns = sorted(
+            t.result().turn for t in tickets if not t.cancelled()
+        )
+        assert turns == list(range(1, served + 1))
         system.gateway.close()
 
     def test_submit_after_close_raises(self):

@@ -40,8 +40,8 @@ EQ_FILTER = "SELECT COUNT(*) FROM sales WHERE store_id = {k}"
 RANGE_ROWS = "SELECT id, amount FROM sales WHERE amount > {t}"
 
 
-def build_db(rows: int = 600) -> Database:
-    db = Database("maint")
+def build_db(rows: int = 600, wal_dir: str | bool | None = None) -> Database:
+    db = Database("maint", wal_dir=wal_dir)
     db.execute("CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)")
     db.execute(
         "CREATE TABLE sales (id INT, store_id INT, product TEXT, amount FLOAT)"
@@ -713,3 +713,37 @@ class TestRuntimeRobustness:
         runtime._execute_subplan = racing  # type: ignore[method-assign]
         report = runtime.run_pending()
         assert not report.views_built  # every build raced a write: discarded
+
+
+class TestIdleHookHardening:
+    def test_poison_idle_job_never_kills_admission(self, caplog):
+        """A maintenance job that raises inside the gateway's idle window
+        must not take the admission loop down with it: the gateway logs,
+        counts, and keeps serving every subsequent probe."""
+        system = make_system(True, workers=1)
+        try:
+            calls = {"n": 0}
+
+            def poison() -> None:
+                calls["n"] += 1
+                raise RuntimeError("poison maintenance job")
+
+            system.gateway.idle_hook = poison
+            session = system.session(agent_id="streamer")
+            with caplog.at_level("ERROR", logger="repro.core.gateway"):
+                for _ in range(3):
+                    response = session.submit(
+                        Probe(queries=(JOIN,))
+                    ).result(timeout=30.0)
+                    assert response.outcomes[0].status in ("ok", "from_history")
+            assert calls["n"] >= 1  # the hook did fire — and failed
+            stats = system.gateway.stats()
+            assert stats["idle_hook_errors"] >= 1
+            assert "RuntimeError: poison maintenance job" == stats[
+                "last_idle_hook_error"
+            ]
+            assert any(
+                "idle hook failed" in record.message for record in caplog.records
+            )
+        finally:
+            system.close()

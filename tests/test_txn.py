@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.db import Database
 from repro.errors import BranchNotFound, MergeConflict, TransactionError
-from repro.txn import BranchManager
+from repro.txn import BranchManager, WriteOp
 
 
 def make_manager(rows: int = 600) -> BranchManager:
@@ -259,3 +259,39 @@ class TestIsolationProperty:
         # Main is untouched throughout.
         main_rows = manager.main.execute("SELECT balance FROM accounts").rows
         assert all(balance == 100.0 for (balance,) in main_rows)
+
+
+class TestWriteIdentity:
+    """Write identity is normalized once, at WriteOp construction.
+
+    Regression: ``key`` used to lowercase while merge replay used the raw
+    table string — a branch writing ``"Accounts"`` (quoted) and another
+    writing ``accounts`` could dodge conflict detection yet replay into
+    the same table.
+    """
+
+    def test_writeop_normalizes_table_at_construction(self):
+        op = WriteOp("update", '"Accounts"', 1, (1, "u", 0.0))
+        assert op.table == "accounts"
+        assert op.key == ("accounts", 1)
+        assert op.key == WriteOp("delete", "ACCOUNTS", 1, None).key
+
+    def test_mixed_case_writes_to_same_row_conflict(self):
+        manager = make_manager()
+        left = manager.fork("main", "left")
+        right = manager.fork("main", "right")
+        left.update_row('"Accounts"', 5, (5, "left", 1.0))
+        right.update_row("accounts", 5, (5, "right", 2.0))
+        manager.merge("left")
+        with pytest.raises(MergeConflict):
+            manager.merge("right")
+
+    def test_quoted_identifier_merge_replays_into_one_table(self):
+        manager = make_manager()
+        fork = manager.fork("main", "b")
+        fork.update_row('"Accounts"', 5, (5, "quoted", 7.0))
+        result = manager.merge("b")
+        assert result.updates == 1
+        assert manager.main.execute(
+            "SELECT owner FROM accounts WHERE id = 5"
+        ).first_value() == "quoted"
