@@ -1,0 +1,291 @@
+"""Overload bench — degrade-don't-drop QoS under a 16x admission flood.
+
+The robustness claim of the QoS layer: when far more uncoordinated
+agents arrive than the admission window budget can serve (here 256
+agents against 16-probe windows — a 16x overload), the system must
+
+1. **drop nothing** — every ticket resolves with an answer or a
+   structured error, never a hang or a silent discard;
+2. **protect the interactive lane** — hi-pri p99 latency under full
+   overload stays within 3x of the *unloaded* p99 on the same machinery
+   (same window knobs, same gateway path, no competing load);
+3. **keep degradation legible** — every degraded response carries a
+   "system under load (<cause>)" steering line naming the tripped
+   watermark, per the paper's agent-first contract that degraded service
+   must be visible to the caller;
+4. **stay inert when unloaded** — a small non-overloaded workload served
+   QoS-on is byte-identical (statuses, rows, steering) to QoS-off.
+
+Results append to ``BENCH_overload.json`` (override via
+``BENCH_OVERLOAD_JSON``) so the robustness trajectory accumulates across
+PRs next to the scheduler/gateway/maintenance benches.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from bench_scheduler import build_db, swarm_probes
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from repro.qos import QosConfig
+from repro.util.tabulate import format_table
+
+INTERACTIVE_AGENTS = 32
+BULK_AGENTS = 224  # 256 total vs 16-probe windows: 16x overload
+WINDOW_BUDGET = 16
+MAX_WAIT = 0.05
+UNLOADED_SAMPLES = 24
+JSON_PATH_ENV = "BENCH_OVERLOAD_JSON"
+DEFAULT_JSON_PATH = "BENCH_overload.json"
+
+INTERACTIVE_SQL = "SELECT COUNT(*) FROM stores"
+
+
+def overload_config() -> SystemConfig:
+    return SystemConfig(
+        enable_qos=True,
+        qos=QosConfig(queue_high=2 * WINDOW_BUDGET, shed_sample_rate=0.1),
+        gateway_max_batch=WINDOW_BUDGET,
+        gateway_max_wait=MAX_WAIT,
+    )
+
+
+def interactive_probe(agent: int) -> Probe:
+    return Probe(
+        queries=(INTERACTIVE_SQL,),
+        brief=Brief(lane="interactive"),
+        agent_id=f"urgent-{agent}",
+        principal=f"urgent-{agent}",
+    )
+
+
+def bulk_probe(agent: int) -> Probe:
+    # A pool of 7 distinct scans so the bulk flood is not one cache line.
+    return Probe(
+        queries=(
+            "SELECT product, SUM(amount) FROM sales"
+            f" WHERE amount > {agent % 7}.0 GROUP BY product",
+        ),
+        brief=Brief(lane="bulk"),
+        agent_id=f"bulk-{agent}",
+        principal=f"bulk-{agent}",
+    )
+
+
+def p99(latencies_ms: list[float]) -> float:
+    ranked = sorted(latencies_ms)
+    return ranked[min(len(ranked) - 1, math.ceil(0.99 * len(ranked)) - 1)]
+
+
+@dataclass
+class OverloadBenchResult:
+    agents: int = INTERACTIVE_AGENTS + BULK_AGENTS
+    overload_factor: float = (INTERACTIVE_AGENTS + BULK_AGENTS) / WINDOW_BUDGET
+    unloaded_p99_ms: float = 0.0
+    hipri_p99_ms: float = 0.0
+    hipri_mean_ms: float = 0.0
+    bulk_p99_ms: float = 0.0
+    resolved: int = 0
+    submit_errors: int = 0
+    degraded: int = 0
+    degraded_with_cause: int = 0
+    hipri_degraded: int = 0
+    overload_windows: int = 0
+    shed_to_replicas: int = 0
+    flood_wall_ms: float = 0.0
+    differential_identical: bool = False
+
+    @property
+    def hipri_ratio(self) -> float:
+        return (
+            self.hipri_p99_ms / self.unloaded_p99_ms
+            if self.unloaded_p99_ms
+            else float("inf")
+        )
+
+    def render(self) -> str:
+        return format_table(
+            ["metric", "value"],
+            [
+                ("agents vs window budget", f"{self.agents} vs {WINDOW_BUDGET}"),
+                ("overload factor", f"{self.overload_factor:.0f}x"),
+                ("unloaded p99", f"{self.unloaded_p99_ms:.1f} ms"),
+                ("hi-pri p99 under overload", f"{self.hipri_p99_ms:.1f} ms"),
+                ("hi-pri p99 / unloaded p99", f"{self.hipri_ratio:.2f}x"),
+                ("bulk p99 under overload", f"{self.bulk_p99_ms:.1f} ms"),
+                ("tickets resolved", f"{self.resolved}/{self.agents}"),
+                ("degraded (with cause named)", f"{self.degraded} ({self.degraded_with_cause})"),
+                ("hi-pri responses degraded", self.hipri_degraded),
+                ("overload windows", self.overload_windows),
+                ("flood wall-clock", f"{self.flood_wall_ms:.0f} ms"),
+                ("QoS-on == QoS-off unloaded", self.differential_identical),
+            ],
+            title="overload control: 16x flood, degrade-don't-drop",
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "overload",
+            "agents": self.agents,
+            "window_budget": WINDOW_BUDGET,
+            "overload_factor": round(self.overload_factor, 2),
+            "unloaded_p99_ms": round(self.unloaded_p99_ms, 2),
+            "hipri_p99_ms": round(self.hipri_p99_ms, 2),
+            "hipri_mean_ms": round(self.hipri_mean_ms, 2),
+            "hipri_ratio": round(self.hipri_ratio, 3),
+            "bulk_p99_ms": round(self.bulk_p99_ms, 2),
+            "resolved": self.resolved,
+            "submit_errors": self.submit_errors,
+            "degraded": self.degraded,
+            "degraded_with_cause": self.degraded_with_cause,
+            "hipri_degraded": self.hipri_degraded,
+            "overload_windows": self.overload_windows,
+            "shed_to_replicas": self.shed_to_replicas,
+            "flood_wall_ms": round(self.flood_wall_ms, 1),
+            "differential_identical": self.differential_identical,
+        }
+
+
+def measure_unloaded_p99() -> float:
+    """The baseline: one interactive probe at a time through the same
+    gateway machinery (window timer included), nobody else in line."""
+    system = AgentFirstDataSystem(build_db(), config=overload_config(), workers=1)
+    latencies = []
+    for agent in range(UNLOADED_SAMPLES):
+        started = time.perf_counter()
+        ticket = system.gateway.submit(interactive_probe(agent))
+        ticket.result(timeout=60.0)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+    system.gateway.close()
+    return p99(latencies)
+
+
+def run_flood(result: OverloadBenchResult) -> None:
+    """256 uncoordinated agent threads hit 16-probe windows at once."""
+    system = AgentFirstDataSystem(build_db(), config=overload_config(), workers=1)
+    probes = [interactive_probe(i) for i in range(INTERACTIVE_AGENTS)] + [
+        bulk_probe(i) for i in range(BULK_AGENTS)
+    ]
+    latencies = [0.0] * len(probes)
+    responses: list = [None] * len(probes)
+    errors: list = []
+    barrier = threading.Barrier(len(probes) + 1)
+
+    def agent_main(index: int, probe: Probe) -> None:
+        try:
+            barrier.wait()
+            started = time.perf_counter()
+            ticket = system.gateway.submit(probe)
+            responses[index] = ticket.result(timeout=300.0)
+            latencies[index] = (time.perf_counter() - started) * 1000.0
+        except Exception as exc:  # zero-drop accounting: a raise counts too
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=agent_main, args=(index, probe))
+        for index, probe in enumerate(probes)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    result.flood_wall_ms = (time.perf_counter() - started) * 1000.0
+    stats = system.gateway.stats()
+    system.gateway.close()
+
+    result.submit_errors = len(errors)
+    result.resolved = sum(1 for r in responses if r is not None)
+    hipri = latencies[:INTERACTIVE_AGENTS]
+    bulk = latencies[INTERACTIVE_AGENTS:]
+    result.hipri_p99_ms = p99(hipri)
+    result.hipri_mean_ms = sum(hipri) / len(hipri)
+    result.bulk_p99_ms = p99(bulk)
+    result.overload_windows = stats["overload_windows"]
+    result.shed_to_replicas = stats["probes_shed_to_replicas"]
+    for index, response in enumerate(responses):
+        if response is None:
+            continue
+        load_hints = [s for s in response.steering if "system under load" in s]
+        if load_hints:
+            result.degraded += 1
+            if index < INTERACTIVE_AGENTS:
+                result.hipri_degraded += 1
+            if all("(" in hint and ">" in hint for hint in load_hints):
+                result.degraded_with_cause += 1
+
+
+def run_differential(result: OverloadBenchResult) -> None:
+    """Unloaded QoS-on must be byte-identical to QoS-off."""
+
+    def serve(config: SystemConfig | None):
+        system = AgentFirstDataSystem(build_db(), config=config, workers=1)
+        tickets = [system.gateway.submit(p) for p in swarm_probes(8)]
+        system.gateway.flush()
+        served = [t.result(timeout=60.0) for t in tickets]
+        system.gateway.close()
+        return [
+            (
+                [o.status for o in r.outcomes],
+                [o.result.rows if o.result is not None else None for o in r.outcomes],
+                list(r.steering),
+            )
+            for r in served
+        ]
+
+    plain = serve(None)
+    qos_on = serve(
+        SystemConfig(enable_qos=True, qos=QosConfig(queue_high=2 * WINDOW_BUDGET))
+    )
+    result.differential_identical = plain == qos_on
+
+
+def run_overload_bench() -> OverloadBenchResult:
+    result = OverloadBenchResult()
+    result.unloaded_p99_ms = measure_unloaded_p99()
+    run_flood(result)
+    run_differential(result)
+    return result
+
+
+def write_json(result: OverloadBenchResult) -> str:
+    """Append this run (keyed by git SHA + date) to the perf trajectory."""
+    from bench_record import append_run
+
+    return append_run(JSON_PATH_ENV, DEFAULT_JSON_PATH, result.to_json())
+
+
+def assert_acceptance(result: OverloadBenchResult) -> None:
+    # Zero dropped probes: every one of the 256 tickets resolved.
+    assert result.submit_errors == 0
+    assert result.resolved == result.agents
+    # The flood actually was an overload, and shedding actually fired.
+    assert result.overload_factor >= 10.0
+    assert result.overload_windows >= 1
+    assert result.degraded > 0
+    # The interactive lane was protected, not degraded.
+    assert result.hipri_degraded == 0
+    assert result.hipri_p99_ms <= 3.0 * result.unloaded_p99_ms
+    # Every degraded response named the tripped watermark.
+    assert result.degraded_with_cause == result.degraded
+    # And with nobody overloading it, the layer is invisible.
+    assert result.differential_identical
+
+
+def test_overload_degrade_dont_drop(benchmark):
+    result = benchmark.pedantic(run_overload_bench, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")
+    assert_acceptance(result)
+
+
+if __name__ == "__main__":
+    result = run_overload_bench()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")
+    assert_acceptance(result)

@@ -5,14 +5,29 @@ query: the agent must pull data from both backends and combine the pieces
 in client-side computation. :class:`FederatedEnvironment` is that client —
 it tracks every backend interaction so traces can be labeled the way the
 paper's authors labeled theirs.
+
+Per-backend health lives here too: attach a
+:class:`~repro.qos.breaker.BackendHealth` registry and every dispatched
+call feeds its member's circuit breaker (outcome + latency). An open
+breaker short-circuits calls locally — the caller gets a
+``BackendUnavailable`` *error envelope*, shaped like any backend error so
+the agent's normal error-recovery loop handles it — and
+:meth:`scatter` drops the member from the plan, reporting each exclusion
+as a steering line instead of letting one failing service time out every
+agent in the swarm.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.backends.base import Backend, BackendResponse
+from repro.errors import BackendUnavailable
+
+if TYPE_CHECKING:
+    from repro.qos.breaker import BackendHealth
 
 
 @dataclass
@@ -28,11 +43,25 @@ class InteractionRecord:
 
 
 @dataclass
+class ScatterResult:
+    """One scatter plan's outcome: responses from the healthy members,
+    plus which members the breakers tripped out (and the steering lines
+    that tell the agent so)."""
+
+    responses: dict[str, BackendResponse] = field(default_factory=dict)
+    excluded: list[tuple[str, float]] = field(default_factory=list)
+    steering: list[str] = field(default_factory=list)
+
+
+@dataclass
 class FederatedEnvironment:
     """Two-or-more named backends plus an interaction log."""
 
     backends: dict[str, Backend] = field(default_factory=dict)
     log: list[InteractionRecord] = field(default_factory=list)
+    #: Optional breaker registry; ``None`` (the default) dispatches
+    #: unconditionally — exactly the pre-QoS behaviour.
+    health: "BackendHealth | None" = None
 
     def add_backend(self, backend: Backend) -> None:
         self.backends[backend.name] = backend
@@ -43,26 +72,122 @@ class FederatedEnvironment:
     def backend_names(self) -> list[str]:
         return sorted(self.backends)
 
+    def attach_health(self, health: "BackendHealth") -> None:
+        """Guard every dispatched call with per-backend circuit breakers."""
+        self.health = health
+
     # -- instrumented operations ------------------------------------------------
 
     def list_tables(self, backend: str) -> BackendResponse:
-        response = self.backends[backend].list_tables()
-        self._record(backend, "list_tables", "", response)
-        return response
+        return self._dispatch(
+            backend, "list_tables", "", self.backends[backend].list_tables
+        )
 
     def describe(self, backend: str, table: str) -> BackendResponse:
-        response = self.backends[backend].describe(table)
-        self._record(backend, "describe", table, response)
-        return response
+        return self._dispatch(
+            backend, "describe", table, lambda: self.backends[backend].describe(table)
+        )
 
     def sample(self, backend: str, table: str, limit: int = 5) -> BackendResponse:
-        response = self.backends[backend].sample(table, limit)
-        self._record(backend, "sample", table, response)
-        return response
+        return self._dispatch(
+            backend,
+            "sample",
+            table,
+            lambda: self.backends[backend].sample(table, limit),
+        )
 
     def query(self, backend: str, request: str) -> BackendResponse:
-        response = self.backends[backend].query(request)
-        self._record(backend, "query", request, response)
+        return self._dispatch(
+            backend, "query", request, lambda: self.backends[backend].query(request)
+        )
+
+    def _dispatch(
+        self,
+        backend: str,
+        operation: str,
+        request: str,
+        call: Callable[[], BackendResponse],
+    ) -> BackendResponse:
+        """One guarded, instrumented backend call.
+
+        With health attached: an open breaker refuses the call locally
+        (a ``BackendUnavailable`` envelope — an error message the agent
+        reads, not an exception that breaks its loop), and every real
+        call's outcome + latency feed the member's breaker.
+        """
+        health = self.health
+        if health is not None and not health.allow(backend):
+            refusal = BackendUnavailable(
+                backend, health.cooldown_remaining(backend)
+            )
+            response = BackendResponse.failure(str(refusal))
+            self._record(backend, operation, request, response)
+            return response
+        started = time.perf_counter()
+        response = call()
+        if health is not None:
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            health.record(backend, response.ok, latency_ms)
+        self._record(backend, operation, request, response)
+        return response
+
+    # -- scatter plans ----------------------------------------------------------
+
+    def scatter(
+        self,
+        operation: str,
+        request: str = "",
+        backends: list[str] | None = None,
+        limit: int = 5,
+    ) -> ScatterResult:
+        """Run one operation across members, skipping open-breaker ones.
+
+        ``operation`` is any of the four instrumented calls; ``request``
+        is its argument (table name or query text). Members whose
+        breaker refuses admission are dropped from the plan up front and
+        reported in ``steering`` — an agent re-plans around a sick
+        backend instead of discovering it by timeout. (Half-open
+        breakers admit their recovery probes through here like any other
+        call, so scatter traffic is also what heals a member.)
+        """
+        from repro.core.steering import breaker_exclusion_notice
+
+        result = ScatterResult()
+        for name in backends if backends is not None else self.backend_names():
+            if self.health is not None and not self.health.allow(name):
+                cooldown = self.health.cooldown_remaining(name)
+                result.excluded.append((name, cooldown))
+                result.steering.append(breaker_exclusion_notice(name, cooldown))
+                continue
+            if operation == "list_tables":
+                call = self.backends[name].list_tables
+            elif operation == "describe":
+                call = lambda n=name: self.backends[n].describe(request)
+            elif operation == "sample":
+                call = lambda n=name: self.backends[n].sample(request, limit)
+            else:
+                call = lambda n=name: self.backends[n].query(request)
+            result.responses[name] = self._dispatch_unguarded(
+                name, operation, request, call
+            )
+        return result
+
+    def _dispatch_unguarded(
+        self,
+        backend: str,
+        operation: str,
+        request: str,
+        call: Callable[[], BackendResponse],
+    ) -> BackendResponse:
+        """An already-admitted call: record outcome + latency, skip the
+        second ``allow`` check (scatter admitted it above — a half-open
+        breaker's probe budget must not be double-spent)."""
+        started = time.perf_counter()
+        response = call()
+        if self.health is not None:
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            self.health.record(backend, response.ok, latency_ms)
+        self._record(backend, operation, request, response)
         return response
 
     # -- bookkeeping ----------------------------------------------------------------

@@ -65,6 +65,13 @@ class Brief:
     #: Soft cost budget in engine work units; the system warns when a
     #: query's estimate exceeds it and may increase approximation.
     max_cost: float | None = None
+    #: Explicit QoS priority lane (``"interactive" | "standard" | "bulk"``).
+    #: ``None`` (the default) lets the QoS layer derive the lane from the
+    #: phase, priorities, and accuracy; stating a lane overrides that —
+    #: e.g. a background sweep self-declares ``lane="bulk"`` so overload
+    #: shedding degrades it first, and a latency-critical check claims
+    #: ``lane="interactive"``. Ignored entirely unless QoS is enabled.
+    lane: str | None = None
     #: Bounded-staleness tolerance: how many catalog write versions of lag
     #: the agent accepts on this probe's answers. Setting it lets the
     #: gateway serve the probe from a read replica under load (the

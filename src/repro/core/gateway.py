@@ -52,10 +52,14 @@ from dataclasses import replace
 from typing import TYPE_CHECKING, AsyncIterator, Callable, Iterable
 
 from repro.core.brief import Brief
-from repro.core.probe import Probe, ProbeResponse
+from repro.core.probe import Probe, ProbeResponse, QueryOutcome
+from repro.errors import GatewayClosed
+from repro.qos.chaos import ChaosEngine, resolve_chaos_seed
+from repro.qos.policy import LANE_STANDARD, Degradation
 
 if TYPE_CHECKING:
     from repro.core.system import AgentFirstDataSystem
+    from repro.qos.controller import QosController
 
 _LOG = logging.getLogger(__name__)
 
@@ -104,6 +108,7 @@ def merge_brief(brief: Brief, defaults: Brief) -> Brief:
             else defaults.complete_k_of_n
         ),
         max_cost=brief.max_cost if brief.max_cost is not None else defaults.max_cost,
+        lane=brief.lane if brief.lane is not None else defaults.lane,
         max_staleness=(
             brief.max_staleness
             if brief.max_staleness is not None
@@ -132,6 +137,13 @@ class ProbeTicket:
         self._future: Future[ProbeResponse] = Future()
         self._enqueued_at = time.monotonic()
         self._admitted = False
+        #: QoS classification, stamped at submission (inert without QoS):
+        #: priority lane, whether the principal's token bucket ran dry,
+        #: and the gateway-wide arrival sequence number that keeps
+        #: within-lane ordering exactly FIFO.
+        self.lane = LANE_STANDARD
+        self.starved = False
+        self._seq = 0
 
     def done(self) -> bool:
         """True once the response is available (or the ticket cancelled)."""
@@ -263,10 +275,21 @@ class ProbeGateway:
         system: "AgentFirstDataSystem",
         max_batch: int | None = None,
         max_wait: float | None = None,
+        qos: "QosController | None" = None,
     ) -> None:
         self.system = system
         self.max_batch = resolve_max_batch(max_batch)
         self.max_wait = resolve_max_wait(max_wait)
+        #: Overload control (None = admit everything, strict FIFO — the
+        #: pre-QoS behaviour). With a controller attached, submissions are
+        #: classified into priority lanes and, *only past the configured
+        #: watermarks*, windows admit lane-major and bulk probes degrade.
+        self.qos = qos
+        #: Deterministic timing chaos (``REPRO_CHAOS``): seeded per-window
+        #: admission latency spikes. Timing is exactly the axis the
+        #: differential contract proves answers are independent of.
+        chaos_seed = resolve_chaos_seed()
+        self.chaos = ChaosEngine(chaos_seed) if chaos_seed is not None else None
         #: Extra per-window wait drawn uniformly from [0, jitter] seconds —
         #: CI's tool for proving answers don't depend on window timing.
         self.jitter = max(0.0, float(os.environ.get(JITTER_ENV_VAR, 0.0) or 0.0))
@@ -308,6 +331,13 @@ class ProbeGateway:
         #: Idle-hook failures survived (see ``_serve_streamed_window``).
         self.idle_hook_errors = 0
         self.last_idle_hook_error: str | None = None
+        #: QoS backpressure counters (all monotone; ``stats()`` snapshots
+        #: them under ``_cond`` together with the formation aggregates).
+        self._seq_counter = 0
+        self.overload_windows = 0
+        self.probes_degraded = 0
+        self.probes_shed_to_replicas = 0
+        self.probes_closed_unserved = 0
 
     # -- synchronous window serving (the submit/submit_many shim path) --------
 
@@ -330,11 +360,26 @@ class ProbeGateway:
     # -- the streaming surface ------------------------------------------------
 
     def submit(self, probe: Probe, session: AgentSession | None = None) -> ProbeTicket:
-        """Enqueue one probe for admission; returns its ticket immediately."""
+        """Enqueue one probe for admission; returns its ticket immediately.
+
+        Raises :class:`~repro.errors.GatewayClosed` on a closed gateway
+        and :class:`~repro.errors.OverloadError` past the QoS layer's
+        hard admission cap (when one is configured — by default overload
+        degrades instead of rejecting and this never raises).
+        """
         ticket = ProbeTicket(self, probe, session)
         with self._cond:
             if self._stopped:
-                raise RuntimeError("gateway is closed")
+                raise GatewayClosed()
+            if self.qos is not None:
+                # Classification (and the hard-cap check) happens under
+                # the admission lock so lane/bucket state is consistent
+                # with the queue depth it judged.
+                ticket.lane, ticket.starved = self.qos.classify(
+                    probe, len(self._pending)
+                )
+            ticket._seq = self._seq_counter
+            self._seq_counter += 1
             self._ensure_loop()
             self._pending.append(ticket)
             self._cond.notify_all()
@@ -347,13 +392,37 @@ class ProbeGateway:
             self._cond.notify_all()
 
     def close(self, timeout: float | None = 10.0) -> None:
-        """Drain pending probes, serve them, and stop the admission loop."""
+        """Drain pending probes, serve them, and stop the admission loop.
+
+        Any probe still queued once the loop is down — submit raced the
+        stop flag, the thread had already retired idle, or the join timed
+        out — resolves with a structured ``GatewayClosed`` error
+        *response* (every query an ``"error"`` outcome, plus a steering
+        line): ``ticket.result()`` must never block on shutdown.
+        """
         with self._cond:
             self._stopped = True
             self._cond.notify_all()
             thread = self._thread
         if thread is not None:
             thread.join(timeout)
+        with self._cond:
+            leftovers = list(self._pending)
+            self._pending.clear()
+        resolved = 0
+        for ticket in leftovers:
+            # Settle the cancel race exactly like window admission does;
+            # a ticket cancelled out-of-band is already resolved.
+            if not ticket._future.set_running_or_notify_cancel():
+                continue
+            ticket._admitted = True
+            resolved += 1
+            # No session accounting: this probe was never served.
+            with contextlib.suppress(InvalidStateError):
+                ticket._future.set_result(_closed_response(ticket.probe))
+        if resolved:
+            with self._cond:
+                self.probes_closed_unserved += resolved
 
     def pending_probes(self) -> int:
         with self._cond:
@@ -464,8 +533,36 @@ class ProbeGateway:
                 if not self._pending:  # everything cancelled while waiting
                     continue
                 first_enqueued = self._pending[0]._enqueued_at
-                while self._pending and len(window) < self.max_batch:
-                    ticket = self._pending.popleft()
+                # Overload is judged at the admission edge, from the
+                # backlog this window leaves behind: queue depth and the
+                # oldest arrival's wait. Below the watermarks (or without
+                # QoS) admission is strict FIFO — the byte-identity path.
+                overload_cause = None
+                if self.qos is not None:
+                    wait_ms = (time.monotonic() - first_enqueued) * 1000.0
+                    overload_cause = self.qos.overload_cause(
+                        len(self._pending), wait_ms
+                    )
+                if overload_cause is None:
+                    candidates = self._pending
+                else:
+                    # Lane-major, arrival-order-minor; bucket-starved
+                    # probes last. sort() is stable but the key is total
+                    # (every ticket has a unique _seq) so ordering is
+                    # deterministic either way.
+                    candidates = deque(
+                        sorted(
+                            self._pending,
+                            key=lambda t: (
+                                self.qos.effective_lane(t.lane, t.starved),
+                                t._seq,
+                            ),
+                        )
+                    )
+                while candidates and len(window) < self.max_batch:
+                    ticket = candidates.popleft()
+                    if candidates is not self._pending:
+                        self._pending.remove(ticket)
                     # Settle the admission race with cancel() here, under
                     # the same lock _cancel takes. Marking the future
                     # RUNNING makes any later Future.cancel() — including
@@ -482,12 +579,28 @@ class ProbeGateway:
                 formation_ms = (time.monotonic() - first_enqueued) * 1000.0
             if not window:  # everything was cancelled at the admission edge
                 continue
-            self._serve_streamed_window(window, formation_ms)
+            self._serve_streamed_window(window, formation_ms, overload_cause)
 
     def _serve_streamed_window(
-        self, window: list[ProbeTicket], formation_ms: float
+        self,
+        window: list[ProbeTicket],
+        formation_ms: float,
+        overload_cause: str | None = None,
     ) -> None:
-        window = self._offload_to_replicas(window)
+        if self.chaos is not None:
+            # Seeded timing chaos: perturb when this window serves, never
+            # what it answers (the jitter differential contract).
+            delay = self.chaos.admission_delay_s()
+            if delay:
+                time.sleep(delay)
+        degradations: list[Degradation | None] | None = None
+        if overload_cause is not None and self.qos is not None:
+            with self._cond:
+                self.overload_windows += 1
+            degradations = self.qos.plan_degradations(
+                window, overload_cause, self._replica_shed_eligibility()
+            )
+        window, degradations = self._offload_to_replicas(window, degradations)
         if window:
             probes = [ticket.probe for ticket in window]
             try:
@@ -495,7 +608,16 @@ class ProbeGateway:
                     self._serve_waiters += 1  # admitted probes still count as demand
                 try:
                     with self._serve_lock:
-                        responses = self.system._serve_batch(probes)
+                        # The keyword travels only when a shedding plan
+                        # exists, so serve-path wrappers (tests, hooks)
+                        # with the original one-argument signature keep
+                        # working on every unloaded window.
+                        if degradations is not None:
+                            responses = self.system._serve_batch(
+                                probes, degradations=degradations
+                            )
+                        else:
+                            responses = self.system._serve_batch(probes)
                 finally:
                     with self._cond:
                         self._serve_waiters -= 1
@@ -511,8 +633,17 @@ class ProbeGateway:
                 self._window_size_max = max(self._window_size_max, len(window))
                 self._formation_ms_total += formation_ms
                 self._formation_ms_max = max(self._formation_ms_max, formation_ms)
+                if degradations is not None:
+                    self.probes_degraded += sum(
+                        1 for verdict in degradations if verdict is not None
+                    )
             for ticket, response in zip(window, responses):
                 self._deliver(ticket, response)
+        if self.qos is not None:
+            # Window cadence drives bucket refill (deterministic, unlike
+            # wall-clock): principals earn admission budget back as the
+            # gateway actually makes progress.
+            self.qos.window_served()
         # The queue drained behind this window: an idle window opened for
         # the maintenance runtime. Fired outside all gateway locks; the
         # runtime re-checks for pending probes before (and while) working.
@@ -538,29 +669,80 @@ class ProbeGateway:
         with contextlib.suppress(InvalidStateError):
             ticket._future.set_result(response)
 
-    def _offload_to_replicas(self, window: list[ProbeTicket]) -> list[ProbeTicket]:
+    def _replica_shed_eligibility(self):
+        """The replica-eligibility predicate handed to the shedding
+        planner: may this probe be answered by a replica under a
+        QoS-imposed staleness tolerance?"""
+        pool = getattr(self.system, "replicas", None)
+        if pool is None or self.qos is None:
+            return None
+        assume = self.qos.config.shed_max_staleness is not None
+        return lambda probe: pool.eligible(probe, assume_staleness=assume)
+
+    def _offload_to_replicas(
+        self,
+        window: list[ProbeTicket],
+        degradations: "list[Degradation | None] | None" = None,
+    ) -> tuple[list[ProbeTicket], "list[Degradation | None] | None"]:
         """Spill eligible probes to read replicas when the primary is loaded.
 
         Only fires when this window is full or more probes are already
         queued behind it — an unloaded primary serves everything itself
         (fresher answers at no extra cost). Returns the tickets the
-        primary still has to serve.
+        primary still has to serve, with the window's shedding plan
+        (when one exists) kept ticket-aligned.
+
+        Probes with a ``"replica"`` shedding verdict are *forced* here
+        under the verdict's staleness tolerance, each tagged with the
+        verdict's "system under load" steering line; a replica that
+        declines (too stale, unparseable) downgrades the verdict to the
+        sampled path — degrade, don't drop.
         """
         pool = getattr(self.system, "replicas", None)
         if pool is None or not window:
-            return window
-        if len(window) < self.max_batch and self.pending_probes() == 0:
-            return window
+            return window, degradations
+        if (
+            degradations is None
+            and len(window) < self.max_batch
+            and self.pending_probes() == 0
+        ):
+            return window, degradations
         kept: list[ProbeTicket] = []
-        for ticket in window:
-            response = pool.try_serve(ticket.probe)
-            if response is None:
-                kept.append(ticket)
-                continue
-            with self._cond:
-                self.probes_offloaded += 1
-            self._deliver(ticket, response)
-        return kept
+        kept_verdicts: list[Degradation | None] = []
+        for position, ticket in enumerate(window):
+            verdict = degradations[position] if degradations is not None else None
+            if verdict is not None and verdict.kind == "replica":
+                response = pool.try_serve(
+                    ticket.probe,
+                    staleness_override=verdict.staleness,
+                    load_note=verdict.steering(),
+                )
+                if response is not None:
+                    with self._cond:
+                        self.probes_offloaded += 1
+                        self.probes_shed_to_replicas += 1
+                        self.probes_degraded += 1
+                    self._deliver(ticket, response)
+                    continue
+                verdict = (
+                    Degradation(
+                        kind="sample",
+                        cause=verdict.cause,
+                        sample_cap=self.qos.config.shed_sample_rate,
+                    )
+                    if ticket.probe.queries and self.qos is not None
+                    else None
+                )
+            else:
+                response = pool.try_serve(ticket.probe)
+                if response is not None:
+                    with self._cond:
+                        self.probes_offloaded += 1
+                    self._deliver(ticket, response)
+                    continue
+            kept.append(ticket)
+            kept_verdicts.append(verdict)
+        return kept, (kept_verdicts if degradations is not None else None)
 
     # -- cancellation ---------------------------------------------------------
 
@@ -597,4 +779,29 @@ class ProbeGateway:
                 "probes_offloaded": self.probes_offloaded,
                 "idle_hook_errors": self.idle_hook_errors,
                 "last_idle_hook_error": self.last_idle_hook_error,
+                # Backpressure: the pending gauge plus the QoS layer's
+                # monotone overload counters (all zero without QoS, and
+                # on a QoS-on system that never crossed a watermark).
+                "pending": len(self._pending),
+                "overload_windows": self.overload_windows,
+                "probes_degraded": self.probes_degraded,
+                "probes_shed_to_replicas": self.probes_shed_to_replicas,
+                "probes_closed_unserved": self.probes_closed_unserved,
+                "qos": self.qos.stats() if self.qos is not None else None,
+                "chaos_delays_injected": (
+                    self.chaos.delays_injected if self.chaos is not None else 0
+                ),
             }
+
+
+def _closed_response(probe: Probe) -> ProbeResponse:
+    """The structured error response a shutdown resolves tickets with."""
+    error = GatewayClosed("probe was still queued when the gateway shut down")
+    reason = str(error)
+    outcomes = [
+        QueryOutcome(sql=sql, status="error", query_index=index, reason=reason)
+        for index, sql in enumerate(probe.queries)
+    ] or [QueryOutcome(sql="", status="error", query_index=0, reason=reason)]
+    response = ProbeResponse(outcomes=outcomes, turn=0)
+    response.steering.append(reason)
+    return response

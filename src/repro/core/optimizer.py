@@ -289,6 +289,7 @@ class ProbeOptimizer:
             query_index=query.index,
             result=result,
             sample_rate=decision.sample_rate,
+            reason=decision.reason,
             estimated_cost=query.estimated_cost,
             similar_to_turn=similar_to_turn,
         )

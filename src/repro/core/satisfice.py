@@ -43,7 +43,22 @@ class Satisficer:
         self._embedder = embedder or HashedEmbedder()
         self._enable_pruning = enable_pruning
 
-    def decide(self, interpreted: InterpretedProbe) -> list[ExecutionDecision]:
+    def decide(
+        self,
+        interpreted: InterpretedProbe,
+        sample_cap: float | None = None,
+        cap_reason: str = "",
+    ) -> list[ExecutionDecision]:
+        """Execution decisions for one probe.
+
+        ``sample_cap`` is an externally-imposed sample-rate ceiling (the
+        QoS layer's load-shedding verdict): every execute decision runs
+        at ``min(own_rate, sample_cap)``, overriding even the
+        cheap-query exact floor — under declared overload, the system's
+        protection of its higher-priority lanes outranks the
+        interpreter's per-query accuracy preference. ``cap_reason``
+        becomes the decision's reason when the cap actually lowered it.
+        """
         decisions: list[ExecutionDecision] = []
         for query in interpreted.queries:
             if query.plan is None:
@@ -55,6 +70,15 @@ class Satisficer:
             decisions.append(decision)
 
         decisions = self._apply_k_of_n(interpreted, decisions)
+        if sample_cap is not None:
+            for decision in decisions:
+                if (
+                    decision.action == "execute"
+                    and decision.query.plan is not None
+                    and decision.sample_rate > sample_cap
+                ):
+                    decision.sample_rate = max(0.01, sample_cap)
+                    decision.reason = cap_reason or decision.reason
         return self._order(decisions)
 
     # -- per-query --------------------------------------------------------------

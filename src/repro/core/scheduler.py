@@ -151,6 +151,11 @@ class ScheduledProbe:
     spent_cost: float = 0.0
     #: Batch-level steering extras (cross-agent equivalence, budget).
     hints: list[str] = field(default_factory=list)
+    #: QoS degradation notices ("system under load, answer sampled at
+    #: 10%"). Kept separate from ``hints``: these attach to the response
+    #: even on systems with steering disabled — degraded service must be
+    #: legible to the agent unconditionally.
+    qos_notes: list[str] = field(default_factory=list)
 
     def pending(self) -> bool:
         return self.next_position < len(self.decisions)
@@ -260,11 +265,34 @@ class ProbeScheduler:
 
     # -- batch entry point -------------------------------------------------------
 
-    def run_batch(self, probes: list[Probe], first_turn: int) -> ScheduledBatch:
+    def run_batch(
+        self,
+        probes: list[Probe],
+        first_turn: int,
+        degradations: list | None = None,
+    ) -> ScheduledBatch:
+        """Serve one admission batch.
+
+        ``degradations`` (probe-aligned, entries ``None`` or a
+        :class:`repro.qos.policy.Degradation`) carries the QoS layer's
+        load-shedding verdicts: a ``"sample"`` verdict caps the probe's
+        sample rates through the satisficer and attaches the verdict's
+        steering line. Absent (the usual case), admission is unchanged.
+        """
         states: list[ScheduledProbe] = []
         for index, probe in enumerate(probes):
             interpreted = self.interpreter.interpret(probe)
-            decisions = self.optimizer.satisficer.decide(interpreted)
+            degradation = degradations[index] if degradations else None
+            if degradation is not None and degradation.kind == "sample":
+                decisions = self.optimizer.satisficer.decide(
+                    interpreted,
+                    sample_cap=degradation.sample_cap,
+                    cap_reason=f"load shed: {degradation.cause}",
+                )
+                qos_notes = [degradation.steering()]
+            else:
+                decisions = self.optimizer.satisficer.decide(interpreted)
+                qos_notes = []
             states.append(
                 ScheduledProbe(
                     index=index,
@@ -273,6 +301,7 @@ class ProbeScheduler:
                     turn=first_turn + index,
                     decisions=decisions,
                     outcomes=[None] * len(decisions),
+                    qos_notes=qos_notes,
                 )
             )
         run = self._plan_run(states)

@@ -343,3 +343,28 @@ def _column_literal(expr: nodes.Expr) -> tuple[str | None, Value]:
         if literals:
             return expr.operand.column, literals[0]
     return None, None
+
+
+# ---------------------------------------------------------------------------
+# overload / backend-health notices (the QoS layer's steering vocabulary)
+# ---------------------------------------------------------------------------
+#
+# Degradation must be legible to the agent: every QoS action that changes
+# what a response would otherwise have been carries one of these lines.
+# They are plain prose with machine-greppable anchors ("system under
+# load", "excluded from", "circuit breaker") so both humans and agent
+# parsers can key off them.
+
+
+def overload_notice(cause: str, action: str) -> str:
+    """One steering line naming an overload degradation and its cause."""
+    return f"system under load ({cause}): {action}"
+
+
+def breaker_exclusion_notice(backend: str, cooldown_remaining: float) -> str:
+    """One steering line for a federation member tripped out of a plan."""
+    return (
+        f"backend {backend!r} excluded from the plan: circuit breaker open"
+        f" ({max(0.0, cooldown_remaining):.1f}s until the next recovery"
+        " probe); re-plan without it or retry later"
+    )

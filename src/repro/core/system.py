@@ -10,6 +10,14 @@ degenerate window of one.
     agent swarm ──> session.submit(probe) ──────> ProbeTicket
         │                    │              (result()/done()/cancel(),
         │                    ▼               await session.asubmit(...))
+        │              QoS layer (REPRO_QOS / SystemConfig.enable_qos)
+        │               lanes: interactive > standard > bulk (from Brief)
+        │               token buckets per principal; watermark shedding:
+        │               bulk probes degrade (sample cap / stale replica)
+        │               with an explicit "system under load" steering
+        │               line — degrade, don't drop; inert when unloaded
+        │                    │
+        │                    ▼
         │            probe gateway ── admission loop: close the window at
         │                    │        max_batch pending or max_wait elapsed
         ▼                    ▼
@@ -92,6 +100,7 @@ from repro.db.database import ChangeEvent
 from repro.engine.executor import SubplanCache
 from repro.maintenance import MaintenanceConfig, MaintenanceRuntime
 from repro.memstore import AgenticMemoryStore, ArtifactKind
+from repro.qos import QosConfig, QosController, resolve_qos_enabled
 from repro.plan import logical
 from repro.semantic.search import SemanticSearch
 from repro.util.hashing import stable_hash_int
@@ -135,6 +144,15 @@ class SystemConfig:
     #: Detailed maintenance knobs (thresholds, view budget); ``None``
     #: uses :class:`~repro.maintenance.MaintenanceConfig` defaults.
     maintenance: MaintenanceConfig | None = None
+    #: Overload control and agent QoS: priority lanes, per-principal
+    #: token buckets, and degrade-don't-drop load shedding on the
+    #: streaming gateway. ``None`` -> the ``REPRO_QOS`` env override,
+    #: else off. Watermark-gated: an unloaded QoS-on system serves
+    #: byte-identically to a QoS-off system.
+    enable_qos: bool | None = None
+    #: Detailed QoS knobs (watermarks, shed rates, bucket sizes, breaker
+    #: thresholds); ``None`` uses :class:`~repro.qos.QosConfig` defaults.
+    qos: QosConfig | None = None
     #: In-process read replicas fed from the write-ahead log (requires a
     #: WAL-attached database). ``None`` -> the ``REPRO_REPLICAS`` env
     #: override, else 0. Replicas serve read-only exact probes whose
@@ -180,10 +198,16 @@ class AgentFirstDataSystem:
             workers=scheduler_workers,
             backend=self.config.dispatch_backend,
         )
+        self.qos = (
+            QosController(self.config.qos)
+            if resolve_qos_enabled(self.config.enable_qos)
+            else None
+        )
         self.gateway = ProbeGateway(
             self,
             max_batch=self.config.gateway_max_batch,
             max_wait=self.config.gateway_max_wait,
+            qos=self.qos,
         )
         self.maintenance = MaintenanceRuntime(
             self,
@@ -268,9 +292,14 @@ class AgentFirstDataSystem:
             return []
         return self.gateway.serve_window(list(probes))
 
-    def _serve_batch(self, probes: Sequence[Probe]) -> list[ProbeResponse]:
+    def _serve_batch(
+        self, probes: Sequence[Probe], degradations: list | None = None
+    ) -> list[ProbeResponse]:
         """Serve one admission window (gateway-internal; callers hold the
-        gateway's serve lock, which serialises window order)."""
+        gateway's serve lock, which serialises window order).
+
+        ``degradations`` is the QoS layer's probe-aligned shedding plan
+        for an overloaded window (``None`` everywhere else)."""
         # Reserve the window's whole turn range up front: replica-served
         # responses draw turns concurrently and must never collide.
         with self._turn_lock:
@@ -284,7 +313,9 @@ class AgentFirstDataSystem:
             # recovered system resumes at the last served boundary.
             wal.begin_window()
         try:
-            batch = self.scheduler.run_batch(list(probes), first_turn)
+            batch = self.scheduler.run_batch(
+                list(probes), first_turn, degradations=degradations
+            )
 
             # Post-processing (beyond-SQL, steering, memory) runs per probe
             # in admission order, preserving serial visibility: a later
@@ -347,6 +378,11 @@ class AgentFirstDataSystem:
             response.steering = self._steer(
                 probe, interpreted, response, batch_hints=scheduled.hints
             )
+        # QoS degradation notices attach unconditionally — even on
+        # steering-off systems (e.g. shared_serving_system): an agent must
+        # always be told when overload changed the quality of its answer.
+        if scheduled.qos_notes:
+            response.steering.extend(scheduled.qos_notes)
         if self.config.enable_memory:
             self._remember(probe, interpreted, response)
         return response

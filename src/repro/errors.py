@@ -88,3 +88,63 @@ class ProbeError(ReproError):
 
 class BackendError(ReproError):
     """Raised by the federated backends for dialect-specific failures."""
+
+
+class OverloadError(ReproError):
+    """Raised when the admission queue is past its hard rejection cap.
+
+    Ordinary overload never raises: the QoS layer degrades low-priority
+    probes (sampling, replica serving) and keeps answering. This error
+    only fires when a ``queue_reject`` cap is explicitly configured and
+    exceeded; the message is steering-shaped so an agent can parse the
+    depth, the cap, and the recommended action.
+    """
+
+    def __init__(self, queue_depth: int, limit: int) -> None:
+        super().__init__(
+            f"system overloaded: admission queue at {queue_depth} probes"
+            f" >= hard cap {limit}; back off and resubmit, or lower the"
+            " probe's priority lane (Brief(lane='bulk')) so it can be"
+            " degraded instead of rejected"
+        )
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class BackendUnavailable(BackendError):
+    """A federated backend's circuit breaker is open.
+
+    Carries which backend tripped and how long until the breaker next
+    admits a recovery probe, so agents can re-plan around the member (or
+    schedule a retry) instead of hammering a failing service.
+    """
+
+    def __init__(self, backend: str, cooldown_remaining: float) -> None:
+        super().__init__(
+            f"backend {backend!r} unavailable: circuit breaker open,"
+            f" next recovery probe in {max(0.0, cooldown_remaining):.1f}s;"
+            " retry later or re-plan without this backend"
+        )
+        self.backend = backend
+        self.cooldown_remaining = cooldown_remaining
+
+
+class GatewayClosed(ReproError, RuntimeError):
+    """The streaming gateway is shut down and cannot admit this probe.
+
+    Raised by ``submit`` on a closed gateway; probes already queued when
+    ``close()`` ran resolve with a structured error *response* carrying
+    the same message, so ``ticket.result()`` never blocks on shutdown.
+    (Also a ``RuntimeError``: callers who guarded the pre-QoS ``submit``
+    with ``except RuntimeError`` keep working.)
+    """
+
+    def __init__(self, detail: str = "") -> None:
+        message = (
+            "gateway is closed: the admission loop has shut down;"
+            " resubmit on a live system (synchronous submit/submit_many"
+            " keep working after close)"
+        )
+        if detail:
+            message = f"{message} [{detail}]"
+        super().__init__(message)

@@ -1,0 +1,69 @@
+"""Overload control and agent QoS (policy/action split).
+
+The layer between session submission and window admission: priority
+lanes and per-principal token buckets (:mod:`repro.qos.policy`), the
+gateway-facing controller that enforces them (:mod:`repro.qos.controller`),
+per-backend circuit breakers for federation members
+(:mod:`repro.qos.breaker`), and the seeded fault-injection harness that
+makes all of it testable (:mod:`repro.qos.chaos`). Enable with
+``SystemConfig(enable_qos=True)`` or ``REPRO_QOS=1``; under no overload
+a QoS-on system is byte-identical to a QoS-off system.
+"""
+
+from repro.qos.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BackendHealth,
+    CircuitBreaker,
+)
+from repro.qos.chaos import (
+    CHAOS_ENV_VAR,
+    ChaosBackend,
+    ChaosEngine,
+    SlowConsumer,
+    resolve_chaos_seed,
+)
+from repro.qos.controller import QosController
+from repro.qos.policy import (
+    LANE_BULK,
+    LANE_INTERACTIVE,
+    LANE_NAMES,
+    LANE_STANDARD,
+    QOS_ENV_VAR,
+    AdmissionPolicy,
+    Degradation,
+    QosConfig,
+    SheddingPolicy,
+    TokenBucket,
+    lane_name,
+    lane_of,
+    resolve_qos_enabled,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "BackendHealth",
+    "CHAOS_ENV_VAR",
+    "ChaosBackend",
+    "ChaosEngine",
+    "CircuitBreaker",
+    "Degradation",
+    "LANE_BULK",
+    "LANE_INTERACTIVE",
+    "LANE_NAMES",
+    "LANE_STANDARD",
+    "QOS_ENV_VAR",
+    "QosConfig",
+    "QosController",
+    "SheddingPolicy",
+    "SlowConsumer",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "TokenBucket",
+    "lane_name",
+    "lane_of",
+    "resolve_chaos_seed",
+    "resolve_qos_enabled",
+]

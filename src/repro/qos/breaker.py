@@ -1,0 +1,193 @@
+"""Per-backend health tracking: circuit breakers for federation members.
+
+A federated scatter plan is only as healthy as its sickest member; the
+paper's agent-first contract says a failing backend should be *tripped
+out of the plan and reported*, not retried into timeout by every agent
+in the swarm. Each backend gets a :class:`CircuitBreaker` with the
+classic three states:
+
+* **closed** — calls flow; outcomes land in a sliding window. The
+  breaker trips open when the window's failure rate reaches the
+  configured threshold (with a minimum call count, so one early error
+  cannot trip it) or when the window's mean latency crosses the latency
+  watermark (a backend that answers correctly but pathologically slowly
+  is unavailable in every way that matters under load).
+* **open** — calls are refused locally (a :class:`BackendUnavailable`
+  envelope, never an exception into the agent loop) until the cooldown
+  elapses.
+* **half-open** — after the cooldown, a bounded number of probe calls
+  are admitted; one success closes the breaker (window reset), one
+  failure re-opens it with a fresh cooldown.
+
+The clock is injectable so tests (and the deterministic chaos harness)
+can walk a breaker through its whole lifecycle without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.qos.policy import QosConfig
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate + latency circuit breaker for one named backend."""
+
+    def __init__(
+        self,
+        name: str,
+        config: QosConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.config = config or QosConfig()
+        self.clock = clock
+        self.state = STATE_CLOSED
+        self._lock = threading.Lock()
+        #: Sliding outcome window: (ok, latency_ms) per recorded call.
+        self._window: deque[tuple[bool, float]] = deque(
+            maxlen=max(1, self.config.breaker_window)
+        )
+        self._opened_at = 0.0
+        self._half_open_in_flight = 0
+        #: Lifetime counters (observability; stats() reports them).
+        self.trips = 0
+        self.refusals = 0
+
+    # -- admission -------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Open breakers admit nothing;
+        half-open breakers admit a bounded number of recovery probes.)"""
+        with self._lock:
+            if self.state == STATE_CLOSED:
+                return True
+            if self.state == STATE_OPEN:
+                if self.clock() - self._opened_at >= self.config.breaker_cooldown_s:
+                    self.state = STATE_HALF_OPEN
+                    self._half_open_in_flight = 0
+                else:
+                    self.refusals += 1
+                    return False
+            # Half-open: admit up to the configured number of probes.
+            if self._half_open_in_flight < self.config.breaker_half_open_probes:
+                self._half_open_in_flight += 1
+                return True
+            self.refusals += 1
+            return False
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker next admits a recovery probe."""
+        with self._lock:
+            if self.state != STATE_OPEN:
+                return 0.0
+            elapsed = self.clock() - self._opened_at
+            return max(0.0, self.config.breaker_cooldown_s - elapsed)
+
+    # -- outcome recording -----------------------------------------------------
+
+    def record(self, ok: bool, latency_ms: float = 0.0) -> None:
+        """Feed one call outcome into the breaker's state machine."""
+        with self._lock:
+            if self.state == STATE_HALF_OPEN:
+                self._half_open_in_flight = max(0, self._half_open_in_flight - 1)
+                if ok:
+                    # Recovery probe succeeded: close and forget history.
+                    self.state = STATE_CLOSED
+                    self._window.clear()
+                else:
+                    self._trip()
+                return
+            self._window.append((ok, latency_ms))
+            if self.state == STATE_CLOSED and self._should_trip():
+                self._trip()
+
+    def _should_trip(self) -> bool:
+        calls = len(self._window)
+        if calls < max(1, self.config.breaker_min_calls):
+            return False
+        failures = sum(1 for ok, _ in self._window if not ok)
+        if failures / calls >= self.config.breaker_failure_rate:
+            return True
+        latency_high = self.config.breaker_latency_ms
+        if latency_high is not None:
+            mean_latency = sum(ms for _, ms in self._window) / calls
+            if mean_latency > latency_high:
+                return True
+        return False
+
+    def _trip(self) -> None:
+        # Callers hold self._lock.
+        self.state = STATE_OPEN
+        self._opened_at = self.clock()
+        self._window.clear()
+        self.trips += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "trips": self.trips,
+                "refusals": self.refusals,
+                "recent_calls": len(self._window),
+            }
+
+
+class BackendHealth:
+    """Breaker registry for a federation's members.
+
+    The federation consults :meth:`allow` before dispatching to a member
+    and feeds every outcome back through :meth:`record`; scatter plans
+    ask :meth:`excluded` for the members to drop (and the steering lines
+    that report each exclusion to the agent).
+    """
+
+    def __init__(
+        self,
+        config: QosConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or QosConfig()
+        self.clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = CircuitBreaker(backend, self.config, self.clock)
+                self._breakers[backend] = breaker
+            return breaker
+
+    def allow(self, backend: str) -> bool:
+        return self.breaker(backend).allow()
+
+    def record(self, backend: str, ok: bool, latency_ms: float = 0.0) -> None:
+        self.breaker(backend).record(ok, latency_ms)
+
+    def cooldown_remaining(self, backend: str) -> float:
+        return self.breaker(backend).cooldown_remaining()
+
+    def excluded(self) -> list[tuple[str, float]]:
+        """Members currently refusing calls: (name, cooldown_remaining)."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        out = []
+        for breaker in breakers:
+            if breaker.state == STATE_OPEN and breaker.cooldown_remaining() > 0.0:
+                out.append((breaker.name, breaker.cooldown_remaining()))
+        return sorted(out)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                name: breaker.stats() for name, breaker in sorted(self._breakers.items())
+            }

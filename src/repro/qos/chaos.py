@@ -1,0 +1,178 @@
+"""Deterministic fault injection: make overload and failure testable.
+
+Breakers and shedding paths are worthless if they only ever run in
+production. This module injects the three failure shapes the QoS layer
+exists to absorb — backend errors, latency spikes, slow consumers — from
+one seeded RNG, so a failing run replays exactly under the same seed
+(``REPRO_CHAOS=<seed>`` in CI; any truthy value enables, its integer
+value — or a stable hash of the text — is the seed).
+
+Two injection surfaces, deliberately different in blast radius:
+
+* **Timing chaos** (process-wide under ``REPRO_CHAOS``): the gateway
+  draws per-window admission delays from :meth:`ChaosEngine.admission_delay_s`.
+  Timing is the one axis the equivalence contract already proves answers
+  are independent of (the jitter differential leg), so the whole tier-1
+  suite runs green under timing chaos while exercising every
+  backpressure path with perturbed window geometry.
+* **Outcome chaos** (opt-in, per wrapped object): :class:`ChaosBackend`
+  wraps a federation member and injects error envelopes and latency
+  spikes into its responses — errors are *data* in the backend protocol
+  (`BackendResponse.error`), so injection exercises breakers without
+  ever violating an answer contract the differential suites rely on.
+  :class:`SlowConsumer` drains gateway tickets with seeded stalls, the
+  client-side failure shape (a slow reader must never wedge admission).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+from repro.backends.base import Backend, BackendResponse
+from repro.util.hashing import stable_hash_int
+
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def resolve_chaos_seed(seed: int | None = None) -> int | None:
+    """Explicit seed wins; else ``REPRO_CHAOS`` (its int value, or a
+    stable hash of non-numeric text); ``None`` when chaos is off."""
+    if seed is not None:
+        return int(seed)
+    raw = os.environ.get(CHAOS_ENV_VAR, "").strip().lower()
+    if raw in _FALSY:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return stable_hash_int(raw, 8)
+
+
+class ChaosEngine:
+    """One seeded source of faults; every draw is lock-serialised so a
+    fixed seed yields a reproducible fault sequence even when multiple
+    threads consult the engine (the sequence depends on draw *order*,
+    which concurrent tests pin by construction)."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.faults_injected = 0
+        self.delays_injected = 0
+
+    def chance(self, probability: float) -> bool:
+        with self._lock:
+            return self._rng.random() < probability
+
+    def uniform(self, low: float, high: float) -> float:
+        with self._lock:
+            return self._rng.uniform(low, high)
+
+    def admission_delay_s(
+        self, probability: float = 0.15, max_delay_s: float = 0.008
+    ) -> float:
+        """A per-window latency spike for the gateway's admission loop
+        (0 most of the time). Small by design: chaos perturbs timing,
+        the suite's timeouts must survive it."""
+        with self._lock:
+            if self._rng.random() >= probability:
+                return 0.0
+            self.delays_injected += 1
+            return self._rng.uniform(0.001, max_delay_s)
+
+    def backend_fault(self, backend: str, operation: str, probability: float) -> str | None:
+        """An injected error message for one backend call, or ``None``."""
+        with self._lock:
+            if self._rng.random() >= probability:
+                return None
+            self.faults_injected += 1
+            return (
+                f"chaos: injected {operation} failure on backend"
+                f" {backend!r} (seed {self.seed})"
+            )
+
+
+class ChaosBackend(Backend):
+    """A federation member wrapped in seeded faults.
+
+    Injected failures come back as ordinary ``BackendResponse`` error
+    envelopes — exactly what a real flaky service produces — so breakers,
+    scatter exclusion, and agent error-recovery all exercise their real
+    paths. ``fault_rate=1.0`` makes a hard-down backend; ``latency_s``
+    with ``latency_rate`` makes a slow one (for latency-trip tests).
+    """
+
+    def __init__(
+        self,
+        inner: Backend,
+        engine: ChaosEngine,
+        fault_rate: float = 0.25,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.0,
+    ) -> None:
+        self.inner = inner
+        self.engine = engine
+        self.fault_rate = fault_rate
+        self.latency_rate = latency_rate
+        self.latency_s = latency_s
+        self.name = inner.name
+        self.kind = inner.kind
+        self.faults_served = 0
+
+    def _guard(self, operation: str, call) -> BackendResponse:
+        if self.latency_s and self.engine.chance(self.latency_rate):
+            time.sleep(self.latency_s)
+        fault = self.engine.backend_fault(self.name, operation, self.fault_rate)
+        if fault is not None:
+            self.faults_served += 1
+            return BackendResponse.failure(fault)
+        return call()
+
+    def list_tables(self) -> BackendResponse:
+        return self._guard("list_tables", self.inner.list_tables)
+
+    def describe(self, table: str) -> BackendResponse:
+        return self._guard("describe", lambda: self.inner.describe(table))
+
+    def sample(self, table: str, limit: int = 5) -> BackendResponse:
+        return self._guard("sample", lambda: self.inner.sample(table, limit))
+
+    def query(self, request: str) -> BackendResponse:
+        return self._guard("query", lambda: self.inner.query(request))
+
+
+class SlowConsumer:
+    """Drains gateway tickets with seeded stalls between reads.
+
+    The client-side fault shape: a consumer that reads responses slowly
+    must never block the admission loop (tickets buffer their responses;
+    delivery is push, not pull). Tests drain a flood through this and
+    assert the gateway's windows kept closing on time.
+    """
+
+    def __init__(
+        self,
+        engine: ChaosEngine,
+        stall_rate: float = 0.3,
+        max_stall_s: float = 0.01,
+    ) -> None:
+        self.engine = engine
+        self.stall_rate = stall_rate
+        self.max_stall_s = max_stall_s
+        self.stalls = 0
+
+    def drain(self, tickets, timeout: float = 60.0):
+        """``ticket.result()`` for each ticket, stalling along the way."""
+        responses = []
+        for ticket in tickets:
+            if self.engine.chance(self.stall_rate):
+                self.stalls += 1
+                time.sleep(self.engine.uniform(0.0005, self.max_stall_s))
+            responses.append(ticket.result(timeout=timeout))
+        return responses

@@ -1,0 +1,131 @@
+"""QoS controller: the action half driven by the gateway's admission loop.
+
+Policies (:mod:`repro.qos.policy`) look at observations and emit
+verdicts; this controller holds the mutable state those verdicts need —
+per-principal token buckets, overload/shedding counters — and turns
+verdicts into the three concrete actions the gateway can take:
+
+1. **classify** a probe at submission (lane + bucket state, and the
+   hard-cap rejection check);
+2. **order** an overloaded backlog (lane-major, arrival-order-minor,
+   bucket-starved probes last);
+3. **plan degradations** for an overloaded window (sample caps and
+   replica offloads, each carrying its steering explanation).
+
+Everything is watermark-gated: until a watermark trips, classification
+is bookkeeping only and ordering/shedding are never invoked, which is
+what makes QoS-on byte-identical to QoS-off on an unloaded system.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import OverloadError
+from repro.qos.policy import (
+    STARVED_OFFSET,
+    AdmissionPolicy,
+    Degradation,
+    QosConfig,
+    SheddingPolicy,
+    TokenBucket,
+    lane_name,
+    lane_of,
+)
+
+
+class QosController:
+    """Mutable QoS state + the gateway-facing action surface."""
+
+    def __init__(self, config: QosConfig | None = None) -> None:
+        self.config = config or QosConfig()
+        self.admission = AdmissionPolicy(self.config)
+        self.shedding = SheddingPolicy(self.config)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        #: Lifetime counters (monotone; surfaced through gateway stats).
+        self.probes_rejected = 0
+        self.starved_submissions = 0
+        self.lane_counts = {0: 0, 1: 0, 2: 0}
+
+    # -- submission-time actions ----------------------------------------------
+
+    def classify(self, probe, queue_depth: int) -> tuple[int, bool]:
+        """Lane + bucket verdict for one submission; raises
+        :class:`OverloadError` past the hard cap (when configured).
+
+        Token spend happens here, at admission, so a principal's burst
+        budget is consumed in arrival order whatever lane it claims.
+        """
+        limit = self.admission.rejection(queue_depth)
+        if limit is not None:
+            with self._lock:
+                self.probes_rejected += 1
+            raise OverloadError(queue_depth, limit)
+        lane = lane_of(probe.brief)
+        with self._lock:
+            bucket = self._buckets.get(probe.principal)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.config.bucket_capacity, self.config.bucket_refill
+                )
+                self._buckets[probe.principal] = bucket
+            starved = not bucket.take(1.0)
+            if starved:
+                self.starved_submissions += 1
+            self.lane_counts[lane] = self.lane_counts.get(lane, 0) + 1
+        return lane, starved
+
+    def window_served(self) -> None:
+        """One window closed: refill every principal's bucket."""
+        with self._lock:
+            for bucket in self._buckets.values():
+                bucket.refill()
+
+    # -- window-formation actions ----------------------------------------------
+
+    def overload_cause(self, queue_depth: int, window_wait_ms: float = 0.0) -> str | None:
+        return self.admission.overload_cause(queue_depth, window_wait_ms)
+
+    @staticmethod
+    def effective_lane(lane: int, starved: bool) -> int:
+        """Sort lane: bucket-starved probes yield to every in-budget lane
+        but keep their relative order among themselves."""
+        return lane + STARVED_OFFSET if starved else lane
+
+    def plan_degradations(
+        self,
+        tickets,
+        cause: str,
+        replica_eligible: "Callable[[object], bool] | None" = None,
+    ) -> list[Degradation | None]:
+        """Shedding verdicts for one overloaded window, ticket-aligned.
+
+        A ticket degrades when its *effective* lane is bulk — either the
+        brief put it there or its principal's bucket ran dry (a starved
+        interactive probe still gets served this window; it just gets
+        served degraded, which is the degrade-don't-drop contract).
+        """
+        verdicts: list[Degradation | None] = []
+        for ticket in tickets:
+            lane = self.effective_lane(ticket.lane, ticket.starved)
+            replica_ok = bool(replica_eligible and replica_eligible(ticket.probe))
+            verdicts.append(
+                self.shedding.degradation_for(ticket.probe, lane, cause, replica_ok)
+            )
+        return verdicts
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "probes_rejected": self.probes_rejected,
+                "starved_submissions": self.starved_submissions,
+                "lane_counts": {
+                    lane_name(lane): count
+                    for lane, count in sorted(self.lane_counts.items())
+                },
+                "principals_tracked": len(self._buckets),
+            }

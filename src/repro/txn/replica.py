@@ -182,34 +182,53 @@ class ReplicaPool:
     def __len__(self) -> int:
         return len(self.replicas)
 
-    def eligible(self, probe: Probe) -> bool:
+    def eligible(self, probe: Probe, assume_staleness: bool = False) -> bool:
         """Only read-only exact SQL with a declared staleness tolerance:
         no beyond-SQL requests (they need primary-side state) and no
         termination criteria (partial-result semantics live with the
-        scheduler)."""
+        scheduler). ``assume_staleness`` waives the declared-tolerance
+        requirement — the QoS layer's overload shedding imposes its own
+        bound (and says so in steering) on probes that declared none.
+        """
         return (
-            probe.brief.max_staleness is not None
+            (probe.brief.max_staleness is not None or assume_staleness)
             and bool(probe.queries)
             and not probe.semantic_search
             and not probe.memory_queries
             and probe.termination is None
         )
 
-    def try_serve(self, probe: Probe) -> ProbeResponse | None:
+    def try_serve(
+        self,
+        probe: Probe,
+        staleness_override: int | None = None,
+        load_note: str | None = None,
+    ) -> ProbeResponse | None:
         """Serve from the next replica if the probe qualifies, else ``None``
-        (the caller keeps it on the primary path)."""
-        if not self.eligible(probe):
+        (the caller keeps it on the primary path).
+
+        ``staleness_override`` is the QoS layer's imposed tolerance for
+        load shedding: it lets a probe with no declared ``max_staleness``
+        qualify, but never *loosens* a declared tolerance — the agent's
+        own bound stays authoritative. ``load_note`` (the shedding
+        verdict's steering line) is appended to the served response so
+        the degradation is legible.
+        """
+        if not self.eligible(probe, assume_staleness=staleness_override is not None):
             return None
+        tolerance = probe.brief.max_staleness
+        if tolerance is None:
+            tolerance = staleness_override
         with self._lock:
             replica = self.replicas[self._next % len(self.replicas)]
             self._next += 1
-        response = replica.serve(
-            probe, probe.brief.max_staleness, self._turn_source
-        )
+        response = replica.serve(probe, tolerance, self._turn_source)
         if response is None:
             self.probes_declined += 1
         else:
             self.probes_served += 1
+            if load_note:
+                response.steering.append(load_note)
         return response
 
     def stats(self) -> dict:

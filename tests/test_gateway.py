@@ -346,6 +346,166 @@ class TestProbeTickets:
         system.gateway.close()
         with pytest.raises(RuntimeError, match="closed"):
             system.gateway.submit(Probe.sql("SELECT 1"))
+        # The raise is the structured ReproError, not a bare RuntimeError.
+        from repro.errors import GatewayClosed, ReproError
+
+        with pytest.raises(GatewayClosed) as exc_info:
+            system.gateway.submit(Probe.sql("SELECT 1"))
+        assert isinstance(exc_info.value, ReproError)
+        assert "resubmit on a live system" in str(exc_info.value)
+
+    def test_close_resolves_stranded_tickets_with_structured_error(
+        self, monkeypatch
+    ):
+        """Tickets still queued when the loop goes down (here: the serve
+        path wedged past the join timeout) must resolve with a
+        ``GatewayClosed`` error *response* — ``result()`` never blocks on
+        shutdown, and every query gets an ``"error"`` outcome that names
+        the cause."""
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=1, gateway_max_wait=0.01),
+        )
+        entered, release = TestProbeTickets().hold_serving(system, monkeypatch)
+        served = system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        stranded = [
+            system.gateway.submit(
+                Probe(queries=("SELECT COUNT(*) FROM stores", "SELECT 1"))
+            )
+            for _ in range(2)
+        ]
+        system.gateway.flush()
+        assert entered.wait(timeout=30.0)  # first window wedged in serving
+        system.gateway.close(timeout=0.2)  # join times out; queue drains
+        for ticket in stranded:
+            response = ticket.result(timeout=5.0)  # resolved, not blocked
+            assert [o.status for o in response.outcomes] == ["error", "error"]
+            assert "gateway is closed" in response.outcomes[0].reason
+            assert any("gateway is closed" in s for s in response.steering)
+            assert response.turn == 0  # never served: no turn burned
+        assert system.gateway.stats()["probes_closed_unserved"] == 2
+        release.set()  # the wedged window still finishes its own ticket
+        assert served.result(timeout=30.0).outcomes[0].status == "ok"
+
+    def test_submit_racing_close_never_strands_a_ticket(self):
+        """The regression this PR fixes: submits racing ``close()`` from
+        other threads either raise ``GatewayClosed`` or get a ticket that
+        resolves promptly — with a served response or a structured
+        closed-error response, never a hang."""
+        from repro.errors import GatewayClosed
+
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=4, gateway_max_wait=0.001),
+        )
+        tickets: list = []
+        rejected = []
+        errors = []
+        start = threading.Barrier(9)
+
+        def submitter():
+            try:
+                start.wait()
+                for _ in range(16):
+                    try:
+                        tickets.append(
+                            system.gateway.submit(
+                                Probe.sql("SELECT COUNT(*) FROM stores")
+                            )
+                        )
+                    except GatewayClosed:
+                        rejected.append(1)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submitter) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        system.gateway.close()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        served = closed = 0
+        for ticket in tickets:
+            response = ticket.result(timeout=30.0)
+            statuses = {o.status for o in response.outcomes}
+            if statuses == {"error"}:
+                assert "gateway is closed" in response.outcomes[0].reason
+                closed += 1
+            else:
+                assert statuses <= {"ok", "from_history"}
+                served += 1
+        # Full accounting: every accepted submit resolved one way.
+        assert served + closed == len(tickets)
+        assert len(tickets) + len(rejected) == 8 * 16
+        stats = system.gateway.stats()
+        assert stats["probes_closed_unserved"] == closed
+        assert stats["probes_streamed"] == served
+
+    def test_stats_stay_monotone_and_consistent_under_concurrency(self):
+        """``stats()`` sampled while submit/flush/close race from other
+        threads: monotone counters never step backwards, and the final
+        snapshot accounts for every accepted probe exactly once."""
+        system = AgentFirstDataSystem(
+            build_db(),
+            config=SystemConfig(gateway_max_batch=4, gateway_max_wait=0.001),
+        )
+        monotone_keys = (
+            "windows_streamed",
+            "probes_streamed",
+            "probes_offloaded",
+            "overload_windows",
+            "probes_degraded",
+            "probes_closed_unserved",
+        )
+        violations = []
+        stop_sampling = threading.Event()
+
+        def sampler():
+            last = {key: 0 for key in monotone_keys}
+            while not stop_sampling.is_set():
+                snapshot = system.gateway.stats()
+                for key in monotone_keys:
+                    if snapshot[key] < last[key]:
+                        violations.append((key, last[key], snapshot[key]))
+                    last[key] = snapshot[key]
+
+        def flusher():
+            while not stop_sampling.is_set():
+                system.gateway.flush()
+
+        watchers = [
+            threading.Thread(target=sampler),
+            threading.Thread(target=flusher),
+        ]
+        for watcher in watchers:
+            watcher.start()
+        tickets = []
+        submitters = [
+            threading.Thread(
+                target=lambda: tickets.extend(
+                    system.gateway.submit(Probe.sql("SELECT COUNT(*) FROM stores"))
+                    for _ in range(24)
+                )
+            )
+            for _ in range(4)
+        ]
+        for submitter in submitters:
+            submitter.start()
+        for submitter in submitters:
+            submitter.join(timeout=30.0)
+        responses = [t.result(timeout=60.0) for t in tickets]
+        system.gateway.close()
+        stop_sampling.set()
+        for watcher in watchers:
+            watcher.join(timeout=30.0)
+        assert not violations
+        assert len(responses) == 4 * 24
+        stats = system.gateway.stats()
+        assert stats["probes_streamed"] + stats["probes_closed_unserved"] == 96
+        assert stats["pending"] == 0
+        assert stats["windows_streamed"] >= 96 // 4  # max_batch bounds windows
 
     def test_idle_admission_thread_retires_and_restarts(self):
         """Long-lived serving systems must not pin an idle thread per
