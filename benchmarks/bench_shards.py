@@ -1,0 +1,195 @@
+"""Shard-tier bench — served-probe throughput at 1 vs 4 vs 16 shards.
+
+The tentpole claim of the sharded serving tier: a multi-tenant swarm
+whose probes are tenant-local (``WHERE tenant = 'tX'`` pins the
+partition column) scales *out* — the router prunes each probe to its
+owner shard, every shard holds only its arc's slice of the fact table,
+and per-probe scan work drops with the shard count while the serving
+surface stays the bare system's.
+
+The swarm: 64 tenants, each agent bound to one tenant, each submitting a
+distinct tenant-pinned aggregate (distinct predicates, so no MQO dedupe
+flatters any path). Probes are served one at a time — throughput here
+measures per-probe serving cost, not admission batching (that is
+``bench_gateway``'s story). A small cross-shard scatter sample is timed
+alongside to keep the genuinely-global path honest.
+
+Recorded to machine-readable JSON (``BENCH_shards.json``, override via
+``BENCH_SHARDS_JSON``) next to the other perf trajectories. Acceptance:
+>=2x served-probe throughput at 16 shards vs 1 at the 1024-agent size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import Probe, SystemConfig
+from repro.db import Database
+from repro.shard import ShardedSystem
+from repro.util.tabulate import format_table
+
+TENANTS = 64
+ROWS_PER_TENANT = 100
+SHARD_COUNTS = (1, 4, 16)
+AGENT_COUNTS = (256, 1024)
+SCATTER_SAMPLES = 4
+PARTITION = {"sales": "tenant"}
+JSON_PATH_ENV = "BENCH_SHARDS_JSON"
+DEFAULT_JSON_PATH = "BENCH_shards.json"
+
+
+def build_tenant_db() -> Database:
+    db = Database("shardbench")
+    db.execute("CREATE TABLE sales (tenant TEXT, qty INT, amount FLOAT)")
+    rows = []
+    for tenant in range(TENANTS):
+        for i in range(ROWS_PER_TENANT):
+            rows.append((f"t{tenant}", i, float((i * 7) % 97)))
+    db.insert_rows("sales", rows)
+    return db
+
+
+def tenant_probes(n_agents: int) -> list[Probe]:
+    """One tenant-local probe per agent.
+
+    Every agent's SQL is distinct — the trailing always-true bound is
+    unique per agent *and* per swarm size — so neither the history
+    answerer nor MQO dedupe collapses the swarm: each probe pays its own
+    scan on whichever tier serves it.
+    """
+    return [
+        Probe.sql(
+            "SELECT COUNT(*), SUM(amount) FROM sales"
+            f" WHERE tenant = 't{index % TENANTS}' AND qty >= {index % 7}"
+            f" AND qty != {ROWS_PER_TENANT + n_agents * 16 + index}"
+        )
+        for index in range(n_agents)
+    ]
+
+
+@dataclass
+class ShardBenchResult:
+    #: (shards, agents, total_ms, ms_per_probe, probes_per_s).
+    throughput_rows: list[tuple] = field(default_factory=list)
+    #: (shards, scatter_ms_per_probe).
+    scatter_rows: list[tuple] = field(default_factory=list)
+    #: throughput(16 shards) / throughput(1 shard) at 1024 agents.
+    speedup_at_1024: float = 0.0
+
+    def render(self) -> str:
+        throughput = format_table(
+            ["shards", "agents", "total ms", "ms/probe", "probes/s"],
+            [
+                (
+                    shards,
+                    agents,
+                    f"{total_ms:.0f}",
+                    f"{ms_per_probe:.2f}",
+                    f"{probes_per_s:.1f}",
+                )
+                for shards, agents, total_ms, ms_per_probe, probes_per_s in self.throughput_rows
+            ],
+            title="tenant-local probe serving (partition-pruned routing)",
+        )
+        scatter = format_table(
+            ["shards", "scatter ms/probe"],
+            [
+                (shards, f"{scatter_ms:.2f}")
+                for shards, scatter_ms in self.scatter_rows
+            ],
+            title="cross-shard scatter-gather (global aggregate)",
+        )
+        summary = (
+            f"\nserved-probe speedup at 1024 agents, 16 shards vs 1:"
+            f" {self.speedup_at_1024:.1f}x"
+        )
+        return throughput + "\n\n" + scatter + summary
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "shards",
+            "tenants": TENANTS,
+            "rows_per_tenant": ROWS_PER_TENANT,
+            "throughput": [
+                {
+                    "shards": shards,
+                    "agents": agents,
+                    "total_ms": round(total_ms, 2),
+                    "ms_per_probe": round(ms_per_probe, 3),
+                    "probes_per_s": round(probes_per_s, 1),
+                }
+                for shards, agents, total_ms, ms_per_probe, probes_per_s in self.throughput_rows
+            ],
+            "scatter": [
+                {"shards": shards, "ms_per_probe": round(scatter_ms, 3)}
+                for shards, scatter_ms in self.scatter_rows
+            ],
+            "speedup_16_vs_1_at_1024": round(self.speedup_at_1024, 2),
+        }
+
+
+def run_shard_bench() -> ShardBenchResult:
+    result = ShardBenchResult()
+    source = build_tenant_db()  # shards>1 copy it; shards=1 serves it read-only
+    throughput: dict[tuple[int, int], float] = {}
+    for shards in SHARD_COUNTS:
+        tier = ShardedSystem(
+            source,
+            shards=shards,
+            partition=PARTITION,
+            config=SystemConfig(enable_steering=False, enable_memory=False),
+            workers=1,
+        )
+        try:
+            for n_agents in AGENT_COUNTS:
+                probes = tenant_probes(n_agents)
+                started = time.perf_counter()
+                for probe in probes:
+                    response = tier.submit(probe)
+                    assert response.outcomes[0].status == "ok"
+                total_ms = (time.perf_counter() - started) * 1000.0
+                probes_per_s = n_agents / (total_ms / 1000.0)
+                throughput[(shards, n_agents)] = probes_per_s
+                result.throughput_rows.append(
+                    (shards, n_agents, total_ms, total_ms / n_agents, probes_per_s)
+                )
+            started = time.perf_counter()
+            for index in range(SCATTER_SAMPLES):
+                response = tier.submit(
+                    Probe.sql(
+                        "SELECT COUNT(*), SUM(amount), AVG(qty) FROM sales"
+                        f" WHERE qty >= {index}"
+                    )
+                )
+                assert response.outcomes[0].status == "ok"
+            scatter_ms = (time.perf_counter() - started) * 1000.0 / SCATTER_SAMPLES
+            result.scatter_rows.append((shards, scatter_ms))
+        finally:
+            tier.close()
+    result.speedup_at_1024 = throughput[(16, 1024)] / throughput[(1, 1024)]
+    return result
+
+
+def write_json(result: ShardBenchResult) -> str:
+    """Append this run (keyed by git SHA + date) to the perf trajectory."""
+    from bench_record import append_run
+
+    return append_run(JSON_PATH_ENV, DEFAULT_JSON_PATH, result.to_json())
+
+
+def test_sharded_tier_throughput(benchmark):
+    result = benchmark.pedantic(run_shard_bench, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")
+
+    # The acceptance bar: tenant-local serving at 16 shards must at least
+    # double the single-system throughput at the 1024-agent swarm size.
+    assert result.speedup_at_1024 >= 2.0
+
+
+if __name__ == "__main__":
+    result = run_shard_bench()
+    print(result.render())
+    print(f"\nwrote {write_json(result)}")

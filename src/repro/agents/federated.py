@@ -16,7 +16,7 @@ from repro.agents.model import ModelProfile
 from repro.agents.trace import Activity, AgentTrace
 from repro.backends import BackendResponse
 from repro.core import AgentFirstDataSystem, Probe
-from repro.core.system import shared_serving_system
+from repro.shard import ShardedSystem, sharded_serving_system
 from repro.util.rng import RngStream
 from repro.workloads.multibackend import CrossBackendTask
 
@@ -368,7 +368,7 @@ def run_federated_cohort(
     seed: int,
     max_steps: int = 24,
     hints: HintSet | None = None,
-) -> tuple[list[FederatedOutcome], AgentFirstDataSystem]:
+) -> tuple[list[FederatedOutcome], AgentFirstDataSystem | ShardedSystem]:
     """A swarm of field agents on one federated task, served in lockstep.
 
     Each agent holds its own session on the relational backend's serving
@@ -381,12 +381,19 @@ def run_federated_cohort(
     caller assembling a batch. Document-side queries stay per-agent: the
     document store has no shared-work engine to route through.
 
+    With ``REPRO_SHARDS=N`` (N > 1) the cohort is served by the sharded
+    tier instead of a single system: each agent's session is placed on
+    its home shard by identity (``field-<i>``), so an agent's probes stay
+    shard-sticky across all its steps while the swarm as a whole spreads
+    over N shards. At the default shard count this is byte-identical to
+    the unsharded path.
+
     Returns the per-agent outcomes plus the serving system, whose
     responses' :class:`~repro.core.mqo.SharingReport` quantifies the
     cross-agent saving.
     """
     relational = task.env.backend(task.rel_backend)
-    system = shared_serving_system(relational.db)
+    system = sharded_serving_system(relational.db)
     agents = [
         CrossBackendAgent(
             task, model, RngStream(seed, "cohort", task.task_id, index), hints

@@ -338,6 +338,12 @@ class ProbeGateway:
         self.probes_degraded = 0
         self.probes_shed_to_replicas = 0
         self.probes_closed_unserved = 0
+        #: Capacity signals for the shard matchmaker: the deepest the
+        #: admission queue has ever been (peak gauge, monotone), and —
+        #: via ``stats()["windows_served"]`` — total windows served on
+        #: either path. Shards advertise both so the router can pull-match
+        #: queued work to the shard with headroom.
+        self._queue_depth_peak = 0
 
     # -- synchronous window serving (the submit/submit_many shim path) --------
 
@@ -382,6 +388,8 @@ class ProbeGateway:
             self._seq_counter += 1
             self._ensure_loop()
             self._pending.append(ticket)
+            if len(self._pending) > self._queue_depth_peak:
+                self._queue_depth_peak = len(self._pending)
             self._cond.notify_all()
         return ticket
 
@@ -768,6 +776,11 @@ class ProbeGateway:
                 "windows_streamed": windows,
                 "probes_streamed": self.probes_streamed,
                 "windows_direct": self.windows_direct,
+                # The matchmaker's capacity pair (both monotone): total
+                # windows served on either path, and the deepest the
+                # admission queue has ever been.
+                "windows_served": windows + self.windows_direct,
+                "queue_depth_peak": self._queue_depth_peak,
                 "mean_window_size": (
                     self.probes_streamed / windows if windows else 0.0
                 ),

@@ -59,6 +59,26 @@ degenerate window of one.
                 response "served by read replica: staleness ≤ N versions"
                 and never exceeding the brief's max_staleness tolerance
 
+    shard tier (REPRO_SHARDS / repro.shard.ShardedSystem; scale-out)
+        agent swarm ──> ShardedSystem.session/submit (same surface)
+                │
+                ▼
+        shard router ── hash ring + pins: principal/agent -> home shard;
+                │       partition map: tenant-pinned probes prune to the
+                │       owner shard (no scatter, no extra steering)
+                ├─> matchmaker ── shards advertise capacity (pending,
+                │       windows_served/queue_depth_peak, QoS watermark,
+                │       replicas) and *pull* queued work; tripped shards
+                │       pull nothing; degrade-don't-drop force-assignment
+                └─> scatter-gather ── cross-partition probes split into
+                        per-shard partials (partial aggregates; AVG as
+                        SUM+COUNT), merged at the router, steering names
+                        the shards consulted
+        each shard = a complete AgentFirstDataSystem over its own
+        catalog slice (CatalogSnapshot is the shard-state wire format
+        for spin-up and add_shard rebalancing); shards=1 passes straight
+        through to one system over the source database, byte-identical
+
 Each probe in a window is one interaction turn: its queries are
 interpreted, satisficed and executed (with cross-agent work sharing and
 history reuse); the scheduler dispatches round-robin across agents so no

@@ -1,0 +1,41 @@
+"""Sharded multi-tenant serving tier: router, matchmaker, scatter-gather.
+
+Scale-out in front of the gateway (ROADMAP: the million-user story needs
+many systems, not one). Catalogs partition by tenant/principal across N
+complete :class:`~repro.core.system.AgentFirstDataSystem` shards; a
+pull-based matchmaker (DIRAC's MatcherHandler pattern) lets shards
+advertise capacity and pull queued work; cross-partition probes compile
+to scatter-gather plans with partial aggregates merged at the router.
+``REPRO_SHARDS=N`` routes cohort runners through the tier globally.
+"""
+
+from repro.shard.matchmaker import CapacityAdvert, Matchmaker, WorkUnit
+from repro.shard.ring import HashRing
+from repro.shard.router import ShardRouter
+from repro.shard.scatter import ScatterAnalysis, ScatterPlan, analyze, merge_partials
+from repro.shard.system import (
+    SHARDS_ENV_VAR,
+    ShardedSystem,
+    ShardHandle,
+    ShardSession,
+    resolve_shard_count,
+    sharded_serving_system,
+)
+
+__all__ = [
+    "CapacityAdvert",
+    "HashRing",
+    "Matchmaker",
+    "ScatterAnalysis",
+    "ScatterPlan",
+    "ShardedSystem",
+    "ShardHandle",
+    "ShardRouter",
+    "ShardSession",
+    "SHARDS_ENV_VAR",
+    "WorkUnit",
+    "analyze",
+    "merge_partials",
+    "resolve_shard_count",
+    "sharded_serving_system",
+]

@@ -1,0 +1,173 @@
+"""Pull-based capacity matchmaking between the shard router and shards.
+
+Modeled on DIRAC's workload-management pattern (``MatcherHandler`` +
+``JobSchedulingAgent``): the router never pushes work at a shard it
+merely *hopes* has capacity. Instead, each matching round starts from
+fresh :class:`CapacityAdvert`\\ s — every shard states how deep its
+admission queue is, how many windows it has served, its peak queue depth
+(the gateway's ``windows_served``/``queue_depth_peak`` stats pair), its
+QoS watermark state, and how many admission slots it is willing to fill
+right now. Queued :class:`WorkUnit`\\ s are then matched FIFO against
+those offers: a watermark-tripped shard advertises zero slots and simply
+is not matched, so QoS lane/bucket state stays entirely per-shard — the
+router only steers.
+
+Degrade, don't drop: a unit nobody volunteers for (every candidate shard
+tripped or out of slots) is deferred, and after ``max_deferrals`` rounds
+it is force-assigned to the least-loaded candidate anyway. Matching must
+make progress even when the whole tier is saturated; the receiving
+shard's own QoS layer then degrades the probe honestly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.probe import Probe
+
+
+@dataclass(frozen=True)
+class CapacityAdvert:
+    """One shard's self-reported capacity for a matching round."""
+
+    shard_id: int
+    #: Admission-queue depth right now (the gateway's ``pending`` gauge).
+    pending: int
+    #: Monotone gateway counters — the stable stats pair the matchmaker
+    #: keys on: total windows served (either path) and the deepest the
+    #: queue has ever been (a proxy for how bursty this shard's load is).
+    windows_served: int
+    queue_depth_peak: int
+    #: True when the shard's QoS layer judges itself overloaded at the
+    #: current queue depth; a tripped shard pulls nothing this round.
+    watermark_tripped: bool
+    #: Read replicas attached to the shard (spare read capacity).
+    replicas: int
+    #: Admission slots the shard volunteers to fill this round.
+    slots: int
+
+    def rank(self) -> tuple:
+        """Sort key for willing shards: emptiest queue first, replicas as
+        spare capacity, stable tie-break on id."""
+        return (self.pending, -self.replicas, self.queue_depth_peak, self.shard_id)
+
+
+@dataclass
+class WorkUnit:
+    """One queued probe awaiting a shard with capacity.
+
+    ``target_shard`` restricts matching to a single shard — scatter-gather
+    partials must run where the partition rows live; ``None`` means any
+    shard may pull it. Assignment is recorded on the unit itself
+    (``shard_id``/``assigned``) so callers can poll without a callback.
+    """
+
+    probe: "Probe"
+    target_shard: int | None = None
+    deferrals: int = 0
+    shard_id: int | None = None
+    assigned: threading.Event = field(default_factory=threading.Event)
+    #: The gateway ticket, set by the router when it dispatches the
+    #: assigned unit (the matchmaker itself never talks to gateways).
+    ticket: object | None = None
+
+    def assign(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.assigned.set()
+
+
+class Matchmaker:
+    """FIFO queue of work units matched against per-round capacity offers."""
+
+    def __init__(self, max_deferrals: int = 3) -> None:
+        self.max_deferrals = max(0, int(max_deferrals))
+        self._lock = threading.Lock()
+        self._queue: deque[WorkUnit] = deque()
+        #: Monotone accounting (``stats()`` snapshots them).
+        self.units_enqueued = 0
+        self.units_matched = 0
+        self.units_forced = 0
+        self.rounds = 0
+
+    def enqueue(self, unit: WorkUnit) -> None:
+        with self._lock:
+            self._queue.append(unit)
+            self.units_enqueued += 1
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def discard(self, unit: WorkUnit) -> bool:
+        """Withdraw a still-queued unit (False once matched or unknown)."""
+        with self._lock:
+            try:
+                self._queue.remove(unit)
+                return True
+            except ValueError:
+                return False
+
+    def place(self, adverts: list[CapacityAdvert]) -> int:
+        """One-shot placement (session open, no queueing): the best
+        willing shard, else the least-loaded one — never nothing."""
+        willing = [a for a in adverts if a.slots > 0 and not a.watermark_tripped]
+        pool = willing or adverts
+        return min(pool, key=CapacityAdvert.rank).shard_id
+
+    def match(self, adverts: list[CapacityAdvert]) -> list[tuple[WorkUnit, int]]:
+        """Run one matching round; returns ``(unit, shard_id)`` pairs.
+
+        Units are considered strictly FIFO. Each assignment consumes one
+        of the shard's advertised slots and bumps its in-round pending
+        count, so one round spreads a burst instead of dog-piling the
+        single emptiest shard.
+        """
+        offers = {a.shard_id: [a.slots, a.pending, a] for a in adverts}
+        matches: list[tuple[WorkUnit, int]] = []
+        with self._lock:
+            self.rounds += 1
+            deferred: deque[WorkUnit] = deque()
+            while self._queue:
+                unit = self._queue.popleft()
+                candidates = [
+                    entry
+                    for shard_id, entry in offers.items()
+                    if unit.target_shard in (None, shard_id)
+                ]
+                willing = [
+                    entry
+                    for entry in candidates
+                    if entry[0] > 0 and not entry[2].watermark_tripped
+                ]
+                if willing:
+                    best = min(willing, key=lambda e: (e[1], e[2].rank()))
+                elif candidates and unit.deferrals >= self.max_deferrals:
+                    # Nobody volunteered often enough: force the unit onto
+                    # the least-loaded candidate so it never starves.
+                    best = min(candidates, key=lambda e: (e[1], e[2].rank()))
+                    self.units_forced += 1
+                else:
+                    unit.deferrals += 1
+                    deferred.append(unit)
+                    continue
+                best[0] -= 1
+                best[1] += 1
+                unit.assign(best[2].shard_id)
+                matches.append((unit, best[2].shard_id))
+                self.units_matched += 1
+            self._queue = deferred
+        return matches
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "queued": len(self._queue),
+                "units_enqueued": self.units_enqueued,
+                "units_matched": self.units_matched,
+                "units_forced": self.units_forced,
+                "rounds": self.rounds,
+            }

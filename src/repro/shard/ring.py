@@ -1,0 +1,86 @@
+"""Consistent hash ring with explicit pinning: who owns a placement key.
+
+The ring is the single placement authority for the shard tier — session
+affinity (tenant/principal -> home shard) and table partitioning (row
+value -> owning shard) both resolve through :meth:`HashRing.owner`, so an
+agent's probes land on the shard that holds its partition slice without
+any coordination.
+
+Hashing goes through :func:`~repro.util.hashing.stable_hash_int` (SHA-1
+based), never Python's salted builtin ``hash``: placement must agree
+across processes and across runs (``PYTHONHASHSEED``), because shard
+contents built in one process are queried by sessions opened in another.
+
+Virtual nodes smooth the key distribution; :meth:`add_shard` extends the
+ring in place, moving only the keys whose arc the new shard's points
+capture — the property rebalancing relies on. :meth:`pin` overrides the
+hash for a specific key (a hot tenant manually isolated on its own
+shard); pins always win and survive ring growth.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from repro.util.hashing import stable_hash_int
+
+#: Virtual nodes per shard: enough to keep the largest/smallest arc ratio
+#: low at small shard counts without making ``owner`` lookups slow.
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """Consistent-hash placement of keys onto shard ids, with pinning."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ValueError("a hash ring needs at least one shard")
+        self.vnodes = max(1, int(vnodes))
+        self._lock = threading.Lock()
+        self._pins: dict = {}
+        self._points: list[tuple[int, int]] = []
+        self.shards = 0
+        for _ in range(shards):
+            self.add_shard()
+
+    def add_shard(self) -> int:
+        """Extend the ring with one more shard; returns its id.
+
+        Only keys on the arcs the new shard's virtual points capture move
+        — everything else keeps its owner, which is what makes spin-up a
+        targeted migration instead of a full reshuffle.
+        """
+        with self._lock:
+            shard_id = self.shards
+            for vnode in range(self.vnodes):
+                point = (stable_hash_int(("shard-ring", shard_id, vnode)), shard_id)
+                bisect.insort(self._points, point)
+            self.shards += 1
+            return shard_id
+
+    def owner(self, key) -> int:
+        """The shard id owning ``key`` (pins first, then the ring)."""
+        with self._lock:
+            if key in self._pins:
+                return self._pins[key]
+            position = stable_hash_int(("shard-key", key))
+            index = bisect.bisect_right(self._points, (position, self.shards))
+            if index == len(self._points):  # wrap past the last point
+                index = 0
+            return self._points[index][1]
+
+    def pin(self, key, shard_id: int) -> None:
+        """Force ``key`` onto ``shard_id`` regardless of the hash."""
+        if not 0 <= shard_id < self.shards:
+            raise ValueError(f"cannot pin to unknown shard {shard_id}")
+        with self._lock:
+            self._pins[key] = shard_id
+
+    def unpin(self, key) -> None:
+        with self._lock:
+            self._pins.pop(key, None)
+
+    def pins(self) -> dict:
+        with self._lock:
+            return dict(self._pins)

@@ -1,0 +1,79 @@
+"""Session and partition placement: which shard owns whom.
+
+The router holds the tier's placement state — the consistent-hash
+:class:`~repro.shard.ring.HashRing`, the explicit tenant pins, and the
+partition map (table -> partition column). It decides *where* things
+live; it never serves anything itself, and it holds no per-shard QoS or
+queue state (that stays inside each shard's own gateway — the matchmaker
+reads it as capacity adverts).
+
+Placement keys: a session (or probe) is placed by its ``principal`` when
+one is declared — multi-tenant isolation partitions by paying tenant
+first — falling back to ``agent_id`` so anonymous single-agent swarms
+still spread deterministically. A fully anonymous submission has no
+affinity at all and is matchmade to whichever shard advertises capacity.
+
+Partition values route through the same ring, so the shard that owns
+tenant ``"t7"`` as a principal also owns the ``tenant = 't7'`` rows of
+every partitioned table: a tenant's probes are answerable entirely on
+its home shard, and scatter-gather is reserved for genuinely cross-
+partition questions.
+"""
+
+from __future__ import annotations
+
+from repro.shard.ring import HashRing
+from repro.util.text import normalize_identifier
+
+
+class ShardRouter:
+    """Maps placement keys and partition values onto shard ids."""
+
+    def __init__(
+        self,
+        shards: int,
+        partition: dict[str, str] | None = None,
+        ring: HashRing | None = None,
+    ) -> None:
+        self.ring = ring or HashRing(shards)
+        #: normalized table name -> normalized partition column.
+        self.partition: dict[str, str] = {
+            normalize_identifier(table): normalize_identifier(column)
+            for table, column in (partition or {}).items()
+        }
+
+    @property
+    def shards(self) -> int:
+        return self.ring.shards
+
+    # -- session placement -----------------------------------------------------
+
+    @staticmethod
+    def placement_key(agent_id: str | None, principal: str | None):
+        """The identity a session/probe is placed by (``None`` = no affinity)."""
+        if principal not in (None, "public"):
+            return principal
+        if agent_id not in (None, "anon"):
+            return agent_id
+        return None
+
+    def home_shard(self, agent_id: str | None, principal: str | None) -> int | None:
+        """The shard owning this identity; ``None`` asks the matchmaker."""
+        key = self.placement_key(agent_id, principal)
+        if key is None:
+            return None
+        return self.ring.owner(key)
+
+    def pin(self, key, shard_id: int) -> None:
+        """Explicitly place a tenant/agent key (pins beat the hash)."""
+        self.ring.pin(key, shard_id)
+
+    # -- partition placement ---------------------------------------------------
+
+    def partition_column(self, table: str) -> str | None:
+        return self.partition.get(normalize_identifier(table))
+
+    def owner_of_value(self, value) -> int:
+        """The shard owning one partition-column value (rows and probes
+        hash identically: the tenant's rows live on the tenant's shard)."""
+        return self.ring.owner(value)

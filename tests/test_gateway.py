@@ -458,6 +458,11 @@ class TestProbeTickets:
             "overload_windows",
             "probes_degraded",
             "probes_closed_unserved",
+            # The shard matchmaker's capacity pair must be stable under
+            # the same storm: total windows served (either path) and the
+            # peak admission-queue depth only ever grow.
+            "windows_served",
+            "queue_depth_peak",
         )
         violations = []
         stop_sampling = threading.Event()
@@ -506,6 +511,10 @@ class TestProbeTickets:
         assert stats["probes_streamed"] + stats["probes_closed_unserved"] == 96
         assert stats["pending"] == 0
         assert stats["windows_streamed"] >= 96 // 4  # max_batch bounds windows
+        assert stats["windows_served"] == (
+            stats["windows_streamed"] + stats["windows_direct"]
+        )
+        assert stats["queue_depth_peak"] >= 1  # something queued at some point
 
     def test_idle_admission_thread_retires_and_restarts(self):
         """Long-lived serving systems must not pin an idle thread per
