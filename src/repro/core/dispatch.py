@@ -54,7 +54,8 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 
 from repro.core.optimizer import PrecomputedExecution
-from repro.engine.executor import ExecContext, Executor, SubplanCache
+from repro.engine.columnar import ColumnarExecutor, ColumnBatch, make_executor
+from repro.engine.executor import ExecContext, SubplanCache
 from repro.errors import ReproError
 from repro.plan.logical import PlanNode
 from repro.storage.catalog import Catalog, CatalogSnapshot
@@ -114,6 +115,10 @@ class SpeculationPayload:
     plan: PlanNode
     sample_rate: float
     sample_seed: int
+    #: Resolved execution engine ("row" | "columnar"). Resolved by the
+    #: *parent* (env overrides must not depend on what a spawned worker
+    #: inherited), so workers never consult the environment.
+    engine: str = "row"
 
 
 # ---------------------------------------------------------------------------
@@ -146,11 +151,16 @@ def _worker_run(payload: SpeculationPayload) -> PrecomputedExecution:
         sample_seed=payload.sample_seed,
         cache=_WORKER_STATE["cache"],
     )
-    executor = Executor(_WORKER_STATE["catalog"], context)
+    executor = make_executor(_WORKER_STATE["catalog"], context, payload.engine)
     try:
-        return PrecomputedExecution(result=executor.run(payload.plan))
+        result = executor.run(payload.plan)
     except ReproError as exc:
         return PrecomputedExecution(error=str(exc))
+    if isinstance(executor, ColumnarExecutor):
+        # Ride home column-major: one list per column pickles smaller
+        # than a tuple per row. The dispatcher unpacks before replay.
+        result.rows = ColumnBatch.from_rows(result.rows, len(result.columns))
+    return PrecomputedExecution(result=result)
 
 
 def _worker_ping() -> tuple:
@@ -252,5 +262,9 @@ class ProcessDispatcher:
         pool = self.ensure(catalog, use_cache)
         futures = [pool.submit(_worker_run, payload) for payload in payloads]
         results = [future.result(timeout=WORKER_RESULT_TIMEOUT) for future in futures]
+        for precomputed in results:
+            result = precomputed.result
+            if result is not None and isinstance(result.rows, ColumnBatch):
+                result.rows = result.rows.to_rows()
         self.units_dispatched += len(results)
         return results

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import NamedTuple
 
 from repro.db import Database
-from repro.engine.executor import ExecContext, Executor, SubplanCache
+from repro.engine.columnar import make_executor
+from repro.engine.executor import ExecContext, SubplanCache
 from repro.engine.result import QueryResult
 from repro.plan.fingerprint import fingerprints, subexpressions
 from repro.plan.logical import PlanNode
@@ -72,9 +73,15 @@ class BatchOutcome:
 class BatchExecutor:
     """Executes plan batches with cross-query subplan sharing."""
 
-    def __init__(self, db: Database, cache: SubplanCache | None = None) -> None:
+    def __init__(
+        self,
+        db: Database,
+        cache: SubplanCache | None = None,
+        engine: str | None = None,
+    ) -> None:
         self._db = db
         self.cache = cache or SubplanCache()
+        self.engine = engine
 
     def execute_plans(
         self,
@@ -95,7 +102,7 @@ class BatchExecutor:
 
         for plan in plans:
             context = ExecContext(cache=self.cache)
-            executor = Executor(self._db.catalog, context)
+            executor = make_executor(self._db.catalog, context, self.engine)
             result = executor.run(plan)
             outcome.results.append(result)
             report.rows_processed_shared += context.stats.rows_processed
@@ -105,7 +112,7 @@ class BatchExecutor:
         if measure_unshared:
             for plan in plans:
                 context = ExecContext(cache=None)
-                Executor(self._db.catalog, context).run(plan)
+                make_executor(self._db.catalog, context, self.engine).run(plan)
                 report.rows_processed_unshared += context.stats.rows_processed
         return outcome
 

@@ -34,6 +34,12 @@ degenerate window of one.
                           │   snapshots)        │
                              │                  │
                              ▼                  │
+           execution engine (REPRO_ENGINE / SystemConfig.engine)
+             row: tuple-at-a-time │ columnar: ColumnBatch kernels
+             (seed behaviour)     │ (vectorized, per-node row fallback,
+                          │         byte-identical rows/stats/steering)
+                             │                  │
+                             ▼                  │
     probe interpreter ──> satisficer ──> probe optimizer
                      │                          │
                      ▼                          ▼
@@ -179,6 +185,15 @@ class SystemConfig:
     #: brief declares a ``max_staleness`` tolerance; everything else goes
     #: through the primary.
     read_replicas: int | None = None
+    #: Execution engine for every engine run — serial, speculative
+    #: (thread or process pool), replica-served, and maintenance view
+    #: builds: ``"row"`` (tuple-at-a-time, the seed behaviour),
+    #: ``"columnar"`` (vectorized :class:`~repro.engine.ColumnBatch`
+    #: kernels with per-node row fallback), or ``"auto"`` (columnar).
+    #: ``None`` -> the ``REPRO_ENGINE`` env override, else ``"row"``.
+    #: Engines are proven byte-identical on rows, statuses, steering,
+    #: history attribution, and work accounting; only wall-clock changes.
+    engine: str | None = None
 
 
 class AgentFirstDataSystem:
@@ -208,6 +223,7 @@ class AgentFirstDataSystem:
             cache=SubplanCache() if self.config.enable_mqo else None,
             advisor=MaterializationAdvisor(),
             enable_history=self.config.enable_history,
+            engine=self.config.engine,
         )
         self.why_not = WhyNotDiagnoser(db)
         self.join_discovery = JoinDiscovery(db)
@@ -261,7 +277,10 @@ class AgentFirstDataSystem:
             replica_count = resolve_replica_count(self.config.read_replicas)
             if replica_count > 0:
                 self.replicas = ReplicaPool(
-                    wal, replica_count, turn_source=self._next_replica_turn
+                    wal,
+                    replica_count,
+                    turn_source=self._next_replica_turn,
+                    engine=self.config.engine,
                 )
         db.on_change(self._on_change)
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.db import information_schema as info_schema
+from repro.engine.columnar import make_executor
 from repro.engine.executor import ExecContext, Executor, SubplanCache
 from repro.engine.expressions import compile_expr
 from repro.engine.result import QueryResult
@@ -189,15 +190,21 @@ class Database:
         sample_rate: float = 1.0,
         sample_seed: int = 0,
         cache: SubplanCache | None = None,
+        engine: str | None = None,
     ) -> QueryResult:
         """Parse and execute one statement, returning a result.
 
         ``sample_rate`` < 1 runs SELECTs approximately (Bernoulli-sampled
-        scans with scaled aggregates); DML always runs exactly.
+        scans with scaled aggregates); DML always runs exactly. ``engine``
+        selects the execution engine for SELECTs (``"row"`` |
+        ``"columnar"`` | ``"auto"``; ``None`` defers to the
+        ``REPRO_ENGINE`` env override, then the row engine).
         """
         statement = parse_statement(sql)
         if isinstance(statement, nodes.Select):
-            return self._execute_select(statement, sample_rate, sample_seed, cache)
+            return self._execute_select(
+                statement, sample_rate, sample_seed, cache, engine
+            )
         if isinstance(statement, nodes.CreateTable):
             return self._execute_create(statement)
         if isinstance(statement, nodes.DropTable):
@@ -241,6 +248,7 @@ class Database:
         sample_rate: float,
         sample_seed: int,
         cache: SubplanCache | None,
+        engine: str | None = None,
     ) -> QueryResult:
         self._refresh_information_schema_if_needed(statement)
         plan = build_plan(statement, self.catalog)
@@ -248,7 +256,7 @@ class Database:
         context = ExecContext(
             sample_rate=sample_rate, sample_seed=sample_seed, cache=cache
         )
-        executor = Executor(self.catalog, context)
+        executor = make_executor(self.catalog, context, engine)
         return executor.run(plan)
 
     def _refresh_information_schema_if_needed(self, statement: nodes.Select) -> None:

@@ -1,6 +1,32 @@
-"""Execution engine: expression compiler, operators, results, AQP."""
+"""Execution engine: expression compiler, operators, results, AQP.
+
+Two engines share one semantics: the row-at-a-time :class:`Executor` and
+the vectorized :class:`ColumnarExecutor` (batch-at-a-time kernels, proven
+byte-identical node by node). :func:`make_executor` selects between them
+from ``SystemConfig.engine`` / the ``REPRO_ENGINE`` env override.
+"""
 
 from repro.engine.executor import ExecContext, Executor, SubplanCache
 from repro.engine.result import ExecStats, QueryResult
 
-__all__ = ["ExecContext", "ExecStats", "Executor", "QueryResult", "SubplanCache"]
+# columnar imports executor, so it must come after.
+from repro.engine.columnar import (  # noqa: E402
+    ENGINE_ENV_VAR,
+    ColumnBatch,
+    ColumnarExecutor,
+    make_executor,
+    resolve_engine,
+)
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "ColumnBatch",
+    "ColumnarExecutor",
+    "ExecContext",
+    "ExecStats",
+    "Executor",
+    "QueryResult",
+    "SubplanCache",
+    "make_executor",
+    "resolve_engine",
+]

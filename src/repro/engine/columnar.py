@@ -1,0 +1,1393 @@
+"""Vectorized columnar execution.
+
+The row executor is correct but touches every value through a per-row
+closure call. This module executes the same logical plans batch-at-a-time:
+each operator consumes and produces a :class:`ColumnBatch` (one Python
+list per column, mirrored into numpy arrays for dtype-uniform numeric
+columns), and expressions compile into **batch kernels** — functions from
+a batch to a full value column — memoized per plan-node strict
+fingerprint alongside the row engine's ``compile_expr`` LRU.
+
+Byte-identity is the contract, not a goal: ``REPRO_ENGINE=columnar`` must
+produce exactly the row engine's rows, ordering, statuses, steering, and
+work accounting. Three mechanisms enforce it:
+
+* **Shared semantics** — kernels apply the *same* helper functions
+  (``compare_values``, ``truthy``, ``to_text``, the LIKE regex cache) per
+  element that the row compiler's closures apply, and any expression shape
+  without a specialized kernel is *lifted*: its row closure (from the same
+  process-wide expression memo) is mapped over the batch's row view.
+* **Per-node fallback** — any error raised while building or running a
+  kernel restores the stats counters and recomputes that node through the
+  row engine's compute half on the already-materialised child rows, so
+  even error messages and evaluation-order corner cases (eager kernels
+  evaluate a superset of what short-circuiting row closures evaluate)
+  come out byte-identical. Subquery-bearing expressions and ``IndexScan``
+  leaves take this path unconditionally.
+* **One cache key** — batches enter and leave the shared
+  :class:`~repro.engine.executor.SubplanCache` as plain row lists under
+  the same :func:`~repro.engine.executor.subplan_cache_key`, so a
+  columnar-produced materialisation serves row-engine consumers and vice
+  versa.
+
+Engine selection: ``SystemConfig.engine`` / an explicit ``engine=``
+argument, overridden by the ``REPRO_ENGINE`` env var (``row`` |
+``columnar`` | ``auto``); :func:`make_executor` is the factory every
+serving path uses.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from itertools import compress
+from typing import Callable
+
+try:  # numpy is optional: kernels degrade to pure-Python loops without it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
+
+from repro.engine import executor as executor_module
+from repro.engine import expressions as expr_lib
+from repro.engine.executor import (
+    EXPR_MEMO_STATS,
+    ExecContext,
+    Executor,
+    _SortKey,
+    has_subquery,
+    memoized_compile,
+    subplan_cache_key,
+)
+from repro.engine.expressions import (
+    compile_expr,
+    like_regex,
+    resolve_column,
+    to_text,
+    truthy,
+)
+from repro.errors import ExecutionError
+from repro.plan import logical
+from repro.plan.fingerprint import fingerprints
+from repro.sql import nodes
+from repro.storage.catalog import Catalog
+from repro.storage.types import Row, Value, compare_values
+
+#: Engine-selection env override, mirroring REPRO_SCHEDULER_BACKEND et al.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Nested-loop pair expansions beyond this bail to the row engine, which
+#: streams pairs instead of materialising the cross product.
+_MAX_NESTED_PAIRS = 1_000_000
+
+#: Integer literals beyond int64 range are excluded from the numpy
+#: comparison fast path (kept well inside to dodge any dtype promotion).
+_NUMPY_INT_LIMIT = 2**62
+
+_MISSING = object()
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve the execution engine: explicit config wins, else the
+    ``REPRO_ENGINE`` env override, else ``"row"``. ``"auto"`` selects the
+    columnar engine (its per-node fallback already degrades to row
+    execution wherever vectorization does not apply); unrecognised values
+    fall back to ``"row"``, matching the library's forgiving env idiom.
+    """
+    value = engine if engine is not None else os.environ.get(ENGINE_ENV_VAR)
+    if not value:
+        return "row"
+    value = value.strip().lower()
+    if value == "auto":
+        return "columnar"
+    return value if value in ("row", "columnar") else "row"
+
+
+def make_executor(
+    catalog: Catalog,
+    context: ExecContext | None = None,
+    engine: str | None = None,
+) -> Executor:
+    """Build the configured executor; the single engine-selection seam."""
+    if resolve_engine(engine) == "columnar":
+        return ColumnarExecutor(catalog, context)
+    return Executor(catalog, context)
+
+
+# ---------------------------------------------------------------------------
+# the batch representation
+# ---------------------------------------------------------------------------
+
+
+class ColumnBatch:
+    """A batch of rows stored column-major.
+
+    ``columns`` holds one Python list per output column; ``length`` is
+    explicit because zero-width batches (``OneRow``) still carry row
+    counts. Columns are **immutable by convention**: kernels may return a
+    batch's own column list zero-copy (a bare column reference projects
+    for free), so nothing may mutate a column after construction.
+
+    Two lazy caches ride along and are stripped from the pickle state —
+    the same contract as ``PlanNode.__getstate__`` dropping its
+    fingerprint memo, keeping process-pool payloads lean:
+
+    * ``_rows`` — the row-major view (``to_rows`` result), built once and
+      shared with the subplan cache and row-engine consumers;
+    * ``_numpy`` — per-column numpy mirrors for dtype-uniform numeric
+      columns (``None`` marks ineligible columns so the type sweep runs
+      once).
+    """
+
+    __slots__ = ("columns", "length", "_rows", "_numpy")
+
+    def __init__(self, columns: list[list[Value]], length: int) -> None:
+        self.columns = columns
+        self.length = length
+        self._rows: list[Row] | None = None
+        self._numpy: dict[int, object] = {}
+
+    @classmethod
+    def from_rows(cls, rows: list[Row], width: int) -> "ColumnBatch":
+        if not rows or not width:
+            return cls([[] for _ in range(width)], len(rows))
+        return cls([list(column) for column in zip(*rows)], len(rows))
+
+    def to_rows(self) -> list[Row]:
+        """The row-major view, built once; callers share the list (the
+        same sharing discipline the subplan cache already imposes)."""
+        if self._rows is None:
+            if not self.columns:
+                self._rows = [()] * self.length
+            elif not self.length:
+                self._rows = []
+            else:
+                self._rows = list(zip(*self.columns))
+        return self._rows
+
+    def gather(self, indices: list[int]) -> "ColumnBatch":
+        return ColumnBatch(
+            [[column[i] for i in indices] for column in self.columns],
+            len(indices),
+        )
+
+    def numpy_column(self, index: int):
+        """A numpy mirror of one column, or ``None`` when ineligible.
+
+        Eligibility is a strict type sweep — every value ``int`` (bools
+        excluded) fitting int64, or every value ``float`` — so mirror
+        comparisons can never diverge from ``compare_values``.
+        """
+        cached = self._numpy.get(index, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        mirror = None
+        if _np is not None and self.length:
+            column = self.columns[index]
+            if all(type(v) is int for v in column):
+                try:
+                    candidate = _np.asarray(column)
+                    if candidate.dtype.kind == "i":
+                        mirror = candidate
+                except Exception:
+                    mirror = None
+            elif all(type(v) is float for v in column):
+                mirror = _np.asarray(column, dtype=_np.float64)
+        self._numpy[index] = mirror
+        return mirror
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getstate__(self) -> tuple:
+        return (self.columns, self.length)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.columns, self.length = state
+        self._rows = None
+        self._numpy = {}
+
+
+# ---------------------------------------------------------------------------
+# batch expression kernels
+# ---------------------------------------------------------------------------
+
+#: A batch-compiled expression: ColumnBatch -> one value per row.
+BatchCompiled = Callable[[ColumnBatch], list]
+
+
+class _NotVectorizable(Exception):
+    """Raised at kernel-build time for expressions the columnar engine
+    must not evaluate at all (subqueries capture executor state)."""
+
+
+_TRUE_CHECKS = {
+    "=": lambda o: o == 0,
+    "<>": lambda o: o != 0,
+    "<": lambda o: o < 0,
+    "<=": lambda o: o <= 0,
+    ">": lambda o: o > 0,
+    ">=": lambda o: o >= 0,
+}
+
+_FLIPPED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class _BatchCompiler:
+    """Compiles one expression slot of one plan node into a batch kernel.
+
+    Specialized kernels exist for the shapes that dominate probe traffic
+    (column/literal comparisons with a numpy mask path, boolean
+    connectives, arithmetic, LIKE, IN-list, BETWEEN, CASE, the hot scalar
+    functions). Everything else **lifts**: the row compiler's closure for
+    the same slot — pulled from the same process-wide memo the row engine
+    uses — is mapped over the batch's row view, which makes coverage total
+    for subquery-free expressions without duplicating semantics.
+    """
+
+    def __init__(
+        self,
+        node: logical.PlanNode,
+        slot: tuple,
+        output: tuple[logical.OutputCol, ...],
+    ) -> None:
+        self._node = node
+        self._slot = slot
+        self._output = output
+
+    def compile(self, expr: nodes.Expr) -> BatchCompiled:
+        if has_subquery(expr):
+            raise _NotVectorizable(type(expr).__name__)
+        return self._compile(expr, top=True)
+
+    def _compile(self, expr: nodes.Expr, top: bool = False) -> BatchCompiled:
+        specialized = self._specialize(expr)
+        if specialized is not None:
+            return specialized
+        return self._lift(expr, top)
+
+    def _lift(self, expr: nodes.Expr, top: bool) -> BatchCompiled:
+        """Map the row closure for ``expr`` over the batch's row view.
+
+        Within one operator the row engine evaluates each compiled
+        expression on every child row, so a lifted closure performs the
+        identical per-row evaluations in the identical order.
+        """
+        if top:
+            # Same memo entry the row engine would compile for this slot.
+            row_fn = memoized_compile(self._node, self._slot, expr, self._output)
+        else:
+            row_fn = compile_expr(expr, self._output, None)
+
+        def lifted(batch: ColumnBatch) -> list:
+            return [row_fn(row) for row in batch.to_rows()]
+
+        return lifted
+
+    # -- specializations ----------------------------------------------------
+
+    def _specialize(self, expr: nodes.Expr) -> BatchCompiled | None:
+        if isinstance(expr, nodes.Literal):
+            value = expr.value
+            return lambda batch: [value] * batch.length
+        if isinstance(expr, nodes.ColumnRef):
+            index = resolve_column(expr, self._output)
+            return lambda batch: batch.columns[index]
+        if isinstance(expr, nodes.IsNull):
+            operand = self._compile(expr.operand)
+            if expr.negated:
+                return lambda batch: [v is not None for v in operand(batch)]
+            return lambda batch: [v is None for v in operand(batch)]
+        if isinstance(expr, nodes.Unary):
+            return self._specialize_unary(expr)
+        if isinstance(expr, nodes.Binary):
+            return self._specialize_binary(expr)
+        if isinstance(expr, nodes.InList):
+            return self._specialize_in_list(expr)
+        if isinstance(expr, nodes.Between):
+            return self._specialize_between(expr)
+        if isinstance(expr, nodes.Case):
+            return self._specialize_case(expr)
+        if isinstance(expr, nodes.Cast):
+            return self._specialize_cast(expr)
+        if isinstance(expr, nodes.FuncCall):
+            return self._specialize_function(expr)
+        return None
+
+    def _specialize_unary(self, expr: nodes.Unary) -> BatchCompiled | None:
+        operand = self._compile(expr.operand)
+        if expr.op == "-":
+
+            def negate(batch: ColumnBatch) -> list:
+                out = []
+                for value in operand(batch):
+                    if value is None:
+                        out.append(None)
+                    elif isinstance(value, (int, float)) and not isinstance(
+                        value, bool
+                    ):
+                        out.append(-value)
+                    else:
+                        raise ExecutionError(f"cannot negate {value!r}")
+                return out
+
+            return negate
+        if expr.op == "NOT":
+
+            def negation(batch: ColumnBatch) -> list:
+                return [
+                    None if value is None else not truthy(value)
+                    for value in operand(batch)
+                ]
+
+            return negation
+        return None
+
+    def _specialize_binary(self, expr: nodes.Binary) -> BatchCompiled | None:
+        op = expr.op
+        if op in ("AND", "OR"):
+            return self._specialize_connective(expr)
+        if op in _TRUE_CHECKS:
+            return self._specialize_comparison(expr)
+        if op in ("+", "-", "*", "/", "%"):
+            return self._specialize_arithmetic(expr)
+        if op == "||":
+            left, right = self._compile(expr.left), self._compile(expr.right)
+
+            def concat(batch: ColumnBatch) -> list:
+                return [
+                    None if lv is None or rv is None else to_text(lv) + to_text(rv)
+                    for lv, rv in zip(left(batch), right(batch))
+                ]
+
+            return concat
+        if op in ("LIKE", "NOT LIKE"):
+            return self._specialize_like(expr)
+        return None
+
+    def _specialize_connective(self, expr: nodes.Binary) -> BatchCompiled:
+        """Three-valued AND/OR, evaluated eagerly on both sides.
+
+        The row closures short-circuit the right side's *evaluation*; the
+        eager kernel evaluates a superset, so any error it surfaces that
+        the row engine would have skipped is absorbed by the per-node
+        fallback. The combination logic per row is exact.
+        """
+        left, right = self._compile(expr.left), self._compile(expr.right)
+        conjunction = expr.op == "AND"
+
+        def connective(batch: ColumnBatch) -> list:
+            out = []
+            if conjunction:
+                for lv, rv in zip(left(batch), right(batch)):
+                    if lv is not None and not truthy(lv):
+                        out.append(False)
+                    elif rv is not None and not truthy(rv):
+                        out.append(False)
+                    elif lv is None or rv is None:
+                        out.append(None)
+                    else:
+                        out.append(True)
+            else:
+                for lv, rv in zip(left(batch), right(batch)):
+                    if lv is not None and truthy(lv):
+                        out.append(True)
+                    elif rv is not None and truthy(rv):
+                        out.append(True)
+                    elif lv is None or rv is None:
+                        out.append(None)
+                    else:
+                        out.append(False)
+            return out
+
+        return connective
+
+    def _specialize_comparison(self, expr: nodes.Binary) -> BatchCompiled:
+        op = expr.op
+        fast = self._numpy_comparison(expr)
+        left, right = self._compile(expr.left), self._compile(expr.right)
+        check = _TRUE_CHECKS[op]
+
+        def comparison(batch: ColumnBatch) -> list:
+            if fast is not None:
+                try:
+                    mask = fast(batch)
+                except Exception:
+                    mask = None
+                if mask is not None:
+                    return mask
+            out = []
+            for lv, rv in zip(left(batch), right(batch)):
+                ordering = compare_values(lv, rv)
+                out.append(None if ordering is None else check(ordering))
+            return out
+
+        return comparison
+
+    def _numpy_comparison(self, expr: nodes.Binary) -> Callable | None:
+        """Mask kernel for ``column OP numeric-literal``, or ``None``.
+
+        Derives every operator from a ``<``/``>`` mask pair so the result
+        reproduces ``compare_values``'s three-way semantics exactly (NaN
+        compares "equal" in both engines). Literal/column dtype pairings
+        that numpy would resolve through lossy promotion (float literal
+        vs int64 column, unrepresentable int vs float column) bail to the
+        generic loop at call time.
+        """
+        if _np is None:
+            return None
+        left, right, op = expr.left, expr.right, expr.op
+        if isinstance(left, nodes.Literal) and isinstance(right, nodes.ColumnRef):
+            left, right, op = right, left, _FLIPPED_OP[op]
+        if not (
+            isinstance(left, nodes.ColumnRef) and isinstance(right, nodes.Literal)
+        ):
+            return None
+        literal = right.value
+        if isinstance(literal, bool) or not isinstance(literal, (int, float)):
+            return None
+        if isinstance(literal, int) and abs(literal) > _NUMPY_INT_LIMIT:
+            return None
+        index = resolve_column(left, self._output)
+
+        def fast(batch: ColumnBatch):
+            mirror = batch.numpy_column(index)
+            if mirror is None:
+                return None
+            if mirror.dtype.kind == "i":
+                if type(literal) is not int:
+                    return None
+                comparand = literal
+            elif type(literal) is int:
+                comparand = float(literal)
+                if comparand != literal:
+                    return None
+            else:
+                comparand = literal
+            lt = mirror < comparand
+            gt = mirror > comparand
+            if op == "=":
+                mask = ~(lt | gt)
+            elif op == "<>":
+                mask = lt | gt
+            elif op == "<":
+                mask = lt
+            elif op == "<=":
+                mask = ~gt
+            elif op == ">":
+                mask = gt
+            else:
+                mask = ~lt
+            return mask.tolist()
+
+        return fast
+
+    def _specialize_arithmetic(self, expr: nodes.Binary) -> BatchCompiled:
+        left, right = self._compile(expr.left), self._compile(expr.right)
+        op = expr.op
+
+        def arithmetic(batch: ColumnBatch) -> list:
+            out = []
+            for lv, rv in zip(left(batch), right(batch)):
+                if lv is None or rv is None:
+                    out.append(None)
+                    continue
+                if not expr_lib.numeric(lv) or not expr_lib.numeric(rv):
+                    raise ExecutionError(
+                        f"arithmetic {op!r} on non-numeric operands"
+                        f" ({type(lv).__name__}, {type(rv).__name__})"
+                    )
+                if op == "+":
+                    out.append(lv + rv)
+                elif op == "-":
+                    out.append(lv - rv)
+                elif op == "*":
+                    out.append(lv * rv)
+                elif op == "/":
+                    if rv == 0:
+                        raise ExecutionError("division by zero")
+                    out.append(lv / rv)
+                else:
+                    if rv == 0:
+                        raise ExecutionError("modulo by zero")
+                    out.append(lv % rv)
+            return out
+
+        return arithmetic
+
+    def _specialize_like(self, expr: nodes.Binary) -> BatchCompiled | None:
+        if not (
+            isinstance(expr.right, nodes.Literal)
+            and isinstance(expr.right.value, str)
+        ):
+            return None  # dynamic patterns lift
+        operand = self._compile(expr.left)
+        pattern = like_regex(expr.right.value)
+        negated = expr.op == "NOT LIKE"
+
+        def like(batch: ColumnBatch) -> list:
+            out = []
+            for value in operand(batch):
+                if value is None:
+                    out.append(None)
+                else:
+                    matched = pattern.match(to_text(value)) is not None
+                    out.append((not matched) if negated else matched)
+            return out
+
+        return like
+
+    def _specialize_in_list(self, expr: nodes.InList) -> BatchCompiled:
+        operand = self._compile(expr.operand)
+        items = [self._compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def in_list(batch: ColumnBatch) -> list:
+            values = operand(batch)
+            item_columns = [item(batch) for item in items]
+            out = []
+            for i, value in enumerate(values):
+                if value is None:
+                    out.append(None)
+                    continue
+                saw_null = False
+                verdict: Value = negated
+                for column in item_columns:
+                    candidate = column[i]
+                    if candidate is None:
+                        saw_null = True
+                        continue
+                    if compare_values(value, candidate) == 0:
+                        verdict = not negated
+                        break
+                else:
+                    if saw_null:
+                        verdict = None
+                out.append(verdict)
+            return out
+
+        return in_list
+
+    def _specialize_between(self, expr: nodes.Between) -> BatchCompiled:
+        operand = self._compile(expr.operand)
+        low = self._compile(expr.low)
+        high = self._compile(expr.high)
+        negated = expr.negated
+
+        def between(batch: ColumnBatch) -> list:
+            out = []
+            for value, low_value, high_value in zip(
+                operand(batch), low(batch), high(batch)
+            ):
+                lower = compare_values(value, low_value)
+                upper = compare_values(value, high_value)
+                if lower is None or upper is None:
+                    out.append(None)
+                    continue
+                inside = lower >= 0 and upper <= 0
+                out.append((not inside) if negated else inside)
+            return out
+
+        return between
+
+    def _specialize_case(self, expr: nodes.Case) -> BatchCompiled:
+        """Masked CASE: each condition is evaluated only on still-active
+        rows and each result only on the rows it was chosen for — the
+        exact (row, expression) evaluation set of the row closure, so
+        guarded patterns like ``CASE WHEN x <> 0 THEN 1/x END`` vectorize
+        without spurious fallbacks."""
+        whens = [
+            (self._compile(condition), self._compile(result))
+            for condition, result in expr.whens
+        ]
+        else_fn = (
+            self._compile(expr.else_result)
+            if expr.else_result is not None
+            else None
+        )
+
+        def case(batch: ColumnBatch) -> list:
+            out: list = [None] * batch.length
+            active = list(range(batch.length))
+            for condition, result in whens:
+                if not active:
+                    break
+                sub = batch.gather(active)
+                chosen: list[int] = []
+                remaining: list[int] = []
+                for position, verdict in zip(active, condition(sub)):
+                    if verdict is not None and truthy(verdict):
+                        chosen.append(position)
+                    else:
+                        remaining.append(position)
+                if chosen:
+                    for position, value in zip(chosen, result(batch.gather(chosen))):
+                        out[position] = value
+                active = remaining
+            if else_fn is not None and active:
+                for position, value in zip(active, else_fn(batch.gather(active))):
+                    out[position] = value
+            return out
+
+        return case
+
+    def _specialize_cast(self, expr: nodes.Cast) -> BatchCompiled:
+        from repro.storage.types import DataType, coerce_value
+
+        operand = self._compile(expr.operand)
+        target = DataType.parse(expr.type_name)
+
+        def cast(batch: ColumnBatch) -> list:
+            return [coerce_value(value, target) for value in operand(batch)]
+
+        return cast
+
+    def _specialize_function(self, expr: nodes.FuncCall) -> BatchCompiled | None:
+        name = expr.name
+        if name in ("LOWER", "UPPER", "LENGTH", "TRIM") and len(expr.args) == 1:
+            operand = self._compile(expr.args[0])
+            fn = {
+                "LOWER": lambda v: to_text(v).lower(),
+                "UPPER": lambda v: to_text(v).upper(),
+                "LENGTH": lambda v: len(to_text(v)),
+                "TRIM": lambda v: to_text(v).strip(),
+            }[name]
+            return lambda batch: [
+                None if v is None else fn(v) for v in operand(batch)
+            ]
+        if name == "COALESCE" and expr.args:
+            args = [self._compile(arg) for arg in expr.args]
+
+            def coalesce(batch: ColumnBatch) -> list:
+                columns = [arg(batch) for arg in args]
+                out = []
+                for i in range(batch.length):
+                    value = None
+                    for column in columns:
+                        if column[i] is not None:
+                            value = column[i]
+                            break
+                    out.append(value)
+                return out
+
+            return coalesce
+        if name == "CONCAT":
+            args = [self._compile(arg) for arg in expr.args]
+
+            def fn_concat(batch: ColumnBatch) -> list:
+                columns = [arg(batch) for arg in args]
+                out = []
+                for i in range(batch.length):
+                    pieces = []
+                    for column in columns:
+                        value = column[i]
+                        if value is None:
+                            pieces = None
+                            break
+                        pieces.append(to_text(value))
+                    out.append(None if pieces is None else "".join(pieces))
+                return out
+
+            return fn_concat
+        return None  # everything else (ABS, ROUND, SUBSTR, ...) lifts
+
+
+# ---------------------------------------------------------------------------
+# node kernels and their memo
+# ---------------------------------------------------------------------------
+
+#: A node kernel: (executor, node, child batches) -> output batch. Kernels
+#: capture only batch-compiled expressions (safe to share process-wide per
+#: strict fingerprint, like the expression memo) and read all other node
+#: state — table names, limits, view rows — from ``node`` at call time.
+NodeKernel = Callable[["ColumnarExecutor", logical.PlanNode, tuple], ColumnBatch]
+
+
+@dataclass
+class KernelMemoStats:
+    """Observability counters for the columnar kernel memo (advisory,
+    like :class:`~repro.engine.executor.ExprMemoStats`)."""
+
+    builds: int = 0
+    hits: int = 0
+    #: kernels that raised at runtime and were recomputed by the row engine
+    fallbacks: int = 0
+    #: nodes executed through the row engine because no kernel exists
+    unvectorized: int = 0
+
+    def reset(self) -> None:
+        self.builds = 0
+        self.hits = 0
+        self.fallbacks = 0
+        self.unvectorized = 0
+
+
+KERNEL_MEMO_STATS = KernelMemoStats()
+
+#: Process-wide bounded LRU of node kernels keyed by (node type, strict
+#: fingerprint) — the same structural-equivalence argument as _EXPR_MEMO.
+#: ``None`` entries memoize "not vectorizable" (subquery-bearing nodes).
+_KERNEL_MEMO: OrderedDict[tuple, NodeKernel | None] = OrderedDict()
+_KERNEL_MEMO_LOCK = threading.Lock()
+_KERNEL_MEMO_MAX = 4096
+
+
+def clear_kernel_memo() -> None:
+    """Drop all memoized node kernels (test isolation hook)."""
+    with _KERNEL_MEMO_LOCK:
+        _KERNEL_MEMO.clear()
+
+
+# Kernels hold compiled closures, so clearing the expression memo must
+# drop them too or stale compiles stay reachable through the kernel memo.
+executor_module._EXPR_MEMO_CLEAR_HOOKS.append(clear_kernel_memo)
+
+
+def _truthy_flag(value: Value) -> bool:
+    """The filter/join acceptance test, verbatim from the row engine."""
+    return value is not None and value is not False and value != 0
+
+
+def _compile_slot(
+    node: logical.PlanNode,
+    slot: tuple,
+    expr: nodes.Expr,
+    output: tuple[logical.OutputCol, ...],
+) -> BatchCompiled:
+    return _BatchCompiler(node, slot, output).compile(expr)
+
+
+def _build_kernel(node: logical.PlanNode) -> NodeKernel | None:
+    """Build the vectorized kernel for one plan node, or ``None`` when the
+    node must run through the row engine (subquery-bearing expressions,
+    ``IndexScan`` leaves). Build-time compile errors (unknown column,
+    unknown function) propagate — the caller falls back to the row path,
+    which re-raises the row engine's own error."""
+    if isinstance(node, logical.Scan):
+        return _scan_kernel
+    if isinstance(node, logical.ViewScan):
+        return _view_scan_kernel
+    if isinstance(node, logical.Filter):
+        predicate = _compile_slot(node, ("filter",), node.predicate, node.child.output)
+        return _make_filter_kernel(predicate)
+    if isinstance(node, logical.Project):
+        fns = [
+            _compile_slot(node, ("project", i), expr, node.child.output)
+            for i, expr in enumerate(node.exprs)
+        ]
+        return _make_project_kernel(fns)
+    if isinstance(node, logical.HashJoin):
+        left_keys = [
+            _compile_slot(node, ("hj-left", i), key, node.left.output)
+            for i, key in enumerate(node.left_keys)
+        ]
+        right_keys = [
+            _compile_slot(node, ("hj-right", i), key, node.right.output)
+            for i, key in enumerate(node.right_keys)
+        ]
+        residual = (
+            _compile_slot(node, ("hj-residual",), node.residual, node.output)
+            if node.residual is not None
+            else None
+        )
+        return _make_hash_join_kernel(left_keys, right_keys, residual)
+    if isinstance(node, logical.NestedLoopJoin):
+        condition = (
+            _compile_slot(node, ("nl-cond",), node.condition, node.output)
+            if node.condition is not None
+            else None
+        )
+        return _make_nested_loop_kernel(condition)
+    if isinstance(node, logical.Aggregate):
+        return _build_aggregate_kernel(node)
+    if isinstance(node, logical.Sort):
+        fns = [
+            (_compile_slot(node, ("sort", i), expr, node.child.output), ascending)
+            for i, (expr, ascending) in enumerate(node.keys)
+        ]
+        return _make_sort_kernel(fns)
+    if isinstance(node, logical.Limit):
+        return _limit_kernel
+    if isinstance(node, logical.Distinct):
+        return _distinct_kernel
+    return None  # IndexScan and anything new: row engine
+
+
+# -- leaves -----------------------------------------------------------------
+
+
+def _scan_kernel(ex, node: logical.Scan, batches: tuple) -> ColumnBatch:
+    table = ex._catalog.table(node.table)
+    positions = [table.schema.position_of(c) for c in node.columns]
+    sampler = ex._make_sampler(node.table)
+    stats = ex.context.stats
+    stats.rows_scanned += table.num_rows
+    stats.rows_processed += table.num_rows
+    if sampler is None:
+        return ColumnBatch(table.extract_columns(positions), table.num_rows)
+    # Sampled: one bernoulli draw per row in scan order — the identical
+    # draw sequence the row engine consumes from the identical stream.
+    rate = ex.context.sample_rate
+    kept = [row for row in table.scan() if sampler.bernoulli(rate)]
+    if not kept:
+        return ColumnBatch([[] for _ in positions], 0)
+    transposed = list(zip(*kept)) if positions else []
+    return ColumnBatch([list(transposed[p]) for p in positions], len(kept))
+
+
+def _view_scan_kernel(ex, node: logical.ViewScan, batches: tuple) -> ColumnBatch:
+    rows = node.materialized_rows()
+    stats = ex.context.stats
+    stats.rows_scanned += len(rows)
+    stats.rows_processed += len(rows)
+    return ColumnBatch.from_rows(rows, len(node.columns))
+
+
+# -- operators --------------------------------------------------------------
+
+
+def _make_filter_kernel(predicate: BatchCompiled) -> NodeKernel:
+    def kernel(ex, node, batches: tuple) -> ColumnBatch:
+        (batch,) = batches
+        ex.context.stats.rows_processed += batch.length
+        flags = [_truthy_flag(v) for v in predicate(batch)]
+        kept = sum(flags)
+        if kept == batch.length:
+            return batch  # zero-copy: nothing rejected
+        return ColumnBatch(
+            [list(compress(column, flags)) for column in batch.columns], kept
+        )
+
+    return kernel
+
+
+def _make_project_kernel(fns: list[BatchCompiled]) -> NodeKernel:
+    def kernel(ex, node, batches: tuple) -> ColumnBatch:
+        (batch,) = batches
+        ex.context.stats.rows_processed += batch.length
+        return ColumnBatch([fn(batch) for fn in fns], batch.length)
+
+    return kernel
+
+
+def _make_hash_join_kernel(
+    left_keys: list[BatchCompiled],
+    right_keys: list[BatchCompiled],
+    residual: BatchCompiled | None,
+) -> NodeKernel:
+    def kernel(ex, node, batches: tuple) -> ColumnBatch:
+        left, right = batches
+        ex.context.stats.rows_processed += left.length + right.length
+
+        build: dict[tuple, list[int]] = {}
+        left_key_columns = [fn(left) for fn in left_keys]
+        for i in range(left.length):
+            key = tuple(column[i] for column in left_key_columns)
+            if any(part is None for part in key):
+                continue
+            build.setdefault(key, []).append(i)
+
+        pair_left: list[int] = []
+        pair_right: list[int] = []
+        right_key_columns = [fn(right) for fn in right_keys]
+        for j in range(right.length):
+            key = tuple(column[j] for column in right_key_columns)
+            if any(part is None for part in key):
+                continue
+            positions = build.get(key)
+            if positions:
+                pair_left.extend(positions)
+                pair_right.extend([j] * len(positions))
+
+        out_left = [[column[i] for i in pair_left] for column in left.columns]
+        out_right = [[column[j] for j in pair_right] for column in right.columns]
+        if residual is not None and pair_left:
+            combined = ColumnBatch(out_left + out_right, len(pair_left))
+            flags = [_truthy_flag(v) for v in residual(combined)]
+            if not all(flags):
+                out_left = [list(compress(c, flags)) for c in out_left]
+                out_right = [list(compress(c, flags)) for c in out_right]
+                pair_left = list(compress(pair_left, flags))
+
+        length = len(pair_left)
+        if node.kind == "LEFT":
+            matched = set(pair_left)
+            unmatched = [i for i in range(left.length) if i not in matched]
+            if unmatched:
+                for out_column, source in zip(out_left, left.columns):
+                    out_column.extend(source[i] for i in unmatched)
+                for out_column in out_right:
+                    out_column.extend([None] * len(unmatched))
+                length += len(unmatched)
+        return ColumnBatch(out_left + out_right, length)
+
+    return kernel
+
+
+def _make_nested_loop_kernel(condition: BatchCompiled | None) -> NodeKernel:
+    def kernel(ex, node, batches: tuple) -> ColumnBatch:
+        left, right = batches
+        L, R = left.length, right.length
+        ex.context.stats.rows_processed += L * R
+        right_width = len(node.right.output)
+        if R == 0:
+            if node.kind == "LEFT":
+                return ColumnBatch(
+                    [list(column) for column in left.columns]
+                    + [[None] * L for _ in range(right_width)],
+                    L,
+                )
+            return ColumnBatch([[] for _ in node.output], 0)
+        if L * R > _MAX_NESTED_PAIRS:
+            # The row engine streams pairs; materialising this cross
+            # product would not.
+            raise ExecutionError("nested-loop pair expansion too large")
+        expanded_left = [
+            [value for value in column for _ in range(R)] for column in left.columns
+        ]
+        expanded_right = [column * L for column in right.columns]
+        if condition is None:
+            # Cross join: every pair matches (and R > 0 pads nothing).
+            return ColumnBatch(expanded_left + expanded_right, L * R)
+        combined = ColumnBatch(expanded_left + expanded_right, L * R)
+        flags = [_truthy_flag(v) for v in condition(combined)]
+        if node.kind != "LEFT":
+            return ColumnBatch(
+                [list(compress(c, flags)) for c in expanded_left]
+                + [list(compress(c, flags)) for c in expanded_right],
+                sum(flags),
+            )
+        # LEFT join: null-pad each unmatched left row in place, preserving
+        # the row engine's left-major emission order. Negative markers in
+        # the index plan encode "pad for left row (-k - 1)".
+        plan: list[int] = []
+        for i in range(L):
+            base = i * R
+            matched = False
+            for j in range(R):
+                if flags[base + j]:
+                    plan.append(base + j)
+                    matched = True
+            if not matched:
+                plan.append(-i - 1)
+        out_left = []
+        for ci, expanded in enumerate(expanded_left):
+            source = left.columns[ci]
+            out_left.append(
+                [expanded[k] if k >= 0 else source[-k - 1] for k in plan]
+            )
+        out_right = [
+            [expanded[k] if k >= 0 else None for k in plan]
+            for expanded in expanded_right
+        ]
+        return ColumnBatch(out_left + out_right, len(plan))
+
+    return kernel
+
+
+@dataclass
+class _AggSpec:
+    """One aggregate call, batch-compiled."""
+
+    kind: str  # count_star | count | sum | avg | min | max
+    fn: BatchCompiled | None = None
+    distinct: bool = False
+
+
+def _build_aggregate_kernel(node: logical.Aggregate) -> NodeKernel:
+    group_fns = [
+        _compile_slot(node, ("group", i), expr, node.child.output)
+        for i, expr in enumerate(node.group_exprs)
+    ]
+    specs: list[_AggSpec] = []
+    for call_index, call in enumerate(node.agg_calls):
+        name = call.name
+        if name == "COUNT":
+            if len(call.args) != 1:
+                raise ExecutionError("COUNT expects exactly one argument")
+            if isinstance(call.args[0], nodes.Star):
+                specs.append(_AggSpec("count_star"))
+                continue
+            fn = _compile_slot(
+                node, ("agg-arg", call_index, 0), call.args[0], node.child.output
+            )
+            specs.append(_AggSpec("count", fn, call.distinct))
+            continue
+        if len(call.args) != 1 or isinstance(call.args[0], nodes.Star):
+            raise ExecutionError(f"{name} expects exactly one column argument")
+        fn = _compile_slot(
+            node, ("agg-arg", call_index, 0), call.args[0], node.child.output
+        )
+        if name == "SUM":
+            specs.append(_AggSpec("sum", fn))
+        elif name == "AVG":
+            specs.append(_AggSpec("avg", fn))
+        elif name == "MIN":
+            specs.append(_AggSpec("min", fn))
+        elif name == "MAX":
+            specs.append(_AggSpec("max", fn))
+        else:
+            raise ExecutionError(f"unknown aggregate function {name!r}")
+    return _make_aggregate_kernel(group_fns, specs)
+
+
+def _make_aggregate_kernel(
+    group_fns: list[BatchCompiled], specs: list[_AggSpec]
+) -> NodeKernel:
+    """Exact (sample_rate 1.0) grouped aggregation over columns.
+
+    Replicates the accumulators' value semantics loop-for-loop: float
+    accumulation order (SUM starts at 0.0 and returns int when no float
+    was seen), NULL skipping, distinct sets, ``compare_values``-based
+    MIN/MAX with incomparable values skipped. Sampled aggregation keeps
+    its scaled estimates and error terms on the row path — the executor
+    routes it there before trying this kernel.
+    """
+
+    def kernel(ex, node, batches: tuple) -> ColumnBatch:
+        (batch,) = batches
+        n = batch.length
+        ex.context.stats.rows_processed += n
+
+        if group_fns:
+            group_columns = [fn(batch) for fn in group_fns]
+            index_of: dict[tuple, int] = {}
+            keys: list[tuple] = []
+            group_ids = []
+            if len(group_columns) == 1:
+                for value in group_columns[0]:
+                    key = (value,)
+                    gid = index_of.get(key)
+                    if gid is None:
+                        gid = len(keys)
+                        index_of[key] = gid
+                        keys.append(key)
+                    group_ids.append(gid)
+            else:
+                for i in range(n):
+                    key = tuple(column[i] for column in group_columns)
+                    gid = index_of.get(key)
+                    if gid is None:
+                        gid = len(keys)
+                        index_of[key] = gid
+                        keys.append(key)
+                    group_ids.append(gid)
+        else:
+            keys = [()] if n else []
+            group_ids = [0] * n
+
+        count = len(keys)
+        identity_row = not keys and not node.group_exprs
+        if identity_row:
+            keys = [()]
+            count = 1
+
+        agg_columns: list[list[Value]] = []
+        for spec in specs:
+            if identity_row:
+                agg_columns.append([0 if spec.kind in ("count_star", "count") else None])
+                continue
+            if spec.kind == "count_star":
+                counts = [0] * count
+                for gid in group_ids:
+                    counts[gid] += 1
+                agg_columns.append(counts)
+                continue
+            column = spec.fn(batch)
+            if spec.kind == "count":
+                if spec.distinct:
+                    seen: list[set] = [set() for _ in range(count)]
+                    for gid, value in zip(group_ids, column):
+                        if value is not None:
+                            seen[gid].add(value)
+                    agg_columns.append([len(s) for s in seen])
+                else:
+                    counts = [0] * count
+                    for gid, value in zip(group_ids, column):
+                        if value is not None:
+                            counts[gid] += 1
+                    agg_columns.append(counts)
+            elif spec.kind == "sum":
+                totals = [0.0] * count
+                nonnull = [0] * count
+                any_float = [False] * count
+                for gid, value in zip(group_ids, column):
+                    if value is None:
+                        continue
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        raise ExecutionError(f"SUM over non-numeric value {value!r}")
+                    totals[gid] += value
+                    nonnull[gid] += 1
+                    if isinstance(value, float):
+                        any_float[gid] = True
+                agg_columns.append(
+                    [
+                        None
+                        if nonnull[g] == 0
+                        else (totals[g] if any_float[g] else int(totals[g]))
+                        for g in range(count)
+                    ]
+                )
+            elif spec.kind == "avg":
+                totals = [0.0] * count
+                nonnull = [0] * count
+                for gid, value in zip(group_ids, column):
+                    if value is None:
+                        continue
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        raise ExecutionError(f"AVG over non-numeric value {value!r}")
+                    totals[gid] += float(value)
+                    nonnull[gid] += 1
+                agg_columns.append(
+                    [
+                        None if nonnull[g] == 0 else totals[g] / nonnull[g]
+                        for g in range(count)
+                    ]
+                )
+            else:  # min / max
+                is_min = spec.kind == "min"
+                bests: list[Value] = [None] * count
+                for gid, value in zip(group_ids, column):
+                    if value is None:
+                        continue
+                    best = bests[gid]
+                    if best is None:
+                        bests[gid] = value
+                        continue
+                    ordering = compare_values(value, best)
+                    if ordering is None:
+                        continue
+                    if (is_min and ordering < 0) or (not is_min and ordering > 0):
+                        bests[gid] = value
+                agg_columns.append(bests)
+
+        ex._estimate_errors = {}
+        group_width = len(node.group_exprs)
+        out_columns = [
+            [key[position] for key in keys] for position in range(group_width)
+        ]
+        out_columns.extend(agg_columns)
+        return ColumnBatch(out_columns, count)
+
+    return kernel
+
+
+def _make_sort_kernel(fns: list[tuple[BatchCompiled, bool]]) -> NodeKernel:
+    def kernel(ex, node, batches: tuple) -> ColumnBatch:
+        (batch,) = batches
+        ex.context.stats.rows_processed += batch.length
+        key_columns = [(fn(batch), ascending) for fn, ascending in fns]
+
+        def sort_key(i: int) -> tuple:
+            return tuple(
+                _SortKey(column[i], ascending) for column, ascending in key_columns
+            )
+
+        indices = sorted(range(batch.length), key=sort_key)
+        if indices == list(range(batch.length)):
+            return batch  # already ordered: zero-copy
+        return batch.gather(indices)
+
+    return kernel
+
+
+def _limit_kernel(ex, node: logical.Limit, batches: tuple) -> ColumnBatch:
+    (batch,) = batches
+    start = node.offset
+    stop = batch.length if node.limit is None else min(batch.length, start + node.limit)
+    length = max(0, stop - min(start, batch.length))
+    return ColumnBatch(
+        [column[start:stop] for column in batch.columns], length
+    )
+
+
+def _distinct_kernel(ex, node: logical.Distinct, batches: tuple) -> ColumnBatch:
+    (batch,) = batches
+    ex.context.stats.rows_processed += batch.length
+    seen: set[Row] = set()
+    out: list[Row] = []
+    for row in batch.to_rows():
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    if len(out) == batch.length:
+        return batch
+    return ColumnBatch.from_rows(out, len(batch.columns))
+
+
+# ---------------------------------------------------------------------------
+# the columnar executor
+# ---------------------------------------------------------------------------
+
+
+class ColumnarExecutor(Executor):
+    """Batch-at-a-time executor, byte-identical to :class:`Executor`.
+
+    Every node executes as a :class:`ColumnBatch`; ``_execute`` (the
+    row-level entry point the base class, subquery runners, and callers
+    share) serves the batch's cached row view, so results, counters, and
+    cache interactions are indistinguishable from the row engine's.
+    """
+
+    def _execute(self, node: logical.PlanNode) -> list[Row]:
+        return self._execute_batch(node).to_rows()
+
+    def _execute_batch(self, node: logical.PlanNode) -> ColumnBatch:
+        """Mirror of the base ``_execute`` cache discipline, batch-valued.
+
+        The cache key, counters, and stored representation (plain row
+        lists) are exactly the row engine's — that is what lets one
+        materialisation serve both engines.
+        """
+        self.context.stats.operators_executed += 1
+        cache = self.context.cache
+        cache_key: tuple | None = None
+        if cache is not None:
+            cache_key = subplan_cache_key(
+                node,
+                self.context.sample_rate,
+                self.context.sample_seed,
+                self.context.min_cacheable_size,
+            )
+            if cache_key is not None:
+                cached = cache.get(cache_key)
+                if cached is not None:
+                    self.context.stats.cache_hits += 1
+                    batch = ColumnBatch.from_rows(cached, len(node.output))
+                    batch._rows = cached  # serve the cached list itself
+                    return batch
+                self.context.stats.cache_misses += 1
+
+        batch = self._execute_batch_uncached(node)
+
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, batch.to_rows())
+        return batch
+
+    def _execute_batch_uncached(self, node: logical.PlanNode) -> ColumnBatch:
+        if isinstance(node, logical.OneRow):
+            return ColumnBatch([], 1)
+        if isinstance(node, logical.SubqueryScan):
+            return self._execute_batch(node.child)
+        if isinstance(node, (logical.Scan, logical.ViewScan, logical.IndexScan)):
+            return self._columnar_node(node, ())
+        if isinstance(
+            node,
+            (
+                logical.Filter,
+                logical.Project,
+                logical.Aggregate,
+                logical.Sort,
+                logical.Limit,
+                logical.Distinct,
+            ),
+        ):
+            return self._columnar_node(node, (self._execute_batch(node.child),))
+        if isinstance(node, (logical.HashJoin, logical.NestedLoopJoin)):
+            return self._columnar_node(
+                node,
+                (self._execute_batch(node.left), self._execute_batch(node.right)),
+            )
+        raise ExecutionError(f"cannot execute plan node {type(node).__name__}")
+
+    # -- kernel dispatch ----------------------------------------------------
+
+    def _columnar_node(
+        self, node: logical.PlanNode, batches: tuple
+    ) -> ColumnBatch:
+        kernel = self._node_kernel(node)
+        if kernel is not None and not (
+            isinstance(node, logical.Aggregate) and self.context.sample_rate < 1.0
+        ):
+            stats = self.context.stats
+            snapshot = (
+                stats.rows_scanned,
+                stats.rows_processed,
+                stats.operators_executed,
+                stats.cache_hits,
+                stats.cache_misses,
+            )
+            try:
+                return kernel(self, node, batches)
+            except Exception:
+                # Anything a kernel raises — a genuine execution error, an
+                # evaluation-order divergence, a numpy surprise — is
+                # resolved by recomputing the node on the row path, which
+                # restores byte-identical results *and* errors.
+                (
+                    stats.rows_scanned,
+                    stats.rows_processed,
+                    stats.operators_executed,
+                    stats.cache_hits,
+                    stats.cache_misses,
+                ) = snapshot
+                KERNEL_MEMO_STATS.fallbacks += 1
+        else:
+            KERNEL_MEMO_STATS.unvectorized += 1
+        rows = self._row_fallback(node, [batch.to_rows() for batch in batches])
+        return ColumnBatch.from_rows(rows, len(node.output))
+
+    def _node_kernel(self, node: logical.PlanNode) -> NodeKernel | None:
+        key = (type(node).__name__, fingerprints(node).strict)
+        with _KERNEL_MEMO_LOCK:
+            if key in _KERNEL_MEMO:
+                _KERNEL_MEMO.move_to_end(key)
+                KERNEL_MEMO_STATS.hits += 1
+                # A memoized kernel embodies every compiled expression for
+                # this node, so the reuse counts as expression-memo hits —
+                # memo telemetry (and its tests) reads the same on both
+                # engines.
+                EXPR_MEMO_STATS.hits += 1
+                return _KERNEL_MEMO[key]
+        try:
+            kernel = _build_kernel(node)
+        except _NotVectorizable:
+            kernel = None
+        except Exception:
+            # Build-time compile errors are the row engine's errors: take
+            # the fallback path and let it raise them in its own order.
+            KERNEL_MEMO_STATS.builds += 1
+            return None
+        KERNEL_MEMO_STATS.builds += 1
+        with _KERNEL_MEMO_LOCK:
+            if key not in _KERNEL_MEMO and len(_KERNEL_MEMO) >= _KERNEL_MEMO_MAX:
+                _KERNEL_MEMO.popitem(last=False)
+            _KERNEL_MEMO[key] = kernel
+        return kernel
+
+    # -- row fallback ---------------------------------------------------------
+
+    def _row_fallback(
+        self, node: logical.PlanNode, child_rows: list[list[Row]]
+    ) -> list[Row]:
+        """Recompute one node through the row engine's compute halves.
+
+        Children are already materialised (as batches), so this consumes
+        their row views instead of re-executing them — re-execution would
+        double-count operators and cache traffic.
+        """
+        if isinstance(node, logical.Scan):
+            return self._exec_scan(node)
+        if isinstance(node, logical.IndexScan):
+            return self._exec_index_scan(node)
+        if isinstance(node, logical.ViewScan):
+            return self._exec_view_scan(node)
+        if isinstance(node, logical.Filter):
+            return self._filter_rows(node, child_rows[0])
+        if isinstance(node, logical.Project):
+            return self._project_rows(node, child_rows[0])
+        if isinstance(node, logical.HashJoin):
+            return self._hash_join_rows(node, child_rows[0], child_rows[1])
+        if isinstance(node, logical.NestedLoopJoin):
+            return self._nested_loop_rows(node, child_rows[0], child_rows[1])
+        if isinstance(node, logical.Aggregate):
+            return self._aggregate_rows(node, child_rows[0])
+        if isinstance(node, logical.Sort):
+            return self._sort_rows(node, child_rows[0])
+        if isinstance(node, logical.Limit):
+            return self._limit_rows(node, child_rows[0])
+        if isinstance(node, logical.Distinct):
+            return self._distinct_rows(node, child_rows[0])
+        raise ExecutionError(f"cannot execute plan node {type(node).__name__}")

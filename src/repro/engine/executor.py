@@ -192,10 +192,53 @@ _EXPR_MEMO_MAX = 4096
 _SUBQUERY_EXPRS = (nodes.InSubquery, nodes.ScalarSubquery, nodes.Exists)
 
 
+#: Caches layered on top of the expression memo (the columnar engine's
+#: kernel memo) register a clear callback here so ``clear_expr_memo``
+#: drops them too — a kernel holds compiled closures, so clearing only
+#: the expression memo would leave stale compiles reachable.
+_EXPR_MEMO_CLEAR_HOOKS: list = []
+
+
 def clear_expr_memo() -> None:
     """Drop all memoized compiled expressions (test isolation hook)."""
     with _EXPR_MEMO_LOCK:
         _EXPR_MEMO.clear()
+    for hook in _EXPR_MEMO_CLEAR_HOOKS:
+        hook()
+
+
+def has_subquery(expr: nodes.Expr) -> bool:
+    """True when the expression tree contains any subquery node."""
+    return any(isinstance(n, _SUBQUERY_EXPRS) for n in nodes.walk(expr))
+
+
+def memoized_compile(
+    node: logical.PlanNode,
+    slot: tuple,
+    expr: nodes.Expr,
+    output: tuple[logical.OutputCol, ...],
+) -> Compiled:
+    """Compile a subquery-free ``expr`` (one slot of ``node``) via the
+    process-wide memo. Shared by the row executor and the columnar
+    engine's lifted row closures, so both engines hit one memo entry per
+    (strict fingerprint, slot). The caller must have ruled out subqueries
+    (:func:`has_subquery`) — subquery closures capture executor state and
+    may never be shared.
+    """
+    key = (fingerprints(node).strict, slot)
+    with _EXPR_MEMO_LOCK:
+        memoized = _EXPR_MEMO.get(key)
+        if memoized is not None:
+            _EXPR_MEMO.move_to_end(key)
+            EXPR_MEMO_STATS.hits += 1
+            return memoized
+    EXPR_MEMO_STATS.compilations += 1
+    compiled = compile_expr(expr, output, None)
+    with _EXPR_MEMO_LOCK:
+        if key not in _EXPR_MEMO and len(_EXPR_MEMO) >= _EXPR_MEMO_MAX:
+            _EXPR_MEMO.popitem(last=False)
+        _EXPR_MEMO[key] = compiled
+    return compiled
 
 
 class Executor(SubqueryRunner):
@@ -223,22 +266,10 @@ class Executor(SubqueryRunner):
         execution. Everything else closes over row positions and constants
         only, and is shared process-wide.
         """
-        key = (fingerprints(node).strict, slot)
-        with _EXPR_MEMO_LOCK:
-            memoized = _EXPR_MEMO.get(key)
-            if memoized is not None:
-                _EXPR_MEMO.move_to_end(key)
-                EXPR_MEMO_STATS.hits += 1
-                return memoized
-        EXPR_MEMO_STATS.compilations += 1
-        if any(isinstance(n, _SUBQUERY_EXPRS) for n in nodes.walk(expr)):
+        if has_subquery(expr):
+            EXPR_MEMO_STATS.compilations += 1
             return compile_expr(expr, output, self)
-        compiled = compile_expr(expr, output, None)
-        with _EXPR_MEMO_LOCK:
-            if key not in _EXPR_MEMO and len(_EXPR_MEMO) >= _EXPR_MEMO_MAX:
-                _EXPR_MEMO.popitem(last=False)
-            _EXPR_MEMO[key] = compiled
-        return compiled
+        return memoized_compile(node, slot, expr, output)
 
     # -- public API ----------------------------------------------------------
 
@@ -445,9 +476,19 @@ class Executor(SubqueryRunner):
         return RngStream(self.context.sample_seed, "scan-sample", table)
 
     # -- row operators ---------------------------------------------------------------
+    #
+    # Each operator is split into a fetch half (`_exec_X`, which executes
+    # the children) and a compute half (`_X_rows`, which consumes the
+    # children's materialised rows and owns the work accounting). The
+    # columnar executor reuses the compute halves verbatim as its per-node
+    # fallback path: its children are already materialised as batches, so
+    # falling back must not re-execute them (that would double-count cache
+    # hits and operator executions).
 
     def _exec_filter(self, node: logical.Filter) -> list[Row]:
-        child_rows = self._execute(node.child)
+        return self._filter_rows(node, self._execute(node.child))
+
+    def _filter_rows(self, node: logical.Filter, child_rows: list[Row]) -> list[Row]:
         predicate = self._compile(node, ("filter",), node.predicate, node.child.output)
         # The loop touches exactly len(child_rows) rows: batch the counter
         # once instead of chasing self.context.stats per row.
@@ -460,7 +501,9 @@ class Executor(SubqueryRunner):
         return out
 
     def _exec_project(self, node: logical.Project) -> list[Row]:
-        child_rows = self._execute(node.child)
+        return self._project_rows(node, self._execute(node.child))
+
+    def _project_rows(self, node: logical.Project, child_rows: list[Row]) -> list[Row]:
         compiled = [
             self._compile(node, ("project", i), e, node.child.output)
             for i, e in enumerate(node.exprs)
@@ -471,6 +514,11 @@ class Executor(SubqueryRunner):
     def _exec_hash_join(self, node: logical.HashJoin) -> list[Row]:
         left_rows = self._execute(node.left)
         right_rows = self._execute(node.right)
+        return self._hash_join_rows(node, left_rows, right_rows)
+
+    def _hash_join_rows(
+        self, node: logical.HashJoin, left_rows: list[Row], right_rows: list[Row]
+    ) -> list[Row]:
         left_keys = [
             self._compile(node, ("hj-left", i), k, node.left.output)
             for i, k in enumerate(node.left_keys)
@@ -523,6 +571,14 @@ class Executor(SubqueryRunner):
     def _exec_nested_loop(self, node: logical.NestedLoopJoin) -> list[Row]:
         left_rows = self._execute(node.left)
         right_rows = self._execute(node.right)
+        return self._nested_loop_rows(node, left_rows, right_rows)
+
+    def _nested_loop_rows(
+        self,
+        node: logical.NestedLoopJoin,
+        left_rows: list[Row],
+        right_rows: list[Row],
+    ) -> list[Row]:
         condition = (
             self._compile(node, ("nl-cond",), node.condition, node.output)
             if node.condition is not None
@@ -547,7 +603,11 @@ class Executor(SubqueryRunner):
         return out
 
     def _exec_aggregate(self, node: logical.Aggregate) -> list[Row]:
-        child_rows = self._execute(node.child)
+        return self._aggregate_rows(node, self._execute(node.child))
+
+    def _aggregate_rows(
+        self, node: logical.Aggregate, child_rows: list[Row]
+    ) -> list[Row]:
         group_fns = [
             self._compile(node, ("group", i), e, node.child.output)
             for i, e in enumerate(node.group_exprs)
@@ -607,7 +667,9 @@ class Executor(SubqueryRunner):
         return out
 
     def _exec_sort(self, node: logical.Sort) -> list[Row]:
-        child_rows = self._execute(node.child)
+        return self._sort_rows(node, self._execute(node.child))
+
+    def _sort_rows(self, node: logical.Sort, child_rows: list[Row]) -> list[Row]:
         compiled = [
             (self._compile(node, ("sort", i), expr, node.child.output), ascending)
             for i, (expr, ascending) in enumerate(node.keys)
@@ -623,14 +685,18 @@ class Executor(SubqueryRunner):
         return sorted(child_rows, key=sort_key)
 
     def _exec_limit(self, node: logical.Limit) -> list[Row]:
-        child_rows = self._execute(node.child)
+        return self._limit_rows(node, self._execute(node.child))
+
+    def _limit_rows(self, node: logical.Limit, child_rows: list[Row]) -> list[Row]:
         start = node.offset
         if node.limit is None:
             return child_rows[start:]
         return child_rows[start : start + node.limit]
 
     def _exec_distinct(self, node: logical.Distinct) -> list[Row]:
-        child_rows = self._execute(node.child)
+        return self._distinct_rows(node, self._execute(node.child))
+
+    def _distinct_rows(self, node: logical.Distinct, child_rows: list[Row]) -> list[Row]:
         self.context.stats.rows_processed += len(child_rows)
         seen: set[Row] = set()
         out: list[Row] = []

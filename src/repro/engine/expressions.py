@@ -37,6 +37,16 @@ def compile_expr(
     return _Compiler(output, subqueries).compile(expr)
 
 
+def resolve_column(ref: nodes.ColumnRef, output: tuple[OutputCol, ...]) -> int:
+    """Resolve a column reference to its position in ``output``.
+
+    The same resolution (and the same missing/ambiguous errors) the row
+    compiler applies; exported for the columnar engine's zero-copy
+    column-reference kernels.
+    """
+    return _Compiler(output, None)._resolve(ref)
+
+
 class _Compiler:
     def __init__(
         self, output: tuple[OutputCol, ...], subqueries: SubqueryRunner | None
@@ -540,6 +550,14 @@ def _to_text(value: Value) -> str:
     return str(value)
 
 
+#: Public aliases for the value-semantics helpers. The columnar engine's
+#: vectorized kernels must apply *exactly* these functions per element —
+#: sharing one definition is what keeps the two engines byte-identical.
+truthy = _truthy
+numeric = _numeric
+to_text = _to_text
+
+
 _LIKE_CACHE: dict[str, re.Pattern] = {}
 
 
@@ -557,3 +575,6 @@ def _like_regex(pattern: str) -> re.Pattern:
         compiled = re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
         _LIKE_CACHE[pattern] = compiled
     return compiled
+
+
+like_regex = _like_regex

@@ -53,7 +53,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.engine.executor import ExecContext, Executor, subplan_cache_key
+from repro.engine.columnar import make_executor, resolve_engine
+from repro.engine.executor import ExecContext, subplan_cache_key
 from repro.maintenance.indexer import KIND_EQ, PredicateMiner
 from repro.maintenance.views import MaterializedView, ViewStore, source_tables
 from repro.plan import logical, rules
@@ -572,7 +573,12 @@ class MaintenanceRuntime:
             try:
                 from repro.core.dispatch import SpeculationPayload
 
-                payload = SpeculationPayload(plan=plan, sample_rate=1.0, sample_seed=0)
+                payload = SpeculationPayload(
+                    plan=plan,
+                    sample_rate=1.0,
+                    sample_seed=0,
+                    engine=resolve_engine(optimizer.engine),
+                )
                 [outcome] = dispatcher.run(
                     self.system.db.catalog, [payload], optimizer.cache is not None
                 )
@@ -583,7 +589,9 @@ class MaintenanceRuntime:
                 pass  # pool trouble: build inline instead
         try:
             context = ExecContext(cache=optimizer.cache)
-            executor = Executor(self.system.db.catalog, context)
+            executor = make_executor(
+                self.system.db.catalog, context, optimizer.engine
+            )
             return list(executor.run(plan).rows)
         except Exception:
             return None  # racing write tore a scan, or the plan went stale

@@ -280,6 +280,22 @@ def _binding_map(plan: logical.PlanNode) -> dict[str, str]:
     return mapping
 
 
+def _stable_sorted(items) -> list:
+    """Sort canonical tuples, surviving mixed-type literals.
+
+    Canonical expression tuples embed raw literal values, and Python
+    refuses to order e.g. ``1`` against ``'x'`` (``SELECT 1, 'x'`` used to
+    crash lenient fingerprinting here). Plain sort stays the first choice
+    so historical digests of comparable inputs are unchanged; only
+    incomparable inputs take the repr-keyed total order.
+    """
+    items = list(items)
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=repr)
+
+
 def _canonical(node: logical.PlanNode, bindings: dict[str, str], strict: bool) -> tuple:
     """Per-call canonicalisation: recurses over children itself."""
     child_tuples = tuple(
@@ -344,7 +360,7 @@ def _canonical_node(
     if isinstance(node, logical.Project):
         exprs = [_canonical_expr(expr, bindings, node.child) for expr in node.exprs]
         if not strict:
-            exprs = sorted(exprs)
+            exprs = _stable_sorted(exprs)
         return ("project", tuple(exprs), child_tuples[0])
     if isinstance(node, logical.HashJoin):
         left, right = child_tuples
@@ -363,12 +379,12 @@ def _canonical_node(
         )
         if node.kind == "INNER" and not strict:
             # Inner hash joins are commutative: order sides canonically.
-            left_side = (left, tuple(sorted(p[0] for p in pairs)))
-            right_side = (right, tuple(sorted(p[1] for p in pairs)))
-            sides = sorted([left_side, right_side])
-            key_set = tuple(sorted(tuple(sorted(p)) for p in pairs))
+            left_side = (left, tuple(_stable_sorted(p[0] for p in pairs)))
+            right_side = (right, tuple(_stable_sorted(p[1] for p in pairs)))
+            sides = _stable_sorted([left_side, right_side])
+            key_set = tuple(_stable_sorted(tuple(_stable_sorted(p)) for p in pairs))
             return ("hashjoin", "INNER", sides[0], sides[1], key_set, residual)
-        return ("hashjoin", node.kind, left, right, tuple(sorted(pairs)), residual)
+        return ("hashjoin", node.kind, left, right, tuple(_stable_sorted(pairs)), residual)
     if isinstance(node, logical.NestedLoopJoin):
         condition = (
             None
@@ -377,15 +393,15 @@ def _canonical_node(
         )
         left, right = child_tuples
         if node.kind in ("INNER", "CROSS") and not strict:
-            first, second = sorted([left, right])
+            first, second = _stable_sorted([left, right])
             return ("nljoin", node.kind, first, second, condition)
         return ("nljoin", node.kind, left, right, condition)
     if isinstance(node, logical.Aggregate):
         group_list = [_canonical_expr(e, bindings, node.child) for e in node.group_exprs]
         agg_list = [_canonical_expr(a, bindings, node.child) for a in node.agg_calls]
         if not strict:
-            group_list = sorted(group_list)
-            agg_list = sorted(agg_list)
+            group_list = _stable_sorted(group_list)
+            agg_list = _stable_sorted(agg_list)
         return (
             "aggregate",
             tuple(group_list),
@@ -415,7 +431,7 @@ def _canonical_predicate(
 ) -> tuple:
     """Canonical form of a boolean predicate: flatten + sort AND/OR chains."""
     if isinstance(expr, nodes.Binary) and expr.op in ("AND", "OR"):
-        parts = sorted(
+        parts = _stable_sorted(
             _canonical_predicate(part, bindings, scope)
             for part in _flatten(expr, expr.op)
         )
@@ -446,7 +462,7 @@ def _canonical_expr(
         left = _canonical_expr(expr.left, bindings, scope)
         right = _canonical_expr(expr.right, bindings, scope)
         if expr.op in _COMMUTATIVE_OPS:
-            left, right = sorted([left, right])
+            left, right = _stable_sorted([left, right])
         # Normalise flipped inequalities: a > b  ==  b < a.
         flip = {">": "<", ">=": "<="}
         if expr.op in flip:
@@ -458,7 +474,7 @@ def _canonical_expr(
         return ("isnull", expr.negated, _canonical_expr(expr.operand, bindings, scope))
     if isinstance(expr, nodes.InList):
         items = tuple(
-            sorted(_canonical_expr(item, bindings, scope) for item in expr.items)
+            _stable_sorted(_canonical_expr(item, bindings, scope) for item in expr.items)
         )
         return ("inlist", expr.negated, _canonical_expr(expr.operand, bindings, scope), items)
     if isinstance(expr, nodes.Between):

@@ -14,7 +14,7 @@ identity for conflict detection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ExecutionError
 from repro.storage.schema import TableSchema
@@ -56,6 +56,26 @@ class TableSnapshot:
     @property
     def num_rows(self) -> int:
         return sum(len(chunk) for chunk in self.chunks)
+
+    def extract_columns(self, positions: Sequence[int]) -> list[list[Value]]:
+        """Materialise the requested columns, one value list per position."""
+        return _extract_columns(self.chunks, positions)
+
+
+def _extract_columns(
+    chunks: Iterable[Chunk], positions: Sequence[int]
+) -> list[list[Value]]:
+    """Column extraction for the vectorized engine: transpose each chunk
+    once at C speed (``zip(*rows)``) and concatenate, instead of plucking
+    positions out of every row tuple individually."""
+    columns: list[list[Value]] = [[] for _ in positions]
+    for chunk in chunks:
+        if not chunk.rows:
+            continue
+        transposed = list(zip(*chunk.rows))
+        for out, position in zip(columns, positions):
+            out.extend(transposed[position])
+    return columns
 
 
 class Table:
@@ -141,6 +161,10 @@ class Table:
     def rows(self) -> list[Row]:
         """Materialise all rows (test/debug convenience)."""
         return list(self.scan())
+
+    def extract_columns(self, positions: Sequence[int]) -> list[list[Value]]:
+        """Materialise the requested columns, one value list per position."""
+        return _extract_columns(self._chunks, positions)
 
     # -- writes ---------------------------------------------------------------
 

@@ -32,7 +32,8 @@ import threading
 from typing import Callable
 
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
-from repro.engine.executor import ExecContext, Executor
+from repro.engine.columnar import make_executor
+from repro.engine.executor import ExecContext
 from repro.errors import ReproError
 from repro.plan.builder import build_plan
 from repro.plan.rules import optimize_plan
@@ -56,9 +57,15 @@ def resolve_replica_count(count: int | None) -> int:
 class ReadReplica:
     """One follower catalog consuming the primary's log."""
 
-    def __init__(self, wal: WriteAheadLog, name: str = "replica-0") -> None:
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        name: str = "replica-0",
+        engine: str | None = None,
+    ) -> None:
         self.wal = wal
         self.name = name
+        self.engine = engine
         self._lock = threading.Lock()
         self.records_applied = 0
         self.probes_served = 0
@@ -139,7 +146,7 @@ class ReadReplica:
             rows_processed = 0
             for index, (sql, plan) in enumerate(zip(probe.queries, plans)):
                 context = ExecContext()
-                result = Executor(self.catalog, context).run(plan)
+                result = make_executor(self.catalog, context, self.engine).run(plan)
                 rows_processed += context.stats.rows_processed
                 outcomes.append(
                     QueryOutcome(
@@ -169,9 +176,11 @@ class ReplicaPool:
         wal: WriteAheadLog,
         count: int,
         turn_source: Callable[[], int],
+        engine: str | None = None,
     ) -> None:
         self.replicas = [
-            ReadReplica(wal, name=f"replica-{i}") for i in range(max(1, count))
+            ReadReplica(wal, name=f"replica-{i}", engine=engine)
+            for i in range(max(1, count))
         ]
         self._turn_source = turn_source
         self._next = 0

@@ -1,0 +1,433 @@
+"""Differential testing: the columnar engine vs. the row engine.
+
+The columnar executor's contract is byte-identity — rows, row order,
+columns, every stats counter, estimate errors, and raised errors must
+match the row engine exactly, at every plan node. These tests run the
+same plans through both engines and diff everything, over a corpus that
+touches every ``PlanNode`` type, NULL-heavy columns, empty and
+single-row tables, and alias-shadowed plans. A system-level sweep
+(workers 1/8 × thread/process backends) checks the engine knob rides
+the full scheduler/dispatch stack unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import AgentFirstDataSystem, Brief, Probe, SystemConfig
+from repro.db import Database
+from repro.engine.columnar import (
+    ENGINE_ENV_VAR,
+    KERNEL_MEMO_STATS,
+    ColumnarExecutor,
+    clear_kernel_memo,
+    make_executor,
+    resolve_engine,
+)
+from repro.engine.executor import (
+    ExecContext,
+    Executor,
+    SubplanCache,
+    clear_expr_memo,
+)
+from repro.plan import logical
+
+
+def build_db() -> Database:
+    """Two tables with NULLs in every nullable column, plus an empty and
+    a single-row table."""
+    db = Database("columnar-diff")
+    db.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score FLOAT, grp TEXT)"
+    )
+    db.execute("CREATE TABLE s (id INT, label TEXT)")
+    db.execute("CREATE TABLE empty_t (id INT, val FLOAT)")
+    db.execute("CREATE TABLE one_t (id INT, val FLOAT)")
+    rows = []
+    for i in range(300):
+        name = None if i % 7 == 0 else f"name-{i % 13}"
+        score = None if i % 5 == 0 else round((i * 7919 % 997) / 10.0, 1)
+        grp = None if i % 11 == 0 else f"g{i % 4}"
+        rows.append((i, name, score, grp))
+    db.insert_rows("t", rows)
+    db.insert_rows(
+        "s", [(i % 9, None if i % 4 == 0 else f"l{i % 3}") for i in range(40)]
+    )
+    db.insert_rows("one_t", [(1, 2.5)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def diff_db() -> Database:
+    return build_db()
+
+
+#: One entry per plan-node type the planner can emit, plus NULL-heavy,
+#: empty-table, and single-row coverage.
+CORPUS = [
+    # Scan / Project / Filter
+    "SELECT id, name FROM t WHERE score > 50.0",
+    "SELECT id FROM t WHERE name IS NULL",
+    "SELECT id FROM t WHERE grp IS NOT NULL AND score <= 30.0",
+    "SELECT -id, NOT (score > 50.0) FROM t WHERE id < 20",
+    # expressions: arithmetic, concat, case, cast, functions, in, between
+    "SELECT id + 1, score * 2.0, id % 7 FROM t WHERE id < 50",
+    "SELECT name || '-' || grp FROM t WHERE id < 40",
+    "SELECT CASE WHEN score > 70.0 THEN 'hi' WHEN score > 30.0 THEN 'mid' ELSE 'lo' END FROM t",
+    "SELECT CAST(id AS TEXT), CAST(id AS FLOAT) FROM t WHERE id < 25",
+    "SELECT LOWER(name), UPPER(grp), LENGTH(name) FROM t WHERE id < 30",
+    "SELECT COALESCE(name, 'missing'), COALESCE(score, 0.0) FROM t WHERE id < 30",
+    "SELECT id FROM t WHERE grp IN ('g1', 'g3')",
+    "SELECT id FROM t WHERE score BETWEEN 20.0 AND 40.0",
+    "SELECT id FROM t WHERE name LIKE 'name-1%'",
+    # OneRow
+    "SELECT 1, 'x'",
+    # SubqueryScan (derived table)
+    "SELECT q.id FROM (SELECT id FROM t WHERE score > 60.0) q WHERE q.id < 100",
+    # HashJoin (inner + left)
+    "SELECT t.id, s.label FROM t JOIN s ON t.id = s.id ORDER BY t.id, s.label",
+    "SELECT t.id, s.label FROM t LEFT JOIN s ON t.id = s.id WHERE t.id < 30"
+    " ORDER BY t.id, s.label",
+    # NestedLoopJoin (non-equi condition)
+    "SELECT t.id AS tid, s.id AS sid FROM t JOIN s ON t.id < s.id"
+    " WHERE t.id < 8 ORDER BY tid, sid",
+    "SELECT t.id AS tid, s.id AS sid FROM t LEFT JOIN s"
+    " ON t.id < s.id AND s.label = 'l1' WHERE t.id < 6 ORDER BY tid, sid",
+    # Aggregate: global, grouped, empty-input, distinct counts
+    "SELECT COUNT(*), COUNT(score), SUM(score), AVG(score), MIN(name), MAX(score) FROM t",
+    "SELECT grp, COUNT(*), SUM(score), AVG(score) FROM t GROUP BY grp ORDER BY grp",
+    "SELECT COUNT(DISTINCT grp), COUNT(DISTINCT score) FROM t",
+    "SELECT grp, MIN(score), MAX(name) FROM t WHERE id > 250 GROUP BY grp ORDER BY grp",
+    # Sort / Limit / Distinct
+    "SELECT id, score FROM t ORDER BY score DESC, id ASC LIMIT 17",
+    "SELECT id FROM t ORDER BY name LIMIT 10 OFFSET 5",
+    "SELECT DISTINCT grp FROM t ORDER BY grp",
+    "SELECT DISTINCT grp, name FROM t WHERE id < 60 ORDER BY grp, name",
+    # empty + single-row tables
+    "SELECT COUNT(*), SUM(val), AVG(val), MIN(val), MAX(val) FROM empty_t",
+    "SELECT id, val FROM empty_t WHERE val > 1.0 ORDER BY id LIMIT 3",
+    "SELECT DISTINCT id FROM empty_t",
+    "SELECT t.id FROM t JOIN empty_t e ON t.id = e.id",
+    "SELECT id, val * 2.0 FROM one_t",
+    "SELECT COUNT(*), AVG(val) FROM one_t",
+    # subquery-bearing expressions (unvectorizable → row fallback)
+    "SELECT id FROM t WHERE score > (SELECT AVG(score) FROM t) ORDER BY id LIMIT 12",
+    "SELECT id FROM t WHERE id IN (SELECT id FROM s) ORDER BY id",
+]
+
+#: (sql, expected error fragment) — both engines must raise the same
+#: error type with the same message.
+ERROR_CORPUS = [
+    "SELECT score + name FROM t",
+    "SELECT id / (id - id) FROM t",
+    "SELECT id % (id - id) FROM t",
+    "SELECT -name FROM t WHERE name IS NOT NULL",
+    "SELECT SUM(name) FROM t",
+    "SELECT AVG(grp) FROM t",
+]
+
+
+def run_both(db: Database, sql: str, sample_rate: float = 1.0):
+    plan = db.plan_select(sql)
+    row_context = ExecContext(sample_rate=sample_rate, sample_seed=17)
+    col_context = ExecContext(sample_rate=sample_rate, sample_seed=17)
+    row_result = Executor(db.catalog, row_context).run(plan)
+    col_result = ColumnarExecutor(db.catalog, col_context).run(plan)
+    return row_context, row_result, col_context, col_result
+
+
+def assert_identical(db: Database, sql: str, sample_rate: float = 1.0) -> None:
+    row_context, row_result, col_context, col_result = run_both(
+        db, sql, sample_rate
+    )
+    assert col_result.columns == row_result.columns, sql
+    assert col_result.rows == row_result.rows, sql
+    assert col_result.estimate_errors == row_result.estimate_errors, sql
+    assert asdict(col_context.stats) == asdict(row_context.stats), sql
+
+
+class TestDifferentialCorpus:
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_exact(self, diff_db, sql):
+        assert_identical(diff_db, sql)
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_sampled(self, diff_db, sql):
+        """Sampled scans draw the same bernoulli sequence; sampled
+        aggregates (scaled estimates) run through the row fallback."""
+        assert_identical(diff_db, sql, sample_rate=0.5)
+
+    @pytest.mark.parametrize("sql", ERROR_CORPUS)
+    def test_error_parity(self, diff_db, sql):
+        plan = diff_db.plan_select(sql)
+        with pytest.raises(Exception) as row_err:
+            Executor(diff_db.catalog, ExecContext()).run(plan)
+        with pytest.raises(Exception) as col_err:
+            ColumnarExecutor(diff_db.catalog, ExecContext()).run(plan)
+        assert type(col_err.value) is type(row_err.value), sql
+        assert str(col_err.value) == str(row_err.value), sql
+
+    def test_index_scan_falls_back(self):
+        """IndexScan leaves have no kernel; the row fallback serves them
+        with identical stats. Fresh database: the index must not leak
+        into the shared fixture's plans."""
+        db = build_db()
+        db.catalog.create_hash_index("t", "grp")
+        sql = "SELECT id FROM t WHERE grp = 'g2' ORDER BY id"
+        plan = db.plan_select(sql)
+        assert any(isinstance(n, logical.IndexScan) for n in plan.walk())
+        assert_identical(db, sql)
+
+    def test_alias_shadowed_plans(self, diff_db):
+        """Alias renaming keeps the strict fingerprint, so the renamed
+        twin reuses the memoized kernels — and still matches the row
+        engine byte-for-byte."""
+        assert_identical(
+            diff_db, "SELECT a.id, a.grp FROM t a WHERE a.score > 40.0"
+        )
+        KERNEL_MEMO_STATS.reset()
+        assert_identical(
+            diff_db, "SELECT b.id, b.grp FROM t b WHERE b.score > 40.0"
+        )
+        assert KERNEL_MEMO_STATS.builds == 0
+        assert KERNEL_MEMO_STATS.hits > 0
+
+    def test_view_scan(self, diff_db):
+        """ViewScan nodes (maintenance-substituted leaves) execute
+        identically, including the output-column permutation."""
+        source = diff_db.plan_select("SELECT grp, COUNT(*) FROM t GROUP BY grp")
+        view = logical.ViewScan(
+            name="v-test",
+            source_strict="deadbeef",
+            build_id=1,
+            columns=source.output,
+            rows=(("g0", 4), ("g1", 3), (None, 2)),
+            projection=(0, 1),
+        )
+        permuted = logical.ViewScan(
+            name="v-perm",
+            source_strict="deadbeef",
+            build_id=2,
+            columns=tuple(reversed(source.output)),
+            rows=(("g0", 4), ("g1", 3)),
+            projection=(1, 0),
+        )
+        for node in (view, permuted):
+            row_context = ExecContext()
+            col_context = ExecContext()
+            row_result = Executor(diff_db.catalog, row_context).run(node)
+            col_result = ColumnarExecutor(diff_db.catalog, col_context).run(node)
+            assert col_result.rows == row_result.rows
+            assert asdict(col_context.stats) == asdict(row_context.stats)
+
+
+class TestEngineResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "columnar")
+        assert resolve_engine("row") == "row"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "columnar")
+        assert resolve_engine(None) == "columnar"
+
+    def test_default_is_row(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert resolve_engine(None) == "row"
+
+    def test_auto_is_columnar(self):
+        assert resolve_engine("auto") == "columnar"
+
+    def test_unrecognized_is_row(self):
+        assert resolve_engine("vectorwise") == "row"
+
+    def test_factory(self, diff_db):
+        assert isinstance(
+            make_executor(diff_db.catalog, ExecContext(), "row"), Executor
+        )
+        assert isinstance(
+            make_executor(diff_db.catalog, ExecContext(), "columnar"),
+            ColumnarExecutor,
+        )
+        assert not isinstance(
+            make_executor(diff_db.catalog, ExecContext(), "row"),
+            ColumnarExecutor,
+        )
+
+
+class TestCrossEngineCache:
+    """Both engines key the subplan cache identically, so a cache one
+    engine populated serves the other — rows included."""
+
+    SQL = (
+        "SELECT t.grp, SUM(t.score) FROM t JOIN s ON t.id = s.id"
+        " GROUP BY t.grp ORDER BY t.grp"
+    )
+
+    def _run(self, db, executor_cls, cache):
+        context = ExecContext(cache=cache)
+        plan = db.plan_select(self.SQL)
+        result = executor_cls(db.catalog, context).run(plan)
+        return context, result
+
+    def test_columnar_populates_row_consumes(self, diff_db):
+        cache = SubplanCache()
+        _, col_result = self._run(diff_db, ColumnarExecutor, cache)
+        row_context, row_result = self._run(diff_db, Executor, cache)
+        assert row_result.rows == col_result.rows
+        assert row_context.stats.cache_hits > 0
+        assert row_context.stats.cache_misses == 0
+
+    def test_row_populates_columnar_consumes(self, diff_db):
+        cache = SubplanCache()
+        _, row_result = self._run(diff_db, Executor, cache)
+        col_context, col_result = self._run(diff_db, ColumnarExecutor, cache)
+        assert col_result.rows == row_result.rows
+        assert col_context.stats.cache_hits > 0
+        assert col_context.stats.cache_misses == 0
+
+
+class TestKernelMemo:
+    def test_repeat_execution_hits_memo(self, diff_db):
+        clear_expr_memo()  # also clears the kernel memo
+        sql = "SELECT id, score FROM t WHERE score > 10.0 ORDER BY id LIMIT 5"
+        plan = diff_db.plan_select(sql)
+        ColumnarExecutor(diff_db.catalog, ExecContext()).run(plan)
+        KERNEL_MEMO_STATS.reset()
+        ColumnarExecutor(diff_db.catalog, ExecContext()).run(plan)
+        assert KERNEL_MEMO_STATS.builds == 0
+        assert KERNEL_MEMO_STATS.hits > 0
+        assert KERNEL_MEMO_STATS.fallbacks == 0
+
+    def test_subquery_nodes_are_unvectorized(self, diff_db):
+        clear_expr_memo()
+        sql = "SELECT id FROM t WHERE score > (SELECT AVG(score) FROM t)"
+        plan = diff_db.plan_select(sql)
+        KERNEL_MEMO_STATS.reset()
+        ColumnarExecutor(diff_db.catalog, ExecContext()).run(plan)
+        assert KERNEL_MEMO_STATS.unvectorized > 0
+        assert KERNEL_MEMO_STATS.fallbacks == 0
+
+    def test_clear_expr_memo_clears_kernels(self, diff_db):
+        from repro.engine import columnar as columnar_module
+
+        sql = "SELECT id FROM t WHERE id < 10"
+        plan = diff_db.plan_select(sql)
+        ColumnarExecutor(diff_db.catalog, ExecContext()).run(plan)
+        with columnar_module._KERNEL_MEMO_LOCK:
+            assert len(columnar_module._KERNEL_MEMO) > 0
+        clear_expr_memo()
+        with columnar_module._KERNEL_MEMO_LOCK:
+            assert len(columnar_module._KERNEL_MEMO) == 0
+
+    def test_kernel_memo_is_bounded(self, diff_db):
+        from repro.engine import columnar as columnar_module
+
+        clear_kernel_memo()
+        for i in range(30):
+            plan = diff_db.plan_select(f"SELECT id FROM t WHERE id > {i}")
+            ColumnarExecutor(diff_db.catalog, ExecContext()).run(plan)
+        with columnar_module._KERNEL_MEMO_LOCK:
+            assert (
+                len(columnar_module._KERNEL_MEMO)
+                <= columnar_module._KERNEL_MEMO_MAX
+            )
+
+
+def system_db() -> Database:
+    db = Database("columnar-system")
+    db.execute("CREATE TABLE stores (id INT PRIMARY KEY, city TEXT, state TEXT)")
+    db.execute(
+        "CREATE TABLE sales (id INT, store_id INT, product TEXT, amount FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'),(3,'Seattle','Washington')"
+    )
+    db.insert_rows(
+        "sales",
+        [
+            (i, 1 + i % 3, "coffee" if i % 2 else "tea", float(i % 40))
+            for i in range(600)
+        ],
+    )
+    return db
+
+
+def system_probes() -> list[Probe]:
+    shared_join = (
+        "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+        " ON s.id = x.store_id GROUP BY s.city ORDER BY s.city"
+    )
+    probes = [
+        Probe(
+            queries=(
+                shared_join,
+                f"SELECT COUNT(*) FROM sales WHERE store_id = {1 + agent % 3}",
+            ),
+            brief=Brief(goal="compute the exact answer"),
+            agent_id=f"agent-{agent}",
+        )
+        for agent in range(6)
+    ]
+    probes.append(Probe.sql("SELECT 1 / (id - id) FROM stores"))
+    probes.append(
+        Probe(
+            queries=("SELECT AVG(amount) FROM sales",),
+            brief=Brief(goal="explore the data roughly", accuracy=0.5),
+            agent_id="sampler",
+        )
+    )
+    return probes
+
+
+def assert_same_responses(row_responses, col_responses):
+    assert len(row_responses) == len(col_responses)
+    for row, col in zip(row_responses, col_responses):
+        assert [o.sql for o in row.outcomes] == [o.sql for o in col.outcomes]
+        assert [o.status for o in row.outcomes] == [
+            o.status for o in col.outcomes
+        ]
+        assert [o.reason for o in row.outcomes] == [
+            o.reason for o in col.outcomes
+        ]
+        for row_outcome, col_outcome in zip(row.outcomes, col.outcomes):
+            row_rows = row_outcome.result.rows if row_outcome.result else None
+            col_rows = col_outcome.result.rows if col_outcome.result else None
+            assert row_rows == col_rows
+        assert row.steering == col.steering
+
+
+class TestSystemDifferential:
+    """The engine knob through the whole stack: scheduler admission,
+    speculation, history, steering — byte-identical responses at any
+    worker count on either dispatch backend."""
+
+    @pytest.mark.parametrize("workers", [1, 8])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_batch_matches_row_engine(self, workers, backend):
+        """Identical systems except for the engine knob: same batch, same
+        workers, same backend — the responses must not differ at all."""
+        probes = system_probes()
+        row_config = SystemConfig(engine="row", dispatch_backend=backend)
+        with AgentFirstDataSystem(
+            system_db(), config=row_config, workers=workers
+        ) as row_system:
+            row_responses = row_system.submit_many(probes)
+        col_config = SystemConfig(engine="columnar", dispatch_backend=backend)
+        with AgentFirstDataSystem(
+            system_db(), config=col_config, workers=workers
+        ) as col_system:
+            col_responses = col_system.submit_many(probes)
+        assert_same_responses(row_responses, col_responses)
+
+    def test_env_override_reaches_scheduler(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "columnar")
+        system = AgentFirstDataSystem(system_db())
+        response = system.submit(Probe.sql("SELECT COUNT(*) FROM sales"))
+        assert response.outcomes[0].result.rows == [(600,)]
+        assert isinstance(
+            make_executor(system.db.catalog, ExecContext(), None),
+            ColumnarExecutor,
+        )

@@ -313,3 +313,73 @@ class TestCatalogSnapshot:
         version = branch.db.catalog.version()
         branch.update_row("stores", 0, (1, "Berkeley", "California"))
         assert branch.db.catalog.version() != version
+
+
+class TestColumnBatchPickling:
+    """The columnar engine's :class:`ColumnBatch` rides the process
+    dispatch seam (workers ship query results column-major). Like
+    ``PlanNode.__getstate__`` strips the fingerprint memo, the batch's
+    wire form must strip its caches — the materialised row view and the
+    lazy numpy mirrors — and rebuild them on demand after the trip."""
+
+    def make_batch(self):
+        from repro.engine.columnar import ColumnBatch
+
+        rows = [(1, "a", 1.5), (2, None, -0.5), (3, "c", None)]
+        return ColumnBatch.from_rows(rows, 3), rows
+
+    def test_round_trip_preserves_columns_and_rows(self):
+        batch, rows = self.make_batch()
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone.columns == batch.columns
+        assert clone.length == batch.length == 3
+        assert clone.to_rows() == rows
+
+    def test_caches_are_stripped_from_the_wire_form(self):
+        batch, rows = self.make_batch()
+        assert batch.to_rows() == rows  # populate the row cache
+        batch.numpy_column(0)  # populate the numpy mirror cache
+        state = batch.__getstate__()
+        assert state == (batch.columns, batch.length)
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone._rows is None
+        assert clone._numpy == {}
+        # Lazily rebuilt on first use, to identical values.
+        assert clone.to_rows() == rows
+        assert clone.numpy_column(0) is not None or batch.numpy_column(0) is None
+
+    def test_empty_and_zero_width_batches(self):
+        from repro.engine.columnar import ColumnBatch
+
+        empty = ColumnBatch.from_rows([], 4)
+        clone = pickle.loads(pickle.dumps(empty))
+        assert clone.length == 0
+        assert clone.to_rows() == []
+
+        zero_width = ColumnBatch.from_rows([(), ()], 0)
+        back = pickle.loads(pickle.dumps(zero_width))
+        assert back.length == 2
+        assert back.to_rows() == [(), ()]
+
+    def test_result_rows_cross_the_process_seam_column_major(self):
+        """End-to-end: a worker running the columnar engine packs result
+        rows as a ColumnBatch; the parent unpacks to the same row list
+        the row engine ships."""
+        from repro.core.dispatch import ProcessDispatcher
+
+        db = build_db()
+        plan = db.plan_select(PLAN_CORPUS["aggregate"])
+        row_payload = SpeculationPayload(
+            plan=plan, sample_rate=1.0, sample_seed=0, engine="row"
+        )
+        col_payload = SpeculationPayload(
+            plan=plan, sample_rate=1.0, sample_seed=0, engine="columnar"
+        )
+        dispatcher = ProcessDispatcher(workers=2)
+        try:
+            row_results = dispatcher.run(db.catalog, [row_payload], use_cache=True)
+            col_results = dispatcher.run(db.catalog, [col_payload], use_cache=True)
+        finally:
+            dispatcher.retire()
+        assert col_results[0].result.rows == row_results[0].result.rows
+        assert isinstance(col_results[0].result.rows, list)
