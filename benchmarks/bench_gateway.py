@@ -294,6 +294,17 @@ def run_gateway_bench() -> GatewayBenchResult:
             for response in batch_system.submit_many(probes)
         )
         batch_ms = (time.perf_counter() - started) * 1000.0
+        # Registry-backed efficiency gauges for the trajectory (last —
+        # largest — swarm size wins): the sharing ceiling's cache economy.
+        snap = batch_system.metrics()
+        result.cache_metrics = {
+            "swarm_size": n_agents,
+            "subplan_cache_hit_ratio": snap.get(
+                "repro_engine_subplan_cache_hit_ratio"
+            ),
+            "subplan_cache_hits": snap.get("repro_engine_subplan_cache_hits"),
+            "subplan_cache_misses": snap.get("repro_engine_subplan_cache_misses"),
+        }
 
         # Path 3: streaming admission from uncoordinated agent threads.
         stream_rows, stream_ms, stats = run_streaming_path(probes)
@@ -361,7 +372,12 @@ def write_json(result: GatewayBenchResult) -> str:
     """Append this run (keyed by git SHA + date) to the perf trajectory."""
     from bench_record import append_run
 
-    return append_run(JSON_PATH_ENV, DEFAULT_JSON_PATH, result.to_json())
+    return append_run(
+        JSON_PATH_ENV,
+        DEFAULT_JSON_PATH,
+        result.to_json(),
+        metrics=getattr(result, "cache_metrics", None),
+    )
 
 
 def test_gateway_streaming_admission(benchmark):

@@ -59,12 +59,17 @@ def _load_runs(path: str, bench: str) -> list[dict]:
     return []
 
 
-def append_run(path_env: str, default_path: str, payload: dict) -> str:
+def append_run(
+    path_env: str, default_path: str, payload: dict, metrics: dict | None = None
+) -> str:
     """Append one run record to the bench's JSON trajectory file.
 
     ``payload`` is the bench's ``to_json()`` dict (must carry ``bench``);
     the record it becomes is stamped with the git SHA and UTC date/time.
-    Returns the path written.
+    ``metrics`` (optional) is a flat dict of named gauges/ratios — e.g.
+    cache-hit ratios pulled from ``system.metrics()`` — recorded under a
+    ``"metrics"`` key so trajectories can track efficiency alongside
+    latency. Returns the path written.
     """
     path = os.environ.get(path_env, default_path)
     bench = str(payload.get("bench", "unknown"))
@@ -77,6 +82,8 @@ def append_run(path_env: str, default_path: str, payload: dict) -> str:
         "recorded_at": now.isoformat(timespec="seconds"),
         **payload,
     }
+    if metrics:
+        record["metrics"] = dict(metrics)
     if sha != "unknown":
         # Same commit re-run: replace, don't double-count in the trajectory.
         runs = [run for run in runs if run.get("git_sha") != sha]

@@ -430,6 +430,19 @@ def run_sharing_bench(result: SchedulerBenchResult) -> None:
         result.sharing_rows.append(
             (n_agents, serial_rows, batched_rows, saved, serial_ms, batched_ms)
         )
+        # Registry-backed efficiency gauges for the trajectory (last —
+        # largest — swarm size wins): how much of the batch's engine work
+        # the subplan cache absorbed.
+        snap = batch_system.metrics()
+        result.cache_metrics = {
+            "swarm_size": n_agents,
+            "subplan_cache_hit_ratio": snap.get(
+                "repro_engine_subplan_cache_hit_ratio"
+            ),
+            "subplan_cache_hits": snap.get("repro_engine_subplan_cache_hits"),
+            "subplan_cache_misses": snap.get("repro_engine_subplan_cache_misses"),
+            "subplan_cache_entries": snap.get("repro_engine_subplan_cache_entries"),
+        }
 
 
 def run_speedup_bench(result: SchedulerBenchResult) -> None:
@@ -564,7 +577,12 @@ def write_json(result: SchedulerBenchResult) -> str:
     """Append this run (keyed by git SHA + date) to the perf trajectory."""
     from bench_record import append_run
 
-    return append_run(JSON_PATH_ENV, DEFAULT_JSON_PATH, result.to_json())
+    return append_run(
+        JSON_PATH_ENV,
+        DEFAULT_JSON_PATH,
+        result.to_json(),
+        metrics=getattr(result, "cache_metrics", None),
+    )
 
 
 def test_scheduler_batching(benchmark):

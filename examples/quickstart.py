@@ -420,6 +420,57 @@ def main() -> None:
     )
     tier.close()
 
+    # 14. Watching the system think: the observability layer. Set
+    # Brief(trace=True) (or REPRO_TRACE=1 globally) and the response
+    # carries a span tree following the probe end-to-end — gateway
+    # admission, QoS verdict, scheduler work group, every engine plan
+    # node with rows in/out. Export it with trace.to_chrome_json() and
+    # drop the file on https://ui.perfetto.dev (or about:tracing) for a
+    # flame view. Tracing never changes an answer.
+    observed = AgentFirstDataSystem(db)
+    traced = observed.submit(
+        Probe(
+            queries=(
+                "SELECT s.city, SUM(x.amount) FROM stores s JOIN sales x"
+                " ON s.id = x.store_id GROUP BY s.city",
+            ),
+            brief=Brief(goal="compute the exact answer", trace=True),
+            agent_id="observer",
+        )
+    )
+    print("\n== watching the system think ==")
+
+    def show(span, depth=0):
+        print(f"  {'  ' * depth}{span.name}  {span.duration_ms:.3f}ms {span.attrs}")
+        for child in span.children:
+            show(child, depth + 1)
+
+    show(traced.trace.root)
+    chrome = traced.trace.to_chrome_json()
+    print(f"chrome trace: {len(chrome)} bytes -> save as trace.json, load in Perfetto")
+
+    # Every component publishes into one metrics registry per system:
+    # counters, gauges, and latency histograms, renderable as JSON or
+    # Prometheus exposition text (ShardedSystem.metrics() merges shards
+    # with a shard label). A few of the series this run populated:
+    snap = observed.metrics()
+    for name in (
+        "repro_gateway_windows_direct_total",
+        "repro_scheduler_batches_served_total",
+        "repro_engine_subplan_cache_hit_ratio",
+    ):
+        print(f"metric {name} = {snap.get(name)}")
+    node_latency = snap.get("repro_engine_node_latency_ms", node="Scan", engine="row")
+    if node_latency:
+        print(f"metric repro_engine_node_latency_ms{{node=Scan}} count={node_latency['count']}")
+    # print(snap.to_prometheus_text())  # the full scrape-ready payload
+
+    # Slow-probe log: set SystemConfig.slow_probe_ms (or
+    # REPRO_SLOW_PROBE_MS) and offenders land in system.slow_probes with
+    # their full trace attached — the threshold implies tracing, because
+    # a slow probe cannot be traced after the fact.
+    print("slow probes over threshold:", len(observed.slow_probes))
+
 
 if __name__ == "__main__":
     main()

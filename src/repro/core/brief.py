@@ -78,6 +78,11 @@ class Brief:
     #: response then carries an explicit staleness steering hint);
     #: ``None`` means answers always come from the primary.
     max_staleness: int | None = None
+    #: Per-probe tracing opt-in: ``True`` attaches an end-to-end
+    #: :class:`repro.obs.trace.Trace` to the response, ``False`` opts out
+    #: even when ``REPRO_TRACE=1`` is set globally, and ``None`` (the
+    #: default) defers to the environment. Tracing never changes answers.
+    trace: bool | None = None
     #: Free-form extra context, passed through to sleeper agents.
     notes: str = ""
 

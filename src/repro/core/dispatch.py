@@ -57,6 +57,7 @@ from repro.core.optimizer import PrecomputedExecution
 from repro.engine.columnar import ColumnarExecutor, ColumnBatch, make_executor
 from repro.engine.executor import ExecContext, SubplanCache
 from repro.errors import ReproError
+from repro.obs import trace as obs_trace
 from repro.plan.logical import PlanNode
 from repro.storage.catalog import Catalog, CatalogSnapshot
 
@@ -119,6 +120,11 @@ class SpeculationPayload:
     #: *parent* (env overrides must not depend on what a spawned worker
     #: inherited), so workers never consult the environment.
     engine: str = "row"
+    #: Record engine-node spans in the worker and ship them back on
+    #: ``PrecomputedExecution.span``. Resolved by the parent (a worker
+    #: must not consult its own environment) and set only when some
+    #: traced probe shares this unit — tracing-off dispatch is unchanged.
+    trace: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -152,15 +158,27 @@ def _worker_run(payload: SpeculationPayload) -> PrecomputedExecution:
         cache=_WORKER_STATE["cache"],
     )
     executor = make_executor(_WORKER_STATE["catalog"], context, payload.engine)
+    span = None
+    token = None
+    if payload.trace:
+        # Detached subtree on this process's own monotonic clock; the
+        # coordinator re-anchors it via obs_trace.reparent after unpickle.
+        span = obs_trace.Span("speculation:worker")
+        span.attrs["pid"] = os.getpid()
+        token = obs_trace.set_current(span)
     try:
         result = executor.run(payload.plan)
     except ReproError as exc:
-        return PrecomputedExecution(error=str(exc))
+        return PrecomputedExecution(error=str(exc), span=span)
+    finally:
+        if token is not None:
+            obs_trace.reset_current(token)
+            span.finish()
     if isinstance(executor, ColumnarExecutor):
         # Ride home column-major: one list per column pickles smaller
         # than a tuple per row. The dispatcher unpacks before replay.
         result.rows = ColumnBatch.from_rows(result.rows, len(result.columns))
-    return PrecomputedExecution(result=result)
+    return PrecomputedExecution(result=result, span=span)
 
 
 def _worker_ping() -> tuple:

@@ -54,6 +54,9 @@ from typing import TYPE_CHECKING, AsyncIterator, Callable, Iterable
 from repro.core.brief import Brief
 from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.errors import GatewayClosed
+from repro.qos.policy import lane_name
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.qos.chaos import ChaosEngine, resolve_chaos_seed
 from repro.qos.policy import LANE_STANDARD, Degradation
 
@@ -114,6 +117,7 @@ def merge_brief(brief: Brief, defaults: Brief) -> Brief:
             if brief.max_staleness is not None
             else defaults.max_staleness
         ),
+        trace=brief.trace if brief.trace is not None else defaults.trace,
         notes=brief.notes or defaults.notes,
     )
 
@@ -144,6 +148,9 @@ class ProbeTicket:
         self.lane = LANE_STANDARD
         self.starved = False
         self._seq = 0
+        #: Open "gateway:queued" span when the probe carries a trace;
+        #: finished at the admission edge with the window's attributes.
+        self._queued_span = None
 
     def done(self) -> bool:
         """True once the response is available (or the ticket cancelled)."""
@@ -268,7 +275,31 @@ class ProbeGateway:
     (callers that know their stream has a lull use it to skip the
     ``max_wait`` timer); ``close()`` drains pending probes and stops the
     loop.
+
+    Lock discipline: all stats counters — the streamed/direct window
+    aggregates, the QoS backpressure counters, ``_seq_counter``, and the
+    formation gauges — are mutated and snapshotted only while holding
+    ``_cond``; never call back into user code (hooks, futures) or
+    acquire ``_serve_lock`` while holding it. ``_serve_lock`` serialises
+    window serving and is always taken *without* ``_cond`` held (the
+    ``_serve_waiters`` handshake brackets it from outside), so the lock
+    order is strictly one-at-a-time and deadlock-free. ``stats()`` is
+    therefore a consistent point-in-time snapshot, exactly the
+    discipline :class:`~repro.engine.executor.SubplanCache` documents
+    for its counters. The counters themselves live in the shared metrics
+    registry via :class:`~repro.obs.metrics.MetricAttr` shims —
+    attribute reads/writes and ``stats()`` keys are unchanged.
     """
+
+    windows_streamed = MetricAttr("_m_windows_streamed")
+    probes_streamed = MetricAttr("_m_probes_streamed")
+    windows_direct = MetricAttr("_m_windows_direct")
+    probes_offloaded = MetricAttr("_m_probes_offloaded")
+    idle_hook_errors = MetricAttr("_m_idle_hook_errors")
+    overload_windows = MetricAttr("_m_overload_windows")
+    probes_degraded = MetricAttr("_m_probes_degraded")
+    probes_shed_to_replicas = MetricAttr("_m_probes_shed_to_replicas")
+    probes_closed_unserved = MetricAttr("_m_probes_closed_unserved")
 
     def __init__(
         self,
@@ -276,6 +307,7 @@ class ProbeGateway:
         max_batch: int | None = None,
         max_wait: float | None = None,
         qos: "QosController | None" = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.max_batch = resolve_max_batch(max_batch)
@@ -320,6 +352,40 @@ class ProbeGateway:
         #: these via :meth:`stats`) plus the caller-assembled windows
         #: served synchronously. Running aggregates, not per-window lists:
         #: a long-lived gateway must not grow without bound.
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+
+        def _bind(name: str, help_text: str):
+            return registry.counter(f"repro_gateway_{name}", help_text).bind()
+
+        self._m_windows_streamed = _bind(
+            "windows_streamed_total", "Admission windows formed by the loop."
+        )
+        self._m_probes_streamed = _bind(
+            "probes_streamed_total", "Probes admitted through streamed windows."
+        )
+        self._m_windows_direct = _bind(
+            "windows_direct_total", "Caller-assembled windows served synchronously."
+        )
+        self._m_probes_offloaded = _bind(
+            "probes_offloaded_total", "Probes answered by read replicas."
+        )
+        self._m_idle_hook_errors = _bind(
+            "idle_hook_errors_total", "Maintenance idle-hook failures survived."
+        )
+        self._m_overload_windows = _bind(
+            "overload_windows_total", "Windows formed past a QoS watermark."
+        )
+        self._m_probes_degraded = _bind(
+            "probes_degraded_total", "Probes served with a shedding verdict."
+        )
+        self._m_probes_shed_to_replicas = _bind(
+            "probes_shed_to_replicas_total", "Probes force-offloaded by shedding."
+        )
+        self._m_probes_closed_unserved = _bind(
+            "probes_closed_unserved_total", "Probes still queued at shutdown."
+        )
+        registry.add_collector(self._collect_gauges)
         self.windows_streamed = 0
         self.probes_streamed = 0
         self.windows_direct = 0
@@ -351,6 +417,12 @@ class ProbeGateway:
         """Serve one caller-assembled admission window, synchronously."""
         if not probes:
             return []
+        for probe in probes:
+            trace = obs_trace.ensure_probe_trace(probe)
+            if trace is not None:
+                trace.root.child(
+                    "gateway:window", path="direct", window_size=len(probes)
+                ).finish()
         with self._cond:
             self._serve_waiters += 1  # visible to maintenance preemption
         try:
@@ -373,7 +445,10 @@ class ProbeGateway:
         hard admission cap (when one is configured — by default overload
         degrades instead of rejecting and this never raises).
         """
+        trace = obs_trace.ensure_probe_trace(probe)
         ticket = ProbeTicket(self, probe, session)
+        if trace is not None:
+            ticket._queued_span = trace.root.child("gateway:queued")
         with self._cond:
             if self._stopped:
                 raise GatewayClosed()
@@ -384,6 +459,12 @@ class ProbeGateway:
                 ticket.lane, ticket.starved = self.qos.classify(
                     probe, len(self._pending)
                 )
+                if trace is not None:
+                    trace.root.child(
+                        "qos:classify",
+                        lane=lane_name(ticket.lane),
+                        starved=ticket.starved,
+                    ).finish()
             ticket._seq = self._seq_counter
             self._seq_counter += 1
             self._ensure_loop()
@@ -601,6 +682,20 @@ class ProbeGateway:
             delay = self.chaos.admission_delay_s()
             if delay:
                 time.sleep(delay)
+        for position, ticket in enumerate(window):
+            span = ticket._queued_span
+            if span is not None:
+                # The admission-window span: queue time plus the window's
+                # shape, closed at the admission edge.
+                span.note(
+                    window_size=len(window),
+                    position=position,
+                    formation_ms=round(formation_ms, 3),
+                )
+                if overload_cause is not None:
+                    span.note(overload_cause=overload_cause)
+                span.finish()
+                ticket._queued_span = None
         degradations: list[Degradation | None] | None = None
         if overload_cause is not None and self.qos is not None:
             with self._cond:
@@ -730,6 +825,7 @@ class ProbeGateway:
                         self.probes_offloaded += 1
                         self.probes_shed_to_replicas += 1
                         self.probes_degraded += 1
+                    self._finalize_offload_trace(ticket, response, forced=True)
                     self._deliver(ticket, response)
                     continue
                 verdict = (
@@ -746,11 +842,50 @@ class ProbeGateway:
                 if response is not None:
                     with self._cond:
                         self.probes_offloaded += 1
+                    self._finalize_offload_trace(ticket, response, forced=False)
                     self._deliver(ticket, response)
                     continue
             kept.append(ticket)
             kept_verdicts.append(verdict)
         return kept, (kept_verdicts if degradations is not None else None)
+
+    @staticmethod
+    def _finalize_offload_trace(
+        ticket: ProbeTicket, response: ProbeResponse, forced: bool
+    ) -> None:
+        """Close a trace that never reaches ``_serve_batch``: the probe
+        was answered by a replica, so the gateway owns finalization."""
+        trace = obs_trace.probe_trace(ticket.probe)
+        if trace is None or trace.finished:
+            return
+        span = ticket._queued_span
+        if span is not None:
+            span.note(offloaded=True)
+            span.finish()
+            ticket._queued_span = None
+        trace.root.child("replica:offload", forced=forced).finish()
+        trace.finish()
+        response.trace = trace
+
+    def _collect_gauges(self) -> None:
+        """Snapshot-time gauges (zero hot-path cost): the live queue
+        depth and the formation peaks, read under ``_cond`` exactly like
+        ``stats()``."""
+        with self._cond:
+            pending = len(self._pending)
+            peak = self._queue_depth_peak
+            size_max = self._window_size_max
+        registry = self.metrics_registry
+        registry.gauge(
+            "repro_gateway_pending", "Probes queued for admission right now."
+        ).set(pending)
+        registry.gauge(
+            "repro_gateway_queue_depth_peak",
+            "Deepest the admission queue has ever been.",
+        ).set(peak)
+        registry.gauge(
+            "repro_gateway_window_size_max", "Largest window served so far."
+        ).set(size_max)
 
     # -- cancellation ---------------------------------------------------------
 

@@ -46,6 +46,7 @@ from repro.engine.columnar import make_executor, resolve_engine
 from repro.engine.executor import ExecContext, SubplanCache
 from repro.engine.result import QueryResult
 from repro.errors import ReproError
+from repro.obs import trace as obs_trace
 from repro.plan.fingerprint import fingerprints
 
 
@@ -70,6 +71,11 @@ class PrecomputedExecution:
 
     result: QueryResult | None = None
     error: str | None = None
+    #: Worker-side span subtree (process backend only, traced probes
+    #: only): the engine-node spans recorded in the worker process, shipped
+    #: back through the pickle seam for :func:`repro.obs.trace.reparent`
+    #: to graft under the coordinator-side decision span.
+    span: object | None = None
 
 
 @dataclass
@@ -238,6 +244,11 @@ class ProbeOptimizer:
             with self._lock:
                 entry = self.history.get(strict)
             if entry is not None:
+                ambient = obs_trace.current_span()
+                if ambient is not None:
+                    ambient.child(
+                        "engine:history", answered_at_turn=entry.turn
+                    ).finish()
                 # Materialization advice tracks logical demand: answering
                 # from history still counts as one more occurrence.
                 self.advisor.observe(query.plan)
@@ -256,7 +267,21 @@ class ProbeOptimizer:
                 )
 
         if precomputed is None:
+            # Serial execution: engine-node spans nest directly under the
+            # ambient decision span via the trace contextvar.
             precomputed = self.speculative_execute(decision, turn)
+        else:
+            ambient = obs_trace.current_span()
+            if ambient is not None:
+                worker_span = precomputed.span
+                if worker_span is not None:
+                    # Process-backend speculation: graft the worker's span
+                    # subtree here, once — later sharers of the same unit
+                    # get a provenance marker instead of a duplicate tree.
+                    obs_trace.reparent(ambient, worker_span)
+                    precomputed.span = None
+                else:
+                    ambient.child("engine:shared", source="speculation").finish()
         if precomputed.error is not None:
             return QueryOutcome(
                 sql=query.sql,

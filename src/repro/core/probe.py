@@ -85,6 +85,10 @@ class ProbeResponse:
     #: probe was served in (every probe in a batch carries the same report;
     #: a lone ``submit`` is a batch of one).
     sharing: SharingReport | None = None
+    #: End-to-end span tree for this probe (``repro.obs.trace.Trace``),
+    #: present only when the probe opted into tracing via ``Brief.trace``
+    #: or ``REPRO_TRACE=1``; export with ``trace.to_chrome()``.
+    trace: object | None = None
 
     def answered(self) -> list[QueryOutcome]:
         return [outcome for outcome in self.outcomes if outcome.answered]

@@ -105,6 +105,8 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from dataclasses import replace
+
 from repro.core.dispatch import ProcessDispatcher, resolve_backend
 from repro.core.interpreter import InterpretedProbe, ProbeInterpreter
 from repro.core.mqo import SharingReport, subplan_census
@@ -113,6 +115,8 @@ from repro.core.probe import Probe, QueryOutcome
 from repro.core.satisfice import ExecutionDecision
 from repro.engine.executor import subplan_cache_key
 from repro.engine.result import QueryResult
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.plan.fingerprint import fingerprints
 
 #: Environment override for the default worker count — lets CI run the
@@ -192,6 +196,9 @@ class _BatchRun:
     precomputed: dict[tuple[int, int], PrecomputedExecution] = field(
         default_factory=dict
     )
+    #: Per-probe ``scheduler:batch`` spans (probe index -> Span) for the
+    #: traced probes in the batch — empty with tracing off.
+    spans: dict[int, object] = field(default_factory=dict)
 
 
 class ProbeScheduler:
@@ -206,12 +213,21 @@ class ProbeScheduler:
     else threads).
     """
 
+    #: Batches served, queries dispatched, and engine runs performed by
+    #: the speculative phase. Metric-backed attribute shims: reads and
+    #: ``+=`` mutations go through the metrics registry while call sites
+    #: keep the plain-counter spelling.
+    batches_served = MetricAttr("_m_batches_served")
+    queries_dispatched = MetricAttr("_m_queries_dispatched")
+    speculative_executions = MetricAttr("_m_speculative_executions")
+
     def __init__(
         self,
         interpreter: ProbeInterpreter,
         optimizer: ProbeOptimizer,
         workers: int | None = None,
         backend: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.interpreter = interpreter
         self.optimizer = optimizer
@@ -224,8 +240,18 @@ class ProbeScheduler:
             if self.backend == "process" and self.workers > 1
             else None
         )
-        #: Batches served, queries dispatched, and engine runs performed by
-        #: the speculative phase (observability counters).
+        self.metrics_registry = registry if registry is not None else MetricsRegistry()
+        self._m_batches_served = self.metrics_registry.counter(
+            "repro_scheduler_batches_served_total", "Admission batches served"
+        ).bind()
+        self._m_queries_dispatched = self.metrics_registry.counter(
+            "repro_scheduler_queries_dispatched_total",
+            "Query decisions resolved through dispatch",
+        ).bind()
+        self._m_speculative_executions = self.metrics_registry.counter(
+            "repro_scheduler_speculative_executions_total",
+            "Engine runs performed by the speculative phase",
+        ).bind()
         self.batches_served = 0
         self.queries_dispatched = 0
         self.speculative_executions = 0
@@ -305,6 +331,27 @@ class ProbeScheduler:
                 )
             )
         run = self._plan_run(states)
+        for state in states:
+            trace = obs_trace.probe_trace(state.probe)
+            if trace is None:
+                continue
+            run.spans[state.index] = trace.root.child(
+                "scheduler:batch",
+                turn=state.turn,
+                batch_size=len(probes),
+                workers=self.workers,
+                backend=self.backend,
+            )
+            degradation = degradations[state.index] if degradations else None
+            if degradation is not None:
+                # The QoS shedding verdict, legible on the trace itself.
+                trace.root.child(
+                    "qos:shed",
+                    kind=degradation.kind,
+                    cause=degradation.cause,
+                    sample_cap=degradation.sample_cap,
+                    staleness=degradation.staleness,
+                ).finish()
         cache = self.optimizer.cache  # None when MQO is disabled: no sharing
         counters_before = cache.counters() if cache is not None else (0, 0, 0)
 
@@ -323,6 +370,8 @@ class ProbeScheduler:
             while state.pending():
                 self._dispatch_next(run, state)
 
+        for span in run.spans.values():
+            span.finish()
         counters_after = cache.counters() if cache is not None else (0, 0, 0)
         report = self._build_report(run, counters_before, counters_after)
         self._attach_hints(run)
@@ -406,21 +455,43 @@ class ProbeScheduler:
         would pile up), and spawn cost is noise next to engine runs.
         """
         optimizer = self.optimizer
+
+        def run_unit(decision, turn, span):
+            # Pool threads inherit no trace context: re-anchor the ambient
+            # span to the unit span pre-created on the coordinator thread
+            # (so only this thread ever appends inside the unit's subtree).
+            if span is None:
+                return optimizer.speculative_execute(decision, turn)
+            token = obs_trace.set_current(span)
+            try:
+                return optimizer.speculative_execute(decision, turn)
+            finally:
+                obs_trace.reset_current(token)
+                span.finish()
+
         with ThreadPoolExecutor(
             max_workers=min(self.workers, len(units)),
             thread_name_prefix="probe-sched",
         ) as pool:
-            futures = [
-                (
-                    (index, position),
-                    pool.submit(
-                        optimizer.speculative_execute,
-                        run.states[index].decisions[position],
-                        run.states[index].turn,
-                    ),
+            futures = []
+            for index, position in units:
+                parent = run.spans.get(index)
+                span = (
+                    parent.child("speculate:unit", backend="thread", position=position)
+                    if parent is not None
+                    else None
                 )
-                for index, position in units
-            ]
+                futures.append(
+                    (
+                        (index, position),
+                        pool.submit(
+                            run_unit,
+                            run.states[index].decisions[position],
+                            run.states[index].turn,
+                            span,
+                        ),
+                    )
+                )
             for key, future in futures:
                 run.precomputed[key] = future.result()
         self.speculative_executions += len(units)
@@ -446,6 +517,10 @@ class ProbeScheduler:
         for index, position in units:
             decision = run.states[index].decisions[position]
             payload = optimizer.speculation_payload(decision, run.states[index].turn)
+            if (index in run.spans) and not payload.trace:
+                # Traced probe: have the worker record its engine-node
+                # spans and ship them back for re-parenting during replay.
+                payload = replace(payload, trace=True)
             key = subplan_cache_key(
                 payload.plan, payload.sample_rate, payload.sample_seed
             )
@@ -495,12 +570,27 @@ class ProbeScheduler:
                 estimated_cost=query.estimated_cost,
             )
         else:
-            outcome = self.optimizer.run_decision(
-                state.interpreted,
-                decision,
-                state.turn,
-                precomputed=run.precomputed.pop((state.index, position), None),
-            )
+            parent = run.spans.get(state.index)
+            precomputed = run.precomputed.pop((state.index, position), None)
+            if parent is None:
+                outcome = self.optimizer.run_decision(
+                    state.interpreted, decision, state.turn, precomputed=precomputed
+                )
+            else:
+                span = parent.child(
+                    f"decision:q{query.index}",
+                    action=decision.action,
+                    sample_rate=decision.sample_rate,
+                )
+                token = obs_trace.set_current(span)
+                try:
+                    outcome = self.optimizer.run_decision(
+                        state.interpreted, decision, state.turn, precomputed=precomputed
+                    )
+                finally:
+                    obs_trace.reset_current(token)
+                    span.finish()
+                span.attrs["status"] = outcome.status
         state.outcomes[position] = outcome
         self.queries_dispatched += 1
 

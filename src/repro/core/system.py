@@ -85,6 +85,27 @@ degenerate window of one.
         for spin-up and add_shard rebalancing); shards=1 passes straight
         through to one system over the source database, byte-identical
 
+    observability layer (repro.obs; REPRO_TRACE / Brief.trace / slow log)
+        probe trace ── span tree following one probe end-to-end:
+                probe ─┬─> gateway:queued/window ──> qos:classify/shed
+                       ├─> scheduler:batch ──> speculate:unit │
+                       │      decision:qN ──> node:* (rows, cache,
+                       │      kernel vs fallback; process workers ship
+                       │      speculation:worker subtrees, re-parented
+                       │      onto the coordinator clock)
+                       └─> wal:commit │ replica:serve │ scatter:shardN
+                opt-in per probe (Brief.trace) or global (REPRO_TRACE=1);
+                attached as response.trace; export: trace.to_chrome()
+                (Perfetto / about:tracing); answers never change
+        metrics registry ── every component publishes Counter/Gauge/
+                Histogram series into one registry per system; legacy
+                stats() dicts read back out of it unchanged;
+                system.metrics() / ShardedSystem.metrics() (per-shard +
+                "router" labels) render JSON or Prometheus text
+        slow-probe log ── REPRO_SLOW_PROBE_MS / SystemConfig.slow_probe_ms
+                ring-buffers offenders WITH their traces (threshold
+                implies tracing), WARNING-logged
+
 Each probe in a window is one interaction turn: its queries are
 interpreted, satisficed and executed (with cross-agent work sharing and
 history reuse); the scheduler dispatches round-robin across agents so no
@@ -109,6 +130,7 @@ faster on repeated workloads.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -126,6 +148,9 @@ from repro.db.database import ChangeEvent
 from repro.engine.executor import SubplanCache
 from repro.maintenance import MaintenanceConfig, MaintenanceRuntime
 from repro.memstore import AgenticMemoryStore, ArtifactKind
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.slowlog import SlowProbeEntry, SlowProbeLog, resolve_slow_probe_ms
 from repro.qos import QosConfig, QosController, resolve_qos_enabled
 from repro.plan import logical
 from repro.semantic.search import SemanticSearch
@@ -194,6 +219,12 @@ class SystemConfig:
     #: Engines are proven byte-identical on rows, statuses, steering,
     #: history attribution, and work accounting; only wall-clock changes.
     engine: str | None = None
+    #: Slow-probe threshold in milliseconds: served probes whose
+    #: end-to-end trace exceeds it land in ``system.slow_probes`` (a ring
+    #: buffer, WARNING-logged) with the full trace attached. ``None`` ->
+    #: the ``REPRO_SLOW_PROBE_MS`` env override, else off. Setting a
+    #: threshold implies tracing for every probe that does not opt out.
+    slow_probe_ms: float | None = None
 
 
 class AgentFirstDataSystem:
@@ -214,6 +245,14 @@ class AgentFirstDataSystem:
         self.memory = memory or AgenticMemoryStore()
         if self.config.enable_memory:
             self.memory.attach(db)
+        #: One metrics registry per system: every component publishes its
+        #: counters here (the legacy ``stats()`` dicts read back out of
+        #: it), and ``system.metrics()`` snapshots the whole thing.
+        self.metrics_registry = MetricsRegistry()
+        #: Ring buffer of slow-probe entries (traces attached) once a
+        #: threshold is configured; always present so callers can poll.
+        self.slow_probes = SlowProbeLog()
+        self._slow_probe_ms = resolve_slow_probe_ms(self.config.slow_probe_ms)
         self.search = SemanticSearch(db)
         self.interpreter = ProbeInterpreter(db)
         self.satisficer = Satisficer(enable_pruning=self.config.enable_satisficing)
@@ -233,9 +272,10 @@ class AgentFirstDataSystem:
             optimizer=self.optimizer,
             workers=scheduler_workers,
             backend=self.config.dispatch_backend,
+            registry=self.metrics_registry,
         )
         self.qos = (
-            QosController(self.config.qos)
+            QosController(self.config.qos, registry=self.metrics_registry)
             if resolve_qos_enabled(self.config.enable_qos)
             else None
         )
@@ -244,11 +284,13 @@ class AgentFirstDataSystem:
             max_batch=self.config.gateway_max_batch,
             max_wait=self.config.gateway_max_wait,
             qos=self.qos,
+            registry=self.metrics_registry,
         )
         self.maintenance = MaintenanceRuntime(
             self,
             config=self.config.maintenance,
             enabled=self.config.enable_maintenance,
+            registry=self.metrics_registry,
         )
         if self.maintenance.enabled:
             self.maintenance.attach()
@@ -281,8 +323,75 @@ class AgentFirstDataSystem:
                     replica_count,
                     turn_source=self._next_replica_turn,
                     engine=self.config.engine,
+                    registry=self.metrics_registry,
                 )
+        self._node_latency = self.metrics_registry.histogram(
+            "repro_engine_node_latency_ms",
+            "Per-plan-node execution latency (traced probes only)",
+            labelnames=("node", "engine"),
+        )
+        self._register_engine_collectors()
         db.on_change(self._on_change)
+
+    def _register_engine_collectors(self) -> None:
+        """Publish engine-level metrics as snapshot-time collectors.
+
+        Occupancies and hit ratios are derived from live structures when
+        ``metrics()`` is called — zero hot-path bookkeeping, which is how
+        the <2% tracing-off overhead contract stays cheap to honour.
+        """
+        from repro.engine.columnar import KERNEL_MEMO_STATS, kernel_memo_occupancy
+        from repro.engine.executor import EXPR_MEMO_STATS, expr_memo_occupancy
+
+        registry = self.metrics_registry
+        cache = self.optimizer.cache
+        gauges = {
+            name: registry.gauge(f"repro_engine_{name}", help)
+            for name, help in (
+                ("subplan_cache_entries", "Subplan cache occupancy"),
+                ("subplan_cache_hits", "Subplan cache lifetime hits"),
+                ("subplan_cache_misses", "Subplan cache lifetime misses"),
+                ("subplan_cache_evictions", "Subplan cache lifetime evictions"),
+                ("subplan_cache_hit_ratio", "hits / (hits + misses), 0 when idle"),
+                ("expr_memo_entries", "Compiled-expression memo occupancy"),
+                ("expr_memo_compilations", "Expression compilations (process-wide)"),
+                ("expr_memo_hits", "Expression memo hits (process-wide)"),
+                ("kernel_memo_entries", "Columnar kernel memo occupancy"),
+                ("kernel_memo_builds", "Kernel builds (process-wide)"),
+                ("kernel_memo_hits", "Kernel memo hits (process-wide)"),
+                ("kernel_memo_fallbacks", "Kernel runs resolved by row fallback"),
+                ("kernel_memo_unvectorized", "Nodes executed on the row path"),
+            )
+        }
+
+        def collect() -> None:
+            if cache is not None:
+                hits, misses, evictions = cache.counters()
+                gauges["subplan_cache_entries"].set(len(cache))
+                gauges["subplan_cache_hits"].set(hits)
+                gauges["subplan_cache_misses"].set(misses)
+                gauges["subplan_cache_evictions"].set(evictions)
+                total = hits + misses
+                gauges["subplan_cache_hit_ratio"].set(hits / total if total else 0.0)
+            gauges["expr_memo_entries"].set(expr_memo_occupancy())
+            gauges["expr_memo_compilations"].set(EXPR_MEMO_STATS.compilations)
+            gauges["expr_memo_hits"].set(EXPR_MEMO_STATS.hits)
+            gauges["kernel_memo_entries"].set(kernel_memo_occupancy())
+            gauges["kernel_memo_builds"].set(KERNEL_MEMO_STATS.builds)
+            gauges["kernel_memo_hits"].set(KERNEL_MEMO_STATS.hits)
+            gauges["kernel_memo_fallbacks"].set(KERNEL_MEMO_STATS.fallbacks)
+            gauges["kernel_memo_unvectorized"].set(KERNEL_MEMO_STATS.unvectorized)
+
+        registry.add_collector(collect)
+
+    def metrics(self) -> MetricsSnapshot:
+        """One snapshot of every metric this system publishes.
+
+        Render with ``.as_dict()`` / ``.to_json()`` /
+        ``.to_prometheus_text()``; the legacy per-component ``stats()``
+        dicts remain available and read from the same registry.
+        """
+        return self.metrics_registry.snapshot()
 
     # -- the entry points -----------------------------------------------------
 
@@ -344,7 +453,15 @@ class AgentFirstDataSystem:
         with self._turn_lock:
             first_turn = self.turn + 1
             self.turn += len(probes)
+        # The direct paths (submit_many, serve_window) reach here without
+        # passing gateway.submit: attach traces to probes that want them.
+        # Gateway-streamed probes already carry theirs (no-op re-entry).
+        any_traced = False
+        for probe in probes:
+            if obs_trace.ensure_probe_trace(probe) is not None:
+                any_traced = True
         wal = self.db.catalog.wal
+        wal_bounds: tuple[float, float] | None = None
         if wal is not None:
             # Bracket the window in the log. A crash mid-window leaves a
             # window_begin without its serve_state commit; recovery
@@ -368,10 +485,54 @@ class AgentFirstDataSystem:
             if wal is not None:
                 # Commit even on the exception path: any catalog writes
                 # the window performed are already logged and live.
+                commit_start = time.perf_counter()
                 wal.commit_window(self._wal_serve_delta())
+                if any_traced:
+                    wal_bounds = (commit_start, time.perf_counter())
         if wal is not None and wal.checkpoint_due():
             self.db.checkpoint()
+        if any_traced:
+            self._finalize_traces(probes, responses, wal_bounds)
         return responses
+
+    def _finalize_traces(
+        self,
+        probes: Sequence[Probe],
+        responses: list[ProbeResponse],
+        wal_bounds: tuple[float, float] | None,
+    ) -> None:
+        """Close out the window's traces: the shared WAL-commit span is
+        attached to every traced probe, the root is finished, per-node
+        latency histograms are fed, and slow probes land in the ring
+        buffer (with their traces) at WARNING."""
+        for probe, response in zip(probes, responses):
+            trace = obs_trace.probe_trace(probe)
+            if trace is None or trace.finished:
+                continue
+            if wal_bounds is not None:
+                trace.root.child("wal:commit", start=wal_bounds[0]).finish(
+                    wal_bounds[1]
+                )
+            trace.finish()
+            response.trace = trace
+            for span in trace.spans():
+                if span.name.startswith("node:") and span.end is not None:
+                    self._node_latency.observe(
+                        span.duration_ms,
+                        node=span.name[len("node:"):],
+                        engine=span.attrs.get("engine", "row"),
+                    )
+            threshold = self._slow_probe_ms
+            if threshold is not None and trace.duration_ms >= threshold:
+                self.slow_probes.record(
+                    SlowProbeEntry(
+                        agent_id=probe.agent_id,
+                        turn=response.turn,
+                        duration_ms=trace.duration_ms,
+                        threshold_ms=threshold,
+                        trace=trace,
+                    )
+                )
 
     def _wal_serve_delta(self) -> dict:
         """The serve-state delta one window's commit record carries."""

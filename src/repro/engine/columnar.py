@@ -69,6 +69,7 @@ from repro.engine.expressions import (
     truthy,
 )
 from repro.errors import ExecutionError
+from repro.obs import trace as obs_trace
 from repro.plan import logical
 from repro.plan.fingerprint import fingerprints
 from repro.sql import nodes
@@ -740,6 +741,12 @@ def clear_kernel_memo() -> None:
         _KERNEL_MEMO.clear()
 
 
+def kernel_memo_occupancy() -> int:
+    """Entries currently memoized (metrics-registry collector input)."""
+    with _KERNEL_MEMO_LOCK:
+        return len(_KERNEL_MEMO)
+
+
 # Kernels hold compiled closures, so clearing the expression memo must
 # drop them too or stale compiles stay reachable through the kernel memo.
 executor_module._EXPR_MEMO_CLEAR_HOOKS.append(clear_kernel_memo)
@@ -1239,8 +1246,24 @@ class ColumnarExecutor(Executor):
 
         The cache key, counters, and stored representation (plain row
         lists) are exactly the row engine's — that is what lets one
-        materialisation serve both engines.
+        materialisation serve both engines. Span plumbing mirrors the
+        row engine too: one ambient read with tracing off, a per-node
+        span (rows out, cache verdict, kernel-vs-fallback) otherwise.
         """
+        parent_span = obs_trace.current_span()
+        if parent_span is None:
+            return self._execute_batch_inner(node, None)
+        span = parent_span.child(f"node:{type(node).__name__}", engine="columnar")
+        token = obs_trace.set_current(span)
+        try:
+            batch = self._execute_batch_inner(node, span)
+            span.attrs["rows_out"] = len(batch)
+            return batch
+        finally:
+            obs_trace.reset_current(token)
+            span.finish()
+
+    def _execute_batch_inner(self, node: logical.PlanNode, span) -> ColumnBatch:
         self.context.stats.operators_executed += 1
         cache = self.context.cache
         cache_key: tuple | None = None
@@ -1255,10 +1278,14 @@ class ColumnarExecutor(Executor):
                 cached = cache.get(cache_key)
                 if cached is not None:
                     self.context.stats.cache_hits += 1
+                    if span is not None:
+                        span.attrs["cache"] = "hit"
                     batch = ColumnBatch.from_rows(cached, len(node.output))
                     batch._rows = cached  # serve the cached list itself
                     return batch
                 self.context.stats.cache_misses += 1
+                if span is not None:
+                    span.attrs["cache"] = "miss"
 
         batch = self._execute_batch_uncached(node)
 
@@ -1309,8 +1336,12 @@ class ColumnarExecutor(Executor):
                 stats.cache_hits,
                 stats.cache_misses,
             )
+            span = obs_trace.current_span()
             try:
-                return kernel(self, node, batches)
+                batch = kernel(self, node, batches)
+                if span is not None:
+                    span.attrs["exec"] = "kernel"
+                return batch
             except Exception:
                 # Anything a kernel raises — a genuine execution error, an
                 # evaluation-order divergence, a numpy surprise — is
@@ -1324,8 +1355,13 @@ class ColumnarExecutor(Executor):
                     stats.cache_misses,
                 ) = snapshot
                 KERNEL_MEMO_STATS.fallbacks += 1
+                if span is not None:
+                    span.attrs["exec"] = "fallback"
         else:
             KERNEL_MEMO_STATS.unvectorized += 1
+            span = obs_trace.current_span()
+            if span is not None:
+                span.attrs["exec"] = "row"
         rows = self._row_fallback(node, [batch.to_rows() for batch in batches])
         return ColumnBatch.from_rows(rows, len(node.output))
 

@@ -33,6 +33,7 @@ from repro.engine import aggregates as agg_lib
 from repro.engine.expressions import Compiled, SubqueryRunner, compile_expr
 from repro.engine.result import ExecStats, QueryResult
 from repro.errors import ExecutionError
+from repro.obs import trace as obs_trace
 from repro.plan import logical
 from repro.plan.fingerprint import fingerprints
 from repro.sql import nodes
@@ -207,6 +208,12 @@ def clear_expr_memo() -> None:
         hook()
 
 
+def expr_memo_occupancy() -> int:
+    """Entries currently memoized (metrics-registry collector input)."""
+    with _EXPR_MEMO_LOCK:
+        return len(_EXPR_MEMO)
+
+
 def has_subquery(expr: nodes.Expr) -> bool:
     """True when the expression tree contains any subquery node."""
     return any(isinstance(n, _SUBQUERY_EXPRS) for n in nodes.walk(expr))
@@ -297,6 +304,23 @@ class Executor(SubqueryRunner):
     # -- dispatch ----------------------------------------------------------------
 
     def _execute(self, node: logical.PlanNode) -> list[Row]:
+        # One ambient-contextvar read is the whole tracing-off cost per
+        # plan node; with a trace active each node gets its own span
+        # (rows out, cache verdict) and recursion nests via the context.
+        parent_span = obs_trace.current_span()
+        if parent_span is None:
+            return self._execute_inner(node, None)
+        span = parent_span.child(f"node:{type(node).__name__}", engine="row")
+        token = obs_trace.set_current(span)
+        try:
+            rows = self._execute_inner(node, span)
+            span.attrs["rows_out"] = len(rows)
+            return rows
+        finally:
+            obs_trace.reset_current(token)
+            span.finish()
+
+    def _execute_inner(self, node: logical.PlanNode, span) -> list[Row]:
         self.context.stats.operators_executed += 1
         cache = self.context.cache
         cache_key: tuple | None = None
@@ -315,8 +339,12 @@ class Executor(SubqueryRunner):
                 cached = cache.get(cache_key)
                 if cached is not None:
                     self.context.stats.cache_hits += 1
+                    if span is not None:
+                        span.attrs["cache"] = "hit"
                     return cached
                 self.context.stats.cache_misses += 1
+                if span is not None:
+                    span.attrs["cache"] = "miss"
 
         rows = self._execute_uncached(node)
 

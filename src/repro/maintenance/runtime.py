@@ -57,6 +57,7 @@ from repro.engine.columnar import make_executor, resolve_engine
 from repro.engine.executor import ExecContext, subplan_cache_key
 from repro.maintenance.indexer import KIND_EQ, PredicateMiner
 from repro.maintenance.views import MaterializedView, ViewStore, source_tables
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.plan import logical, rules
 
 if TYPE_CHECKING:
@@ -116,13 +117,29 @@ class MaintenanceReport:
 
 
 class MaintenanceRuntime:
-    """Owns the sleeper-agent jobs and their artifacts for one system."""
+    """Owns the sleeper-agent jobs and their artifacts for one system.
+
+    Lifetime counters live in the shared metrics registry behind
+    :class:`~repro.obs.metrics.MetricAttr` shims — attribute reads and
+    ``stats()`` keys are unchanged. Job counters are incremented only by
+    the maintenance thread; ``idle_notifications`` by the gateway loop
+    (same single-writer-per-counter discipline as before).
+    """
+
+    runs = MetricAttr("_m_runs")
+    views_built = MetricAttr("_m_views_built")
+    indexes_built = MetricAttr("_m_indexes_built")
+    stats_refreshes = MetricAttr("_m_stats_refreshes")
+    cache_rewarms = MetricAttr("_m_cache_rewarms")
+    preemptions = MetricAttr("_m_preemptions")
+    idle_notifications = MetricAttr("_m_idle_notifications")
 
     def __init__(
         self,
         system: "AgentFirstDataSystem",
         config: MaintenanceConfig | None = None,
         enabled: bool | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.config = config or MaintenanceConfig()
@@ -148,6 +165,26 @@ class MaintenanceRuntime:
         self._closed = False
         self._thread: threading.Thread | None = None
         #: Lifetime counters (observability; the bench records them).
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+        for slot, name, help_text in (
+            ("_m_runs", "runs_total", "Maintenance passes executed."),
+            ("_m_views_built", "views_built_total", "Views materialized."),
+            ("_m_indexes_built", "indexes_built_total", "Auxiliary indexes built."),
+            ("_m_stats_refreshes", "stats_refreshes_total", "Statistics refreshes."),
+            ("_m_cache_rewarms", "cache_rewarms_total", "Subplan cache re-warms."),
+            ("_m_preemptions", "preemptions_total", "Jobs preempted by serving demand."),
+            (
+                "_m_idle_notifications",
+                "idle_notifications_total",
+                "Gateway idle-window signals received.",
+            ),
+        ):
+            setattr(
+                self,
+                slot,
+                registry.counter(f"repro_maintenance_{name}", help_text).bind(),
+            )
         self.runs = 0
         self.views_built = 0
         self.indexes_built = 0

@@ -1,0 +1,371 @@
+"""Unified metrics registry: Counter / Gauge / Histogram primitives.
+
+Every serving layer used to keep a private ad-hoc ``stats()`` dict with
+no shared schema and no export format. This module gives the stack one
+process-local :class:`MetricsRegistry` per system: components create
+named instruments (optionally labeled), mutate them on their hot paths,
+and ``system.metrics()`` snapshots the whole registry into a
+:class:`MetricsSnapshot` renderable as JSON or Prometheus exposition
+text.
+
+Migration contract: the existing ``stats()`` dicts keep their exact
+keys — they are now *derived from* registry instruments via
+:class:`MetricAttr`, a descriptor that exposes a bound instrument as a
+plain read/write numeric attribute. Call sites like
+``self.windows_streamed += 1`` and tests like
+``gateway.windows_streamed == 2`` keep working unchanged while the
+value lives in the registry.
+
+Lock discipline: each instrument guards its series map with its own
+lock, but read-modify-write sequences (``+=`` through a
+:class:`MetricAttr`) are only atomic under the *component's* lock —
+exactly the discipline the components already enforce for their plain
+counters, so migration changes no locking requirements.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Iterable
+
+#: Default latency buckets (milliseconds) — tuned for sub-second probe
+#: serving: microsecond engine nodes up through multi-second windows.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class _Instrument:
+    """Shared machinery: label handling plus a per-series value map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: got labels {sorted(labels)}, "
+                f"declared {sorted(self.labelnames)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def bind(self, **labels) -> "BoundInstrument":
+        """A view of one labeled series with label-free mutators."""
+        return BoundInstrument(self, self._key(labels))
+
+    def series(self) -> dict[tuple, object]:
+        with self._lock:
+            return dict(self._series)
+
+
+class Counter(_Instrument):
+    """Monotone(-by-convention) counter. ``set`` exists for the
+    compatibility shims, which replay ``+=`` as read-then-set under the
+    owning component's lock."""
+
+    kind = "counter"
+
+    def inc(self, amount=1, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def set(self, value, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = value
+
+    def value(self, **labels):
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+
+class Gauge(Counter):
+    """A value that can go up and down (queue depths, occupancies)."""
+
+    kind = "gauge"
+
+    def dec(self, amount=1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            idx = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            series.bucket_counts[idx] += 1
+            series.sum += value
+            series.count += 1
+
+    def value(self, **labels) -> dict:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"count": 0, "sum": 0.0, "buckets": {}}
+            cumulative, running = {}, 0
+            for bound, n in zip(self.buckets, series.bucket_counts):
+                running += n
+                cumulative[bound] = running
+            return {
+                "count": series.count,
+                "sum": series.sum,
+                "buckets": cumulative,
+            }
+
+
+class BoundInstrument:
+    """One labeled series of an instrument, with label-free mutators."""
+
+    __slots__ = ("_instrument", "_key")
+
+    def __init__(self, instrument: _Instrument, key: tuple) -> None:
+        self._instrument = instrument
+        self._key = key
+
+    def _labels(self) -> dict:
+        return dict(zip(self._instrument.labelnames, self._key))
+
+    def inc(self, amount=1) -> None:
+        self._instrument.inc(amount, **self._labels())
+
+    def dec(self, amount=1) -> None:
+        self._instrument.dec(amount, **self._labels())
+
+    def set(self, value) -> None:
+        self._instrument.set(value, **self._labels())
+
+    def observe(self, value) -> None:
+        self._instrument.observe(value, **self._labels())
+
+    def value(self):
+        return self._instrument.value(**self._labels())
+
+
+class MetricAttr:
+    """Descriptor exposing a bound instrument as a plain numeric attribute.
+
+    ``windows_streamed = MetricAttr("_m_windows_streamed")`` reads and
+    writes the :class:`BoundInstrument` the component stored at that
+    instance slot, so ``self.windows_streamed += 1`` mutates the
+    registry series and ``gateway.windows_streamed`` reads it back —
+    the migration shim the existing call sites and tests rely on.
+    """
+
+    def __init__(self, slot: str) -> None:
+        self._slot = slot
+
+    def __set_name__(self, owner, name) -> None:
+        self._name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.__dict__[self._slot].value()
+
+    def __set__(self, obj, value) -> None:
+        obj.__dict__[self._slot].set(value)
+
+
+class MetricsRegistry:
+    """Process-local registry: get-or-create instruments by name.
+
+    ``add_collector`` registers a callback run at snapshot time — the
+    hook for metrics derived from live structures (cache occupancy, memo
+    sizes, hit ratios) that would otherwise cost hot-path bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, labelnames, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, tuple(labelnames))
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, tuple(labelnames), buckets=tuple(buckets)
+        )
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            self._collectors.append(fn)
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Run collectors, then capture every series in the registry."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            fn()
+        data: dict[str, dict] = {}
+        for instrument in self.instruments():
+            series_out = []
+            for key in sorted(instrument.series()):
+                labels = dict(zip(instrument.labelnames, key))
+                series_out.append(
+                    {"labels": labels, "value": instrument.value(**labels)}
+                )
+            data[instrument.name] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "series": series_out,
+            }
+        return MetricsSnapshot(data)
+
+
+class MetricsSnapshot:
+    """A point-in-time capture of a registry, with JSON and
+    Prometheus-text renderers."""
+
+    def __init__(self, data: dict[str, dict]) -> None:
+        self._data = data
+
+    def as_dict(self) -> dict:
+        return self._data
+
+    def names(self) -> list[str]:
+        return sorted(self._data)
+
+    def get(self, name: str, **labels):
+        """The value of one series (``None`` when absent)."""
+        metric = self._data.get(name)
+        if metric is None:
+            return None
+        for series in metric["series"]:
+            if series["labels"] == labels:
+                return series["value"]
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(self._data, sort_keys=True, default=str)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus exposition format (# HELP / # TYPE / samples)."""
+        lines: list[str] = []
+        for name in sorted(self._data):
+            metric = self._data[name]
+            if metric["help"]:
+                lines.append(f"# HELP {name} {metric['help']}")
+            lines.append(f"# TYPE {name} {metric['type']}")
+            for series in metric["series"]:
+                labels = series["labels"]
+                value = series["value"]
+                if metric["type"] == "histogram":
+                    for bound, count in value["buckets"].items():
+                        bucket_labels = {**labels, "le": _fmt_bound(bound)}
+                        lines.append(
+                            f"{name}_bucket{_fmt_labels(bucket_labels)} {count}"
+                        )
+                    inf_labels = {**labels, "le": "+Inf"}
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(inf_labels)} {value['count']}"
+                    )
+                    lines.append(f"{name}_sum{_fmt_labels(labels)} {value['sum']}")
+                    lines.append(f"{name}_count{_fmt_labels(labels)} {value['count']}")
+                else:
+                    lines.append(f"{name}{_fmt_labels(labels)} {value}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_bound(bound: float) -> str:
+    text = repr(float(bound))
+    return text[:-2] if text.endswith(".0") else text
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def merge_snapshots(parts: dict[str, MetricsSnapshot]) -> MetricsSnapshot:
+    """Fuse per-shard snapshots into one, adding a ``shard`` label to
+    every series (``ShardedSystem.metrics()``)."""
+    merged: dict[str, dict] = {}
+    for shard_label, snapshot in sorted(parts.items()):
+        for name, metric in snapshot.as_dict().items():
+            out = merged.setdefault(
+                name, {"type": metric["type"], "help": metric["help"], "series": []}
+            )
+            for series in metric["series"]:
+                out["series"].append(
+                    {
+                        "labels": {**series["labels"], "shard": str(shard_label)},
+                        "value": series["value"],
+                    }
+                )
+    return MetricsSnapshot(merged)

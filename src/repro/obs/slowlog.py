@@ -1,0 +1,79 @@
+"""Slow-probe log: a ring buffer of the worst offenders, with traces.
+
+When ``REPRO_SLOW_PROBE_MS`` (or ``SystemConfig.slow_probe_ms``) sets a
+threshold, every served probe whose end-to-end trace exceeds it lands
+here — *with its full trace attached*, because setting the threshold
+implies tracing (see :func:`repro.obs.trace.trace_wanted`); a slow
+probe cannot be traced after the fact. Entries are also routed through
+the module logger at WARNING so existing log plumbing surfaces them.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.trace import SLOW_PROBE_ENV_VAR, Trace
+
+_LOG = logging.getLogger(__name__)
+
+DEFAULT_CAPACITY = 64
+
+
+def resolve_slow_probe_ms(default: float | None = None) -> float | None:
+    """The env-configured slow-probe threshold in ms, else ``default``."""
+    raw = os.environ.get(SLOW_PROBE_ENV_VAR, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+@dataclass
+class SlowProbeEntry:
+    agent_id: str | None
+    turn: int | None
+    duration_ms: float
+    threshold_ms: float
+    trace: Trace | None
+
+
+class SlowProbeLog:
+    """Bounded ring buffer of slow-probe entries (oldest evicted first).
+
+    Lock discipline: every accessor — including ``__len__`` — takes
+    ``_lock`` before touching ``_entries``; the WARNING log line is
+    emitted outside the lock.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._entries: deque[SlowProbeEntry] = deque(maxlen=max(1, capacity))
+
+    def record(self, entry: SlowProbeEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+        _LOG.warning(
+            "slow probe: agent=%s turn=%s took %.1fms (threshold %.1fms)",
+            entry.agent_id,
+            entry.turn,
+            entry.duration_ms,
+            entry.threshold_ms,
+        )
+
+    def entries(self) -> list[SlowProbeEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

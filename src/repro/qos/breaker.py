@@ -25,12 +25,16 @@ can walk a breaker through its whole lifecycle without sleeping.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
 from typing import Callable
 
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.qos.policy import QosConfig
+
+_LOG = logging.getLogger(__name__)
 
 STATE_CLOSED = "closed"
 STATE_OPEN = "open"
@@ -38,13 +42,23 @@ STATE_HALF_OPEN = "half-open"
 
 
 class CircuitBreaker:
-    """Failure-rate + latency circuit breaker for one named backend."""
+    """Failure-rate + latency circuit breaker for one named backend.
+
+    Lifetime counters live in a metrics registry (labeled by backend)
+    behind :class:`~repro.obs.metrics.MetricAttr` shims; ``stats()``
+    keys and attribute reads are unchanged, and every mutation still
+    happens under ``_lock``.
+    """
+
+    trips = MetricAttr("_m_trips")
+    refusals = MetricAttr("_m_refusals")
 
     def __init__(
         self,
         name: str,
         config: QosConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.name = name
         self.config = config or QosConfig()
@@ -58,6 +72,18 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._half_open_in_flight = 0
         #: Lifetime counters (observability; stats() reports them).
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+        self._m_trips = registry.counter(
+            "repro_qos_breaker_trips_total",
+            "Circuit-breaker trips per backend.",
+            labelnames=("backend",),
+        ).bind(backend=name)
+        self._m_refusals = registry.counter(
+            "repro_qos_breaker_refusals_total",
+            "Calls refused by an open or saturated breaker, per backend.",
+            labelnames=("backend",),
+        ).bind(backend=name)
         self.trips = 0
         self.refusals = 0
 
@@ -129,6 +155,11 @@ class CircuitBreaker:
         self._opened_at = self.clock()
         self._window.clear()
         self.trips += 1
+        _LOG.warning(
+            "circuit breaker tripped for backend %r (cooldown %.1fs)",
+            self.name,
+            self.config.breaker_cooldown_s,
+        )
 
     def stats(self) -> dict:
         with self._lock:
@@ -153,9 +184,11 @@ class BackendHealth:
         self,
         config: QosConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or QosConfig()
         self.clock = clock
+        self.metrics_registry = registry or MetricsRegistry()
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
 
@@ -163,7 +196,9 @@ class BackendHealth:
         with self._lock:
             breaker = self._breakers.get(backend)
             if breaker is None:
-                breaker = CircuitBreaker(backend, self.config, self.clock)
+                breaker = CircuitBreaker(
+                    backend, self.config, self.clock, registry=self.metrics_registry
+                )
                 self._breakers[backend] = breaker
             return breaker
 

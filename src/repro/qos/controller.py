@@ -19,10 +19,12 @@ what makes QoS-on byte-identical to QoS-off on an unloaded system.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Callable
 
 from repro.errors import OverloadError
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.qos.policy import (
     STARVED_OFFSET,
     AdmissionPolicy,
@@ -35,16 +37,58 @@ from repro.qos.policy import (
 )
 
 
-class QosController:
-    """Mutable QoS state + the gateway-facing action surface."""
+_LOG = logging.getLogger(__name__)
 
-    def __init__(self, config: QosConfig | None = None) -> None:
+
+class QosController:
+    """Mutable QoS state + the gateway-facing action surface.
+
+    Lifetime counters live in the shared metrics registry (attribute
+    access is shimmed through :class:`~repro.obs.metrics.MetricAttr`, so
+    ``stats()`` keys and ``controller.probes_rejected`` reads are
+    unchanged); read-modify-write atomicity still comes from ``_lock``,
+    which guards every mutation.
+    """
+
+    probes_rejected = MetricAttr("_m_probes_rejected")
+    starved_submissions = MetricAttr("_m_starved_submissions")
+
+    def __init__(
+        self,
+        config: QosConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config or QosConfig()
         self.admission = AdmissionPolicy(self.config)
         self.shedding = SheddingPolicy(self.config)
         self._buckets: dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
         #: Lifetime counters (monotone; surfaced through gateway stats).
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+        self._m_probes_rejected = registry.counter(
+            "repro_qos_probes_rejected_total",
+            "Submissions refused past the hard-cap watermark.",
+        ).bind()
+        self._m_starved_submissions = registry.counter(
+            "repro_qos_starved_submissions_total",
+            "Submissions whose principal's token bucket ran dry.",
+        ).bind()
+        self._m_lane_submissions = registry.counter(
+            "repro_qos_lane_submissions_total",
+            "Submissions classified per priority lane.",
+            labelnames=("lane",),
+        )
+        registry.gauge(
+            "repro_qos_principals_tracked",
+            "Principals with a live token bucket.",
+        )
+        registry.add_collector(
+            lambda: registry.gauge(
+                "repro_qos_principals_tracked",
+                "Principals with a live token bucket.",
+            ).set(len(self._buckets))
+        )
         self.probes_rejected = 0
         self.starved_submissions = 0
         self.lane_counts = {0: 0, 1: 0, 2: 0}
@@ -62,6 +106,11 @@ class QosController:
         if limit is not None:
             with self._lock:
                 self.probes_rejected += 1
+            _LOG.warning(
+                "qos: rejecting submission at queue depth %d (hard cap %d)",
+                queue_depth,
+                limit,
+            )
             raise OverloadError(queue_depth, limit)
         lane = lane_of(probe.brief)
         with self._lock:
@@ -75,6 +124,7 @@ class QosController:
             if starved:
                 self.starved_submissions += 1
             self.lane_counts[lane] = self.lane_counts.get(lane, 0) + 1
+            self._m_lane_submissions.inc(lane=lane_name(lane))
         return lane, starved
 
     def window_served(self) -> None:

@@ -21,13 +21,18 @@ shard's own QoS layer then degrades the probe honestly.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import MetricAttr, MetricsRegistry
+
 if TYPE_CHECKING:
     from repro.core.probe import Probe
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -81,13 +86,42 @@ class WorkUnit:
 
 
 class Matchmaker:
-    """FIFO queue of work units matched against per-round capacity offers."""
+    """FIFO queue of work units matched against per-round capacity offers.
 
-    def __init__(self, max_deferrals: int = 3) -> None:
+    Monotone accounting lives in the shared metrics registry behind
+    :class:`~repro.obs.metrics.MetricAttr` shims; ``stats()`` keys and
+    attribute reads are unchanged, and mutations stay under ``_lock``.
+    """
+
+    units_enqueued = MetricAttr("_m_units_enqueued")
+    units_matched = MetricAttr("_m_units_matched")
+    units_forced = MetricAttr("_m_units_forced")
+    rounds = MetricAttr("_m_rounds")
+
+    def __init__(
+        self,
+        max_deferrals: int = 3,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.max_deferrals = max(0, int(max_deferrals))
         self._lock = threading.Lock()
         self._queue: deque[WorkUnit] = deque()
         #: Monotone accounting (``stats()`` snapshots them).
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+        self._m_units_enqueued = registry.counter(
+            "repro_shard_units_enqueued_total", "Work units queued for matching."
+        ).bind()
+        self._m_units_matched = registry.counter(
+            "repro_shard_units_matched_total", "Work units matched to a shard."
+        ).bind()
+        self._m_units_forced = registry.counter(
+            "repro_shard_units_forced_total",
+            "Units force-assigned after exhausting deferrals.",
+        ).bind()
+        self._m_rounds = registry.counter(
+            "repro_shard_match_rounds_total", "Matching rounds executed."
+        ).bind()
         self.units_enqueued = 0
         self.units_matched = 0
         self.units_forced = 0
@@ -150,6 +184,11 @@ class Matchmaker:
                     # the least-loaded candidate so it never starves.
                     best = min(candidates, key=lambda e: (e[1], e[2].rank()))
                     self.units_forced += 1
+                    _LOG.warning(
+                        "matchmaker: forcing unit onto shard %d after %d deferrals",
+                        best[2].shard_id,
+                        unit.deferrals,
+                    )
                 else:
                     unit.deferrals += 1
                     deferred.append(unit)

@@ -32,6 +32,7 @@ tenant's home shard is authoritative for that tenant's writes.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -45,12 +46,16 @@ from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.core.system import AgentFirstDataSystem, SystemConfig, shared_serving_system
 from repro.db import Database
 from repro.db.information_schema import is_information_schema
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, merge_snapshots
 from repro.shard import scatter
 from repro.shard.matchmaker import CapacityAdvert, Matchmaker, WorkUnit
 from repro.shard.router import ShardRouter
 from repro.storage.catalog import CatalogSnapshot
 from repro.storage.table import Table
 from repro.util.text import normalize_identifier
+
+_LOG = logging.getLogger(__name__)
 
 #: ``REPRO_SHARDS=N`` turns the shard tier on globally (mirrors
 #: ``REPRO_QOS`` / ``REPRO_WAL``): cohort runners route through a
@@ -111,7 +116,11 @@ class ShardedSystem:
     ) -> None:
         self.count = resolve_shard_count(shards)
         self.router = ShardRouter(self.count, partition)
-        self.matchmaker = Matchmaker()
+        #: Tier-level registry: matchmaker accounting lives here; shard
+        #: registries merge in through :meth:`metrics` with a ``shard``
+        #: label per series.
+        self.metrics_registry = MetricsRegistry()
+        self.matchmaker = Matchmaker(registry=self.metrics_registry)
         self._source = db
         self._closed = False
         self._close_lock = threading.Lock()
@@ -393,6 +402,16 @@ class ShardedSystem:
         ``system.gateway`` surface cohort runners poke: flush/stats)."""
         return _GatewayFan(self)
 
+    def metrics(self) -> MetricsSnapshot:
+        """One tier-wide snapshot: every shard's registry, each series
+        tagged with a ``shard`` label, plus the tier registry (the
+        matchmaker) under the ``router`` pseudo-shard."""
+        parts = {
+            str(handle.shard_id): handle.system.metrics() for handle in self.shards
+        }
+        parts["router"] = self.metrics_registry.snapshot()
+        return merge_snapshots(parts)
+
     def stats(self) -> dict:
         per_shard = [h.system.gateway.stats() for h in self.shards]
         return {
@@ -525,6 +544,16 @@ class _ScatterTicket:
         self._session = session
         self._merged: ProbeResponse | None = None
         self._lock = threading.Lock()
+        #: The coordinator-side trace. Partial probes are fresh dataclass
+        #: copies, so each shard's gateway opens its *own* trace for its
+        #: partial; ``result()`` grafts those under per-shard fan-out
+        #: spans when it merges.
+        self._trace = obs_trace.ensure_probe_trace(probe)
+        fanout_span = None
+        if self._trace is not None:
+            fanout_span = self._trace.root.child(
+                "scatter:fanout", shards=sharded.count, queries=len(plans)
+            )
         partial_queries = tuple(plan.partial_sql for plan in plans)
         self._units = [
             WorkUnit(
@@ -536,6 +565,8 @@ class _ScatterTicket:
         for unit in self._units:
             sharded.matchmaker.enqueue(unit)
         sharded.pump()
+        if fanout_span is not None:
+            fanout_span.finish()
 
     def done(self) -> bool:
         return all(
@@ -572,7 +603,28 @@ class _ScatterTicket:
                     None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
                 partials.append(unit.ticket.result(remaining))
-            merged = self._merge(partials)
+            trace = self._trace
+            if trace is None or trace.finished:
+                merged = self._merge(partials)
+            else:
+                merge_span = trace.root.child("scatter:merge")
+                merged = self._merge(partials)
+                merge_span.finish()
+                for unit, partial in zip(self._units, partials):
+                    shard_span = trace.root.child(
+                        f"scatter:shard{unit.shard_id}", shard=unit.shard_id
+                    )
+                    partial_trace = getattr(partial, "trace", None)
+                    if partial_trace is not None:
+                        # Same process, same monotonic clock: graft the
+                        # shard's subtree verbatim, no re-anchoring.
+                        shard_span.children.append(partial_trace.root)
+                        shard_span.start = partial_trace.root.start
+                        shard_span.finish(partial_trace.root.end)
+                    else:
+                        shard_span.finish()
+                trace.finish()
+                merged.trace = trace
             if self._session is not None:
                 self._session._account(merged)
             self._merged = merged

@@ -17,8 +17,11 @@ chunk-shared copy-on-write storage:
 
 from __future__ import annotations
 
+import logging
+
 from repro.db.database import ChangeEvent, Database
 from repro.errors import BranchNotFound, TransactionError
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.storage.table import Table, TableSnapshot
 from repro.storage.types import Value
 from repro.txn.merge import MergeResult, detect_conflicts, ensure_mergeable, replay
@@ -98,13 +101,40 @@ class Branch:
             raise TransactionError(f"branch {self.name!r} has been rolled back")
 
 
-class BranchManager:
-    """Creates, forks, merges, and discards branches over a main database."""
+_LOG = logging.getLogger(__name__)
 
-    def __init__(self, main_db: Database | None = None) -> None:
+
+class BranchManager:
+    """Creates, forks, merges, and discards branches over a main database.
+
+    Lifetime counters live in a metrics registry behind
+    :class:`~repro.obs.metrics.MetricAttr` shims; ``stats()`` keys and
+    attribute reads are unchanged.
+    """
+
+    forks_created = MetricAttr("_m_forks_created")
+    rollbacks = MetricAttr("_m_rollbacks")
+    merges = MetricAttr("_m_merges")
+
+    def __init__(
+        self,
+        main_db: Database | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._branches: dict[str, Branch] = {}
         main = Branch("main", main_db or Database("main"), parent=None)
         self._branches["main"] = main
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+        self._m_forks_created = registry.counter(
+            "repro_txn_forks_created_total", "Branch forks created."
+        ).bind()
+        self._m_rollbacks = registry.counter(
+            "repro_txn_rollbacks_total", "Branches rolled back."
+        ).bind()
+        self._m_merges = registry.counter(
+            "repro_txn_merges_total", "Branch merges completed."
+        ).bind()
         self.forks_created = 0
         self.rollbacks = 0
         self.merges = 0

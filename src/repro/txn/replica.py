@@ -27,6 +27,7 @@ which is also what guarantees serving never writes.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from typing import Callable
@@ -35,12 +36,16 @@ from repro.core.probe import Probe, ProbeResponse, QueryOutcome
 from repro.engine.columnar import make_executor
 from repro.engine.executor import ExecContext
 from repro.errors import ReproError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricAttr, MetricsRegistry
 from repro.plan.builder import build_plan
 from repro.plan.rules import optimize_plan
 from repro.sql import nodes
 from repro.sql.parser import parse_statement
 from repro.storage.catalog import Catalog
 from repro.txn.wal import CATALOG_KINDS, WriteAheadLog, apply_record
+
+_LOG = logging.getLogger(__name__)
 
 
 def resolve_replica_count(count: int | None) -> int:
@@ -130,6 +135,28 @@ class ReadReplica:
         lag = self.staleness()
         if lag > tolerance:
             return None
+        trace = obs_trace.probe_trace(probe)
+        if trace is None or trace.finished:
+            return self._serve_inner(probe, tolerance, turn_source, lag)
+        # Traced probe: the serve span is made ambient so the engine's
+        # per-node spans nest under it, exactly like the primary path.
+        span = trace.root.child("replica:serve", replica=self.name, staleness=lag)
+        token = obs_trace.set_current(span)
+        try:
+            response = self._serve_inner(probe, tolerance, turn_source, lag)
+            span.attrs["deferred"] = response is None
+            return response
+        finally:
+            obs_trace.reset_current(token)
+            span.finish()
+
+    def _serve_inner(
+        self,
+        probe: Probe,
+        tolerance: int,
+        turn_source: Callable[[], int],
+        lag: int,
+    ) -> ProbeResponse | None:
         try:
             plans = []
             for sql in probe.queries:
@@ -169,7 +196,15 @@ class ReadReplica:
 
 
 class ReplicaPool:
-    """Round-robin pool of read replicas behind one primary log."""
+    """Round-robin pool of read replicas behind one primary log.
+
+    Pool counters live in the shared metrics registry behind
+    :class:`~repro.obs.metrics.MetricAttr` shims; ``stats()`` keys and
+    attribute reads are unchanged.
+    """
+
+    probes_served = MetricAttr("_m_probes_served")
+    probes_declined = MetricAttr("_m_probes_declined")
 
     def __init__(
         self,
@@ -177,6 +212,7 @@ class ReplicaPool:
         count: int,
         turn_source: Callable[[], int],
         engine: str | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.replicas = [
             ReadReplica(wal, name=f"replica-{i}", engine=engine)
@@ -185,8 +221,29 @@ class ReplicaPool:
         self._turn_source = turn_source
         self._next = 0
         self._lock = threading.Lock()
+        registry = registry or MetricsRegistry()
+        self.metrics_registry = registry
+        self._m_probes_served = registry.counter(
+            "repro_replica_probes_served_total",
+            "Probes answered by a read replica.",
+        ).bind()
+        self._m_probes_declined = registry.counter(
+            "repro_replica_probes_declined_total",
+            "Probes a replica deferred back to the primary.",
+        ).bind()
+        registry.add_collector(self._collect_staleness)
         self.probes_served = 0
         self.probes_declined = 0
+
+    def _collect_staleness(self) -> None:
+        """Snapshot-time staleness gauge per replica (no hot-path cost)."""
+        gauge = self.metrics_registry.gauge(
+            "repro_replica_staleness",
+            "Unapplied primary write records per replica.",
+            labelnames=("replica",),
+        )
+        for replica in self.replicas:
+            gauge.set(replica.staleness(), replica=replica.name)
 
     def __len__(self) -> int:
         return len(self.replicas)

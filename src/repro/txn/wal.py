@@ -47,6 +47,7 @@ number of catalog records not yet applied.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import struct
@@ -59,6 +60,8 @@ from typing import Callable
 from repro.errors import WalError
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
+
+_LOG = logging.getLogger(__name__)
 
 #: Frame header: payload length, crc32 of the payload.
 _HEADER = struct.Struct(">II")
@@ -367,6 +370,9 @@ class WriteAheadLog:
             self._tail.append(record)
 
         if discarded:
+            _LOG.warning(
+                "wal: truncating uncommitted tail past the commit horizon"
+            )
             # Physically roll the log back to the commit horizon so no
             # future open resurrects the orphaned tail.
             if committed:
